@@ -1,0 +1,70 @@
+// Ablation: component tolerances and laser trimming (paper section 2:
+// "Tolerances are about 15%, with laser tuning values below 1%").
+// Parametric yield of the IF filter against its loss spec for the three
+// tolerance classes.
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+#include "core/realization.hpp"
+#include "gps/bom.hpp"
+#include "rf/tolerance.hpp"
+
+using namespace ipass;
+
+int main() {
+  std::puts("=== Ablation: tolerances and laser trimming ===\n");
+  const core::FunctionalBom bom = gps::gps_front_end_bom();
+  const core::TechKits kits;
+  const core::FilterSpec& if_spec = bom.filters[1];
+
+  // Hybrid realization of the IF filter (the build-up-4 choice).
+  const rf::Circuit nominal =
+      core::synthesize_filter(if_spec, core::FilterStyle::Hybrid, kits);
+
+  struct Row {
+    const char* name;
+    rf::ToleranceSpec spec;
+  };
+  const Row rows[] = {
+      {"integrated, untrimmed (15%)", rf::ToleranceSpec::integrated_untrimmed()},
+      {"integrated, laser trimmed (<1%)", rf::ToleranceSpec::integrated_trimmed()},
+      {"SMD standard (5%/10%)", rf::ToleranceSpec::smd_standard()},
+  };
+
+  TextTable t({"tolerance class", "parametric yield", "CI95", "IL mean", "IL worst"});
+  for (std::size_t c = 1; c <= 4; ++c) t.align_right(c);
+  rf::ToleranceOptions opt;
+  opt.samples = 4000;
+  for (const Row& r : rows) {
+    const rf::ToleranceResult res = rf::bandpass_parametric_yield(
+        nominal, r.spec, if_spec.f0_hz, if_spec.max_il_db * 1.5, 0.02, opt);
+    t.add_row({r.name, percent(res.parametric_yield),
+               strf("+-%.1fpp", res.ci95_half_width * 100.0),
+               strf("%.2f dB", res.metric_mean), strf("%.2f dB", res.metric_max)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nSweep: spec tightness vs yield (untrimmed integrated):");
+  TextTable s({"max IL spec", "yield untrimmed", "yield trimmed"});
+  s.align_right(1);
+  s.align_right(2);
+  for (const double limit_scale : {1.1, 1.25, 1.5, 2.0}) {
+    const double limit = if_spec.max_il_db * limit_scale;
+    const auto untrimmed = rf::bandpass_parametric_yield(
+        nominal, rf::ToleranceSpec::integrated_untrimmed(), if_spec.f0_hz, limit, 0.02,
+        opt);
+    const auto trimmed = rf::bandpass_parametric_yield(
+        nominal, rf::ToleranceSpec::integrated_trimmed(), if_spec.f0_hz, limit, 0.02,
+        opt);
+    s.add_row({strf("%.2f dB", limit), percent(untrimmed.parametric_yield),
+               percent(trimmed.parametric_yield)});
+  }
+  std::fputs(s.to_string().c_str(), stdout);
+
+  std::puts("\nReading: this quantifies the paper's first 'show killer' -- with");
+  std::puts("as-fabricated 15% tolerances the parametric yield of precision");
+  std::puts("filters collapses against tight specs, and laser trimming (or SMD");
+  std::puts("parts) restores it.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: ladder-transform vs capacitively coupled resonator topology for
+// the 175 MHz IF filter.  Explains *why* integrated IF filters lose: the
+// ladder forces a tiny low-Q shunt coil, and even the coupled topology is
+// limited by the spiral Q at VHF.
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+#include "rf/analysis.hpp"
+#include "rf/coupled.hpp"
+#include "rf/mna.hpp"
+#include "tech/smd.hpp"
+#include "tech/thin_film.hpp"
+
+using namespace ipass;
+using namespace ipass::rf;
+
+namespace {
+
+double min_il_near(const Circuit& ckt, double f0) {
+  double best = 1e300;
+  for (const double f : linspace(0.9 * f0, 1.1 * f0, 201)) {
+    best = std::min(best, insertion_loss_at(ckt, f));
+  }
+  return best;
+}
+
+QModel ip_inductor_q(double henry) {
+  return tech::design_spiral(tech::summit_spiral_process(), henry).q_model;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Ablation: IF filter topology (175 MHz, 22 MHz band) ===\n");
+  const LadderPrototype proto = chebyshev(2, 0.5);
+  const double f0 = 175e6;
+  const double bw = 22e6;
+
+  TextTable t({"topology", "inductors", "IP: midband IL", "SMD-L: midband IL"});
+  t.align_right(2);
+  t.align_right(3);
+
+  // --- direct ladder transform ------------------------------------------------
+  {
+    Circuit ip = realize_bandpass(proto, f0, bw, 50.0);
+    Circuit smd = realize_bandpass(proto, f0, bw, 50.0);
+    std::string inductors;
+    for (std::size_t i = 0; i < ip.elements().size(); ++i) {
+      const Element& e = ip.elements()[i];
+      if (e.kind == ElementKind::Inductor) {
+        ip.set_quality(i, ip_inductor_q(e.value));
+        smd.set_quality(i, tech::smd_quality(tech::SmdKind::Inductor));
+        inductors += strf("%s%.1fnH", inductors.empty() ? "" : "+", e.value * 1e9);
+      } else if (e.kind == ElementKind::Capacitor) {
+        ip.set_quality(i, QModel::constant(40.0));
+        smd.set_quality(i, QModel::constant(40.0));
+      }
+    }
+    t.add_row({"LP->BP ladder", inductors, strf("%.2f dB", min_il_near(ip, f0)),
+               strf("%.2f dB", min_il_near(smd, f0))});
+  }
+
+  // --- coupled resonators, several inductance choices ------------------------
+  for (const double l_res : {30e-9, 60e-9, 120e-9}) {
+    const CoupledResonatorDesign d =
+        design_coupled_resonator_bandpass(proto, f0, bw, 50.0, l_res);
+    ComponentQuality ip_q;
+    ip_q.inductor_q = ip_inductor_q(l_res);
+    ip_q.capacitor_q = QModel::constant(40.0);
+    ComponentQuality smd_q;
+    smd_q.inductor_q = tech::smd_quality(tech::SmdKind::Inductor);
+    smd_q.capacitor_q = QModel::constant(40.0);
+    const Circuit ip = realize_coupled_resonator(d, ip_q);
+    const Circuit smd = realize_coupled_resonator(d, smd_q);
+    t.add_row({strf("coupled resonator (L=%.0f nH)", l_res * 1e9),
+               strf("2x %.0fnH", l_res * 1e9), strf("%.2f dB", min_il_near(ip, f0)),
+               strf("%.2f dB", min_il_near(smd, f0))});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nReading: the coupled topology softens but does not remove the");
+  std::puts("integrated-passive penalty at 175 MHz -- the spiral Q (~7-11)");
+  std::puts("is the fundamental limit, exactly the paper's conclusion that");
+  std::puts("'the original specifications for the IF filters cannot be met");
+  std::puts("with the integrated passives only'.");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Recover the paper's confidential inputs (chip prices XX/YY/ZZ/AA and the
+// NRE pool) from its published outputs (Fig 5 cost ratios) with the
+// coordinate-descent calibrator.  Demonstrates that the shipped defaults in
+// gps/chipset.cpp are a fixed point of this procedure.
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+#include "core/calibrate.hpp"
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+#include "gps/published.hpp"
+
+using namespace ipass;
+
+namespace {
+
+double cost_objective(const std::vector<double>& v) {
+  gps::ConfidentialCosts cc = gps::calibrated_confidential_costs();
+  cc.rf_chip_packaged = v[0];
+  cc.dsp_packaged = v[1];
+  cc.rf_chip_bare = v[2];
+  cc.dsp_bare = v[3];
+  cc.nre_mcm = v[4];
+  cc.nre_mcm_ip = v[5];
+  const gps::GpsCaseStudy study =
+      gps::make_gps_case_study(cc, core::YieldSemantics::PerStep);
+  const core::DecisionReport report = gps::run_gps_assessment(study);
+  const auto published = gps::published_fig5_cost_ratio();
+  double err = 0.0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    const double d = report.assessments[i].cost_rel - published[i];
+    err += d * d;
+  }
+  // Soft constraints: bare dice cheaper than packaged chips.
+  if (v[2] > v[0]) err += (v[2] - v[0]) * 1e-3;
+  if (v[3] > v[1]) err += (v[3] - v[1]) * 1e-3;
+  return err;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Calibration of the confidential Table-2 inputs ===\n");
+  std::puts("Objective: squared error of the Fig-5 cost ratios (published");
+  std::puts("targets 104.7% / 112.8% / 105.3% relative to PCB).\n");
+
+  const gps::ConfidentialCosts defaults = gps::calibrated_confidential_costs();
+  std::vector<core::Parameter> params = {
+      {"XX (RF chip, packaged)", defaults.rf_chip_packaged, 5.0, 80.0, 2.0},
+      {"ZZ (DSP, packaged)", defaults.dsp_packaged, 5.0, 120.0, 2.0},
+      {"YY (RF chip, bare)", defaults.rf_chip_bare, 5.0, 80.0, 2.0},
+      {"AA (DSP, bare)", defaults.dsp_bare, 5.0, 120.0, 2.0},
+      {"NRE MCM-D", defaults.nre_mcm, 0.0, 150000.0, 4000.0},
+      {"NRE MCM-D+IP", defaults.nre_mcm_ip, 0.0, 150000.0, 4000.0},
+  };
+
+  const double initial = cost_objective(
+      {params[0].value, params[1].value, params[2].value, params[3].value,
+       params[4].value, params[5].value});
+  std::printf("objective at shipped defaults: %.3e\n\n", initial);
+
+  core::CalibrationOptions opt;
+  opt.max_rounds = 40;
+  const core::CalibrationResult result = core::calibrate(params, cost_objective, opt);
+
+  TextTable t({"parameter", "shipped default", "re-fitted", "change"});
+  for (std::size_t c = 1; c <= 3; ++c) t.align_right(c);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    t.add_row({result.parameters[i].name, fixed(params[i].value, 1),
+               fixed(result.parameters[i].value, 1),
+               strf("%+.1f", result.parameters[i].value - params[i].value)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nobjective after re-fit: %.3e  (%d evaluations, %d rounds)\n",
+              result.objective, result.evaluations, result.rounds);
+
+  // Show the achieved ratios with the re-fitted values.
+  gps::ConfidentialCosts cc = defaults;
+  cc.rf_chip_packaged = result.parameters[0].value;
+  cc.dsp_packaged = result.parameters[1].value;
+  cc.rf_chip_bare = result.parameters[2].value;
+  cc.dsp_bare = result.parameters[3].value;
+  cc.nre_mcm = result.parameters[4].value;
+  cc.nre_mcm_ip = result.parameters[5].value;
+  const core::DecisionReport report =
+      gps::run_gps_assessment(gps::make_gps_case_study(cc, core::YieldSemantics::PerStep));
+  const auto published = gps::published_fig5_cost_ratio();
+  std::puts("");
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::printf("  build-up %zu: measured %6.1f%%  published %6.1f%%\n", i + 1,
+                report.assessments[i].cost_rel * 100.0, published[i] * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig 2: "Schematic RF part of the GPS front end" -- reproduced as an
+// executable netlist: the passive chain is synthesized in integrated
+// technology and its frequency response is swept stage by stage.
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+#include "core/realization.hpp"
+#include "gps/bom.hpp"
+#include "rf/analysis.hpp"
+#include "rf/matching.hpp"
+#include "rf/mna.hpp"
+
+int main() {
+  using namespace ipass;
+  using namespace ipass::core;
+
+  std::puts("=== Fig 2: GPS front-end RF chain (executable reproduction) ===\n");
+  const FunctionalBom bom = gps::gps_front_end_bom();
+  const TechKits kits;
+
+  std::puts("Signal chain: antenna -> [ext. filter] -> matched line -> LNA ->");
+  std::puts("  1.575 GHz image-reject filter (Cauer) -> mixer (1.4 GHz LO) ->");
+  std::puts("  175 MHz IF filters (2-pole Tchebyscheff) -> A/D -> correlator\n");
+
+  // --- LNA output filter ----------------------------------------------------
+  const FilterSpec& rf_spec = bom.filters[0];
+  const rf::Circuit rf_filter = synthesize_filter(rf_spec, FilterStyle::Integrated, kits);
+  std::puts("LNA output filter netlist (integrated realization):");
+  std::fputs(rf_filter.to_string().c_str(), stdout);
+
+  TextTable rf_t({"f [MHz]", "|S21| [dB]", "IL [dB]", "note"});
+  rf_t.align_right(1);
+  rf_t.align_right(2);
+  for (const double f : {1225e6, 1400e6, 1500e6, 1575.42e6, 1650e6, 1900e6}) {
+    const rf::SPoint p = rf::analyze_at(rf_filter, f);
+    const char* note = f == 1225e6 ? "image (reject)" : f == 1575.42e6 ? "GPS L1" : "";
+    rf_t.add_row({fixed(f / 1e6, 2), fixed(p.s21_db(), 2), fixed(p.il_db(), 2), note});
+  }
+  std::fputs(rf_t.to_string().c_str(), stdout);
+
+  // --- matching networks ----------------------------------------------------
+  std::puts("\n50 Ohm matching networks (integrated L-sections):");
+  for (const MatchingSpec& m : bom.matchings) {
+    const rf::LSection d = rf::design_l_section(m.f0_hz, m.r_source, m.r_load);
+    const rf::SPoint p = rf::analyze_at(rf::realize_l_section(d), m.f0_hz);
+    std::printf("  %-18s %3.0f -> %3.0f Ohm: L = %5.2f nH, C = %5.2f pF, RL = %4.1f dB\n",
+                m.name.c_str(), m.r_source, m.r_load, d.series_l * 1e9, d.shunt_c * 1e12,
+                p.rl_db());
+  }
+
+  // --- IF filter -------------------------------------------------------------
+  const FilterSpec& if_spec = bom.filters[1];
+  std::puts("\nIF filter (175 MHz) response by realization style:");
+  TextTable if_t({"f [MHz]", "integrated IL [dB]", "hybrid IL [dB]"});
+  if_t.align_right(1);
+  if_t.align_right(2);
+  const rf::Circuit if_int = synthesize_filter(if_spec, FilterStyle::Integrated, kits);
+  const rf::Circuit if_hyb = synthesize_filter(if_spec, FilterStyle::Hybrid, kits);
+  for (const double f : {140e6, 160e6, 170e6, 175e6, 180e6, 190e6, 210e6}) {
+    if_t.add_row({fixed(f / 1e6, 0), fixed(rf::insertion_loss_at(if_int, f), 2),
+                  fixed(rf::insertion_loss_at(if_hyb, f), 2)});
+  }
+  std::fputs(if_t.to_string().c_str(), stdout);
+  std::puts("\nThe integrated IF realization shows the 'excessive insertion");
+  std::puts("losses at the IF frequency' of paper section 4.1; the hybrid one");
+  std::puts("(SMD inductors, integrated C/R) is borderline, as published.");
+  return 0;
+}

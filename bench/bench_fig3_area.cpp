@@ -1,0 +1,42 @@
+// Fig 3: "Area consumed by the different build-ups" -- 100/79/60/37 %.
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+#include "gps/published.hpp"
+
+int main() {
+  using namespace ipass;
+
+  std::puts("=== Fig 3: area consumed by the different build-ups ===\n");
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::DecisionReport report = gps::run_gps_assessment(study);
+  const auto published = gps::published_fig3_area_ratio();
+
+  TextTable t({"build-up", "module mm^2", "measured", "published", "delta pp"});
+  for (std::size_t c = 1; c <= 4; ++c) t.align_right(c);
+  for (std::size_t i = 0; i < report.assessments.size(); ++i) {
+    const auto& a = report.assessments[i];
+    t.add_row({strf("%d: %s", a.buildup.index, a.buildup.name.c_str()),
+               fixed(a.area.module_area_mm2(), 0), percent(a.area_rel),
+               percent(published[i]), strf("%+.1f", (a.area_rel - published[i]) * 100.0)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("");
+  std::fputs(report.area_bars().c_str(), stdout);
+
+  std::puts("\nPer-build-up area breakdown:");
+  for (const auto& a : report.assessments) {
+    std::printf("\n-- %d: %s (substrate %.0f mm^2, module %.0f mm^2) --\n",
+                a.buildup.index, a.buildup.name.c_str(), a.area.substrate.area_mm2,
+                a.area.module_area_mm2());
+    std::printf("   dies %.0f, integrated %.0f, SMD %.0f mm^2 of components\n",
+                a.area.bom.area_mm2(core::Mount::Die),
+                a.area.bom.area_mm2(core::Mount::Integrated),
+                a.area.bom.area_mm2(core::Mount::Smd));
+  }
+  return 0;
+}

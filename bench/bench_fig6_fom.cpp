@@ -1,0 +1,51 @@
+// Fig 6: "Deriving the Figure of Merit" -- perf x 1/size x 1/cost.
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+#include "gps/published.hpp"
+
+int main() {
+  using namespace ipass;
+
+  std::puts("=== Fig 6: deriving the figure of merit ===\n");
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::DecisionReport report = gps::run_gps_assessment(study);
+  const auto pub_perf = gps::published_fig6_performance();
+  const auto pub_fom = gps::published_fig6_fom();
+
+  TextTable t({"build-up", "Perf.", "Size", "Cost", "FoM (measured)", "FoM (published)",
+               "perf (published)"});
+  for (std::size_t c = 1; c <= 6; ++c) t.align_right(c);
+  for (std::size_t i = 0; i < report.assessments.size(); ++i) {
+    const auto& a = report.assessments[i];
+    t.add_row({strf("(%d) %s", a.buildup.index, a.buildup.name.c_str()),
+               fixed(a.performance.score, 2), strf("1/%.2f", a.area_rel),
+               strf("1/%.2f", a.cost_rel), fixed(a.fom, 2), fixed(pub_fom[i], 2),
+               fixed(pub_perf[i], 2)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  const auto& w = report.assessments[report.winner];
+  std::printf("\nDecision: build-up (%d) %s wins with FoM %.2f", w.buildup.index,
+              w.buildup.name.c_str(), w.fom);
+  std::puts(" -- the paper: 'an adaptation of solution 4 has been chosen'.");
+
+  std::puts("\nPer-filter performance detail:");
+  for (const auto& a : report.assessments) {
+    std::printf("\n-- (%d) %s --\n", a.buildup.index, a.buildup.name.c_str());
+    std::fputs(a.performance.to_table().c_str(), stdout);
+  }
+
+  std::puts("\nWeighted variant ('weighting factors can also be introduced'):");
+  core::FomWeights perf_heavy;
+  perf_heavy.performance = 3.0;
+  const core::DecisionReport weighted = gps::run_gps_assessment(study, perf_heavy);
+  for (const auto& a : weighted.assessments) {
+    std::printf("  perf^3 weighting: (%d) FoM = %.2f%s\n", a.buildup.index, a.fom,
+                &a == &weighted.assessments[weighted.winner] ? "  <- winner" : "");
+  }
+  return 0;
+}

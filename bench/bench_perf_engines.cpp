@@ -1,0 +1,73 @@
+// google-benchmark micro-benchmarks of the compute engines: MNA solves,
+// elliptic synthesis, Monte-Carlo cost simulation and the full methodology.
+#include <benchmark/benchmark.h>
+
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+#include "moe/montecarlo.hpp"
+#include "rf/analysis.hpp"
+#include "rf/cauer.hpp"
+#include "rf/mna.hpp"
+#include "rf/transform.hpp"
+
+using namespace ipass;
+
+namespace {
+
+void BM_MnaAnalyzeBandpass(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const rf::Circuit ckt =
+      rf::realize_bandpass(rf::chebyshev(n, 0.5), 175e6, 22e6, 50.0);
+  double f = 150e6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf::analyze_at(ckt, f));
+    f += 1e3;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MnaAnalyzeBandpass)->Arg(2)->Arg(5)->Arg(9);
+
+void BM_CauerSynthesis(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf::cauer_lowpass(n, 0.5, 1.5));
+  }
+}
+BENCHMARK(BM_CauerSynthesis)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_MonteCarloCost(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::BuildUp& b = study.buildups[3];
+  const core::AreaResult area = core::assess_area(study.bom, b, study.kits);
+  const moe::FlowModel flow = core::build_flow(area, b);
+  moe::McOptions opt;
+  opt.samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moe::evaluate_monte_carlo(flow, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MonteCarloCost)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AnalyticCost(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::BuildUp& b = study.buildups[3];
+  const core::AreaResult area = core::assess_area(study.bom, b, study.kits);
+  const moe::FlowModel flow = core::build_flow(area, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moe::evaluate_analytic(flow));
+  }
+}
+BENCHMARK(BM_AnalyticCost);
+
+void BM_FullGpsAssessment(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gps::run_gps_assessment(study));
+  }
+}
+BENCHMARK(BM_FullGpsAssessment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

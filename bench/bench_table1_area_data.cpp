@@ -1,0 +1,69 @@
+// Table 1: "Area-relevant data" -- every row regenerated from the
+// technology models and printed next to the published value.
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/realization.hpp"
+#include "gps/bom.hpp"
+#include "gps/published.hpp"
+#include "layout/substrate_rules.hpp"
+#include "tech/die.hpp"
+#include "tech/smd.hpp"
+#include "tech/thin_film.hpp"
+
+int main() {
+  using namespace ipass;
+  using namespace ipass::tech;
+
+  std::puts("=== Table 1: area-relevant data (model vs published) ===\n");
+
+  const DieSpec rf = gps_rf_chip();
+  const DieSpec dsp = gps_dsp_correlator();
+  const core::TechKits kits;
+  const core::FunctionalBom bom = gps::gps_front_end_bom();
+
+  struct Row {
+    const char* item;
+    double model;
+  };
+  const Row rows[] = {
+      {"RF chip TQFP", die_area_mm2(rf, DieAttach::PackagedSmt)},
+      {"RF chip wire bonded", die_area_mm2(rf, DieAttach::WireBond)},
+      {"RF chip flip chip", die_area_mm2(rf, DieAttach::FlipChip)},
+      {"DSP correlator PQFP", die_area_mm2(dsp, DieAttach::PackagedSmt)},
+      {"DSP correlator wire bond", die_area_mm2(dsp, DieAttach::WireBond)},
+      {"DSP correlator flip chip", die_area_mm2(dsp, DieAttach::FlipChip)},
+      {"Passive 0603", smd_spec(SmdCase::C0603).footprint_area_mm2},
+      {"Passive 0805", smd_spec(SmdCase::C0805).footprint_area_mm2},
+      {"IP-R (100 kOhm)", resistor_area_mm2(crsi_resistor_process(), kohm(100.0))},
+      {"IP-C (50 pF)", capacitor_area_mm2(si3n4_capacitor_process(), pf(50.0))},
+      {"IP-L (40 nH)", design_spiral(summit_spiral_process(), nh(40.0)).area_mm2},
+      {"Filter SMD", rf_filter_block().footprint_area_mm2},
+      {"Filter integrated (3 stage)",
+       core::integrated_filter_area_mm2(bom.filters[0], core::FilterStyle::Integrated, kits)},
+  };
+
+  TextTable t({"item", "model mm^2", "published mm^2", "delta %"});
+  for (std::size_t c = 1; c <= 3; ++c) t.align_right(c);
+  const auto published = gps::published_table1();
+  for (const Row& r : rows) {
+    double pub = 0.0;
+    for (const auto& p : published) {
+      if (p.item == r.item) pub = p.published_mm2;
+    }
+    t.add_row({r.item, fixed(r.model, 2), fixed(pub, 2),
+               pub > 0.0 ? strf("%+.1f%%", (r.model / pub - 1.0) * 100.0) : "-"});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::puts("\nSizing rules (note under Table 1):");
+  const layout::SubstrateDims mcm = layout::mcm_substrate(100.0);
+  std::printf("  MCM substrate for 100 mm^2 of parts: 1.1*100 + 1 mm edge -> %.1f mm side\n",
+              mcm.side_mm);
+  const layout::SubstrateDims lam = layout::laminate_package(mcm.area_mm2);
+  std::printf("  Laminate for that substrate: + 5 mm edge on either side -> %.1f mm side\n",
+              lam.side_mm);
+  return 0;
+}

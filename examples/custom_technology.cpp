@@ -1,0 +1,61 @@
+// Bring-your-own technology: define a hypothetical next-generation
+// thin-film kit (denser dielectric, better metal) and a custom build-up,
+// then re-run the paper's methodology to see whether full integration
+// (build-up 3 style) becomes competitive.
+#include <cstdio>
+
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+
+using namespace ipass;
+
+int main() {
+  std::puts("=== Custom technology: a next-generation integrated-passive kit ===\n");
+
+  // Baseline: the paper's SUMMIT-era kit.
+  const gps::GpsCaseStudy baseline = gps::make_gps_case_study();
+  const core::DecisionReport before = gps::run_gps_assessment(baseline);
+
+  // Hypothetical kit: 4x denser decap dielectric, thicker metal (twice the
+  // Q), and a matured IP substrate line (95% yield, 2.0/cm^2).
+  gps::GpsCaseStudy advanced = gps::make_gps_case_study();
+  advanced.kits.decap_cap.density_pf_mm2 = 400.0;
+  advanced.kits.spiral.metal_sheet_ohm_sq = 0.002;
+  advanced.kits.spiral.max_q_peak = 45.0;
+  for (core::BuildUp& b : advanced.buildups) {
+    if (b.substrate.supports_integrated_passives) {
+      b.substrate.fab_yield = 0.95;
+      b.substrate.cost_per_cm2 = 2.0;
+    }
+  }
+  const core::DecisionReport after = gps::run_gps_assessment(advanced);
+
+  std::puts("Figure of merit, SUMMIT-era kit vs next-generation kit:\n");
+  std::printf("  %-24s %10s %10s\n", "build-up", "baseline", "advanced");
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::printf("  %d %-22s %10.2f %10.2f\n", before.assessments[i].buildup.index,
+                before.assessments[i].buildup.name.c_str(), before.assessments[i].fom,
+                after.assessments[i].fom);
+  }
+
+  const auto& w0 = before.assessments[before.winner];
+  const auto& w1 = after.assessments[after.winner];
+  std::printf("\nwinner before: (%d) %s, FoM %.2f\n", w0.buildup.index,
+              w0.buildup.name.c_str(), w0.fom);
+  std::printf("winner after : (%d) %s, FoM %.2f\n", w1.buildup.index,
+              w1.buildup.name.c_str(), w1.fom);
+
+  std::puts("\nDetail, fully integrated build-up (3):");
+  std::printf("  performance: %.2f -> %.2f (better inductor Q at IF)\n",
+              before.assessments[2].performance.score,
+              after.assessments[2].performance.score);
+  std::printf("  area vs PCB: %.0f%% -> %.0f%% (denser decaps)\n",
+              before.assessments[2].area_rel * 100.0,
+              after.assessments[2].area_rel * 100.0);
+  std::printf("  cost vs PCB: %.1f%% -> %.1f%% (yield + area)\n",
+              before.assessments[2].cost_rel * 100.0,
+              after.assessments[2].cost_rel * 100.0);
+  std::puts("\nThe methodology is data-driven end to end: swapping the kit and");
+  std::puts("production numbers re-runs the whole paper on a new technology.");
+  return 0;
+}

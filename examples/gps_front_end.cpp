@@ -1,0 +1,52 @@
+// The full paper case study: the GPS receiver front end of the SUMMIT
+// project, all four build-ups, every assessment step, final decision.
+#include <cstdio>
+
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+#include "gps/published.hpp"
+#include "moe/dot.hpp"
+
+int main() {
+  using namespace ipass;
+
+  std::puts("================================================================");
+  std::puts(" GPS receiver front end: integrated-passives cost-effectiveness");
+  std::puts(" (reproduction of Scheffler/Troester, DATE 2000)");
+  std::puts("================================================================\n");
+
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  std::fputs(study.bom.to_string().c_str(), stdout);
+
+  std::puts("\n--- step 1: viable build-ups -----------------------------------");
+  for (const core::BuildUp& b : study.buildups) {
+    std::printf("  %d: %-22s substrate=%-14s dies=%-14s passives=%s\n", b.index,
+                b.name.c_str(), b.substrate.name.c_str(),
+                tech::die_attach_name(b.die_attach), core::passive_policy_name(b.policy));
+  }
+
+  const core::DecisionReport report = gps::run_gps_assessment(study);
+
+  std::puts("\n--- step 2: performance against the specifications -------------");
+  for (const auto& a : report.assessments) {
+    std::printf("\n(%d) %s -> score %.2f\n", a.buildup.index, a.buildup.name.c_str(),
+                a.performance.score);
+    std::fputs(a.performance.to_table().c_str(), stdout);
+  }
+
+  std::puts("\n--- step 3: substrate area --------------------------------------");
+  std::fputs(report.area_bars().c_str(), stdout);
+
+  std::puts("\n--- step 4: cost including test and yield (MOE) -----------------");
+  std::fputs(report.cost_bars().c_str(), stdout);
+  std::puts("\nProduction flow of the winning build-up:");
+  const auto& winner = report.assessments[report.winner];
+  std::fputs(moe::to_ascii(winner.flow, &winner.cost).c_str(), stdout);
+
+  std::puts("\n--- step 5: decision ---------------------------------------------");
+  std::fputs(report.to_table().c_str(), stdout);
+
+  std::puts("\nPublished comparison: area 100/79/60/37%, cost 100/104.7/112.8/");
+  std::puts("105.3%, FoM 1/1.2/0.66/1.8, winner: solution 4 (passives optimized).");
+  return 0;
+}

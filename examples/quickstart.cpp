@@ -1,0 +1,42 @@
+// Quickstart: assess two build-ups of a small mixed-signal module in ~40
+// lines -- the minimal end-to-end use of the library.
+#include <cstdio>
+
+#include "core/methodology.hpp"
+#include "gps/chipset.hpp"
+#include "gps/table2.hpp"
+#include "common/units.hpp"
+
+int main() {
+  using namespace ipass;
+
+  // 1. Describe WHAT the system needs (technology-neutral functions).
+  core::FunctionalBom bom;
+  bom.name = "quickstart module";
+  bom.decaps.push_back({"supply decoupling", nf(2.0), 6});
+  bom.resistors.push_back({"pull-up R", kohm(47.0), 24});
+  bom.capacitors.push_back({"coupling C", pf(100.0), 12});
+  bom.matchings.push_back({"PA match", ghz(0.9), 50.0, 12.5, 1});
+  std::fputs(bom.to_string().c_str(), stdout);
+
+  // 2. Pick candidate build-ups (here: two of the paper's, reusing its
+  //    Table-2 production data).
+  const gps::ConfidentialCosts costs = gps::calibrated_confidential_costs();
+  const std::vector<core::BuildUp> candidates = {
+      gps::buildup_pcb_smd(costs),        // reference: everything SMD on FR4
+      gps::buildup_mcm_fc_ip_smd(costs),  // "passives optimized" MCM
+  };
+
+  // 3. Run the methodology: performance, area, cost, figure of merit.
+  const core::TechKits kits;  // SUMMIT-like thin-film kit
+  const core::DecisionReport report = core::assess(bom, candidates, kits);
+
+  // 4. Decide.
+  std::puts("");
+  std::fputs(report.to_table().c_str(), stdout);
+  std::puts("\nArea:");
+  std::fputs(report.area_bars().c_str(), stdout);
+  std::puts("Cost:");
+  std::fputs(report.cost_bars().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Tolerance study: how manufacturing spread and laser trimming interact
+// with filter specs -- the quantified version of the paper's "tolerances of
+// integrated passives do not suffice" concern.
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+#include "rf/analysis.hpp"
+#include "rf/prototype.hpp"
+#include "rf/tolerance.hpp"
+#include "rf/transform.hpp"
+
+using namespace ipass;
+using namespace ipass::rf;
+
+int main() {
+  std::puts("=== Tolerance study: 2-pole 175 MHz IF filter ===\n");
+  const Circuit nominal = realize_bandpass(chebyshev(2, 0.5), mhz(175.0), mhz(22.0), 50.0);
+  std::printf("nominal midband loss (lossless elements): %.3f dB\n\n",
+              insertion_loss_at(nominal, mhz(175.0)));
+
+  struct Case {
+    const char* name;
+    ToleranceSpec spec;
+  };
+  const Case cases[] = {
+      {"untrimmed thin film", ToleranceSpec::integrated_untrimmed()},
+      {"laser trimmed", ToleranceSpec::integrated_trimmed()},
+      {"SMD discretes", ToleranceSpec::smd_standard()},
+  };
+
+  std::puts("Monte-Carlo spread of the midband loss (4000 samples each):");
+  for (const Case& c : cases) {
+    const ToleranceResult r = analyze_tolerance(
+        nominal, c.spec,
+        [](const Circuit& inst) { return insertion_loss_at(inst, mhz(175.0)); },
+        [](double il) { return il < 1.0; }, {4000, 99});
+    std::printf("  %-22s IL = %.3f +- %.3f dB (min %.3f, max %.3f), yield(IL<1dB) = %s\n",
+                c.name, r.metric_mean, r.metric_stddev, r.metric_min, r.metric_max,
+                percent(r.parametric_yield).c_str());
+  }
+
+  std::puts("\nCenter-frequency pull criterion (filter must still cover f0 +- 2%):");
+  for (const Case& c : cases) {
+    const ToleranceResult r =
+        bandpass_parametric_yield(nominal, c.spec, mhz(175.0), 1.5, 0.02, {4000, 99});
+    std::printf("  %-22s parametric yield = %s (+- %.1f pp)\n", c.name,
+                percent(r.parametric_yield).c_str(), r.ci95_half_width * 100.0);
+  }
+
+  std::puts("\nTakeaway: as-fabricated 15% thin-film tolerances detune the");
+  std::puts("filter enough to fail tight masks; trimming recovers SMD-grade");
+  std::puts("yield at extra process cost -- a trade the paper's methodology");
+  std::puts("can now quantify alongside area and production cost.");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Contract-checking helpers (Core Guidelines I.6/I.8 style, without macros).
+//
+// `require` guards preconditions on public API entry points, `ensure`
+// guards postconditions / internal invariants.  Both throw so that tests
+// can assert on misuse, and so that a violated invariant can never silently
+// corrupt an assessment result.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ipass {
+
+// Error raised when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+// Error raised when an internal invariant or postcondition fails.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Error raised when a numerical routine fails to converge.
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw PreconditionError(message);
+}
+
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw InvariantError(message);
+}
+
+}  // namespace ipass

@@ -1,0 +1,70 @@
+#include "common/linalg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass {
+
+CMatrix::CMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex(0.0, 0.0)) {}
+
+Complex& CMatrix::at(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "CMatrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+const Complex& CMatrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "CMatrix::at: index out of range");
+  return data_[r * cols_ + c];
+}
+
+void CMatrix::set_zero() { data_.assign(data_.size(), Complex(0.0, 0.0)); }
+
+std::vector<Complex> solve_inplace(CMatrix& a, std::vector<Complex> b) {
+  require(a.rows() == a.cols(), "solve: matrix must be square");
+  require(a.rows() == b.size(), "solve: rhs size mismatch");
+  const std::size_t n = a.rows();
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude entry in column k.
+    std::size_t pivot = k;
+    double best = std::abs(a.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(a.at(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw NumericalError("solve: singular matrix");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(pivot, c));
+      std::swap(b[k], b[pivot]);
+    }
+    const Complex inv_pivot = 1.0 / a.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex factor = a.at(r, k) * inv_pivot;
+      if (factor == Complex(0.0, 0.0)) continue;
+      a.at(r, k) = factor;  // store L for clarity; not reused afterwards
+      for (std::size_t c = k + 1; c < n; ++c) a.at(r, c) -= factor * a.at(k, c);
+      b[r] -= factor * b[k];
+    }
+  }
+
+  // Back substitution.
+  std::vector<Complex> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    Complex sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a.at(i, c) * x[c];
+    x[i] = sum / a.at(i, i);
+  }
+  return x;
+}
+
+std::vector<Complex> solve(const CMatrix& a, const std::vector<Complex>& b) {
+  CMatrix copy = a;
+  return solve_inplace(copy, b);
+}
+
+}  // namespace ipass

@@ -1,0 +1,42 @@
+// Dense complex linear algebra for the MNA AC engine.
+//
+// Circuits in this library are small (tens of nodes), so a straightforward
+// dense LU with partial pivoting is both simplest and fastest.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ipass {
+
+using Complex = std::complex<double>;
+
+// Row-major dense complex matrix.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  Complex& at(std::size_t r, std::size_t c);
+  const Complex& at(std::size_t r, std::size_t c) const;
+
+  // All entries set to zero, shape preserved.
+  void set_zero();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Complex> data_;
+};
+
+// Solve A x = b by LU decomposition with partial pivoting.
+// A is modified in place.  Throws NumericalError on a (near-)singular matrix.
+std::vector<Complex> solve_inplace(CMatrix& a, std::vector<Complex> b);
+
+// Convenience overload preserving A.
+std::vector<Complex> solve(const CMatrix& a, const std::vector<Complex>& b);
+
+}  // namespace ipass

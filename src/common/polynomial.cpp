@@ -1,0 +1,249 @@
+#include "common/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass {
+
+namespace {
+using Cx = std::complex<double>;
+}
+
+Poly::Poly(std::vector<double> coefficients) : coeff_(std::move(coefficients)) {
+  if (coeff_.empty()) coeff_.push_back(0.0);
+}
+
+Poly Poly::constant(double c) { return Poly({c}); }
+
+Poly Poly::x() { return Poly({0.0, 1.0}); }
+
+Poly Poly::from_real_roots(const std::vector<double>& roots) {
+  Poly p = Poly::constant(1.0);
+  for (const double r : roots) p = p * Poly({-r, 1.0});
+  return p;
+}
+
+Poly Poly::from_conjugate_roots(const std::vector<Cx>& roots, double imag_tol) {
+  Poly p = Poly::constant(1.0);
+  for (const Cx& r : roots) {
+    if (std::abs(r.imag()) < imag_tol) {
+      p = p * Poly({-r.real(), 1.0});
+    } else {
+      // (x - r)(x - conj r) = x^2 - 2 Re(r) x + |r|^2
+      p = p * Poly({std::norm(r), -2.0 * r.real(), 1.0});
+    }
+  }
+  return p;
+}
+
+int Poly::degree() const {
+  double maxc = 0.0;
+  for (const double c : coeff_) maxc = std::max(maxc, std::abs(c));
+  if (maxc == 0.0) return 0;
+  for (std::size_t i = coeff_.size(); i-- > 0;) {
+    if (std::abs(coeff_[i]) > 1e-14 * maxc) return static_cast<int>(i);
+  }
+  return 0;
+}
+
+double Poly::leading() const { return coeff_[static_cast<std::size_t>(degree())]; }
+
+double Poly::operator()(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeff_.size(); i-- > 0;) acc = acc * x + coeff_[i];
+  return acc;
+}
+
+Cx Poly::operator()(const Cx& x) const {
+  Cx acc(0.0, 0.0);
+  for (std::size_t i = coeff_.size(); i-- > 0;) acc = acc * x + coeff_[i];
+  return acc;
+}
+
+Poly Poly::derivative() const {
+  if (coeff_.size() <= 1) return Poly::constant(0.0);
+  std::vector<double> d(coeff_.size() - 1);
+  for (std::size_t i = 1; i < coeff_.size(); ++i) {
+    d[i - 1] = coeff_[i] * static_cast<double>(i);
+  }
+  return Poly(std::move(d));
+}
+
+Poly Poly::reflected() const {
+  std::vector<double> c = coeff_;
+  for (std::size_t i = 1; i < c.size(); i += 2) c[i] = -c[i];
+  return Poly(std::move(c));
+}
+
+Poly Poly::even_part() const {
+  std::vector<double> c = coeff_;
+  for (std::size_t i = 1; i < c.size(); i += 2) c[i] = 0.0;
+  return Poly(std::move(c));
+}
+
+Poly Poly::odd_part() const {
+  std::vector<double> c = coeff_;
+  for (std::size_t i = 0; i < c.size(); i += 2) c[i] = 0.0;
+  return Poly(std::move(c));
+}
+
+Poly Poly::operator+(const Poly& rhs) const {
+  std::vector<double> c(std::max(coeff_.size(), rhs.coeff_.size()), 0.0);
+  for (std::size_t i = 0; i < coeff_.size(); ++i) c[i] += coeff_[i];
+  for (std::size_t i = 0; i < rhs.coeff_.size(); ++i) c[i] += rhs.coeff_[i];
+  return Poly(std::move(c));
+}
+
+Poly Poly::operator-(const Poly& rhs) const {
+  std::vector<double> c(std::max(coeff_.size(), rhs.coeff_.size()), 0.0);
+  for (std::size_t i = 0; i < coeff_.size(); ++i) c[i] += coeff_[i];
+  for (std::size_t i = 0; i < rhs.coeff_.size(); ++i) c[i] -= rhs.coeff_[i];
+  return Poly(std::move(c));
+}
+
+Poly Poly::operator*(const Poly& rhs) const {
+  std::vector<double> c(coeff_.size() + rhs.coeff_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    if (coeff_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < rhs.coeff_.size(); ++j) {
+      c[i + j] += coeff_[i] * rhs.coeff_[j];
+    }
+  }
+  return Poly(std::move(c));
+}
+
+Poly Poly::operator*(double s) const {
+  std::vector<double> c = coeff_;
+  for (double& v : c) v *= s;
+  return Poly(std::move(c));
+}
+
+PolyDivMod Poly::divmod(const Poly& divisor) const {
+  const int dd = divisor.degree();
+  require(!(dd == 0 && divisor.coeff_[0] == 0.0), "Poly::divmod: division by zero");
+  std::vector<double> rem = coeff_;
+  rem.resize(static_cast<std::size_t>(std::max(degree(), dd)) + 1, 0.0);
+  const int dn = degree();
+  if (dn < dd) return {Poly::constant(0.0), *this};
+  std::vector<double> quot(static_cast<std::size_t>(dn - dd) + 1, 0.0);
+  const double lead = divisor.coeff_[static_cast<std::size_t>(dd)];
+  for (int k = dn - dd; k >= 0; --k) {
+    const double f = rem[static_cast<std::size_t>(k + dd)] / lead;
+    quot[static_cast<std::size_t>(k)] = f;
+    for (int j = 0; j <= dd; ++j) {
+      rem[static_cast<std::size_t>(k + j)] -= f * divisor.coeff_[static_cast<std::size_t>(j)];
+    }
+  }
+  rem.resize(static_cast<std::size_t>(dd));
+  if (rem.empty()) rem.push_back(0.0);
+  Poly q(std::move(quot));
+  Poly r(std::move(rem));
+  q.trim();
+  r.trim();
+  return {q, r};
+}
+
+Poly Poly::divide_exact(const Poly& divisor, double rel_tol) const {
+  PolyDivMod dm = divmod(divisor);
+  double max_num = 0.0;
+  for (const double c : coeff_) max_num = std::max(max_num, std::abs(c));
+  double max_rem = 0.0;
+  for (const double c : dm.remainder.coefficients()) max_rem = std::max(max_rem, std::abs(c));
+  if (max_num > 0.0 && max_rem > rel_tol * max_num) {
+    throw NumericalError("Poly::divide_exact: non-negligible remainder");
+  }
+  return dm.quotient;
+}
+
+void Poly::trim(double tol) {
+  double maxc = 0.0;
+  for (const double c : coeff_) maxc = std::max(maxc, std::abs(c));
+  if (maxc == 0.0) {
+    coeff_ = {0.0};
+    return;
+  }
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < coeff_.size(); ++i) {
+    if (std::abs(coeff_[i]) > tol * maxc) last = i;
+  }
+  coeff_.resize(last + 1);
+}
+
+std::vector<Cx> find_roots(const Poly& p, int max_iter) {
+  const int n = p.degree();
+  if (n <= 0) return {};
+  std::vector<double> c(p.coefficients().begin(),
+                        p.coefficients().begin() + n + 1);
+  const double lead = c.back();
+  for (double& v : c) v /= lead;
+  Poly monic(c);
+  const Poly dmonic = monic.derivative();
+
+  // Initial guesses on a circle with radius from the Cauchy bound, slightly
+  // perturbed in angle to break symmetry.
+  double cauchy = 0.0;
+  for (int i = 0; i < n; ++i) cauchy = std::max(cauchy, std::abs(c[static_cast<std::size_t>(i)]));
+  const double radius = 1.0 + cauchy;
+  std::vector<Cx> z(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2.0 * 3.14159265358979323846 * (static_cast<double>(i) + 0.35) /
+                         static_cast<double>(n) + 0.42;
+    z[static_cast<std::size_t>(i)] = std::polar(radius * (0.5 + 0.5 * (i % 2)), angle);
+  }
+
+  const double tol = 1e-13;
+  for (int iter = 0; iter < max_iter; ++iter) {
+    double max_step = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const Cx zi = z[static_cast<std::size_t>(i)];
+      const Cx pv = monic(zi);
+      const Cx dv = dmonic(zi);
+      if (std::abs(pv) < 1e-300) continue;
+      Cx ratio;
+      if (std::abs(dv) < 1e-300) {
+        ratio = Cx(1e-8, 1e-8);
+      } else {
+        ratio = pv / dv;
+      }
+      Cx sum(0.0, 0.0);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const Cx diff = zi - z[static_cast<std::size_t>(j)];
+        if (std::abs(diff) < 1e-30) continue;
+        sum += 1.0 / diff;
+      }
+      const Cx denom = 1.0 - ratio * sum;
+      const Cx step = std::abs(denom) < 1e-30 ? ratio : ratio / denom;
+      z[static_cast<std::size_t>(i)] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < tol * radius) break;
+    if (iter == max_iter - 1 && max_step > 1e-6 * radius) {
+      throw NumericalError("find_roots: Aberth iteration did not converge");
+    }
+  }
+
+  // Newton polishing.
+  for (Cx& zi : z) {
+    for (int k = 0; k < 6; ++k) {
+      const Cx dv = dmonic(zi);
+      if (std::abs(dv) < 1e-300) break;
+      const Cx step = monic(zi) / dv;
+      zi -= step;
+      if (std::abs(step) < 1e-15 * (1.0 + std::abs(zi))) break;
+    }
+  }
+  return z;
+}
+
+std::vector<Cx> left_half_plane_roots(const Poly& p, double tol) {
+  std::vector<Cx> out;
+  for (const Cx& r : find_roots(p)) {
+    if (r.real() < -tol) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace ipass

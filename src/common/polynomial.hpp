@@ -1,0 +1,85 @@
+// Real-coefficient polynomial arithmetic and a complex root finder
+// (Aberth-Ehrlich with Newton polishing).
+//
+// Used by the Cauer/elliptic filter synthesizer: the Feldtkeller equation
+// |S11|^2 = 1 - |S21|^2 is manipulated as polynomials in s, and the Hurwitz
+// factor is obtained by rooting D(s)D(-s) - N(s)N(-s).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ipass {
+
+class Poly;
+
+// Result of polynomial division: dividend = quotient * divisor + remainder.
+struct PolyDivMod;
+
+// Polynomial with real coefficients, stored lowest degree first:
+// p(x) = c[0] + c[1] x + ... + c[n] x^n.
+class Poly {
+ public:
+  Poly() : coeff_{0.0} {}
+  explicit Poly(std::vector<double> coefficients);
+  // Constant polynomial.
+  static Poly constant(double c);
+  // The monomial x.
+  static Poly x();
+  // Product of (x - r_i) over the given real roots.
+  static Poly from_real_roots(const std::vector<double>& roots);
+  // Real-coefficient product of (x - r_i)(x - conj(r_i)) for complex roots
+  // given as one representative per conjugate pair, plus (x - r) for real
+  // roots (|imag| below `imag_tol`).
+  static Poly from_conjugate_roots(const std::vector<std::complex<double>>& roots,
+                                   double imag_tol = 1e-9);
+
+  // Degree after trimming trailing (near-)zero coefficients.
+  int degree() const;
+  const std::vector<double>& coefficients() const { return coeff_; }
+  double coefficient(std::size_t i) const { return i < coeff_.size() ? coeff_[i] : 0.0; }
+  double leading() const;
+
+  double operator()(double x) const;
+  std::complex<double> operator()(const std::complex<double>& x) const;
+
+  Poly derivative() const;
+  // p(-x): flips the sign of odd coefficients.
+  Poly reflected() const;
+  // Keep only even-power terms, as a polynomial in x (not x^2).
+  Poly even_part() const;
+  // Keep only odd-power terms.
+  Poly odd_part() const;
+
+  Poly operator+(const Poly& rhs) const;
+  Poly operator-(const Poly& rhs) const;
+  Poly operator*(const Poly& rhs) const;
+  Poly operator*(double s) const;
+
+  // Polynomial division: *this = q * divisor + r.  Throws on zero divisor.
+  PolyDivMod divmod(const Poly& divisor) const;
+
+  // Exact division helper that checks the remainder is numerically tiny
+  // relative to the dividend (used when dividing out known factors).
+  Poly divide_exact(const Poly& divisor, double rel_tol = 1e-6) const;
+
+  // Remove trailing coefficients below `tol * max|c|`.
+  void trim(double tol = 1e-12);
+
+ private:
+  std::vector<double> coeff_;
+};
+
+struct PolyDivMod {
+  Poly quotient;
+  Poly remainder;
+};
+
+// All complex roots of p via Aberth-Ehrlich iteration, polished with Newton
+// steps.  Throws NumericalError if the iteration stalls.
+std::vector<std::complex<double>> find_roots(const Poly& p, int max_iter = 200);
+
+// Roots of p with negative real part (strictly left half plane).
+std::vector<std::complex<double>> left_half_plane_roots(const Poly& p, double tol = 1e-9);
+
+}  // namespace ipass

@@ -1,0 +1,38 @@
+// Streaming statistics (Welford) and confidence intervals for the
+// Monte-Carlo cost engine.
+#pragma once
+
+#include <cstddef>
+
+namespace ipass {
+
+// Numerically stable running mean / variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  // Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean; 0 for fewer than two samples.
+  double standard_error() const;
+  // Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_half_width() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ipass

@@ -1,0 +1,86 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ipass {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TextTable: need at least one column");
+  aligns_.assign(headers_.size(), Align::Left);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "TextTable::add_row: cell count mismatch");
+  Row row;
+  row.cells = std::move(cells);
+  row.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+void TextTable::align_right(std::size_t column) {
+  require(column < aligns_.size(), "TextTable::align_right: column out of range");
+  aligns_[column] = Align::Right;
+}
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width, Align align) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return align == Align::Left ? s + fill : fill + s;
+}
+
+std::string rule_line(const std::vector<std::size_t>& widths) {
+  std::string line = "+";
+  for (const std::size_t w : widths) {
+    line += std::string(w + 2, '-');
+    line += '+';
+  }
+  line += '\n';
+  return line;
+}
+
+}  // namespace
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::string out = rule_line(widths);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += " " + pad(headers_[c], widths[c], Align::Left) + " |";
+  }
+  out += '\n';
+  out += rule_line(widths);
+  for (const Row& row : rows_) {
+    if (row.rule_before) out += rule_line(widths);
+    out += "|";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      out += " " + pad(row.cells[c], widths[c], aligns_[c]) + " |";
+    }
+    out += '\n';
+  }
+  out += rule_line(widths);
+  return out;
+}
+
+std::string text_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(fraction * static_cast<double>(width) + 0.5);
+  std::string bar(filled, '#');
+  bar += std::string(width - filled, ' ');
+  return bar;
+}
+
+}  // namespace ipass

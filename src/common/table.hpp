@@ -1,0 +1,49 @@
+// Minimal ASCII table renderer used by every reproduction bench to print
+// paper-vs-measured tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ipass {
+
+enum class Align { Left, Right };
+
+// A rectangular text table with a header row, rendered with box-drawing
+// ASCII.  Cells are plain strings; numeric formatting is the caller's job
+// (see strfmt.hpp).
+class TextTable {
+ public:
+  // `headers` fixes the column count for all subsequent rows.
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Insert a horizontal rule before the next appended row.
+  void add_rule();
+
+  // Right-align the given column (default is left).
+  void align_right(std::size_t column);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Render the full table including borders.
+  std::string to_string() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  std::vector<Align> aligns_;
+  bool pending_rule_ = false;
+};
+
+// Render a one-line horizontal bar chart value (used for Fig-3/Fig-5 style
+// output): e.g. bar(0.79, 40) -> "###############################       ".
+std::string text_bar(double fraction, std::size_t width);
+
+}  // namespace ipass

@@ -1,0 +1,58 @@
+// SI unit helpers and physical constants.
+//
+// The library works in base SI units everywhere (Hz, F, H, Ohm, m) except
+// for *areas*, which are carried in mm^2 because every number in the paper
+// (Table 1, Fig 1, Fig 3) is quoted in mm^2.  Helpers below make the few
+// required conversions explicit at the call site.
+#pragma once
+
+#include <cmath>
+
+namespace ipass {
+
+// --- numeric constants -----------------------------------------------------
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kMu0 = 4.0e-7 * kPi;        // vacuum permeability [H/m]
+inline constexpr double kEps0 = 8.8541878128e-12;   // vacuum permittivity [F/m]
+
+// --- SI prefixes (multiply a plain number to get base units) ---------------
+inline constexpr double kGiga = 1e9;
+inline constexpr double kMega = 1e6;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kNano = 1e-9;
+inline constexpr double kPico = 1e-12;
+inline constexpr double kFemto = 1e-15;
+
+// --- readable value constructors -------------------------------------------
+constexpr double ghz(double v) { return v * kGiga; }
+constexpr double mhz(double v) { return v * kMega; }
+constexpr double khz(double v) { return v * kKilo; }
+constexpr double nh(double v) { return v * kNano; }   // inductance [H]
+constexpr double uh(double v) { return v * kMicro; }
+constexpr double pf(double v) { return v * kPico; }   // capacitance [F]
+constexpr double nf(double v) { return v * kNano; }
+constexpr double uf(double v) { return v * kMicro; }
+constexpr double kohm(double v) { return v * kKilo; } // resistance [Ohm]
+constexpr double mohm(double v) { return v * kMega; }
+constexpr double um(double v) { return v * kMicro; }  // length [m]
+constexpr double mm(double v) { return v * kMilli; }
+
+// --- area conversions -------------------------------------------------------
+constexpr double mm2_to_cm2(double a_mm2) { return a_mm2 / 100.0; }
+constexpr double cm2_to_mm2(double a_cm2) { return a_cm2 * 100.0; }
+constexpr double um2_to_mm2(double a_um2) { return a_um2 * 1e-6; }
+
+// --- decibel helpers ---------------------------------------------------------
+// Power ratio <-> dB.
+inline double db10(double power_ratio) { return 10.0 * std::log10(power_ratio); }
+// Amplitude ratio <-> dB.
+inline double db20(double amplitude_ratio) { return 20.0 * std::log10(amplitude_ratio); }
+inline double from_db10(double db) { return std::pow(10.0, db / 10.0); }
+inline double from_db20(double db) { return std::pow(10.0, db / 20.0); }
+
+// Angular frequency.
+inline double omega(double freq_hz) { return 2.0 * kPi * freq_hz; }
+
+}  // namespace ipass

@@ -1,0 +1,37 @@
+#include "core/area_assess.hpp"
+
+namespace ipass::core {
+
+AreaResult assess_area(const FunctionalBom& bom, const BuildUp& buildup,
+                       const TechKits& kits) {
+  AreaResult r;
+  r.bom = realize_bom(bom, buildup, kits);
+
+  const double die_area = r.bom.area_mm2(Mount::Die);
+  const double ip_area = r.bom.area_mm2(Mount::Integrated);
+  r.smd_area_mm2 = r.bom.area_mm2(Mount::Smd);
+
+  if (!buildup.uses_laminate) {
+    // Reference PCB: everything on the board.
+    r.component_area_mm2 = die_area + ip_area + r.smd_area_mm2;
+    r.substrate = layout::substrate_for(buildup.substrate, r.component_area_mm2);
+    r.module = r.substrate;
+    return r;
+  }
+
+  // MCM: dies and integrated passives always live on the silicon; SMDs live
+  // on the silicon unless the build-up hosts them on the laminate.
+  double on_silicon = die_area + ip_area;
+  if (!buildup.smd_on_laminate) on_silicon += r.smd_area_mm2;
+  r.component_area_mm2 = on_silicon;
+  r.substrate = layout::substrate_for(buildup.substrate, on_silicon);
+
+  double laminate_payload = r.substrate.area_mm2;
+  if (buildup.smd_on_laminate) {
+    laminate_payload += kLaminateSmdOverhead * r.smd_area_mm2;
+  }
+  r.module = layout::laminate_package(laminate_payload);
+  return r;
+}
+
+}  // namespace ipass::core

@@ -1,0 +1,28 @@
+// Step 3 of the methodology: "calculate the substrate area required".
+#pragma once
+
+#include "core/buildup.hpp"
+#include "core/function_bom.hpp"
+#include "core/realization.hpp"
+#include "layout/substrate_rules.hpp"
+
+namespace ipass::core {
+
+struct AreaResult {
+  RealizedBom bom;
+  double component_area_mm2 = 0.0;   // everything that sits on the substrate
+  double smd_area_mm2 = 0.0;         // SMD footprints (may sit on the laminate)
+  layout::SubstrateDims substrate;   // the PCB or the silicon substrate
+  layout::SubstrateDims module;      // laminate BGA for MCMs, == substrate for PCB
+  // The figure Fig 3 compares: system-board area consumed by the module.
+  double module_area_mm2() const { return module.area_mm2; }
+};
+
+// Routing overhead used when SMDs are hosted on the BGA laminate
+// (build-up 2); coarser than the 1.1 of the thin-film substrate.
+inline constexpr double kLaminateSmdOverhead = 1.3;
+
+AreaResult assess_area(const FunctionalBom& bom, const BuildUp& buildup,
+                       const TechKits& kits);
+
+}  // namespace ipass::core

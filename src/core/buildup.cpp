@@ -1,0 +1,14 @@
+#include "core/buildup.hpp"
+
+namespace ipass::core {
+
+const char* passive_policy_name(PassivePolicy policy) {
+  switch (policy) {
+    case PassivePolicy::AllSmd: return "SMD";
+    case PassivePolicy::AllIntegrated: return "IP";
+    case PassivePolicy::Optimized: return "IP&SMD";
+  }
+  return "?";
+}
+
+}  // namespace ipass::core

@@ -1,0 +1,78 @@
+// Build-up descriptions: the physical implementation alternatives the
+// methodology compares (paper section 4.1), plus the per-build-up
+// production data of Table 2.
+#pragma once
+
+#include <string>
+
+#include "tech/die.hpp"
+#include "tech/process.hpp"
+#include "tech/smd.hpp"
+
+namespace ipass::core {
+
+// How passives are realized on the carrier.
+enum class PassivePolicy {
+  AllSmd,         // build-ups 1 and 2
+  AllIntegrated,  // build-up 3
+  Optimized,      // build-up 4: SMD wherever it is smaller or needed for
+                  // performance, integrated otherwise
+};
+
+const char* passive_policy_name(PassivePolicy policy);
+
+// How Table-2 step yields are interpreted when constructing the flow.
+enum class YieldSemantics {
+  PerStep,   // the quoted yield applies once per production step (default)
+  PerJoint,  // the quoted yield applies per joint/placement
+};
+
+// One column of Table 2 plus the calibrated unpublished values
+// (chip prices, intermediate functional test, NRE; see DESIGN.md §3).
+struct ProductionData {
+  // Chips ("chip cost is confidential" -- calibrated, see gps/chipset.cpp).
+  double rf_chip_cost = 0.0;
+  double rf_chip_yield = 1.0;
+  double dsp_cost = 0.0;
+  double dsp_yield = 1.0;
+
+  // Assembly.
+  double chip_assembly_cost = 0.0;    // per chip
+  double chip_assembly_yield = 1.0;
+  double wire_bond_cost = 0.0;        // per bond
+  double wire_bond_yield = 1.0;
+  double smd_assembly_cost = 0.0;     // per placement
+  double smd_assembly_yield = 1.0;
+
+  // Module-level functional test before packaging (Fig 4's "Functional
+  // Test" ahead of "Mount on Laminate"); coverage 0 disables it.
+  double functional_test_cost = 0.0;
+  double functional_test_coverage = 0.0;
+
+  // BGA laminate packaging; cost 0 disables the step.
+  double packaging_cost = 0.0;
+  double packaging_yield = 1.0;
+
+  // Final test (Table 2: cost 10, fault coverage 99%).
+  double final_test_cost = 10.0;
+  double final_test_coverage = 0.99;
+
+  double nre_total = 0.0;   // spread over the production volume (Eq. 1)
+  double volume = 8007.0;   // started units (Fig 4: 7799 shipped + 208 scrap)
+
+  YieldSemantics semantics = YieldSemantics::PerStep;
+};
+
+struct BuildUp {
+  int index = 0;            // 1..4 in the paper
+  std::string name;
+  tech::SubstrateTechnology substrate;
+  tech::DieAttach die_attach = tech::DieAttach::PackagedSmt;
+  PassivePolicy policy = PassivePolicy::AllSmd;
+  tech::PartsGrade parts_grade = tech::PartsGrade::PcbLine;
+  bool uses_laminate = false;     // silicon substrate packaged onto a BGA laminate
+  bool smd_on_laminate = false;   // SMDs mounted on the laminate, not the Si
+  ProductionData production;
+};
+
+}  // namespace ipass::core

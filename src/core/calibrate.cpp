@@ -1,0 +1,71 @@
+#include "core/calibrate.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ipass::core {
+
+CalibrationResult calibrate(std::vector<Parameter> parameters, const Objective& objective,
+                            const CalibrationOptions& options) {
+  require(!parameters.empty(), "calibrate: need at least one parameter");
+  for (const Parameter& p : parameters) {
+    require(p.max > p.min, "calibrate: empty parameter range: " + p.name);
+    require(p.value >= p.min && p.value <= p.max,
+            "calibrate: initial value out of range: " + p.name);
+    require(p.step > 0.0, "calibrate: step must be positive: " + p.name);
+  }
+
+  CalibrationResult result;
+  std::vector<double> x(parameters.size());
+  std::vector<double> step(parameters.size());
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    x[i] = parameters[i].value;
+    step[i] = parameters[i].step;
+  }
+
+  auto eval = [&](const std::vector<double>& v) {
+    ++result.evaluations;
+    return objective(v);
+  };
+
+  double best = eval(x);
+  for (int round = 0; round < options.max_rounds; ++round) {
+    result.rounds = round + 1;
+    bool improved = false;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      for (const double dir : {+1.0, -1.0}) {
+        const double candidate =
+            std::clamp(x[i] + dir * step[i], parameters[i].min, parameters[i].max);
+        if (candidate == x[i]) continue;
+        const double saved = x[i];
+        x[i] = candidate;
+        const double value = eval(x);
+        if (value < best) {
+          best = value;
+          improved = true;
+        } else {
+          x[i] = saved;
+        }
+      }
+    }
+    if (best <= options.tolerance) break;
+    if (!improved) {
+      bool any_step_left = false;
+      for (std::size_t i = 0; i < step.size(); ++i) {
+        step[i] *= options.shrink;
+        if (step[i] > options.min_step_rel * (parameters[i].max - parameters[i].min)) {
+          any_step_left = true;
+        }
+      }
+      if (!any_step_left) break;
+    }
+  }
+
+  for (std::size_t i = 0; i < parameters.size(); ++i) parameters[i].value = x[i];
+  result.parameters = std::move(parameters);
+  result.objective = best;
+  return result;
+}
+
+}  // namespace ipass::core

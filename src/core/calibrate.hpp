@@ -1,0 +1,44 @@
+// Generic bounded coordinate-descent parameter fitting.
+//
+// Used to recover the paper's unpublished inputs (confidential chip prices,
+// NRE, functional-test parameters) from its published outputs (the cost and
+// area percentages of Figs 3 and 5).  Deliberately derivative-free: the
+// objective runs whole MOE evaluations.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ipass::core {
+
+struct Parameter {
+  std::string name;
+  double value = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double step = 0.0;  // initial step size
+};
+
+struct CalibrationResult {
+  std::vector<Parameter> parameters;  // with fitted values
+  double objective = 0.0;
+  int evaluations = 0;
+  int rounds = 0;
+};
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+struct CalibrationOptions {
+  int max_rounds = 100;
+  double shrink = 0.5;        // step shrink factor when a round stalls
+  double min_step_rel = 1e-5; // stop when all steps shrink below rel * range
+  double tolerance = 1e-12;   // stop when the objective is this small
+};
+
+// Minimize `objective` over the boxed parameters.  The objective must be
+// non-negative (typically a sum of squared relative errors).
+CalibrationResult calibrate(std::vector<Parameter> parameters, const Objective& objective,
+                            const CalibrationOptions& options = {});
+
+}  // namespace ipass::core

@@ -1,0 +1,110 @@
+#include "core/cost_assess.hpp"
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ipass::core {
+
+namespace {
+
+using moe::CostCategory;
+using moe::FixedYield;
+using moe::PerJointYield;
+using moe::YieldSpec;
+
+YieldSpec step_yield(double value, int joints, YieldSemantics semantics) {
+  if (semantics == YieldSemantics::PerJoint && joints > 1) {
+    return PerJointYield{value, joints};
+  }
+  return FixedYield{value};
+}
+
+}  // namespace
+
+moe::FlowModel build_flow(const AreaResult& area, const BuildUp& buildup) {
+  const ProductionData& pd = buildup.production;
+  moe::FlowModel flow(buildup.name, pd.volume, pd.nre_total);
+
+  // --- carrier fabrication -------------------------------------------------
+  const double substrate_cost =
+      mm2_to_cm2(area.substrate.area_mm2) * buildup.substrate.cost_per_cm2;
+  flow.fabricate(buildup.substrate.name, substrate_cost,
+                 FixedYield{buildup.substrate.fab_yield});
+  if (buildup.substrate.supports_integrated_passives) {
+    // Structural steps of Fig 4; their cost and yield are folded into the
+    // per-cm^2 substrate price and fab yield above.
+    flow.process("Paste impression", 0.0, FixedYield{1.0}, CostCategory::Substrate);
+    flow.process("Rerouting", 0.0, FixedYield{1.0}, CostCategory::Substrate);
+    flow.process("Rerouting", 0.0, FixedYield{1.0}, CostCategory::Substrate);
+  }
+
+  // --- dice ---------------------------------------------------------------
+  const bool packaged = buildup.die_attach == tech::DieAttach::PackagedSmt;
+  std::vector<moe::ComponentInput> dice = {
+      {packaged ? "RF chip (TQFP)" : "RF chip (bare die)", 1, pd.rf_chip_cost,
+       pd.rf_chip_yield, CostCategory::Chips},
+      {packaged ? "DSP correlator (PQFP)" : "DSP correlator (bare die)", 1, pd.dsp_cost,
+       pd.dsp_yield, CostCategory::Chips},
+  };
+  const char* attach_name = packaged ? "Chip assembly (SMT)"
+                            : buildup.die_attach == tech::DieAttach::WireBond
+                                ? "Dice bonding"
+                                : "Flip-chip attach";
+  flow.assemble(attach_name, 0.0, pd.chip_assembly_cost,
+                step_yield(pd.chip_assembly_yield, 2, pd.semantics), std::move(dice));
+
+  int bonds = 0;
+  if (buildup.die_attach == tech::DieAttach::WireBond) {
+    // Bond count from the die specs (68 + 144 = 212 in the paper).
+    bonds = tech::gps_rf_chip().pad_count + tech::gps_dsp_correlator().pad_count;
+    flow.process("Wire bonding", pd.wire_bond_cost * bonds,
+                 step_yield(pd.wire_bond_yield, bonds, pd.semantics),
+                 CostCategory::Assembly);
+  }
+
+  // --- SMD passives on the carrier ----------------------------------------
+  const int smd_count = area.bom.smd_placement_count();
+  const double smd_cost = area.bom.smd_parts_cost();
+  const bool smd_on_carrier = smd_count > 0 && !buildup.smd_on_laminate;
+  if (smd_on_carrier) {
+    flow.assemble("SMD mounting", 0.0, pd.smd_assembly_cost,
+                  step_yield(pd.smd_assembly_yield, smd_count, pd.semantics),
+                  {{"SMD passives", smd_count, smd_cost / smd_count, 1.0,
+                    CostCategory::Passives}});
+  }
+
+  // --- functional test before packaging (Fig 4) ---------------------------
+  if (pd.functional_test_coverage > 0.0) {
+    flow.test("Functional test", pd.functional_test_cost, pd.functional_test_coverage);
+  }
+
+  // --- packaging -----------------------------------------------------------
+  if (buildup.uses_laminate) {
+    flow.package("Mount on laminate (BGA)", pd.packaging_cost,
+                 FixedYield{pd.packaging_yield});
+    if (smd_count > 0 && buildup.smd_on_laminate) {
+      flow.assemble("SMD mounting (laminate)", 0.0, pd.smd_assembly_cost,
+                    step_yield(pd.smd_assembly_yield, smd_count, pd.semantics),
+                    {{"SMD passives", smd_count, smd_cost / smd_count, 1.0,
+                      CostCategory::Passives}});
+    }
+  }
+
+  // --- final test -----------------------------------------------------------
+  flow.test("Final test", pd.final_test_cost, pd.final_test_coverage);
+  return flow;
+}
+
+CostAssessment assess_cost(const AreaResult& area, const BuildUp& buildup) {
+  moe::FlowModel flow = build_flow(area, buildup);
+  moe::CostReport report = moe::evaluate_analytic(flow);
+  return CostAssessment{std::move(flow), std::move(report)};
+}
+
+moe::McReport assess_cost_monte_carlo(const AreaResult& area, const BuildUp& buildup,
+                                      const moe::McOptions& options) {
+  const moe::FlowModel flow = build_flow(area, buildup);
+  return moe::evaluate_monte_carlo(flow, options);
+}
+
+}  // namespace ipass::core

@@ -1,0 +1,30 @@
+// Step 4 of the methodology: "calculate the cost including test and yield
+// aspects" — translate a build-up plus its realized BOM into a MOE
+// production flow (Fig 4) and evaluate it.
+#pragma once
+
+#include "core/area_assess.hpp"
+#include "core/buildup.hpp"
+#include "moe/analytic.hpp"
+#include "moe/flow.hpp"
+#include "moe/montecarlo.hpp"
+
+namespace ipass::core {
+
+// Construct the production flow for a build-up whose area assessment is
+// already known (the substrate cost depends on the substrate area).
+moe::FlowModel build_flow(const AreaResult& area, const BuildUp& buildup);
+
+struct CostAssessment {
+  moe::FlowModel flow;
+  moe::CostReport report;          // analytic evaluation (exact expectation)
+};
+
+CostAssessment assess_cost(const AreaResult& area, const BuildUp& buildup);
+
+// Monte-Carlo counterpart (used by Fig-4 unit-count reproduction and the
+// MC-vs-analytic ablation).
+moe::McReport assess_cost_monte_carlo(const AreaResult& area, const BuildUp& buildup,
+                                      const moe::McOptions& options = {});
+
+}  // namespace ipass::core

@@ -1,0 +1,61 @@
+#include "core/export.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace ipass::core {
+
+std::string csv_escape(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string decision_report_csv(const DecisionReport& report) {
+  std::string out =
+      "index,name,performance,module_area_mm2,area_rel,final_cost_per_shipped,"
+      "cost_rel,direct_cost,chip_cost_direct,yield_loss_per_shipped,nre_per_shipped,"
+      "shipped_fraction,fom,winner\n";
+  for (std::size_t i = 0; i < report.assessments.size(); ++i) {
+    const BuildUpAssessment& a = report.assessments[i];
+    out += strf("%d,%s,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%d\n",
+                a.buildup.index, csv_escape(a.buildup.name).c_str(),
+                a.performance.score, a.area.module_area_mm2(), a.area_rel,
+                a.cost.final_cost_per_shipped, a.cost_rel, a.cost.direct_cost,
+                a.cost.chip_cost_direct(), a.cost.yield_loss_per_shipped,
+                a.cost.nre_per_shipped, a.cost.shipped_fraction, a.fom,
+                i == report.winner ? 1 : 0);
+  }
+  return out;
+}
+
+std::string performance_csv(const DecisionReport& report) {
+  std::string out =
+      "buildup_index,buildup_name,filter,style,il_spec_db,il_calc_db,"
+      "rejection_spec_db,rejection_calc_db,score,meets_spec\n";
+  for (const BuildUpAssessment& a : report.assessments) {
+    for (const FilterPerformance& f : a.performance.filters) {
+      out += strf("%d,%s,%s,%s,%.6g,%.6g,%.6g,%.6g,%.6g,%d\n", a.buildup.index,
+                  csv_escape(a.buildup.name).c_str(), csv_escape(f.name).c_str(),
+                  filter_style_name(f.style), f.il_spec_db, f.il_calc_db,
+                  f.rejection_spec_db, f.rejection_calc_db, f.score,
+                  f.meets_spec ? 1 : 0);
+    }
+  }
+  return out;
+}
+
+std::string sensitivity_csv(const SensitivityReport& report) {
+  std::string out = "input,rel_step,base_cost,perturbed_cost,elasticity\n";
+  for (const SensitivityRow& r : report.rows) {
+    out += strf("%s,%.6g,%.6g,%.6g,%.6g\n", csv_escape(r.input).c_str(),
+                report.rel_step, r.base_cost, r.perturbed_cost, r.elasticity);
+  }
+  return out;
+}
+
+}  // namespace ipass::core

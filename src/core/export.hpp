@@ -1,0 +1,24 @@
+// CSV export of assessment results, for spreadsheets/plotting scripts.
+#pragma once
+
+#include <string>
+
+#include "core/methodology.hpp"
+#include "core/sensitivity.hpp"
+
+namespace ipass::core {
+
+// One row per build-up: index, name, performance, area ratios, cost
+// decomposition (Eq. 1 terms), figure of merit.
+std::string decision_report_csv(const DecisionReport& report);
+
+// One row per filter per build-up: the performance-assessment detail.
+std::string performance_csv(const DecisionReport& report);
+
+// One row per input: the elasticity table.
+std::string sensitivity_csv(const SensitivityReport& report);
+
+// Escape a value for CSV (quotes fields containing commas/quotes).
+std::string csv_escape(const std::string& value);
+
+}  // namespace ipass::core

@@ -1,0 +1,20 @@
+#include "core/fom.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass::core {
+
+double figure_of_merit(double performance_score, double size_rel, double cost_rel,
+                       const FomWeights& weights) {
+  require(performance_score >= 0.0 && performance_score <= 1.0,
+          "figure_of_merit: performance score must be in [0,1]");
+  require(size_rel > 0.0, "figure_of_merit: size ratio must be positive");
+  require(cost_rel > 0.0, "figure_of_merit: cost ratio must be positive");
+  return std::pow(performance_score, weights.performance) *
+         std::pow(1.0 / size_rel, weights.size) *
+         std::pow(1.0 / cost_rel, weights.cost);
+}
+
+}  // namespace ipass::core

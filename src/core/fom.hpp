@@ -1,0 +1,23 @@
+// Step 5: the figure of merit (Fig 6).
+//
+// "For the final Figure of Merit, we calculate the product of the single
+// factors [...] The less area and the less cost, the better, therefore the
+// reciprocal values are used."  Optional weights generalize the plain
+// product ("for more complicated cases weighting factors can also be
+// introduced").
+#pragma once
+
+namespace ipass::core {
+
+struct FomWeights {
+  double performance = 1.0;
+  double size = 1.0;
+  double cost = 1.0;
+};
+
+// fom = perf^wp * (1/size_rel)^ws * (1/cost_rel)^wc
+// size_rel and cost_rel are relative to the reference build-up (= 1.0).
+double figure_of_merit(double performance_score, double size_rel, double cost_rel,
+                       const FomWeights& weights = {});
+
+}  // namespace ipass::core

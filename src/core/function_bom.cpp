@@ -1,0 +1,49 @@
+#include "core/function_bom.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace ipass::core {
+
+int FunctionalBom::filter_count() const {
+  int n = 0;
+  for (const FilterSpec& f : filters) n += f.count;
+  return n;
+}
+
+int FunctionalBom::discrete_function_count() const {
+  int n = 0;
+  for (const MatchingSpec& m : matchings) n += m.count;
+  for (const DecapSpec& d : decaps) n += d.count;
+  for (const ResistorSpec& r : resistors) n += r.count;
+  for (const CapacitorSpec& c : capacitors) n += c.count;
+  return n;
+}
+
+std::string FunctionalBom::to_string() const {
+  std::string out = strf("functional BOM: %s\n", name.c_str());
+  for (const FilterSpec& f : filters) {
+    out += strf("  filter    x%-3d %-28s %s n=%d, f0=%.4g MHz, bw=%.3g MHz, IL<=%.2g dB\n",
+                f.count, f.name.c_str(), rf::family_name(f.family), f.order,
+                f.f0_hz / 1e6, f.bw_hz / 1e6, f.max_il_db);
+    if (f.rejection.min_db > 0.0) {
+      out += strf("              rejection >= %.3g dB at %.4g MHz\n", f.rejection.min_db,
+                  f.rejection.freq_hz / 1e6);
+    }
+  }
+  for (const MatchingSpec& m : matchings) {
+    out += strf("  matching  x%-3d %-28s %.3g -> %.3g Ohm at %.4g MHz\n", m.count,
+                m.name.c_str(), m.r_source, m.r_load, m.f0_hz / 1e6);
+  }
+  for (const DecapSpec& d : decaps) {
+    out += strf("  decap     x%-3d %-28s %.3g nF\n", d.count, d.name.c_str(), d.farad * 1e9);
+  }
+  for (const ResistorSpec& r : resistors) {
+    out += strf("  resistor  x%-3d %-28s %.4g Ohm\n", r.count, r.name.c_str(), r.ohms);
+  }
+  for (const CapacitorSpec& c : capacitors) {
+    out += strf("  capacitor x%-3d %-28s %.4g pF\n", c.count, c.name.c_str(), c.farad * 1e12);
+  }
+  return out;
+}
+
+}  // namespace ipass::core

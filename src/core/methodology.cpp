@@ -1,0 +1,86 @@
+#include "core/methodology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+
+namespace ipass::core {
+
+DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buildups,
+                      const TechKits& kits, const FomWeights& weights) {
+  require(!buildups.empty(), "assess: need at least one build-up");
+
+  DecisionReport report;
+  report.weights = weights;
+  for (const BuildUp& b : buildups) {
+    PerformanceResult perf = assess_performance(bom, b, kits);
+    AreaResult area = assess_area(bom, b, kits);
+    CostAssessment cost = assess_cost(area, b);
+    report.assessments.push_back(BuildUpAssessment{
+        b, std::move(perf), std::move(area), std::move(cost.flow),
+        std::move(cost.report), 1.0, 1.0, 0.0});
+  }
+
+  const BuildUpAssessment& ref = report.assessments[report.reference];
+  const double ref_area = ref.area.module_area_mm2();
+  const double ref_cost = ref.cost.final_cost_per_shipped;
+  ensure(ref_area > 0.0 && ref_cost > 0.0, "assess: degenerate reference build-up");
+
+  for (BuildUpAssessment& a : report.assessments) {
+    a.area_rel = a.area.module_area_mm2() / ref_area;
+    a.cost_rel = a.cost.final_cost_per_shipped / ref_cost;
+    a.fom = figure_of_merit(a.performance.score, a.area_rel, a.cost_rel, weights);
+  }
+
+  report.winner = 0;
+  for (std::size_t i = 1; i < report.assessments.size(); ++i) {
+    if (report.assessments[i].fom > report.assessments[report.winner].fom) {
+      report.winner = i;
+    }
+  }
+  return report;
+}
+
+std::string DecisionReport::to_table() const {
+  TextTable t({"build-up", "Perf.", "Size", "Cost", "FoM"});
+  for (std::size_t c = 1; c <= 4; ++c) t.align_right(c);
+  for (const BuildUpAssessment& a : assessments) {
+    t.add_row({strf("(%d) %s", a.buildup.index, a.buildup.name.c_str()),
+               strf("%.2f", a.performance.score), strf("1/%.2f", a.area_rel),
+               strf("1/%.2f", a.cost_rel), strf("%.2f", a.fom)});
+  }
+  const BuildUpAssessment& w = assessments[winner];
+  std::string out = t.to_string();
+  out += strf("winner: (%d) %s with FoM %.2f\n", w.buildup.index, w.buildup.name.c_str(),
+              w.fom);
+  return out;
+}
+
+std::string DecisionReport::area_bars() const {
+  std::string out;
+  for (const BuildUpAssessment& a : assessments) {
+    out += strf("%d: %-24s |%s| %3.0f%%  (%.0f mm^2)\n", a.buildup.index,
+                a.buildup.name.c_str(), text_bar(a.area_rel, 40).c_str(),
+                a.area_rel * 100.0, a.area.module_area_mm2());
+  }
+  return out;
+}
+
+std::string DecisionReport::cost_bars() const {
+  const double ref = assessments[reference].cost.final_cost_per_shipped;
+  std::string out;
+  for (const BuildUpAssessment& a : assessments) {
+    const moe::CostReport& c = a.cost;
+    const double direct = (c.direct_cost + c.nre_per_shipped) / ref;
+    const double chips = c.chip_cost_direct() / ref;
+    const double yield_loss = c.yield_loss_per_shipped / ref;
+    out += strf("%d: %-24s final %6.1f%%  = direct %5.1f%% (thereof chips %5.1f%%) + yield loss %4.1f%%\n",
+                a.buildup.index, a.buildup.name.c_str(), a.cost_rel * 100.0,
+                direct * 100.0, chips * 100.0, yield_loss * 100.0);
+  }
+  return out;
+}
+
+}  // namespace ipass::core

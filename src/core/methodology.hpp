@@ -1,0 +1,46 @@
+// The end-to-end assessment: performance, area, cost and figure of merit
+// for a set of candidate build-ups, with the first build-up as the 100%
+// reference (the paper's PCB solution).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/area_assess.hpp"
+#include "core/buildup.hpp"
+#include "core/cost_assess.hpp"
+#include "core/fom.hpp"
+#include "core/function_bom.hpp"
+#include "core/perf_assess.hpp"
+
+namespace ipass::core {
+
+struct BuildUpAssessment {
+  BuildUp buildup;
+  PerformanceResult performance;
+  AreaResult area;
+  moe::FlowModel flow;
+  moe::CostReport cost;
+  double area_rel = 1.0;  // module area / reference module area
+  double cost_rel = 1.0;  // final cost per shipped / reference
+  double fom = 0.0;
+};
+
+struct DecisionReport {
+  std::vector<BuildUpAssessment> assessments;
+  std::size_t reference = 0;  // index of the 100% build-up
+  std::size_t winner = 0;     // index of the highest figure of merit
+  FomWeights weights;
+
+  // Fig-6 style decision table.
+  std::string to_table() const;
+  // Fig-3 style area bars.
+  std::string area_bars() const;
+  // Fig-5 style cost bars with direct/yield-loss/chip breakdown.
+  std::string cost_bars() const;
+};
+
+DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buildups,
+                      const TechKits& kits, const FomWeights& weights = {});
+
+}  // namespace ipass::core

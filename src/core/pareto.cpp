@@ -1,0 +1,51 @@
+#include "core/pareto.hpp"
+
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+
+namespace ipass::core {
+
+bool dominates(const BuildUpAssessment& a, const BuildUpAssessment& b) {
+  const bool no_worse = a.performance.score >= b.performance.score &&
+                        a.area_rel <= b.area_rel && a.cost_rel <= b.cost_rel;
+  const bool strictly_better = a.performance.score > b.performance.score ||
+                               a.area_rel < b.area_rel || a.cost_rel < b.cost_rel;
+  return no_worse && strictly_better;
+}
+
+std::vector<ParetoEntry> pareto_analysis(const DecisionReport& report) {
+  std::vector<ParetoEntry> entries(report.assessments.size());
+  for (std::size_t i = 0; i < report.assessments.size(); ++i) {
+    entries[i].index = i;
+    for (std::size_t j = 0; j < report.assessments.size(); ++j) {
+      if (i == j) continue;
+      if (dominates(report.assessments[j], report.assessments[i])) {
+        entries[i].dominated = true;
+        entries[i].dominated_by.push_back(j);
+      }
+    }
+  }
+  return entries;
+}
+
+std::string pareto_table(const DecisionReport& report) {
+  const std::vector<ParetoEntry> entries = pareto_analysis(report);
+  TextTable t({"build-up", "perf", "size", "cost", "status"});
+  for (std::size_t c = 1; c <= 3; ++c) t.align_right(c);
+  for (const ParetoEntry& e : entries) {
+    const BuildUpAssessment& a = report.assessments[e.index];
+    std::string status = "Pareto-optimal";
+    if (e.dominated) {
+      status = "dominated by";
+      for (const std::size_t j : e.dominated_by) {
+        status += strf(" (%d)", report.assessments[j].buildup.index);
+      }
+    }
+    t.add_row({strf("(%d) %s", a.buildup.index, a.buildup.name.c_str()),
+               fixed(a.performance.score, 2), percent(a.area_rel, 0),
+               percent(a.cost_rel, 1), status});
+  }
+  return t.to_string();
+}
+
+}  // namespace ipass::core

@@ -1,0 +1,31 @@
+// Pareto-dominance analysis of assessed build-ups.
+//
+// The paper collapses performance, size and cost into one product; the
+// Pareto view shows which build-ups are defensible under ANY monotone
+// preference — a useful sanity check on the scalar figure of merit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/methodology.hpp"
+
+namespace ipass::core {
+
+struct ParetoEntry {
+  std::size_t index = 0;          // position in the decision report
+  bool dominated = false;
+  std::vector<std::size_t> dominated_by;  // indices of dominating build-ups
+};
+
+// Build-up A dominates B when A is no worse in all three criteria
+// (performance higher-or-equal, area and cost lower-or-equal) and strictly
+// better in at least one.
+bool dominates(const BuildUpAssessment& a, const BuildUpAssessment& b);
+
+std::vector<ParetoEntry> pareto_analysis(const DecisionReport& report);
+
+// Render: frontier members and who eliminates whom.
+std::string pareto_table(const DecisionReport& report);
+
+}  // namespace ipass::core

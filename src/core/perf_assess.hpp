@@ -1,0 +1,47 @@
+// Step 2 of the methodology: "assess performance with regard to the
+// specifications".
+//
+// Every filter of the functional BOM is realized in the build-up's style,
+// simulated (MNA with technology Q models) or looked up (vendor blocks),
+// and scored as the ratio of specified to calculated loss, capped at 1 --
+// "percentages are derived from the relation of specified losses to
+// calculated losses".  A build-up scores the minimum over its filters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/buildup.hpp"
+#include "core/function_bom.hpp"
+#include "core/realization.hpp"
+
+namespace ipass::core {
+
+struct FilterPerformance {
+  std::string name;
+  FilterStyle style = FilterStyle::SmdBlock;
+  double il_spec_db = 0.0;
+  double il_calc_db = 0.0;       // simulated (or vendor) midband loss
+  double rejection_spec_db = 0.0;
+  double rejection_calc_db = 0.0;  // relative rejection at the reject frequency
+  double loss_score = 0.0;       // min(1, spec/calc)
+  double rejection_score = 1.0;  // min(1, calc/spec), 1 when no rejection spec
+  double score = 0.0;            // min of both
+  bool meets_spec = false;
+};
+
+struct PerformanceResult {
+  std::vector<FilterPerformance> filters;
+  double score = 1.0;            // min over all filters
+  std::string to_table() const;
+};
+
+// Assess one filter in a concrete style.
+FilterPerformance assess_filter(const FilterSpec& spec, FilterStyle style,
+                                const TechKits& kits);
+
+// Assess the whole BOM under the build-up's policy.
+PerformanceResult assess_performance(const FunctionalBom& bom, const BuildUp& buildup,
+                                     const TechKits& kits);
+
+}  // namespace ipass::core

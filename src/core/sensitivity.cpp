@@ -1,0 +1,129 @@
+#include "core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+#include "core/area_assess.hpp"
+#include "core/cost_assess.hpp"
+
+namespace ipass::core {
+
+namespace {
+
+// Scale a probability toward 1 keeping it in (0, 1]: perturbing a yield by
+// +x% reduces the *loss* (1-y) by x%.
+double scale_yield(double y, double rel_change) {
+  const double loss = (1.0 - y) * (1.0 - rel_change);
+  return std::clamp(1.0 - loss, 1e-6, 1.0);
+}
+
+}  // namespace
+
+std::vector<SensitivityInput> standard_inputs() {
+  std::vector<SensitivityInput> inputs;
+  auto add = [&inputs](std::string name, auto fn) {
+    inputs.push_back(SensitivityInput{std::move(name), fn});
+  };
+
+  add("substrate cost/cm^2", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.substrate.cost_per_cm2 *= 1.0 + d;
+    return out;
+  });
+  add("substrate yield (loss)", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.substrate.fab_yield = scale_yield(out.substrate.fab_yield, d);
+    return out;
+  });
+  add("RF chip cost", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.rf_chip_cost *= 1.0 + d;
+    return out;
+  });
+  add("DSP cost", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.dsp_cost *= 1.0 + d;
+    return out;
+  });
+  add("RF chip yield (loss)", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.rf_chip_yield = scale_yield(out.production.rf_chip_yield, d);
+    return out;
+  });
+  add("chip assembly yield (loss)", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.chip_assembly_yield =
+        scale_yield(out.production.chip_assembly_yield, d);
+    return out;
+  });
+  add("packaging cost", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.packaging_cost *= 1.0 + d;
+    return out;
+  });
+  add("packaging yield (loss)", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.packaging_yield = scale_yield(out.production.packaging_yield, d);
+    return out;
+  });
+  add("final test cost", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.final_test_cost *= 1.0 + d;
+    return out;
+  });
+  add("final test coverage (escape)", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.final_test_coverage =
+        scale_yield(out.production.final_test_coverage, d);
+    return out;
+  });
+  add("NRE", [](const BuildUp& b, double d) {
+    BuildUp out = b;
+    out.production.nre_total *= 1.0 + d;
+    return out;
+  });
+  return inputs;
+}
+
+SensitivityReport cost_sensitivity(const FunctionalBom& bom, const BuildUp& buildup,
+                                   const TechKits& kits, double rel_step) {
+  require(rel_step > 0.0 && rel_step < 1.0, "cost_sensitivity: step must be in (0,1)");
+
+  auto final_cost = [&](const BuildUp& b) {
+    const AreaResult area = assess_area(bom, b, kits);
+    return assess_cost(area, b).report.final_cost_per_shipped;
+  };
+  const double base = final_cost(buildup);
+  ensure(base > 0.0, "cost_sensitivity: degenerate base cost");
+
+  SensitivityReport report;
+  report.rel_step = rel_step;
+  for (const SensitivityInput& input : standard_inputs()) {
+    SensitivityRow row;
+    row.input = input.name;
+    row.base_cost = base;
+    row.perturbed_cost = final_cost(input.perturb(buildup, rel_step));
+    row.elasticity = ((row.perturbed_cost - base) / base) / rel_step;
+    report.rows.push_back(std::move(row));
+  }
+  std::sort(report.rows.begin(), report.rows.end(),
+            [](const SensitivityRow& a, const SensitivityRow& b) {
+              return std::abs(a.elasticity) > std::abs(b.elasticity);
+            });
+  return report;
+}
+
+std::string SensitivityReport::to_table() const {
+  TextTable t({"input (+" + percent(rel_step, 0) + ")", "final cost", "elasticity"});
+  t.align_right(1);
+  t.align_right(2);
+  for (const SensitivityRow& r : rows) {
+    t.add_row({r.input, fixed(r.perturbed_cost, 3), strf("%+.3f", r.elasticity)});
+  }
+  return t.to_string();
+}
+
+}  // namespace ipass::core

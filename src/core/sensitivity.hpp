@@ -1,0 +1,50 @@
+// One-at-a-time sensitivity analysis of the assessment outputs with respect
+// to the production inputs — "which Table-2 number actually drives the
+// decision?".  An extension beyond the paper, in the spirit of its cost-
+// modeling reference [8].
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/buildup.hpp"
+#include "core/function_bom.hpp"
+#include "core/realization.hpp"
+
+namespace ipass::core {
+
+// A scalar production/technology input that can be nudged.
+struct SensitivityInput {
+  std::string name;
+  // Applies a relative perturbation (e.g. +0.05 for +5%) to a copy of the
+  // build-up and returns it.
+  std::function<BuildUp(const BuildUp&, double rel_change)> perturb;
+};
+
+// The standard input set: substrate cost/yield, chip costs/yields,
+// assembly yields, packaging cost/yield, test cost/coverage, NRE.
+std::vector<SensitivityInput> standard_inputs();
+
+struct SensitivityRow {
+  std::string input;
+  double base_cost = 0.0;       // final cost per shipped, unperturbed
+  double perturbed_cost = 0.0;  // with +`rel_step` on the input
+  // Elasticity: (dCost/Cost) / (dInput/Input); 0.5 means a 10% input change
+  // moves the final cost by 5%.
+  double elasticity = 0.0;
+};
+
+struct SensitivityReport {
+  std::vector<SensitivityRow> rows;  // sorted by |elasticity| descending
+  double rel_step = 0.0;
+  std::string to_table() const;
+};
+
+// Compute cost elasticities for one build-up (the BOM is realized per call,
+// so area-coupled effects — substrate cost follows substrate area — are
+// included).
+SensitivityReport cost_sensitivity(const FunctionalBom& bom, const BuildUp& buildup,
+                                   const TechKits& kits, double rel_step = 0.05);
+
+}  // namespace ipass::core

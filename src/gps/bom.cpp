@@ -1,0 +1,67 @@
+#include "gps/bom.hpp"
+
+#include "common/units.hpp"
+#include "tech/filter_block.hpp"
+
+namespace ipass::gps {
+
+core::FunctionalBom gps_front_end_bom() {
+  core::FunctionalBom bom;
+  bom.name = "GPS receiver front end (SUMMIT demonstrator)";
+
+  // --- LNA output filter: Cauer type, rejects the 1.225 GHz image ---------
+  {
+    core::FilterSpec f;
+    f.name = "LNA output filter";
+    f.family = rf::FilterFamily::Elliptic;
+    f.order = 3;                   // the "3 stage" integrated filter of Table 1
+    f.ripple_db = 0.5;
+    f.selectivity = 1.5;
+    f.f0_hz = kGpsL1Hz;
+    f.bw_hz = 480e6;               // wide band-select; only image rejection matters
+    f.z0 = 50.0;
+    f.max_il_db = 3.0;             // "losses of 3 dB at the GPS signal frequency"
+    f.rejection = {kImageHz, 20.0};
+    f.hybrid_preferred = false;    // "can use integrated passives only"
+    f.smd_block = tech::rf_filter_block();
+    f.count = 1;
+    bom.filters.push_back(f);
+  }
+
+  // --- IF filters: 2-pole Tchebyscheff at 175 MHz --------------------------
+  {
+    core::FilterSpec f;
+    f.name = "IF filter";
+    f.family = rf::FilterFamily::Chebyshev;
+    f.order = 2;                   // "both IF filters are of 2-pole Tchebyscheff type"
+    f.ripple_db = 0.5;
+    f.f0_hz = kIfHz;
+    f.bw_hz = 22e6;
+    f.z0 = 50.0;
+    f.max_il_db = 5.0;   // the spec the paper scores losses against
+    f.hybrid_preferred = true;     // "a combination of SMDs, integrated capacitors
+                                   //  and integrated resistors" (paper 4.1)
+    f.smd_block = tech::if_filter_block();
+    f.count = 2;
+    bom.filters.push_back(f);
+  }
+
+  // --- 50 Ohm matching networks for LNA and mixer ---------------------------
+  bom.matchings.push_back({"LNA output match", kGpsL1Hz, 50.0, 200.0, 1});
+  bom.matchings.push_back({"Mixer input match", kGpsL1Hz, 50.0, 150.0, 1});
+
+  // --- decoupling ------------------------------------------------------------
+  bom.decaps.push_back({"supply decoupling", ipass::nf(3.5), 8});
+
+  // --- bias / pull-up resistors ----------------------------------------------
+  bom.resistors.push_back({"pull-up / bias R", ipass::kohm(100.0), 56});
+  bom.resistors.push_back({"PLL loop filter R", ipass::kohm(4.7), 2});
+
+  // --- coupling / PLL capacitors --------------------------------------------
+  bom.capacitors.push_back({"coupling / bypass C", ipass::pf(50.0), 37});
+  bom.capacitors.push_back({"PLL loop filter C", ipass::pf(470.0), 2});
+
+  return bom;
+}
+
+}  // namespace ipass::gps

@@ -1,0 +1,24 @@
+#include "gps/casestudy.hpp"
+
+namespace ipass::gps {
+
+GpsCaseStudy make_gps_case_study(core::YieldSemantics semantics) {
+  return make_gps_case_study(calibrated_confidential_costs(), semantics);
+}
+
+GpsCaseStudy make_gps_case_study(const ConfidentialCosts& confidential,
+                                 core::YieldSemantics semantics) {
+  GpsCaseStudy study;
+  study.bom = gps_front_end_bom();
+  study.kits = core::TechKits{};
+  study.confidential = confidential;
+  study.buildups = gps_buildups(confidential, semantics);
+  return study;
+}
+
+core::DecisionReport run_gps_assessment(const GpsCaseStudy& study,
+                                        const core::FomWeights& weights) {
+  return core::assess(study.bom, study.buildups, study.kits, weights);
+}
+
+}  // namespace ipass::gps

@@ -1,0 +1,31 @@
+// One-call access to the full GPS case study: BOM + technology kits +
+// build-ups + assessment.
+#pragma once
+
+#include "core/methodology.hpp"
+#include "gps/bom.hpp"
+#include "gps/chipset.hpp"
+#include "gps/table2.hpp"
+
+namespace ipass::gps {
+
+struct GpsCaseStudy {
+  core::FunctionalBom bom;
+  core::TechKits kits;
+  std::vector<core::BuildUp> buildups;
+  ConfidentialCosts confidential;
+};
+
+// Assemble the case study with the calibrated confidential defaults.
+GpsCaseStudy make_gps_case_study(
+    core::YieldSemantics semantics = core::YieldSemantics::PerStep);
+
+// With explicit confidential parameters (used by the calibrator).
+GpsCaseStudy make_gps_case_study(const ConfidentialCosts& confidential,
+                                 core::YieldSemantics semantics);
+
+// Run the full methodology (performance, area, cost, figure of merit).
+core::DecisionReport run_gps_assessment(const GpsCaseStudy& study,
+                                        const core::FomWeights& weights = {});
+
+}  // namespace ipass::gps

@@ -1,0 +1,7 @@
+#include "gps/chipset.hpp"
+
+namespace ipass::gps {
+
+ConfidentialCosts calibrated_confidential_costs() { return ConfidentialCosts{}; }
+
+}  // namespace ipass::gps

@@ -1,0 +1,47 @@
+#include "gps/published.hpp"
+
+namespace ipass::gps {
+
+std::vector<Fig1Bar> published_fig1() {
+  // Bar heights read off Fig 1 (values in mm^2); the 0805/0603 footprints
+  // also appear in Table 1.
+  return {
+      {"0805", 4.50, 2.50},
+      {"0603", 3.75, 1.28},
+      {"0402", 2.20, 0.50},
+  };
+}
+
+std::vector<Table1Row> published_table1() {
+  return {
+      {"RF chip TQFP", 225.0},
+      {"RF chip wire bonded", 28.0},
+      {"RF chip flip chip", 13.0},
+      {"DSP correlator PQFP", 1165.0},
+      {"DSP correlator wire bond", 88.0},
+      {"DSP correlator flip chip", 59.0},
+      {"Passive 0603", 3.75},
+      {"Passive 0805", 4.5},
+      {"IP-R (100 kOhm)", 0.25},
+      {"IP-C (50 pF)", 0.3},
+      {"IP-L (40 nH)", 1.0},
+      {"Filter SMD", 27.5},
+      {"Filter integrated (3 stage)", 12.0},
+  };
+}
+
+std::array<double, 4> published_fig3_area_ratio() { return {1.00, 0.79, 0.60, 0.37}; }
+
+std::array<double, 4> published_fig5_cost_ratio() { return {1.000, 1.047, 1.128, 1.053}; }
+
+std::array<double, 4> published_fig6_performance() { return {1.0, 1.0, 0.45, 0.7}; }
+
+std::array<double, 4> published_fig6_fom() { return {1.0, 1.2, 0.66, 1.8}; }
+
+Fig4Counts published_fig4_counts() { return Fig4Counts{}; }
+
+std::array<const char*, 4> buildup_names() {
+  return {"PCB/SMD", "MCM-D(Si)/WB/SMD", "MCM-D(Si)/FC/IP", "MCM-D(Si)/FC/IP&SMD"};
+}
+
+}  // namespace ipass::gps

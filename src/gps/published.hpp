@@ -1,0 +1,47 @@
+// Every number the paper publishes for its tables and figures, so that the
+// benches can print published-vs-measured side by side.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace ipass::gps {
+
+// Fig 1: area vs SMD type (after [6]); values in mm^2.
+struct Fig1Bar {
+  std::string smd_type;
+  double footprint_area_mm2;
+  double component_area_mm2;
+};
+std::vector<Fig1Bar> published_fig1();
+
+// Table 1: area-relevant data (mm^2).
+struct Table1Row {
+  std::string item;
+  double published_mm2;
+};
+std::vector<Table1Row> published_table1();
+
+// Fig 3: area consumed by the four build-ups, relative to PCB.
+std::array<double, 4> published_fig3_area_ratio();  // {1.00, 0.79, 0.60, 0.37}
+
+// Fig 5: final cost relative to PCB.
+std::array<double, 4> published_fig5_cost_ratio();  // {1.000, 1.047, 1.128, 1.053}
+
+// Fig 6: performance scores and figures of merit.
+std::array<double, 4> published_fig6_performance();  // {1, 1, 0.45, 0.7}
+std::array<double, 4> published_fig6_fom();          // {1, 1.2, 0.66, 1.8}
+
+// Fig 4: the MOE model run shown in the paper.
+struct Fig4Counts {
+  double scrapped = 208.0;
+  double shipped = 7799.0;
+  double started() const { return scrapped + shipped; }
+};
+Fig4Counts published_fig4_counts();
+
+// Build-up display names, paper order.
+std::array<const char*, 4> buildup_names();
+
+}  // namespace ipass::gps

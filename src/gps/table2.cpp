@@ -1,0 +1,128 @@
+#include "gps/table2.hpp"
+
+namespace ipass::gps {
+
+namespace {
+
+core::ProductionData common_data(const ConfidentialCosts& cc,
+                                 core::YieldSemantics semantics) {
+  core::ProductionData pd;
+  pd.final_test_cost = 10.0;      // Table 2: "Final test Cost/Fault Coverage 10/99%"
+  pd.final_test_coverage = 0.99;
+  pd.volume = cc.volume;
+  pd.semantics = semantics;
+  return pd;
+}
+
+core::ProductionData mcm_common(const ConfidentialCosts& cc,
+                                core::YieldSemantics semantics) {
+  core::ProductionData pd = common_data(cc, semantics);
+  // Bare dice (Table 2: YY/95%, AA/99%).
+  pd.rf_chip_cost = cc.rf_chip_bare;
+  pd.rf_chip_yield = 0.95;
+  pd.dsp_cost = cc.dsp_bare;
+  pd.dsp_yield = 0.99;
+  // Chip assembly 0.10 / 99%.
+  pd.chip_assembly_cost = 0.10;
+  pd.chip_assembly_yield = 0.99;
+  // Functional test before packaging (Fig 4; calibrated parameters).
+  pd.functional_test_cost = cc.functional_test_cost;
+  pd.functional_test_coverage = cc.functional_test_coverage;
+  pd.packaging_yield = 0.968;     // Table 2: ".../96.8%"
+  return pd;
+}
+
+}  // namespace
+
+core::BuildUp buildup_pcb_smd(const ConfidentialCosts& cc, core::YieldSemantics semantics) {
+  core::BuildUp b;
+  b.index = 1;
+  b.name = "PCB/SMD";
+  b.substrate = tech::pcb_fr4();
+  b.die_attach = tech::DieAttach::PackagedSmt;
+  b.policy = core::PassivePolicy::AllSmd;
+  b.parts_grade = tech::PartsGrade::PcbLine;
+  b.uses_laminate = false;
+
+  core::ProductionData pd = common_data(cc, semantics);
+  pd.rf_chip_cost = cc.rf_chip_packaged;   // "XX/99.9%"
+  pd.rf_chip_yield = 0.999;
+  pd.dsp_cost = cc.dsp_packaged;           // "ZZ/99.99%"
+  pd.dsp_yield = 0.9999;
+  pd.chip_assembly_cost = 0.15;            // "0.15/93.3%"
+  pd.chip_assembly_yield = 0.933;
+  pd.smd_assembly_cost = 0.01;             // "0.01/99.99%"
+  pd.smd_assembly_yield = 0.9999;
+  pd.nre_total = cc.nre_pcb;
+  b.production = pd;
+  return b;
+}
+
+core::BuildUp buildup_mcm_wb_smd(const ConfidentialCosts& cc, core::YieldSemantics semantics) {
+  core::BuildUp b;
+  b.index = 2;
+  b.name = "MCM-D(Si)/WB/SMD";
+  b.substrate = tech::mcm_d_si();
+  b.die_attach = tech::DieAttach::WireBond;
+  b.policy = core::PassivePolicy::AllSmd;
+  b.parts_grade = tech::PartsGrade::McmLine;
+  b.uses_laminate = true;
+  b.smd_on_laminate = true;   // SMDs around the Si module on the BGA laminate
+
+  core::ProductionData pd = mcm_common(cc, semantics);
+  pd.wire_bond_cost = 0.01;      // "0.01/99.99%", "# Bonds 212"
+  pd.wire_bond_yield = 0.9999;
+  pd.smd_assembly_cost = 0.01;
+  pd.smd_assembly_yield = 0.9999;
+  pd.packaging_cost = 7.30;      // "7.30/96.8%"
+  pd.nre_total = cc.nre_mcm;
+  b.production = pd;
+  return b;
+}
+
+core::BuildUp buildup_mcm_fc_ip(const ConfidentialCosts& cc, core::YieldSemantics semantics) {
+  core::BuildUp b;
+  b.index = 3;
+  b.name = "MCM-D(Si)/FC/IP";
+  b.substrate = tech::mcm_d_si_ip();
+  b.die_attach = tech::DieAttach::FlipChip;
+  b.policy = core::PassivePolicy::AllIntegrated;
+  b.parts_grade = tech::PartsGrade::McmLine;
+  b.uses_laminate = true;
+
+  core::ProductionData pd = mcm_common(cc, semantics);
+  pd.packaging_cost = 4.70;      // "4.70/96.8%"
+  pd.nre_total = cc.nre_mcm_ip;
+  b.production = pd;
+  return b;
+}
+
+core::BuildUp buildup_mcm_fc_ip_smd(const ConfidentialCosts& cc,
+                                    core::YieldSemantics semantics) {
+  core::BuildUp b;
+  b.index = 4;
+  b.name = "MCM-D(Si)/FC/IP&SMD";
+  b.substrate = tech::mcm_d_si_ip();
+  b.die_attach = tech::DieAttach::FlipChip;
+  b.policy = core::PassivePolicy::Optimized;
+  b.parts_grade = tech::PartsGrade::McmLine;
+  b.uses_laminate = true;
+  b.smd_on_laminate = false;  // the 12 SMDs sit inside the module ("keeping
+                              // the IF filters inside the MCM")
+
+  core::ProductionData pd = mcm_common(cc, semantics);
+  pd.smd_assembly_cost = 0.01;   // "0.01/99.99%"
+  pd.smd_assembly_yield = 0.9999;
+  pd.packaging_cost = 3.50;      // "3.50/96.8%"
+  pd.nre_total = cc.nre_mcm_ip;
+  b.production = pd;
+  return b;
+}
+
+std::vector<core::BuildUp> gps_buildups(const ConfidentialCosts& cc,
+                                        core::YieldSemantics semantics) {
+  return {buildup_pcb_smd(cc, semantics), buildup_mcm_wb_smd(cc, semantics),
+          buildup_mcm_fc_ip(cc, semantics), buildup_mcm_fc_ip_smd(cc, semantics)};
+}
+
+}  // namespace ipass::gps

@@ -1,0 +1,30 @@
+// Table 2 of the paper: cost and yield data for implementations 1-4,
+// combined with the calibrated confidential values into full build-up
+// descriptions.
+#pragma once
+
+#include <vector>
+
+#include "core/buildup.hpp"
+#include "gps/chipset.hpp"
+
+namespace ipass::gps {
+
+// The four build-ups of section 4.1:
+//   1: PCB/SMD (reference)
+//   2: MCM-D(Si)/WB/SMD
+//   3: MCM-D(Si)/FC/IP
+//   4: MCM-D(Si)/FC/IP&SMD ("passives optimized")
+core::BuildUp buildup_pcb_smd(const ConfidentialCosts& cc,
+                              core::YieldSemantics semantics = core::YieldSemantics::PerStep);
+core::BuildUp buildup_mcm_wb_smd(const ConfidentialCosts& cc,
+                                 core::YieldSemantics semantics = core::YieldSemantics::PerStep);
+core::BuildUp buildup_mcm_fc_ip(const ConfidentialCosts& cc,
+                                core::YieldSemantics semantics = core::YieldSemantics::PerStep);
+core::BuildUp buildup_mcm_fc_ip_smd(const ConfidentialCosts& cc,
+                                    core::YieldSemantics semantics = core::YieldSemantics::PerStep);
+
+std::vector<core::BuildUp> gps_buildups(const ConfidentialCosts& cc,
+                                        core::YieldSemantics semantics = core::YieldSemantics::PerStep);
+
+}  // namespace ipass::gps

@@ -1,0 +1,55 @@
+#include "layout/area_report.hpp"
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "common/table.hpp"
+
+namespace ipass::layout {
+
+const char* area_category_name(AreaCategory category) {
+  switch (category) {
+    case AreaCategory::Dies: return "dies";
+    case AreaCategory::Filters: return "filters";
+    case AreaCategory::DecouplingCaps: return "decoupling";
+    case AreaCategory::Passives: return "passives";
+    case AreaCategory::Other: return "other";
+  }
+  return "?";
+}
+
+void AreaBreakdown::add(AreaCategory category, std::string label, double area_mm2,
+                        int count) {
+  require(area_mm2 >= 0.0, "AreaBreakdown::add: negative area");
+  require(count >= 1, "AreaBreakdown::add: count must be positive");
+  items.push_back(AreaItem{category, std::move(label), area_mm2, count});
+}
+
+double AreaBreakdown::total_mm2() const {
+  double sum = 0.0;
+  for (const AreaItem& it : items) sum += it.area_mm2 * it.count;
+  return sum;
+}
+
+double AreaBreakdown::category_total_mm2(AreaCategory category) const {
+  double sum = 0.0;
+  for (const AreaItem& it : items) {
+    if (it.category == category) sum += it.area_mm2 * it.count;
+  }
+  return sum;
+}
+
+std::string AreaBreakdown::to_table() const {
+  TextTable t({"category", "item", "count", "unit mm^2", "total mm^2"});
+  t.align_right(2);
+  t.align_right(3);
+  t.align_right(4);
+  for (const AreaItem& it : items) {
+    t.add_row({area_category_name(it.category), it.label, strf("%d", it.count),
+               fixed(it.area_mm2, 2), fixed(it.area_mm2 * it.count, 2)});
+  }
+  t.add_rule();
+  t.add_row({"total", "", "", "", fixed(total_mm2(), 2)});
+  return t.to_string();
+}
+
+}  // namespace ipass::layout

@@ -1,0 +1,29 @@
+// Per-category area bookkeeping for a build-up.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ipass::layout {
+
+enum class AreaCategory { Dies, Filters, DecouplingCaps, Passives, Other };
+
+const char* area_category_name(AreaCategory category);
+
+struct AreaItem {
+  AreaCategory category = AreaCategory::Other;
+  std::string label;
+  double area_mm2 = 0.0;
+  int count = 1;
+};
+
+struct AreaBreakdown {
+  std::vector<AreaItem> items;
+
+  void add(AreaCategory category, std::string label, double area_mm2, int count = 1);
+  double total_mm2() const;
+  double category_total_mm2(AreaCategory category) const;
+  std::string to_table() const;
+};
+
+}  // namespace ipass::layout

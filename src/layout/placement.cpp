@@ -1,0 +1,72 @@
+#include "layout/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass::layout {
+
+double total_area_mm2(const std::vector<Rect>& parts) {
+  double sum = 0.0;
+  for (const Rect& r : parts) sum += r.area();
+  return sum;
+}
+
+double estimate_packed_area(double component_area_mm2, double overhead) {
+  require(component_area_mm2 >= 0.0, "estimate_packed_area: negative area");
+  require(overhead >= 1.0, "estimate_packed_area: overhead must be >= 1");
+  return component_area_mm2 * overhead;
+}
+
+PackResult shelf_pack(std::vector<Rect> parts, double aspect) {
+  require(aspect > 0.0, "shelf_pack: aspect must be positive");
+  PackResult result;
+  result.component_area_mm2 = total_area_mm2(parts);
+  if (parts.empty()) return result;
+
+  // Normalize: height is the shorter side, then sort by height descending
+  // (next-fit decreasing height).
+  for (Rect& r : parts) {
+    require(r.w_mm > 0.0 && r.h_mm > 0.0, "shelf_pack: non-positive part");
+    if (r.h_mm > r.w_mm) std::swap(r.w_mm, r.h_mm);
+  }
+  std::stable_sort(parts.begin(), parts.end(),
+                   [](const Rect& a, const Rect& b) { return a.h_mm > b.h_mm; });
+
+  // Target width from the requested aspect ratio with a mild fill slack.
+  double target_width = std::sqrt(result.component_area_mm2 * 1.05 * aspect);
+  double widest = 0.0;
+  for (const Rect& r : parts) widest = std::max(widest, r.w_mm);
+  target_width = std::max(target_width, widest);
+
+  double shelf_y = 0.0;
+  double shelf_height = 0.0;
+  double cursor_x = 0.0;
+  double used_width = 0.0;
+  for (const Rect& r : parts) {
+    if (cursor_x + r.w_mm > target_width + 1e-12) {
+      // Close the shelf, open a new one.
+      shelf_y += shelf_height;
+      cursor_x = 0.0;
+      shelf_height = 0.0;
+    }
+    Placement p;
+    p.x_mm = cursor_x;
+    p.y_mm = shelf_y;
+    p.w_mm = r.w_mm;
+    p.h_mm = r.h_mm;
+    p.label = r.label;
+    result.placements.push_back(p);
+    cursor_x += r.w_mm;
+    shelf_height = std::max(shelf_height, r.h_mm);
+    used_width = std::max(used_width, cursor_x);
+  }
+  result.width_mm = used_width;
+  result.height_mm = shelf_y + shelf_height;
+  result.bounding_area_mm2 = result.width_mm * result.height_mm;
+  result.utilization = result.component_area_mm2 / result.bounding_area_mm2;
+  return result;
+}
+
+}  // namespace ipass::layout

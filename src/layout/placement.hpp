@@ -1,0 +1,51 @@
+// Trivial placement, as the paper uses it: "The area required is calculated
+// by the sum of the single components and performing a trivial placement."
+//
+// Two fidelity levels:
+//   * estimate_packed_area(): overhead * sum of footprints (Table 1 rule);
+//   * shelf_pack(): an actual next-fit-decreasing-height shelf packer that
+//     returns real board dimensions and utilization, used by the examples
+//     and as a cross-check that the 1.1 overhead of Table 1 is attainable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ipass::layout {
+
+struct Rect {
+  double w_mm = 0.0;
+  double h_mm = 0.0;
+  std::string label;
+  double area() const { return w_mm * h_mm; }
+};
+
+struct Placement {
+  double x_mm = 0.0;
+  double y_mm = 0.0;
+  double w_mm = 0.0;
+  double h_mm = 0.0;
+  bool rotated = false;
+  std::string label;
+};
+
+struct PackResult {
+  double width_mm = 0.0;
+  double height_mm = 0.0;
+  double bounding_area_mm2 = 0.0;
+  double component_area_mm2 = 0.0;
+  double utilization = 0.0;  // component / bounding
+  std::vector<Placement> placements;
+};
+
+// Sum of footprint areas.
+double total_area_mm2(const std::vector<Rect>& parts);
+
+// Table-1 style estimate.
+double estimate_packed_area(double component_area_mm2, double overhead);
+
+// Shelf packing (next-fit decreasing height) into a region of roughly the
+// given aspect ratio (width/height).  Parts may be rotated by 90 degrees.
+PackResult shelf_pack(std::vector<Rect> parts, double aspect = 1.0);
+
+}  // namespace ipass::layout

@@ -1,0 +1,36 @@
+#include "layout/substrate_rules.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass::layout {
+
+SubstrateDims size_with_edge(double placed_area_mm2, double edge_mm) {
+  require(placed_area_mm2 >= 0.0, "size_with_edge: negative area");
+  require(edge_mm >= 0.0, "size_with_edge: negative edge");
+  SubstrateDims d;
+  d.side_mm = std::sqrt(placed_area_mm2) + 2.0 * edge_mm;
+  d.area_mm2 = d.side_mm * d.side_mm;
+  return d;
+}
+
+SubstrateDims mcm_substrate(double component_area_mm2, double overhead, double edge_mm) {
+  return size_with_edge(component_area_mm2 * overhead, edge_mm);
+}
+
+SubstrateDims laminate_package(double si_area_mm2, double edge_mm) {
+  return size_with_edge(si_area_mm2, edge_mm);
+}
+
+SubstrateDims pcb_board(double component_area_mm2, double overhead, double edge_mm) {
+  return size_with_edge(component_area_mm2 * overhead, edge_mm);
+}
+
+SubstrateDims substrate_for(const tech::SubstrateTechnology& technology,
+                            double component_area_mm2) {
+  return size_with_edge(component_area_mm2 * technology.routing_overhead,
+                        technology.edge_clearance_mm);
+}
+
+}  // namespace ipass::layout

@@ -1,0 +1,35 @@
+// Substrate and module sizing rules from the note under Table 1:
+//   "Area MCM-Substrate: 1.1 * Total Area Components + 1mm edge clearance
+//    on either side"
+//   "Laminate: Total Area Silicon Substrate + 5mm edge clearance on either
+//    side"
+#pragma once
+
+#include "tech/process.hpp"
+
+namespace ipass::layout {
+
+struct SubstrateDims {
+  double side_mm = 0.0;   // square outline assumed
+  double area_mm2 = 0.0;
+};
+
+// Core placed area -> square substrate with per-side edge clearance.
+SubstrateDims size_with_edge(double placed_area_mm2, double edge_mm);
+
+// MCM silicon substrate hosting `component_area_mm2` of parts.
+SubstrateDims mcm_substrate(double component_area_mm2, double overhead = 1.1,
+                            double edge_mm = 1.0);
+
+// BGA laminate carrying a silicon substrate of the given area.
+SubstrateDims laminate_package(double si_area_mm2, double edge_mm = 5.0);
+
+// Reference PCB: both-sided SMT, board = sum of footprints (see DESIGN.md).
+SubstrateDims pcb_board(double component_area_mm2, double overhead = 1.0,
+                        double edge_mm = 0.0);
+
+// Dispatch on the technology descriptor.
+SubstrateDims substrate_for(const tech::SubstrateTechnology& technology,
+                            double component_area_mm2);
+
+}  // namespace ipass::layout

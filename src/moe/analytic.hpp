@@ -1,0 +1,21 @@
+// Closed-form expected-value evaluation of a FlowModel.
+//
+// Faults are Poisson: every step with yield y adds intensity -ln(y) to each
+// alive unit.  A test with coverage c scraps an alive unit with probability
+// 1 - exp(-lambda c) and thins the survivors' intensity to lambda (1 - c).
+// This makes the analytic evaluator the exact expectation of the
+// Monte-Carlo engine, not an approximation of it (the two are cross-checked
+// in tests and in bench_ablation_mc_vs_analytic).
+//
+// Rework is supported with one simplification: a successfully reworked unit
+// is assumed fault-free afterwards (see DESIGN.md).
+#pragma once
+
+#include "moe/flow.hpp"
+#include "moe/report.hpp"
+
+namespace ipass::moe {
+
+CostReport evaluate_analytic(const FlowModel& flow);
+
+}  // namespace ipass::moe

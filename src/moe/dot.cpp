@@ -1,0 +1,99 @@
+#include "moe/dot.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace ipass::moe {
+
+namespace {
+
+const char* step_kind_label(Step::Kind kind) {
+  switch (kind) {
+    case Step::Kind::Fabricate: return "Carrier";
+    case Step::Kind::Process: return "Process";
+    case Step::Kind::Assemble: return "Assembly";
+    case Step::Kind::Test: return "Test";
+    case Step::Kind::Package: return "Process";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_dot(const FlowModel& flow) {
+  std::string out = "digraph moe {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  int id = 0;
+  // Component source nodes first (as in Fig 4, IDs 0..).
+  std::string edges;
+  std::string prev;
+  for (const Step& s : flow.steps()) {
+    for (const ComponentInput& c : s.components) {
+      const std::string node = strf("id%d", id);
+      out += strf("  %s [label=\"%s\\nComponent\\nID%d\", style=filled, fillcolor=lightyellow];\n",
+                  node.c_str(), c.name.c_str(), id);
+      edges += strf("  %s -> step%p [label=\"x%d\"];\n", node.c_str(),
+                    static_cast<const void*>(&s), c.count);
+      ++id;
+    }
+  }
+  for (const Step& s : flow.steps()) {
+    const std::string node = strf("step%p", static_cast<const void*>(&s));
+    const char* color = s.kind == Step::Kind::Test ? "lightblue" : "white";
+    out += strf("  %s [label=\"%s\\n%s\\nID%d\", style=filled, fillcolor=%s];\n",
+                node.c_str(), s.name.c_str(), step_kind_label(s.kind), id, color);
+    ++id;
+    if (!prev.empty()) edges += strf("  %s -> %s;\n", prev.c_str(), node.c_str());
+    if (s.kind == Step::Kind::Test) {
+      const std::string scrap = strf("scrap%d", id);
+      out += strf("  %s [label=\"SCRAP\\nID%d\", style=filled, fillcolor=lightpink];\n",
+                  scrap.c_str(), id);
+      ++id;
+      edges += strf("  %s -> %s [label=\"fail\"];\n", node.c_str(), scrap.c_str());
+    }
+    prev = node;
+  }
+  out += strf("  collector [label=\"Modules to be shipped\\nCollector\\nID%d\", "
+              "style=filled, fillcolor=lightgreen];\n", id);
+  if (!prev.empty()) edges += strf("  %s -> collector;\n", prev.c_str());
+  out += edges;
+  out += "}\n";
+  return out;
+}
+
+std::string to_ascii(const FlowModel& flow, const CostReport* report) {
+  std::string out;
+  out += strf("=== MOE production model: %s ===\n", flow.name().c_str());
+  out += strf("volume: %.0f started units, NRE: %.0f\n\n", flow.volume(), flow.nre_total());
+  int id = -1;
+  for (const Step& s : flow.steps()) {
+    ++id;
+    for (const ComponentInput& c : s.components) {
+      out += strf("        [Component] %-28s x%-4d  cost %.3f  yield %.2f%%\n",
+                  c.name.c_str(), c.count, c.unit_cost, c.incoming_yield * 100.0);
+    }
+    switch (s.kind) {
+      case Step::Kind::Test:
+        out += strf("  ID%-2d <%s> %-30s cost %.3f  coverage %.1f%%\n", id, "Test",
+                    s.name.c_str(), s.cost, s.fault_coverage * 100.0);
+        out += strf("        |-- fail --> SCRAP%s\n",
+                    s.on_fail.rework ? " (after rework attempts)" : "");
+        break;
+      default:
+        out += strf("  ID%-2d <%s> %-30s cost %.3f  yield %.3f%%\n", id,
+                    step_kind_label(s.kind), s.name.c_str(),
+                    s.cost + s.cost_per_component * s.component_count(),
+                    yield_value(s.yield) * 100.0);
+        break;
+    }
+    out += "        |\n";
+  }
+  if (report != nullptr) {
+    const double scrapped = report->volume - report->shipped_units;
+    out += strf("  [SCRAP]     %.0f units\n", scrapped);
+    out += strf("  [Collector] %.0f modules to be shipped\n", report->shipped_units);
+  } else {
+    out += "  [Collector] modules to be shipped\n";
+  }
+  return out;
+}
+
+}  // namespace ipass::moe

@@ -1,0 +1,20 @@
+// Render a FlowModel as Graphviz DOT and as an ASCII flow diagram
+// (reproduces the generic MOE model of Fig 4).
+#pragma once
+
+#include <string>
+
+#include "moe/flow.hpp"
+#include "moe/report.hpp"
+
+namespace ipass::moe {
+
+// Graphviz export; every node gets an "IDn" label like the paper's figure.
+std::string to_dot(const FlowModel& flow);
+
+// ASCII rendering of the main line with component sources, test branches
+// and the SCRAP / Collector sinks.  If a report is given, the Fig-4 style
+// unit counts are annotated on SCRAP and Collector.
+std::string to_ascii(const FlowModel& flow, const CostReport* report = nullptr);
+
+}  // namespace ipass::moe

@@ -1,0 +1,146 @@
+#include "moe/montecarlo.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+
+namespace ipass::moe {
+
+namespace {
+
+// Poisson sampler (Knuth); step intensities here are well below 1.
+int sample_poisson(Pcg32& rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+int sample_binomial(Pcg32& rng, int n, double p) {
+  int k = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(p)) ++k;
+  }
+  return k;
+}
+
+struct UnitOutcome {
+  bool shipped = false;
+  bool good = false;
+  Ledger spend;
+};
+
+UnitOutcome run_unit(const FlowModel& flow, Pcg32& rng) {
+  UnitOutcome out;
+  int faults = 0;
+  for (const Step& s : flow.steps()) {
+    if (s.kind == Step::Kind::Test) {
+      out.spend.add(CostCategory::Test, s.cost);
+      int detected = sample_binomial(rng, faults, s.fault_coverage);
+      if (detected > 0) {
+        bool recovered = false;
+        if (s.on_fail.rework) {
+          for (int attempt = 0; attempt < s.on_fail.max_attempts && !recovered; ++attempt) {
+            out.spend.add(CostCategory::Assembly, s.on_fail.rework_cost);
+            recovered = rng.bernoulli(s.on_fail.rework_success);
+          }
+        }
+        if (!recovered) return out;  // scrapped: money stays sunk
+        faults = 0;  // successful rework clears the unit
+      } else {
+        // All faults escaped this test; they stay latent.
+      }
+      continue;
+    }
+
+    out.spend.add(s.category, s.cost + s.cost_per_component * s.component_count());
+    for (const ComponentInput& c : s.components) {
+      out.spend.add(c.category, c.unit_cost * c.count);
+    }
+    faults += sample_poisson(rng, s.added_fault_intensity());
+  }
+  out.shipped = true;
+  out.good = faults == 0;
+  return out;
+}
+
+}  // namespace
+
+McReport evaluate_monte_carlo(const FlowModel& flow, const McOptions& options) {
+  require(!flow.steps().empty(), "evaluate_monte_carlo: empty flow");
+  const std::size_t n =
+      options.samples > 0 ? options.samples : static_cast<std::size_t>(flow.volume());
+  require(n >= 1, "evaluate_monte_carlo: need at least one sample");
+  const std::size_t batches = std::max<std::size_t>(1, std::min(options.batches, n));
+
+  Pcg32 rng(options.seed);
+  Ledger spend_total;
+  std::size_t shipped = 0;
+  std::size_t good = 0;
+  RunningStats batch_final_cost;
+  // NRE is amortized over the production volume (Eq. 1), independent of how
+  // many units the simulation samples.
+  const double nre_per_started = flow.nre_total() / flow.volume();
+
+  std::size_t done = 0;
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t batch_n = (n - done) / (batches - b);
+    double batch_spend = 0.0;
+    std::size_t batch_shipped = 0;
+    for (std::size_t i = 0; i < batch_n; ++i) {
+      const UnitOutcome u = run_unit(flow, rng);
+      spend_total += u.spend;
+      batch_spend += u.spend.total();
+      if (u.shipped) {
+        ++shipped;
+        ++batch_shipped;
+        if (u.good) ++good;
+      }
+    }
+    done += batch_n;
+    if (batch_shipped > 0) {
+      batch_final_cost.add(
+          (batch_spend + nre_per_started * static_cast<double>(batch_n)) /
+          static_cast<double>(batch_shipped));
+    }
+  }
+  ensure(done == n, "evaluate_monte_carlo: batch split mismatch");
+  ensure(shipped > 0, "evaluate_monte_carlo: nothing shipped");
+
+  McReport mc;
+  mc.samples = n;
+  mc.seed = options.seed;
+  mc.shipped_units = shipped;
+  mc.scrapped_units = n - shipped;
+  mc.escaped_defectives = shipped - good;
+  mc.final_cost_ci95 = batch_final_cost.ci95_half_width();
+
+  CostReport& r = mc.report;
+  r.flow_name = flow.name();
+  r.volume = static_cast<double>(n);
+  r.shipped_fraction = static_cast<double>(shipped) / static_cast<double>(n);
+  r.shipped_units = static_cast<double>(shipped);
+  r.good_fraction = static_cast<double>(good) / static_cast<double>(n);
+  r.escaped_defect_rate =
+      1.0 - static_cast<double>(good) / static_cast<double>(shipped);
+  r.direct_cost = flow.direct_unit_cost();
+  r.direct_ledger = flow.direct_unit_ledger();
+  r.spend_ledger = spend_total.scaled(1.0 / static_cast<double>(n));
+  r.total_spend_per_started = r.spend_ledger.total();
+  r.nre_per_shipped = nre_per_started / r.shipped_fraction;
+  r.final_cost_per_shipped =
+      (spend_total.total() + nre_per_started * static_cast<double>(n)) /
+      static_cast<double>(shipped);
+  r.yield_loss_per_shipped = r.final_cost_per_shipped - r.direct_cost - r.nre_per_shipped;
+  return mc;
+}
+
+}  // namespace ipass::moe

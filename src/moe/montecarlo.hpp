@@ -1,0 +1,22 @@
+// Monte-Carlo evaluation of a FlowModel: the paper's "Yield figures are
+// translated into faults using Monte Carlo simulation.  The routed
+// components are inspected at the test steps and routed to the respective
+// branch."
+#pragma once
+
+#include <cstdint>
+
+#include "moe/flow.hpp"
+#include "moe/report.hpp"
+
+namespace ipass::moe {
+
+struct McOptions {
+  std::size_t samples = 0;  // 0: use the flow's production volume
+  std::uint64_t seed = 20000127;  // DATE 2000 :-)
+  std::size_t batches = 20;       // batch-mean CI estimation
+};
+
+McReport evaluate_monte_carlo(const FlowModel& flow, const McOptions& options = {});
+
+}  // namespace ipass::moe

@@ -1,0 +1,29 @@
+#include "moe/report.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace ipass::moe {
+
+std::string CostReport::to_string() const {
+  std::string out;
+  out += strf("flow: %s\n", flow_name.c_str());
+  out += strf("  started units        : %.0f\n", volume);
+  out += strf("  shipped fraction     : %.4f (%.0f units)\n", shipped_fraction, shipped_units);
+  out += strf("  escaped defect rate  : %.4f%%\n", escaped_defect_rate * 100.0);
+  out += strf("  direct cost / unit   : %.3f\n", direct_cost);
+  out += strf("    thereof chips      : %.3f\n", direct_ledger.get(CostCategory::Chips));
+  out += strf("  yield loss / shipped : %.3f\n", yield_loss_per_shipped);
+  out += strf("  NRE / shipped        : %.3f\n", nre_per_shipped);
+  out += strf("  FINAL COST / shipped : %.3f  (Eq. 1)\n", final_cost_per_shipped);
+  out += "  spend by category (per started unit):\n";
+  for (int i = 0; i < kCostCategoryCount; ++i) {
+    const auto category = static_cast<CostCategory>(i);
+    if (spend_ledger.get(category) > 0.0) {
+      out += strf("    %-10s : %.3f\n", cost_category_name(category),
+                  spend_ledger.get(category));
+    }
+  }
+  return out;
+}
+
+}  // namespace ipass::moe

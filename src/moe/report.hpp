@@ -1,0 +1,50 @@
+// Cost evaluation results: everything Eq. 1 and Fig 5 need.
+//
+//   FinalCostShippedUnit =
+//     (Sum DirectCost_unit + Sum_all_steps Cost_SCRAP + Sum NRE) / N_shipped
+#pragma once
+
+#include <string>
+
+#include "moe/flow.hpp"
+
+namespace ipass::moe {
+
+struct CostReport {
+  std::string flow_name;
+  double volume = 0.0;             // units started
+  double shipped_fraction = 0.0;   // shipped units per started unit
+  double shipped_units = 0.0;
+  double good_fraction = 0.0;      // shipped AND fault-free, per started unit
+  double escaped_defect_rate = 0.0;  // defective fraction among shipped
+
+  // Per-unit economics.
+  double direct_cost = 0.0;        // one clean pass through the line
+  Ledger direct_ledger;
+  double yield_loss_per_shipped = 0.0;  // scrap + rework spend per shipped
+  double nre_per_shipped = 0.0;
+  double final_cost_per_shipped = 0.0;  // Eq. 1
+
+  // Aggregates (per started unit).
+  double total_spend_per_started = 0.0;
+  Ledger spend_ledger;
+
+  // Shares for the Fig-5 bar chart.
+  double chip_cost_direct() const { return direct_ledger.get(CostCategory::Chips); }
+
+  // Render a one-flow summary block.
+  std::string to_string() const;
+};
+
+// Monte-Carlo result: a CostReport plus sampling metadata.
+struct McReport {
+  CostReport report;
+  std::size_t samples = 0;
+  std::uint64_t seed = 0;
+  double final_cost_ci95 = 0.0;    // 95% half-width on final cost/shipped
+  std::size_t scrapped_units = 0;
+  std::size_t shipped_units = 0;
+  std::size_t escaped_defectives = 0;
+};
+
+}  // namespace ipass::moe

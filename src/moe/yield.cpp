@@ -1,0 +1,76 @@
+#include "moe/yield.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass::moe {
+
+namespace {
+
+double area_yield_value(const AreaYield& y) {
+  require(y.defects_per_cm2 >= 0.0, "AreaYield: negative defect density");
+  require(y.area_cm2 >= 0.0, "AreaYield: negative area");
+  const double ad = y.area_cm2 * y.defects_per_cm2;
+  if (ad == 0.0) return 1.0;
+  switch (y.model) {
+    case DefectModel::Poisson:
+      return std::exp(-ad);
+    case DefectModel::Murphy: {
+      const double m = (1.0 - std::exp(-ad)) / ad;
+      return m * m;
+    }
+    case DefectModel::Seeds:
+      return 1.0 / (1.0 + ad);
+  }
+  throw InvariantError("area_yield_value: unknown defect model");
+}
+
+}  // namespace
+
+double yield_value(const YieldSpec& spec) {
+  if (const auto* f = std::get_if<FixedYield>(&spec)) {
+    require(f->value > 0.0 && f->value <= 1.0, "FixedYield: value must be in (0,1]");
+    return f->value;
+  }
+  if (const auto* j = std::get_if<PerJointYield>(&spec)) {
+    require(j->per_joint > 0.0 && j->per_joint <= 1.0,
+            "PerJointYield: per-joint yield must be in (0,1]");
+    require(j->joints >= 0, "PerJointYield: negative joint count");
+    return std::pow(j->per_joint, j->joints);
+  }
+  return area_yield_value(std::get<AreaYield>(spec));
+}
+
+double fault_intensity(const YieldSpec& spec) { return -std::log(yield_value(spec)); }
+
+double defect_density_for_yield(DefectModel model, double target_yield, double area_cm2) {
+  require(target_yield > 0.0 && target_yield <= 1.0,
+          "defect_density_for_yield: target must be in (0,1]");
+  require(area_cm2 > 0.0, "defect_density_for_yield: area must be positive");
+  if (target_yield == 1.0) return 0.0;
+  switch (model) {
+    case DefectModel::Poisson:
+      return -std::log(target_yield) / area_cm2;
+    case DefectModel::Seeds:
+      return (1.0 / target_yield - 1.0) / area_cm2;
+    case DefectModel::Murphy: {
+      // Invert ((1-e^-x)/x)^2 = y by bisection on x = A*D0.
+      double lo = 1e-12;
+      double hi = 1e3;
+      for (int i = 0; i < 200; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double m = (1.0 - std::exp(-mid)) / mid;
+        if (m * m > target_yield) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return 0.5 * (lo + hi) / area_cm2;
+    }
+  }
+  throw InvariantError("defect_density_for_yield: unknown defect model");
+}
+
+}  // namespace ipass::moe

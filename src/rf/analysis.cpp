@@ -1,0 +1,48 @@
+#include "rf/analysis.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ipass::rf {
+
+BandpassMetrics measure_bandpass(const Circuit& circuit, double f0, double bw,
+                                 std::size_t n_points) {
+  require(f0 > 0.0 && bw > 0.0 && bw < 2.0 * f0, "measure_bandpass: invalid band");
+  require(n_points >= 3, "measure_bandpass: need at least 3 points");
+
+  BandpassMetrics m;
+  m.f0 = f0;
+  m.bw = bw;
+  m.il_at_f0_db = insertion_loss_at(circuit, f0);
+
+  const std::vector<double> freqs = linspace(f0 - bw / 2.0, f0 + bw / 2.0, n_points);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const double f : freqs) {
+    const double il = insertion_loss_at(circuit, f);
+    lo = std::min(lo, il);
+    hi = std::max(hi, il);
+  }
+  m.max_il_in_band_db = hi;
+  m.min_il_in_band_db = lo;
+  m.ripple_db = hi - lo;
+  return m;
+}
+
+double insertion_loss_at(const Circuit& circuit, double freq) {
+  return analyze_at(circuit, freq).il_db();
+}
+
+double relative_rejection_db(const Circuit& circuit, double f0, double f_reject) {
+  return insertion_loss_at(circuit, f_reject) - insertion_loss_at(circuit, f0);
+}
+
+double cohn_bandpass_loss_db(double g_sum, double f0_over_bw, double unloaded_q) {
+  require(g_sum > 0.0, "cohn_bandpass_loss_db: g_sum must be positive");
+  require(f0_over_bw > 0.0, "cohn_bandpass_loss_db: f0/bw must be positive");
+  require(unloaded_q > 0.0, "cohn_bandpass_loss_db: Qu must be positive");
+  return 4.343 * f0_over_bw * g_sum / unloaded_q;
+}
+
+}  // namespace ipass::rf

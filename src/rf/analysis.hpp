@@ -1,0 +1,39 @@
+// Filter figure extraction: insertion loss, ripple, rejection — the numbers
+// the paper's performance assessment step consumes.
+#pragma once
+
+#include <vector>
+
+#include "rf/mna.hpp"
+#include "rf/netlist.hpp"
+
+namespace ipass::rf {
+
+struct BandpassMetrics {
+  double f0 = 0.0;
+  double bw = 0.0;
+  double il_at_f0_db = 0.0;       // insertion loss at band center
+  double max_il_in_band_db = 0.0; // worst-case loss over the passband
+  double min_il_in_band_db = 0.0;
+  double ripple_db = 0.0;         // max - min over the passband
+};
+
+// Sweep the passband [f0 - bw/2, f0 + bw/2] with n_points and extract the
+// loss metrics.
+BandpassMetrics measure_bandpass(const Circuit& circuit, double f0, double bw,
+                                 std::size_t n_points = 101);
+
+// Insertion loss (dB, positive) at a single frequency; used for image /
+// stopband rejection checks.
+double insertion_loss_at(const Circuit& circuit, double freq);
+
+// Rejection relative to band center: IL(f_reject) - IL(f0).
+double relative_rejection_db(const Circuit& circuit, double f0, double f_reject);
+
+// Classical Cohn estimate of the midband dissipation loss of a coupled-
+// resonator bandpass filter:
+//     IL [dB] ~= 4.343 * (f0/bw) * sum(g_i) / Qu
+// Used as an analytic cross-check of the simulated losses.
+double cohn_bandpass_loss_db(double g_sum, double f0_over_bw, double unloaded_q);
+
+}  // namespace ipass::rf

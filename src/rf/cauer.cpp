@@ -1,0 +1,174 @@
+#include "rf/cauer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/polynomial.hpp"
+
+namespace ipass::rf {
+
+namespace {
+
+using Cx = std::complex<double>;
+
+// Real-coefficient monic polynomial from a self-conjugate root set.
+Poly poly_from_pole_set(const std::vector<Cx>& roots) {
+  std::vector<Cx> representatives;
+  for (const Cx& r : roots) {
+    if (r.imag() > 1e-9) {
+      representatives.push_back(r);
+    } else if (std::abs(r.imag()) <= 1e-9) {
+      representatives.push_back(Cx(r.real(), 0.0));
+    }
+  }
+  return Poly::from_conjugate_roots(representatives);
+}
+
+// Substitute w -> -s^2 (duplicated from elliptic.cpp on purpose: the two
+// files stay independently readable; the operation is four lines).
+Poly subst_neg_s2(const Poly& pw) {
+  const int d = pw.degree();
+  std::vector<double> out(static_cast<std::size_t>(2 * d) + 1, 0.0);
+  for (int i = 0; i <= d; ++i) {
+    out[static_cast<std::size_t>(2 * i)] =
+        ((i % 2 == 0) ? 1.0 : -1.0) * pw.coefficient(static_cast<std::size_t>(i));
+  }
+  return Poly(std::move(out));
+}
+
+struct ExtractionResult {
+  bool ok = false;
+  std::vector<LadderBranch> branches;
+  double final_conductance = 0.0;
+};
+
+// Extract the mid-shunt ladder from Y = num/den, removing the series
+// resonators in the order given by `zero_order`.
+ExtractionResult extract_ladder(Poly num, Poly den, std::vector<double> zero_order) {
+  ExtractionResult result;
+  const Poly x = Poly::x();
+
+  for (const double wz : zero_order) {
+    const Cx jw(0.0, wz);
+
+    // (a) partial shunt capacitor shifting a zero of Y to jw.
+    const Cx y_at = num(jw) / den(jw);
+    const double cp = y_at.imag() / wz;
+    if (!(cp > 1e-12) || !std::isfinite(cp)) return result;
+    LadderBranch shunt;
+    shunt.topo = LadderBranch::Topology::ShuntC;
+    shunt.c = cp;
+    result.branches.push_back(shunt);
+
+    Poly num_shift = num - (x * den) * cp;
+    num_shift.trim();
+
+    // (b) full removal of the series L||C trap resonating at wz.
+    const Poly factor({wz * wz, 0.0, 1.0});  // s^2 + wz^2
+    Poly num_red;
+    try {
+      num_red = num_shift.divide_exact(factor, 1e-4);
+    } catch (const NumericalError&) {
+      return result;
+    }
+    const Cx denom = jw * num_red(jw);
+    if (std::abs(denom) < 1e-300) return result;
+    const Cx k_cx = den(jw) / denom;
+    const double k = k_cx.real();
+    if (!(k > 1e-12) || std::abs(k_cx.imag()) > 1e-6 * std::abs(k)) return result;
+
+    LadderBranch trap;
+    trap.topo = LadderBranch::Topology::SeriesTrap;
+    trap.c = 1.0 / k;
+    trap.l = k / (wz * wz);
+    result.branches.push_back(trap);
+
+    Poly den_next = den - (x * num_red) * k;
+    den_next.trim();
+    try {
+      den_next = den_next.divide_exact(factor, 1e-4);
+    } catch (const NumericalError&) {
+      return result;
+    }
+
+    num = num_red;
+    den = den_next;
+    num.trim();
+    den.trim();
+  }
+
+  // Remaining admittance must be s*C + G with G the load conductance.
+  if (num.degree() > 1 || den.degree() != 0) return result;
+  const double d0 = den.coefficient(0);
+  if (std::abs(d0) < 1e-300) return result;
+  const double c_last = num.coefficient(1) / d0;
+  const double g_load = num.coefficient(0) / d0;
+  if (!(c_last > 1e-12) || !(g_load > 1e-12)) return result;
+
+  LadderBranch last;
+  last.topo = LadderBranch::Topology::ShuntC;
+  last.c = c_last;
+  result.branches.push_back(last);
+  result.final_conductance = g_load;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+EllipticApproximation cauer_approximation(int n, double ripple_db, double selectivity) {
+  return elliptic_approximation(n, ripple_db, selectivity);
+}
+
+LadderPrototype cauer_lowpass(int n, double ripple_db, double selectivity) {
+  const EllipticApproximation ap = elliptic_approximation(n, ripple_db, selectivity);
+
+  // D(s): monic Hurwitz denominator from the poles.
+  const Poly d = poly_from_pole_set(ap.poles);
+  ensure(d.degree() == n, "cauer_lowpass: Hurwitz polynomial degree mismatch");
+
+  // E(s) = sigma * s * A(-s^2) with A(w) = prod(w - z_i^2); |E/D| -> 1.
+  std::vector<double> z2;
+  for (const double z : ap.rational.zeros) z2.push_back(z * z);
+  const Poly as = subst_neg_s2(Poly::from_real_roots(z2));
+  const Poly e_base = Poly::x() * as;
+
+  // Try both reflection-coefficient signs and all orders of transmission-
+  // zero extraction; keep the first all-positive ladder.
+  std::vector<double> zeros = ap.transmission_zeros;
+  std::sort(zeros.begin(), zeros.end());
+
+  for (const double sigma : {+1.0, -1.0}) {
+    const Poly e = e_base * sigma;
+    Poly y_num = d - e;
+    Poly y_den = d + e;
+    y_num.trim();
+    y_den.trim();
+    // Mid-shunt form needs Y(inf) = inf: numerator of higher degree.
+    if (y_num.degree() <= y_den.degree()) continue;
+
+    std::vector<double> order = zeros;
+    do {
+      ExtractionResult r = extract_ladder(y_num, y_den, order);
+      if (r.ok) {
+        LadderPrototype proto;
+        proto.family = FilterFamily::Elliptic;
+        proto.order = n;
+        proto.ripple_db = ripple_db;
+        proto.stopband_db = ap.stopband_db;
+        proto.selectivity = selectivity;
+        proto.source_resistance = 1.0;
+        proto.load_resistance = 1.0 / r.final_conductance;
+        proto.branches = std::move(r.branches);
+        return proto;
+      }
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+
+  throw NumericalError("cauer_lowpass: no positive-element extraction order found");
+}
+
+}  // namespace ipass::rf

@@ -1,0 +1,29 @@
+// Darlington synthesis of odd-order elliptic (Cauer) lowpass ladders.
+//
+// From the analytic S21/S11 of elliptic.hpp, the input impedance
+// Zin = (D + E)/(D - E) is expanded into a mid-shunt ladder
+// (shunt C, series L||C trap, shunt C, ...) by alternating partial shunt-
+// capacitor removal and full removal of the series resonator at each
+// transmission zero (classical zero-shifting synthesis).
+//
+// The paper's LNA output filter — "Being of Cauer type it achieves a good
+// rejection at the image frequency" with a 3-stage integrated realization —
+// is exactly such a ladder with n = 3.
+#pragma once
+
+#include "rf/elliptic.hpp"
+#include "rf/prototype.hpp"
+
+namespace ipass::rf {
+
+// Synthesize the normalized (wp = 1, R = 1) elliptic lowpass ladder.
+// Preconditions: n odd and >= 3, ripple_db > 0, selectivity ws/wp > 1.
+// Throws NumericalError if no extraction order yields positive elements
+// (does not happen for realizable specs).
+LadderPrototype cauer_lowpass(int n, double ripple_db, double selectivity);
+
+// Convenience: the approximation backing a given ladder spec (for analytic
+// reference curves in tests and benches).
+EllipticApproximation cauer_approximation(int n, double ripple_db, double selectivity);
+
+}  // namespace ipass::rf

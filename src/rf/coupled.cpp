@@ -1,0 +1,163 @@
+#include "rf/coupled.hpp"
+
+#include "rf/mna.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+
+namespace ipass::rf {
+
+CoupledResonatorDesign design_coupled_resonator_bandpass(
+    const LadderPrototype& proto, double f0, double bw, double z0,
+    double resonator_l) {
+  require(f0 > 0.0 && bw > 0.0 && bw < 0.5 * f0,
+          "coupled design: need a narrowband spec (bw < f0/2)");
+  require(z0 > 0.0, "coupled design: z0 must be positive");
+  require(resonator_l > 0.0, "coupled design: resonator inductance must be positive");
+  require(proto.order >= 2, "coupled design: order must be >= 2");
+
+  // Collect the prototype g-values in ladder order (g1..gn) plus the load.
+  std::vector<double> g;
+  g.push_back(1.0);  // g0 (source)
+  for (const LadderBranch& br : proto.branches) {
+    switch (br.topo) {
+      case LadderBranch::Topology::ShuntC:
+        g.push_back(br.c);
+        break;
+      case LadderBranch::Topology::SeriesL:
+        g.push_back(br.l);
+        break;
+      case LadderBranch::Topology::SeriesTrap:
+        throw PreconditionError(
+            "coupled design: only all-pole prototypes (no elliptic traps)");
+    }
+  }
+  // Load conductance in prototype units: for the pi form, odd n terminates
+  // in g_{n+1} = load R, even n in load conductance; either way the design
+  // equations below want g_{n+1} as the table value.
+  const int n = proto.order;
+  const double g_load =
+      (n % 2 == 0) ? 1.0 / proto.load_resistance : proto.load_resistance;
+  g.push_back(g_load);
+
+  const double w0 = omega(f0);
+  const double delta = bw / f0;
+  const double c_res = 1.0 / (w0 * w0 * resonator_l);
+  const double b_slope = w0 * c_res;  // susceptance slope of each resonator
+  const double ga = 1.0 / z0;
+
+  CoupledResonatorDesign d;
+  d.f0_hz = f0;
+  d.bw_hz = bw;
+  d.z0 = z0;
+  d.order = n;
+  d.resonator_l = resonator_l;
+  d.resonator_c = c_res;
+
+  // J-inverter values (Pozar 8.132/Matthaei 8.09): end and internal.
+  std::vector<double> j(static_cast<std::size_t>(n) + 1);
+  j[0] = std::sqrt(ga * b_slope * delta / (g[0] * g[1]));
+  for (int k = 1; k < n; ++k) {
+    j[static_cast<std::size_t>(k)] =
+        delta * b_slope /
+        std::sqrt(g[static_cast<std::size_t>(k)] * g[static_cast<std::size_t>(k + 1)]);
+  }
+  j[static_cast<std::size_t>(n)] =
+      std::sqrt(ga * b_slope * delta /
+                (g[static_cast<std::size_t>(n)] * g[static_cast<std::size_t>(n + 1)]));
+
+  // Series coupling capacitors; the end couplings see the terminations and
+  // need the exact series-C inverter correction.
+  d.coupling_c.resize(static_cast<std::size_t>(n) + 1);
+  const double j0z = j[0] * z0;
+  require(j0z < 1.0, "coupled design: end inverter unrealizable (J01 Z0 >= 1)");
+  d.coupling_c[0] = j[0] / (w0 * std::sqrt(1.0 - j0z * j0z));
+  for (int k = 1; k < n; ++k) {
+    d.coupling_c[static_cast<std::size_t>(k)] = j[static_cast<std::size_t>(k)] / w0;
+  }
+  const double jnz = j[static_cast<std::size_t>(n)] * z0;
+  require(jnz < 1.0, "coupled design: end inverter unrealizable (Jn Z0 >= 1)");
+  d.coupling_c[static_cast<std::size_t>(n)] =
+      j[static_cast<std::size_t>(n)] / (w0 * std::sqrt(1.0 - jnz * jnz));
+
+  // Absorb the couplings into the resonator capacitors.  The effective
+  // shunt loading of an end coupling C01' behind the termination is
+  // C01e = C01'/(1 + (w0 C01' Z0)^2).
+  auto end_effective = [&](double c01) {
+    const double x = w0 * c01 * z0;
+    return c01 / (1.0 + x * x);
+  };
+  d.shunt_c.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const double left = (k == 0) ? end_effective(d.coupling_c[0])
+                                 : d.coupling_c[static_cast<std::size_t>(k)];
+    const double right = (k == n - 1)
+                             ? end_effective(d.coupling_c[static_cast<std::size_t>(n)])
+                             : d.coupling_c[static_cast<std::size_t>(k + 1)];
+    const double c_eff = c_res - left - right;
+    if (c_eff <= 0.0) {
+      throw NumericalError(
+          "coupled design: couplings exceed the resonator capacitance; "
+          "choose a larger resonator inductance");
+    }
+    d.shunt_c[static_cast<std::size_t>(k)] = c_eff;
+  }
+
+  // Retune: the end-coupling absorption is a narrowband approximation, so
+  // the realized passband sits slightly low.  Simulate the lossless filter,
+  // locate the 3 dB band and re-center its geometric midpoint on f0 (what a
+  // filter designer does on the bench).  The loss minimum alone would not
+  // do: equal-ripple responses have several.
+  for (int pass = 0; pass < 4; ++pass) {
+    const Circuit probe = realize_coupled_resonator(d);
+    double best_il = 1e300;
+    std::vector<double> il(401);
+    for (int i = 0; i <= 400; ++i) {
+      const double f = f0 * (0.80 + 0.40 * static_cast<double>(i) / 400.0);
+      il[static_cast<std::size_t>(i)] = analyze_at(probe, f).il_db();
+      best_il = std::min(best_il, il[static_cast<std::size_t>(i)]);
+    }
+    int lo = 0;
+    while (lo <= 400 && il[static_cast<std::size_t>(lo)] > best_il + 3.0) ++lo;
+    int hi = 400;
+    while (hi >= 0 && il[static_cast<std::size_t>(hi)] > best_il + 3.0) --hi;
+    if (lo >= hi) break;
+    const double f_lo = f0 * (0.80 + 0.40 * lo / 400.0);
+    const double f_hi = f0 * (0.80 + 0.40 * hi / 400.0);
+    const double pull = std::sqrt(f_lo * f_hi) / f0;
+    if (std::abs(pull - 1.0) < 1e-3) break;
+    for (double& c : d.shunt_c) c *= pull * pull;
+  }
+  return d;
+}
+
+Circuit realize_coupled_resonator(const CoupledResonatorDesign& design,
+                                  const ComponentQuality& quality) {
+  Circuit ckt;
+  const int in = ckt.add_node();
+  ckt.set_port1(in, design.z0);
+
+  int prev = in;
+  for (int k = 0; k < design.order; ++k) {
+    const int node = ckt.add_node();
+    ckt.add_capacitor(prev, node, design.coupling_c[static_cast<std::size_t>(k)],
+                      quality.capacitor_q, strf("Cc%d", k));
+    ckt.add_inductor(node, 0, design.resonator_l, quality.inductor_q,
+                     strf("Lres%d", k + 1));
+    ckt.add_capacitor(node, 0, design.shunt_c[static_cast<std::size_t>(k)],
+                      quality.capacitor_q, strf("Cres%d", k + 1));
+    prev = node;
+  }
+  const int out = ckt.add_node();
+  ckt.add_capacitor(prev, out,
+                    design.coupling_c[static_cast<std::size_t>(design.order)],
+                    quality.capacitor_q, strf("Cc%d", design.order));
+  ckt.set_port2(out, design.z0);
+  return ckt;
+}
+
+}  // namespace ipass::rf

@@ -1,0 +1,43 @@
+// Capacitively coupled shunt-resonator bandpass filters (Matthaei/Pozar
+// J-inverter design).
+//
+// The classical LP->BP ladder transform forces impractically small shunt
+// inductors at VHF (a 50 Ohm, 12% band at 175 MHz wants ~4 nH next to a
+// 280 nH series coil).  Production filters — including lumped MCM filters
+// of the SUMMIT era — instead use identical parallel L-C resonators coupled
+// by series capacitors, with the resonator inductance a free design choice.
+// This module provides that synthesis as an extension beyond the paper's
+// ladder realization; bench_ablation_topology compares the two.
+#pragma once
+
+#include "rf/netlist.hpp"
+#include "rf/prototype.hpp"
+#include "rf/transform.hpp"
+
+namespace ipass::rf {
+
+struct CoupledResonatorDesign {
+  double f0_hz = 0.0;
+  double bw_hz = 0.0;
+  double z0 = 50.0;
+  double resonator_l = 0.0;        // the chosen inductance, all resonators
+  double resonator_c = 0.0;        // 1/(w0^2 L) before coupling absorption
+  std::vector<double> coupling_c;  // C01 .. Cn,n+1 (n+1 values, end-corrected)
+  std::vector<double> shunt_c;     // final resonator capacitors (n values)
+  int order = 0;
+};
+
+// Design from an all-pole lowpass prototype (Butterworth/Chebyshev).
+// Preconditions: proto has only ShuntC/SeriesL branches, 0 < bw << f0,
+// resonator_l chosen so the resonator C exceeds the absorbed couplings
+// (throws NumericalError otherwise — pick a larger L).
+CoupledResonatorDesign design_coupled_resonator_bandpass(
+    const LadderPrototype& proto, double f0, double bw, double z0,
+    double resonator_l);
+
+// Realize as an analyzable circuit; inductor/capacitor Q as given.
+Circuit realize_coupled_resonator(const CoupledResonatorDesign& design,
+                                  const ComponentQuality& quality =
+                                      ComponentQuality::lossless());
+
+}  // namespace ipass::rf

@@ -1,0 +1,235 @@
+#include "rf/elliptic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/polynomial.hpp"
+#include "common/units.hpp"
+
+namespace ipass::rf {
+
+double ellip_k(double k) {
+  require(k >= 0.0 && k < 1.0, "ellip_k: modulus must be in [0,1)");
+  // K(k) = pi / (2 agm(1, k')) with k' = sqrt(1 - k^2).
+  double a = 1.0;
+  double b = std::sqrt(1.0 - k * k);
+  for (int i = 0; i < 64 && std::abs(a - b) > 1e-16 * a; ++i) {
+    const double an = 0.5 * (a + b);
+    b = std::sqrt(a * b);
+    a = an;
+  }
+  return kPi / (2.0 * a);
+}
+
+JacobiSncndn jacobi_sncndn(double u, double k) {
+  require(k >= 0.0 && k < 1.0, "jacobi_sncndn: modulus must be in [0,1)");
+  JacobiSncndn out;
+  const double emmc = 1.0 - k * k;  // k'^2
+
+  // Descending-Landen / AGM evaluation (A&S 16.4, classic sncndn routine).
+  constexpr double kAccuracy = 1.0e-14;
+  if (emmc == 0.0) {
+    out.sn = std::tanh(u);
+    out.cn = 1.0 / std::cosh(u);
+    out.dn = out.cn;
+    return out;
+  }
+  if (k == 0.0) {
+    out.sn = std::sin(u);
+    out.cn = std::cos(u);
+    out.dn = 1.0;
+    return out;
+  }
+
+  double em[16];
+  double en[16];
+  double a = 1.0;
+  double dn = 1.0;
+  double emc = emmc;
+  double c = 0.0;
+  int l = 0;
+  for (int i = 0; i < 14; ++i) {
+    l = i;
+    em[i] = a;
+    emc = std::sqrt(emc);
+    en[i] = emc;
+    c = 0.5 * (a + emc);
+    if (std::abs(a - emc) <= kAccuracy * a) break;
+    emc *= a;
+    a = c;
+  }
+  double uu = c * u;
+  double sn = std::sin(uu);
+  double cn = std::cos(uu);
+  if (sn != 0.0) {
+    a = cn / sn;
+    c *= a;
+    for (int i = l; i >= 0; --i) {
+      const double b = em[i];
+      a *= c;
+      c *= dn;
+      dn = (en[i] + a) / (b + a);
+      a = c / b;
+    }
+    a = 1.0 / std::sqrt(c * c + 1.0);
+    sn = (sn >= 0.0) ? a : -a;
+    cn = c * sn;
+  }
+  out.sn = sn;
+  out.cn = cn;
+  out.dn = dn;
+  return out;
+}
+
+double jacobi_sn(double u, double k) { return jacobi_sncndn(u, k).sn; }
+
+double jacobi_cd(double u, double k) {
+  const JacobiSncndn j = jacobi_sncndn(u, k);
+  ensure(std::abs(j.dn) > 1e-300, "jacobi_cd: dn vanished");
+  return j.cn / j.dn;
+}
+
+double elliptic_degree_modulus(int n, double k) {
+  require(n >= 1, "elliptic_degree_modulus: order must be >= 1");
+  require(k > 0.0 && k < 1.0, "elliptic_degree_modulus: modulus must be in (0,1)");
+  // k1 = k^n * prod_i sn(u_i K, k)^4, u_i = (2i-1)/n  (Orfanidis eq. 47).
+  const double big_k = ellip_k(k);
+  const int half = n / 2;
+  double k1 = std::pow(k, n);
+  for (int i = 1; i <= half; ++i) {
+    const double ui = (2.0 * i - 1.0) / n;
+    const double s = jacobi_sn(ui * big_k, k);
+    k1 *= std::pow(s, 4);
+  }
+  ensure(k1 > 0.0 && k1 < 1.0, "elliptic_degree_modulus: k1 out of range");
+  return k1;
+}
+
+double EllipticRational::operator()(double w) const {
+  double num = (order % 2 == 1) ? w : 1.0;
+  double den = 1.0;
+  for (std::size_t i = 0; i < zeros.size(); ++i) {
+    num *= (w * w - zeros[i] * zeros[i]);
+    den *= (w * w - poles[i] * poles[i]);
+  }
+  return r0 * num / den;
+}
+
+EllipticRational elliptic_rational(int n, double k) {
+  require(n >= 1, "elliptic_rational: order must be >= 1");
+  require(k > 0.0 && k < 1.0, "elliptic_rational: modulus must be in (0,1)");
+  EllipticRational r;
+  r.order = n;
+  r.k = k;
+  const double big_k = ellip_k(k);
+  const int half = n / 2;
+  for (int i = 1; i <= half; ++i) {
+    const double ui = (2.0 * i - 1.0) / n;
+    const double z = jacobi_cd(ui * big_k, k);
+    r.zeros.push_back(z);
+    r.poles.push_back(1.0 / (k * z));
+  }
+  r.r0 = 1.0;
+  const double at_one = r(1.0);
+  ensure(std::abs(at_one) > 1e-300, "elliptic_rational: R_n(1) vanished");
+  r.r0 = 1.0 / at_one;
+  return r;
+}
+
+double EllipticApproximation::s21_magnitude(double w) const {
+  // |S21(jw)| from the pole/zero set: |g| * prod|jw - z| / prod|jw - p|
+  // with jw-axis zero pairs at +-j wz.
+  const std::complex<double> jw(0.0, w);
+  double num = 1.0;
+  for (const double wz : transmission_zeros) {
+    num *= std::abs(jw * jw + std::complex<double>(wz * wz, 0.0));
+  }
+  double den = 1.0;
+  for (const std::complex<double>& p : poles) {
+    den *= std::abs(jw - p);
+  }
+  return std::abs(gain) * num / den;
+}
+
+double EllipticApproximation::attenuation_db(double w) const {
+  return -db20(s21_magnitude(w));
+}
+
+namespace {
+
+// Substitute w -> -s^2 into a polynomial given in the variable w.
+Poly subst_neg_s2(const Poly& pw) {
+  const int d = pw.degree();
+  std::vector<double> out(static_cast<std::size_t>(2 * d) + 1, 0.0);
+  for (int i = 0; i <= d; ++i) {
+    const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+    out[static_cast<std::size_t>(2 * i)] = sign * pw.coefficient(static_cast<std::size_t>(i));
+  }
+  return Poly(std::move(out));
+}
+
+}  // namespace
+
+EllipticApproximation elliptic_approximation(int n, double ripple_db, double selectivity) {
+  require(n >= 3 && n % 2 == 1, "elliptic_approximation: order must be odd and >= 3");
+  require(ripple_db > 0.0, "elliptic_approximation: ripple must be positive");
+  require(selectivity > 1.0, "elliptic_approximation: selectivity ws/wp must exceed 1");
+
+  EllipticApproximation ap;
+  ap.order = n;
+  ap.ripple_db = ripple_db;
+  ap.selectivity = selectivity;
+  ap.eps_p = std::sqrt(from_db10(ripple_db) - 1.0);
+
+  const double k = 1.0 / selectivity;
+  ap.rational = elliptic_rational(n, k);
+  const double k1 = elliptic_degree_modulus(n, k);
+  const double eps_s = ap.eps_p / k1;
+  ap.stopband_db = db10(1.0 + eps_s * eps_s);
+
+  // Transmission zeros: w = poles of R_n.
+  ap.transmission_zeros = ap.rational.poles;
+
+  // Build A(w) = prod(w - z_i^2), B(w) = prod(w - p_i^2) in the variable
+  // w = Omega^2 (R_n^2 = r0^2 w A^2 / B^2 for odd n).
+  std::vector<double> z2;
+  std::vector<double> p2;
+  for (const double z : ap.rational.zeros) z2.push_back(z * z);
+  for (const double p : ap.rational.poles) p2.push_back(p * p);
+  const Poly a_w = Poly::from_real_roots(z2);
+  const Poly b_w = Poly::from_real_roots(p2);
+
+  const Poly as = subst_neg_s2(a_w);
+  const Poly bs = subst_neg_s2(b_w);
+
+  // Q(s) = B(-s^2)^2 - eps^2 r0^2 s^2 A(-s^2)^2; poles of S21 are the
+  // left-half-plane roots of Q.
+  const double c = ap.eps_p * ap.rational.r0;
+  const Poly s2 = Poly({0.0, 0.0, 1.0});
+  Poly q = bs * bs - (s2 * (as * as)) * (c * c);
+  q.trim();
+  ensure(q.degree() == 2 * n, "elliptic_approximation: characteristic degree mismatch");
+
+  std::vector<std::complex<double>> lhp = left_half_plane_roots(q);
+  ensure(static_cast<int>(lhp.size()) == n,
+         "elliptic_approximation: expected n left-half-plane poles");
+  // Deterministic order: by imaginary part.
+  std::sort(lhp.begin(), lhp.end(), [](const auto& x, const auto& y) {
+    return x.imag() < y.imag();
+  });
+  ap.poles = lhp;
+
+  // Gain for unit DC transmission: S21(s) = g prod(s^2+wz^2)/D(s).
+  std::complex<double> d0(1.0, 0.0);
+  for (const auto& p : ap.poles) d0 *= -p;
+  double n0 = 1.0;
+  for (const double wz : ap.transmission_zeros) n0 *= wz * wz;
+  ensure(std::abs(d0.imag()) < 1e-9 * std::abs(d0.real()) + 1e-30,
+         "elliptic_approximation: D(0) not real");
+  ap.gain = d0.real() / n0;
+
+  return ap;
+}
+
+}  // namespace ipass::rf

@@ -1,0 +1,72 @@
+// Jacobi elliptic functions and the analytic machinery of elliptic
+// (Cauer) filter approximation.
+//
+// References: Abramowitz & Stegun ch. 16/17 (AGM evaluation of sn/cn/dn),
+// Orfanidis, "Lecture Notes on Elliptic Filter Design" (degree equation and
+// the closed-form zeros of the elliptic rational function).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace ipass::rf {
+
+// Complete elliptic integral of the first kind K(k), 0 <= k < 1,
+// via the arithmetic-geometric mean.
+double ellip_k(double k);
+
+// Jacobi elliptic functions for real argument u and modulus k in [0, 1).
+struct JacobiSncndn {
+  double sn = 0.0;
+  double cn = 1.0;
+  double dn = 1.0;
+};
+JacobiSncndn jacobi_sncndn(double u, double k);
+
+double jacobi_sn(double u, double k);
+double jacobi_cd(double u, double k);  // cn/dn
+
+// Degree equation: for filter order n and selectivity modulus k = wp/ws,
+// returns k1 = eps_p / eps_s, the ripple-ratio modulus.
+double elliptic_degree_modulus(int n, double k);
+
+// Analytic description of the order-n elliptic rational function R_n for
+// modulus k: zeros z_i = cd((2i-1)K/n, k), poles 1/(k z_i), plus a zero at
+// the origin when n is odd.
+struct EllipticRational {
+  int order = 0;
+  double k = 0.0;
+  std::vector<double> zeros;   // positive representatives, size floor(n/2)
+  std::vector<double> poles;   // 1/(k z_i), same size
+  double r0 = 1.0;             // normalization so that R_n(1) = 1
+
+  // Evaluate R_n at a real frequency (for tests / plots).
+  double operator()(double w) const;
+};
+EllipticRational elliptic_rational(int n, double k);
+
+// Full transfer-function description of a normalized elliptic lowpass:
+// |S21(jw)|^2 = 1 / (1 + eps_p^2 R_n(w)^2), passband edge at w = 1.
+struct EllipticApproximation {
+  int order = 0;
+  double eps_p = 0.0;          // passband ripple parameter
+  double ripple_db = 0.0;
+  double selectivity = 0.0;    // ws/wp > 1
+  double stopband_db = 0.0;    // attenuation achieved at ws
+  EllipticRational rational;
+  std::vector<std::complex<double>> poles;          // Hurwitz poles of S21
+  std::vector<double> transmission_zeros;           // positive w of the jw-axis zero pairs
+  double gain = 1.0;                                // S21(0) = 1 for odd order
+
+  // |S21| at real frequency w, from poles/zeros (analytic reference).
+  double s21_magnitude(double w) const;
+  double attenuation_db(double w) const;
+};
+
+// Build the approximation for odd order n >= 3, passband ripple in dB and
+// selectivity ws/wp > 1.  (Even orders are not needed by the paper's
+// filters and are rejected: their ladders require transformer end
+// sections.)
+EllipticApproximation elliptic_approximation(int n, double ripple_db, double selectivity);
+
+}  // namespace ipass::rf

@@ -1,0 +1,82 @@
+#include "rf/matching.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ipass::rf {
+
+LSection design_l_section(double f0, double r_source, double r_load) {
+  require(f0 > 0.0, "design_l_section: f0 must be positive");
+  require(r_source > 0.0 && r_load > 0.0, "design_l_section: resistances must be positive");
+  require(std::abs(r_source - r_load) > 1e-9 * r_source,
+          "design_l_section: resistances must differ");
+
+  LSection m;
+  m.f0 = f0;
+  m.r_source = r_source;
+  m.r_load = r_load;
+  const double r_lo = std::min(r_source, r_load);
+  const double r_hi = std::max(r_source, r_load);
+  m.q = std::sqrt(r_hi / r_lo - 1.0);
+  const double w0 = omega(f0);
+  // Series reactance on the low side, shunt susceptance on the high side.
+  m.series_l = m.q * r_lo / w0;
+  m.shunt_c = m.q / (r_hi * w0);
+  m.shunt_at_load = r_load > r_source;
+  return m;
+}
+
+Circuit realize_l_section(const LSection& match, const ComponentQuality& quality) {
+  Circuit ckt;
+  const int n_in = ckt.add_node();
+  const int n_out = ckt.add_node();
+  ckt.set_port1(n_in, match.r_source);
+  ckt.set_port2(n_out, match.r_load);
+  ckt.add_inductor(n_in, n_out, match.series_l, quality.inductor_q, "Lmatch");
+  const int shunt_node = match.shunt_at_load ? n_out : n_in;
+  ckt.add_capacitor(shunt_node, 0, match.shunt_c, quality.capacitor_q, "Cmatch");
+  return ckt;
+}
+
+PiSection design_pi_section(double f0, double r_source, double r_load, double q) {
+  require(f0 > 0.0, "design_pi_section: f0 must be positive");
+  require(r_source > 0.0 && r_load > 0.0, "design_pi_section: resistances must be positive");
+  const double r_hi = std::max(r_source, r_load);
+  const double r_lo = std::min(r_source, r_load);
+  require(q > std::sqrt(r_hi / r_lo - 1.0),
+          "design_pi_section: Q must exceed the L-section minimum");
+
+  // Standard design via a virtual intermediate resistance r_v < min(Rs, Rl):
+  // the Q of the high side fixes r_v, both halves are back-to-back L-sections.
+  const double r_v = r_hi / (1.0 + q * q);
+  ensure(r_v < r_lo, "design_pi_section: virtual resistance not below both ends");
+  const double q1 = std::sqrt(r_source / r_v - 1.0);
+  const double q2 = std::sqrt(r_load / r_v - 1.0);
+  const double w0 = omega(f0);
+
+  PiSection m;
+  m.f0 = f0;
+  m.r_source = r_source;
+  m.r_load = r_load;
+  m.q = q;
+  m.c_in = q1 / (r_source * w0);
+  m.c_out = q2 / (r_load * w0);
+  m.series_l = (q1 * r_v + q2 * r_v) / w0;
+  return m;
+}
+
+Circuit realize_pi_section(const PiSection& match, const ComponentQuality& quality) {
+  Circuit ckt;
+  const int n_in = ckt.add_node();
+  const int n_out = ckt.add_node();
+  ckt.set_port1(n_in, match.r_source);
+  ckt.set_port2(n_out, match.r_load);
+  ckt.add_capacitor(n_in, 0, match.c_in, quality.capacitor_q, "Cin");
+  ckt.add_inductor(n_in, n_out, match.series_l, quality.inductor_q, "Lpi");
+  ckt.add_capacitor(n_out, 0, match.c_out, quality.capacitor_q, "Cout");
+  return ckt;
+}
+
+}  // namespace ipass::rf

@@ -1,0 +1,45 @@
+// Matching-network design (the paper's "50 Ohm matching networks for the
+// LNA and the mixer on the RF chip").
+#pragma once
+
+#include "rf/netlist.hpp"
+#include "rf/qmodel.hpp"
+#include "rf/transform.hpp"
+
+namespace ipass::rf {
+
+// Lowpass L-section matching r_source to r_load at f0.
+struct LSection {
+  double f0 = 0.0;
+  double r_source = 0.0;
+  double r_load = 0.0;
+  double q = 0.0;          // network Q = sqrt(max/min - 1)
+  double series_l = 0.0;   // Henry (in the signal path, low-resistance side)
+  double shunt_c = 0.0;    // Farad (across the high-resistance side)
+  bool shunt_at_load = false;  // true when r_load > r_source
+};
+
+// Design the L-section.  Preconditions: f0 > 0, resistances positive and
+// distinct (equal resistances need no matching network and are rejected).
+LSection design_l_section(double f0, double r_source, double r_load);
+
+// Realize the section as an analyzable circuit with ports at both ends.
+Circuit realize_l_section(const LSection& match,
+                          const ComponentQuality& quality = ComponentQuality::lossless());
+
+// Pi-section with a chosen loaded Q (> Q of the plain L-section); gives the
+// designer control over bandwidth.  Realized as shunt C - series L - shunt C.
+struct PiSection {
+  double f0 = 0.0;
+  double r_source = 0.0;
+  double r_load = 0.0;
+  double q = 0.0;
+  double c_in = 0.0;
+  double series_l = 0.0;
+  double c_out = 0.0;
+};
+PiSection design_pi_section(double f0, double r_source, double r_load, double q);
+Circuit realize_pi_section(const PiSection& match,
+                           const ComponentQuality& quality = ComponentQuality::lossless());
+
+}  // namespace ipass::rf

@@ -1,0 +1,105 @@
+#include "rf/mna.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/linalg.hpp"
+#include "common/units.hpp"
+
+namespace ipass::rf {
+
+double SPoint::il_db() const { return -db20(std::abs(s21)); }
+double SPoint::rl_db() const { return -db20(std::abs(s11)); }
+double SPoint::s21_db() const { return db20(std::abs(s21)); }
+
+Complex element_impedance(const Element& element, double freq) {
+  const double w = omega(freq);
+  switch (element.kind) {
+    case ElementKind::Resistor:
+      return Complex(element.value, 0.0);
+    case ElementKind::Inductor: {
+      const double x = w * element.value;
+      const double r = element.q.is_lossless() ? 0.0 : x / element.q.q_at(freq);
+      return Complex(r, x);
+    }
+    case ElementKind::Capacitor: {
+      const double x = 1.0 / (w * element.value);
+      const double r = element.q.is_lossless() ? 0.0 : x / element.q.q_at(freq);
+      return Complex(r, -x);
+    }
+  }
+  throw InvariantError("element_impedance: unknown element kind");
+}
+
+SPoint analyze_at(const Circuit& circuit, double freq) {
+  require(freq > 0.0, "analyze_at: frequency must be positive");
+  require(circuit.port1().node != 0 && circuit.port2().node != 0,
+          "analyze_at: both ports must be set");
+  const std::size_t n = static_cast<std::size_t>(circuit.node_count());
+  require(n >= 1, "analyze_at: circuit has no nodes");
+
+  CMatrix y(n, n);
+  auto stamp = [&y](int n1, int n2, Complex adm) {
+    if (n1 != 0) y.at(static_cast<std::size_t>(n1 - 1), static_cast<std::size_t>(n1 - 1)) += adm;
+    if (n2 != 0) y.at(static_cast<std::size_t>(n2 - 1), static_cast<std::size_t>(n2 - 1)) += adm;
+    if (n1 != 0 && n2 != 0) {
+      y.at(static_cast<std::size_t>(n1 - 1), static_cast<std::size_t>(n2 - 1)) -= adm;
+      y.at(static_cast<std::size_t>(n2 - 1), static_cast<std::size_t>(n1 - 1)) -= adm;
+    }
+  };
+
+  for (const Element& e : circuit.elements()) {
+    stamp(e.node1, e.node2, 1.0 / element_impedance(e, freq));
+  }
+
+  const Port& p1 = circuit.port1();
+  const Port& p2 = circuit.port2();
+  stamp(p1.node, 0, Complex(1.0 / p1.z0, 0.0));
+  stamp(p2.node, 0, Complex(1.0 / p2.z0, 0.0));
+
+  // Norton current of the 1 V source behind Z01.
+  std::vector<Complex> rhs(n, Complex(0.0, 0.0));
+  rhs[static_cast<std::size_t>(p1.node - 1)] = Complex(1.0 / p1.z0, 0.0);
+
+  const std::vector<Complex> v = solve_inplace(y, std::move(rhs));
+
+  SPoint pt;
+  pt.freq = freq;
+  const Complex v1 = v[static_cast<std::size_t>(p1.node - 1)];
+  const Complex v2 = v[static_cast<std::size_t>(p2.node - 1)];
+  pt.s11 = 2.0 * v1 - 1.0;
+  pt.s21 = 2.0 * v2 * std::sqrt(p1.z0 / p2.z0);
+  return pt;
+}
+
+std::vector<SPoint> sweep(const Circuit& circuit, const std::vector<double>& freqs) {
+  std::vector<SPoint> out;
+  out.reserve(freqs.size());
+  for (const double f : freqs) out.push_back(analyze_at(circuit, f));
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  require(n >= 2, "linspace: need at least two points");
+  require(hi > lo, "linspace: hi must exceed lo");
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+std::vector<double> logspace(double lo, double hi, std::size_t n) {
+  require(lo > 0.0, "logspace: lo must be positive");
+  require(n >= 2, "logspace: need at least two points");
+  require(hi > lo, "logspace: hi must exceed lo");
+  std::vector<double> out(n);
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::pow(10.0, llo + (lhi - llo) * static_cast<double>(i) / static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+}  // namespace ipass::rf

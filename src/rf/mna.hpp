@@ -1,0 +1,44 @@
+// AC small-signal analysis by nodal admittance formulation.
+//
+// Ports are modeled the standard way: a 1 V source behind Z01 drives port 1
+// (as its Norton equivalent), port 2 is terminated in Z02, and
+//   S11 = 2 V1 - 1,   S21 = 2 V2 sqrt(Z01/Z02).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "rf/netlist.hpp"
+
+namespace ipass::rf {
+
+using Complex = std::complex<double>;
+
+// S-parameters of a circuit at a single frequency.
+struct SPoint {
+  double freq = 0.0;
+  Complex s11{0.0, 0.0};
+  Complex s21{0.0, 0.0};
+
+  // Insertion loss in dB (positive number for a lossy network).
+  double il_db() const;
+  // Return loss in dB (positive number for a matched network).
+  double rl_db() const;
+  double s21_db() const;  // 20 log10 |S21| (negative for loss)
+};
+
+// Series impedance of an element at frequency f, including the finite-Q
+// loss term (L: Z = wL/Q + jwL; C: Z = 1/(wC Q) - j/(wC); R: Z = R).
+Complex element_impedance(const Element& element, double freq);
+
+// Analyze the circuit at one frequency.  Both ports must be set and f > 0.
+SPoint analyze_at(const Circuit& circuit, double freq);
+
+// Analyze over a list of frequencies.
+std::vector<SPoint> sweep(const Circuit& circuit, const std::vector<double>& freqs);
+
+// Frequency grids.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+}  // namespace ipass::rf

@@ -1,0 +1,90 @@
+#include "rf/netlist.hpp"
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+
+namespace ipass::rf {
+
+int Circuit::add_node() { return ++node_count_; }
+
+void Circuit::check_node(int node) const {
+  require(node >= 0 && node <= node_count_, "Circuit: unknown node id");
+}
+
+void Circuit::add(ElementKind kind, int node1, int node2, double value, QModel q,
+                  std::string label) {
+  check_node(node1);
+  check_node(node2);
+  require(node1 != node2, "Circuit::add: element shorted to itself");
+  require(value > 0.0, "Circuit::add: element value must be positive");
+  elements_.push_back(Element{kind, node1, node2, value, q, std::move(label)});
+}
+
+void Circuit::add_resistor(int n1, int n2, double ohms, std::string label) {
+  add(ElementKind::Resistor, n1, n2, ohms, QModel::lossless(), std::move(label));
+}
+
+void Circuit::add_inductor(int n1, int n2, double henry, QModel q, std::string label) {
+  add(ElementKind::Inductor, n1, n2, henry, q, std::move(label));
+}
+
+void Circuit::add_capacitor(int n1, int n2, double farad, QModel q, std::string label) {
+  add(ElementKind::Capacitor, n1, n2, farad, q, std::move(label));
+}
+
+void Circuit::set_quality(std::size_t element_index, const QModel& q) {
+  require(element_index < elements_.size(), "Circuit::set_quality: index out of range");
+  elements_[element_index].q = q;
+}
+
+void Circuit::scale_element_value(std::size_t element_index, double factor) {
+  require(element_index < elements_.size(),
+          "Circuit::scale_element_value: index out of range");
+  require(factor > 0.0, "Circuit::scale_element_value: factor must be positive");
+  elements_[element_index].value *= factor;
+}
+
+void Circuit::set_port1(int node, double z0) {
+  check_node(node);
+  require(node != 0, "Circuit::set_port1: port cannot sit on ground");
+  require(z0 > 0.0, "Circuit::set_port1: Z0 must be positive");
+  port1_ = Port{node, z0};
+}
+
+void Circuit::set_port2(int node, double z0) {
+  check_node(node);
+  require(node != 0, "Circuit::set_port2: port cannot sit on ground");
+  require(z0 > 0.0, "Circuit::set_port2: Z0 must be positive");
+  port2_ = Port{node, z0};
+}
+
+std::string Circuit::to_string() const {
+  std::string out;
+  out += strf("* circuit: %d nodes, %zu elements\n", node_count_, elements_.size());
+  int idx = 0;
+  for (const Element& e : elements_) {
+    const char* kind = e.kind == ElementKind::Resistor   ? "R"
+                       : e.kind == ElementKind::Inductor ? "L"
+                                                         : "C";
+    std::string value;
+    switch (e.kind) {
+      case ElementKind::Resistor:
+        value = strf("%.4g Ohm", e.value);
+        break;
+      case ElementKind::Inductor:
+        value = strf("%.4g nH", e.value * 1e9);
+        break;
+      case ElementKind::Capacitor:
+        value = strf("%.4g pF", e.value * 1e12);
+        break;
+    }
+    std::string q = e.q.is_lossless() ? "Q=inf" : strf("Qpk=%.3g@%.3gGHz", e.q.q_peak(), e.q.f_peak() / 1e9);
+    out += strf("%s%-3d %2d %2d  %-12s %-18s %s\n", kind, ++idx, e.node1, e.node2,
+                value.c_str(), q.c_str(), e.label.c_str());
+  }
+  if (port1_.node != 0) out += strf("P1   node %d, Z0=%.4g Ohm\n", port1_.node, port1_.z0);
+  if (port2_.node != 0) out += strf("P2   node %d, Z0=%.4g Ohm\n", port2_.node, port2_.z0);
+  return out;
+}
+
+}  // namespace ipass::rf

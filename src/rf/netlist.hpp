@@ -1,0 +1,78 @@
+// Linear RLC netlist with two analysis ports.
+//
+// Node 0 is ground.  Further nodes are created with add_node().  Elements
+// carry an optional QModel so the same topology can be analyzed as built
+// from lossless, SMD-grade or integrated-grade passives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rf/qmodel.hpp"
+
+namespace ipass::rf {
+
+enum class ElementKind { Resistor, Inductor, Capacitor };
+
+struct Element {
+  ElementKind kind = ElementKind::Resistor;
+  int node1 = 0;
+  int node2 = 0;
+  double value = 0.0;  // Ohm, Henry or Farad
+  QModel q = QModel::lossless();
+  std::string label;
+};
+
+struct Port {
+  int node = 0;        // 0 means "port not set"
+  double z0 = 50.0;    // reference impedance [Ohm]
+};
+
+class Circuit {
+ public:
+  // Create a new circuit containing only the ground node.
+  Circuit() = default;
+
+  // Returns the id of a freshly created node (ids are 1-based).
+  int add_node();
+
+  // Number of non-ground nodes.
+  int node_count() const { return node_count_; }
+
+  void add(ElementKind kind, int node1, int node2, double value,
+           QModel q = QModel::lossless(), std::string label = {});
+
+  void add_resistor(int n1, int n2, double ohms, std::string label = {});
+  void add_inductor(int n1, int n2, double henry, QModel q = QModel::lossless(),
+                    std::string label = {});
+  void add_capacitor(int n1, int n2, double farad, QModel q = QModel::lossless(),
+                     std::string label = {});
+
+  void set_port1(int node, double z0);
+  void set_port2(int node, double z0);
+
+  const Port& port1() const { return port1_; }
+  const Port& port2() const { return port2_; }
+  const std::vector<Element>& elements() const { return elements_; }
+
+  // Re-assign the quality model of one element (used to give every
+  // synthesized inductor the Q of its own geometry).
+  void set_quality(std::size_t element_index, const QModel& q);
+
+  // Multiply one element's value by `factor` (> 0); used by the tolerance
+  // Monte-Carlo to perturb manufactured instances.
+  void scale_element_value(std::size_t element_index, double factor);
+
+  // Human-readable netlist dump (used by the Fig-2 bench and examples).
+  std::string to_string() const;
+
+ private:
+  void check_node(int node) const;
+
+  int node_count_ = 0;
+  std::vector<Element> elements_;
+  Port port1_;
+  Port port2_;
+};
+
+}  // namespace ipass::rf

@@ -1,0 +1,130 @@
+#include "rf/prototype.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+
+namespace ipass::rf {
+
+const char* family_name(FilterFamily family) {
+  switch (family) {
+    case FilterFamily::Butterworth: return "Butterworth";
+    case FilterFamily::Chebyshev: return "Chebyshev";
+    case FilterFamily::Elliptic: return "Elliptic (Cauer)";
+  }
+  return "?";
+}
+
+double LadderPrototype::g_sum() const {
+  double sum = 0.0;
+  for (const LadderBranch& b : branches) sum += b.l + b.c;
+  return sum;
+}
+
+std::string LadderPrototype::to_string() const {
+  std::string out = strf("%s prototype, order %d", family_name(family), order);
+  if (family != FilterFamily::Butterworth) out += strf(", ripple %.3g dB", ripple_db);
+  if (family == FilterFamily::Elliptic) {
+    out += strf(", stopband %.4g dB at ws/wp=%.4g", stopband_db, selectivity);
+  }
+  out += strf("\n  source R = %.6g, load R = %.6g\n", source_resistance, load_resistance);
+  int i = 0;
+  for (const LadderBranch& b : branches) {
+    switch (b.topo) {
+      case LadderBranch::Topology::SeriesL:
+        out += strf("  [%d] series L = %.6g\n", ++i, b.l);
+        break;
+      case LadderBranch::Topology::ShuntC:
+        out += strf("  [%d] shunt  C = %.6g\n", ++i, b.c);
+        break;
+      case LadderBranch::Topology::SeriesTrap:
+        out += strf("  [%d] series trap L = %.6g, C = %.6g (wz = %.6g)\n", ++i, b.l, b.c,
+                    1.0 / std::sqrt(b.l * b.c));
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> butterworth_g_values(int n) {
+  require(n >= 1, "butterworth: order must be >= 1");
+  std::vector<double> g(static_cast<std::size_t>(n) + 1);
+  for (int k = 1; k <= n; ++k) {
+    g[static_cast<std::size_t>(k - 1)] =
+        2.0 * std::sin((2.0 * k - 1.0) * kPi / (2.0 * n));
+  }
+  g[static_cast<std::size_t>(n)] = 1.0;  // load
+  return g;
+}
+
+std::vector<double> chebyshev_g_values(int n, double ripple_db) {
+  require(n >= 1, "chebyshev: order must be >= 1");
+  require(ripple_db > 0.0, "chebyshev: ripple must be positive");
+  const double beta = std::log(1.0 / std::tanh(ripple_db / 17.37));
+  const double gamma = std::sinh(beta / (2.0 * n));
+
+  std::vector<double> a(static_cast<std::size_t>(n) + 1);
+  std::vector<double> b(static_cast<std::size_t>(n) + 1);
+  for (int k = 1; k <= n; ++k) {
+    a[static_cast<std::size_t>(k)] = std::sin((2.0 * k - 1.0) * kPi / (2.0 * n));
+    const double s = std::sin(k * kPi / n);
+    b[static_cast<std::size_t>(k)] = gamma * gamma + s * s;
+  }
+
+  std::vector<double> g(static_cast<std::size_t>(n) + 1);
+  g[0] = 2.0 * a[1] / gamma;
+  for (int k = 2; k <= n; ++k) {
+    g[static_cast<std::size_t>(k - 1)] =
+        4.0 * a[static_cast<std::size_t>(k - 1)] * a[static_cast<std::size_t>(k)] /
+        (b[static_cast<std::size_t>(k - 1)] * g[static_cast<std::size_t>(k - 2)]);
+  }
+  const double load =
+      (n % 2 == 1) ? 1.0 : 1.0 / std::pow(std::tanh(beta / 4.0), 2.0);
+  g[static_cast<std::size_t>(n)] = load;
+  return g;
+}
+
+namespace {
+
+LadderPrototype from_g_values(FilterFamily family, int n, double ripple_db,
+                              const std::vector<double>& g) {
+  LadderPrototype p;
+  p.family = family;
+  p.order = n;
+  p.ripple_db = ripple_db;
+  p.source_resistance = 1.0;
+  // Pi form below starts with a shunt capacitor, so for even n the last
+  // element is a series inductor and g_{n+1} is the load CONDUCTANCE
+  // (Pozar, Microwave Engineering, ch. 8); for odd n it is the load
+  // resistance (and equals 1 anyway).
+  const double g_load = g[static_cast<std::size_t>(n)];
+  p.load_resistance = (n % 2 == 0) ? 1.0 / g_load : g_load;
+  // Pi form: g1 is a shunt capacitor, g2 a series inductor, alternating.
+  for (int k = 1; k <= n; ++k) {
+    LadderBranch br;
+    if (k % 2 == 1) {
+      br.topo = LadderBranch::Topology::ShuntC;
+      br.c = g[static_cast<std::size_t>(k - 1)];
+    } else {
+      br.topo = LadderBranch::Topology::SeriesL;
+      br.l = g[static_cast<std::size_t>(k - 1)];
+    }
+    p.branches.push_back(br);
+  }
+  return p;
+}
+
+}  // namespace
+
+LadderPrototype butterworth(int n) {
+  return from_g_values(FilterFamily::Butterworth, n, 0.0, butterworth_g_values(n));
+}
+
+LadderPrototype chebyshev(int n, double ripple_db) {
+  return from_g_values(FilterFamily::Chebyshev, n, ripple_db,
+                       chebyshev_g_values(n, ripple_db));
+}
+
+}  // namespace ipass::rf

@@ -1,0 +1,61 @@
+// Normalized lowpass prototypes (cutoff 1 rad/s, 1 Ohm source).
+//
+// Butterworth and Chebyshev come from the classical closed-form g-value
+// recursions; elliptic (Cauer) prototypes are synthesized in cauer.cpp by
+// Darlington extraction and share the same LadderPrototype representation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ipass::rf {
+
+enum class FilterFamily { Butterworth, Chebyshev, Elliptic };
+
+const char* family_name(FilterFamily family);
+
+// One branch of a normalized lowpass ladder, counted from the source side.
+struct LadderBranch {
+  enum class Topology {
+    SeriesL,            // inductance `l` in the signal path
+    ShuntC,             // capacitance `c` to ground
+    SeriesTrap,         // parallel L-C ("trap") in the signal path: l, c
+  };
+  Topology topo = Topology::SeriesL;
+  double l = 0.0;  // normalized inductance
+  double c = 0.0;  // normalized capacitance
+};
+
+struct LadderPrototype {
+  FilterFamily family = FilterFamily::Butterworth;
+  int order = 0;
+  double ripple_db = 0.0;        // passband ripple (0 for Butterworth)
+  double stopband_db = 0.0;      // achieved stopband attenuation (elliptic only)
+  double selectivity = 0.0;      // ws/wp (elliptic only)
+  double source_resistance = 1.0;
+  double load_resistance = 1.0;
+  std::vector<LadderBranch> branches;
+
+  // Sum of the classical g-values (loss estimate input); for elliptic
+  // ladders this is the sum of all normalized L and C values, which is the
+  // standard generalization.
+  double g_sum() const;
+
+  std::string to_string() const;
+};
+
+// Butterworth prototype of order n; alternates ShuntC / SeriesL starting
+// with a shunt capacitor (pi form, fewest inductors).
+LadderPrototype butterworth(int n);
+
+// Chebyshev type-I prototype with `ripple_db` passband ripple.  For even
+// orders the load resistance differs from 1 as required by the equal-ripple
+// condition.
+LadderPrototype chebyshev(int n, double ripple_db);
+
+// Raw Chebyshev g-values g1..gn plus load g_{n+1} (used by the classical
+// Cohn loss estimate and by tests against textbook tables).
+std::vector<double> chebyshev_g_values(int n, double ripple_db);
+std::vector<double> butterworth_g_values(int n);
+
+}  // namespace ipass::rf

@@ -1,0 +1,72 @@
+// Frequency-dependent quality-factor models for passive components.
+//
+// The paper's performance assessment hinges on exactly this effect: "the
+// quality factor of SUMMIT passives is quite good in the 1-2 GHz range but
+// decreases with frequency, leading to excessive insertion losses at the IF
+// frequency (175 MHz)".  We model Q(f) with a symmetric-in-log-f peak
+// function
+//
+//     Q(f) = 2 Qpeak / ((f/fpeak)^-a + (f/fpeak)^a)
+//
+// which rises ~f^a below the peak (series metal loss dominated), peaks at
+// fpeak and falls beyond it (substrate loss / self-resonance dominated).
+// a = 0 degenerates to a constant Q.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass::rf {
+
+class QModel {
+ public:
+  // Lossless component (infinite Q).
+  static QModel lossless() { return QModel(); }
+
+  // Frequency-independent Q.
+  static QModel constant(double q) {
+    require(q > 0.0, "QModel::constant: Q must be positive");
+    QModel m;
+    m.q_peak_ = q;
+    m.f_peak_ = 1e9;
+    m.slope_ = 0.0;
+    return m;
+  }
+
+  // Peaked Q(f): maximum q_peak at f_peak, log-symmetric roll-off with
+  // exponent `slope` on both sides.
+  static QModel peaked(double q_peak, double f_peak, double slope) {
+    require(q_peak > 0.0, "QModel::peaked: q_peak must be positive");
+    require(f_peak > 0.0, "QModel::peaked: f_peak must be positive");
+    require(slope >= 0.0, "QModel::peaked: slope must be non-negative");
+    QModel m;
+    m.q_peak_ = q_peak;
+    m.f_peak_ = f_peak;
+    m.slope_ = slope;
+    return m;
+  }
+
+  bool is_lossless() const { return q_peak_ <= 0.0; }
+
+  // Quality factor at frequency f (Hz).  Precondition: f > 0.
+  double q_at(double f) const {
+    require(f > 0.0, "QModel::q_at: frequency must be positive");
+    if (is_lossless()) return 0.0;  // callers must check is_lossless() first
+    if (slope_ == 0.0) return q_peak_;
+    const double x = f / f_peak_;
+    return 2.0 * q_peak_ / (std::pow(x, -slope_) + std::pow(x, slope_));
+  }
+
+  double q_peak() const { return q_peak_; }
+  double f_peak() const { return f_peak_; }
+  double slope() const { return slope_; }
+
+ private:
+  QModel() = default;
+  double q_peak_ = 0.0;  // <= 0 encodes lossless
+  double f_peak_ = 1e9;
+  double slope_ = 0.0;
+};
+
+}  // namespace ipass::rf

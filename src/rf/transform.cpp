@@ -1,0 +1,216 @@
+#include "rf/transform.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+
+namespace ipass::rf {
+
+Circuit realize_lowpass(const LadderPrototype& proto, double f_cut, double z0,
+                        const ComponentQuality& quality) {
+  require(f_cut > 0.0, "realize_lowpass: cutoff must be positive");
+  require(z0 > 0.0, "realize_lowpass: z0 must be positive");
+  const double wc = omega(f_cut);
+
+  Circuit ckt;
+  int current = ckt.add_node();
+  ckt.set_port1(current, z0 * proto.source_resistance);
+
+  int index = 0;
+  for (const LadderBranch& br : proto.branches) {
+    ++index;
+    switch (br.topo) {
+      case LadderBranch::Topology::ShuntC:
+        ckt.add_capacitor(current, 0, br.c / (z0 * wc), quality.capacitor_q,
+                          strf("C%d(shunt)", index));
+        break;
+      case LadderBranch::Topology::SeriesL: {
+        const int next = ckt.add_node();
+        ckt.add_inductor(current, next, br.l * z0 / wc, quality.inductor_q,
+                         strf("L%d(series)", index));
+        current = next;
+        break;
+      }
+      case LadderBranch::Topology::SeriesTrap: {
+        const int next = ckt.add_node();
+        ckt.add_inductor(current, next, br.l * z0 / wc, quality.inductor_q,
+                         strf("L%d(trap)", index));
+        ckt.add_capacitor(current, next, br.c / (z0 * wc), quality.capacitor_q,
+                          strf("C%d(trap)", index));
+        current = next;
+        break;
+      }
+    }
+  }
+  ckt.set_port2(current, z0 * proto.load_resistance);
+  return ckt;
+}
+
+Circuit realize_bandpass(const LadderPrototype& proto, double f0, double bw, double z0,
+                         const ComponentQuality& quality) {
+  require(f0 > 0.0, "realize_bandpass: center frequency must be positive");
+  require(bw > 0.0 && bw < 2.0 * f0, "realize_bandpass: bandwidth out of range");
+  require(z0 > 0.0, "realize_bandpass: z0 must be positive");
+  const double w0 = omega(f0);
+  const double delta = bw / f0;  // fractional bandwidth
+
+  Circuit ckt;
+  int current = ckt.add_node();
+  ckt.set_port1(current, z0 * proto.source_resistance);
+
+  // Per-element mappings of the transform s -> (s/w0 + w0/s)/delta:
+  //   prototype L  ->  series L' = L z0/(delta w0), C' = delta/(L z0 w0)
+  //   prototype C  ->  shunt  C' = C/(delta z0 w0), L' = delta z0/(C w0)
+  int index = 0;
+  for (const LadderBranch& br : proto.branches) {
+    ++index;
+    switch (br.topo) {
+      case LadderBranch::Topology::ShuntC: {
+        ckt.add_capacitor(current, 0, br.c / (delta * z0 * w0), quality.capacitor_q,
+                          strf("C%d(res)", index));
+        ckt.add_inductor(current, 0, delta * z0 / (br.c * w0), quality.inductor_q,
+                         strf("L%d(res)", index));
+        break;
+      }
+      case LadderBranch::Topology::SeriesL: {
+        const int mid = ckt.add_node();
+        const int next = ckt.add_node();
+        ckt.add_inductor(current, mid, br.l * z0 / (delta * w0), quality.inductor_q,
+                         strf("L%d(res)", index));
+        ckt.add_capacitor(mid, next, delta / (br.l * z0 * w0), quality.capacitor_q,
+                          strf("C%d(res)", index));
+        current = next;
+        break;
+      }
+      case LadderBranch::Topology::SeriesTrap: {
+        // The prototype branch is L||C in the series path.  Each element
+        // transforms independently: the L becomes a series L-C leg, the C a
+        // parallel L-C pair, all connected between `current` and `next`.
+        const int next = ckt.add_node();
+        const int mid = ckt.add_node();
+        ckt.add_inductor(current, mid, br.l * z0 / (delta * w0), quality.inductor_q,
+                         strf("L%da(trap)", index));
+        ckt.add_capacitor(mid, next, delta / (br.l * z0 * w0), quality.capacitor_q,
+                          strf("C%da(trap)", index));
+        ckt.add_capacitor(current, next, br.c / (delta * z0 * w0), quality.capacitor_q,
+                          strf("C%db(trap)", index));
+        ckt.add_inductor(current, next, delta * z0 / (br.c * w0), quality.inductor_q,
+                         strf("L%db(trap)", index));
+        current = next;
+        break;
+      }
+    }
+  }
+  ckt.set_port2(current, z0 * proto.load_resistance);
+  return ckt;
+}
+
+Circuit realize_highpass(const LadderPrototype& proto, double f_cut, double z0,
+                         const ComponentQuality& quality) {
+  require(f_cut > 0.0, "realize_highpass: cutoff must be positive");
+  require(z0 > 0.0, "realize_highpass: z0 must be positive");
+  const double wc = omega(f_cut);
+
+  Circuit ckt;
+  int current = ckt.add_node();
+  ckt.set_port1(current, z0 * proto.source_resistance);
+
+  // s -> wc/s: prototype C (shunt) -> shunt L = z0/(g wc);
+  //            prototype L (series) -> series C = 1/(g z0 wc);
+  //            series trap (L||C) -> series path (C' in series with L'):
+  //            the parallel LC maps to a series resonator C' = 1/(l z0 wc),
+  //            L' = z0/(c wc) connected in series.
+  int index = 0;
+  for (const LadderBranch& br : proto.branches) {
+    ++index;
+    switch (br.topo) {
+      case LadderBranch::Topology::ShuntC:
+        ckt.add_inductor(current, 0, z0 / (br.c * wc), quality.inductor_q,
+                         strf("L%d(shunt)", index));
+        break;
+      case LadderBranch::Topology::SeriesL: {
+        const int next = ckt.add_node();
+        ckt.add_capacitor(current, next, 1.0 / (br.l * z0 * wc), quality.capacitor_q,
+                          strf("C%d(series)", index));
+        current = next;
+        break;
+      }
+      case LadderBranch::Topology::SeriesTrap: {
+        // Each element of the parallel L-C maps individually (L -> C,
+        // C -> L); the branch stays a parallel trap, now resonant at
+        // wc / w_z of the prototype zero.
+        const int next = ckt.add_node();
+        ckt.add_capacitor(current, next, 1.0 / (br.l * z0 * wc), quality.capacitor_q,
+                          strf("C%d(trap)", index));
+        ckt.add_inductor(current, next, z0 / (br.c * wc), quality.inductor_q,
+                         strf("L%d(trap)", index));
+        current = next;
+        break;
+      }
+    }
+  }
+  ckt.set_port2(current, z0 * proto.load_resistance);
+  return ckt;
+}
+
+Circuit realize_bandstop(const LadderPrototype& proto, double f0, double bw, double z0,
+                         const ComponentQuality& quality) {
+  require(f0 > 0.0, "realize_bandstop: center frequency must be positive");
+  require(bw > 0.0 && bw < 2.0 * f0, "realize_bandstop: bandwidth out of range");
+  require(z0 > 0.0, "realize_bandstop: z0 must be positive");
+  const double w0 = omega(f0);
+  const double delta = bw / f0;
+
+  Circuit ckt;
+  int current = ckt.add_node();
+  ckt.set_port1(current, z0 * proto.source_resistance);
+
+  // Standard LP->BS mappings (Pozar table 8.6):
+  //   series L (g) -> parallel L-C in the series path:
+  //       L' = g z0 delta / w0, C' = 1/(g z0 delta w0)
+  //   shunt C (g)  -> series L-C to ground:
+  //       L' = z0 / (g delta w0), C' = g delta / (z0 w0)
+  int index = 0;
+  for (const LadderBranch& br : proto.branches) {
+    ++index;
+    switch (br.topo) {
+      case LadderBranch::Topology::ShuntC: {
+        const int mid = ckt.add_node();
+        ckt.add_inductor(current, mid, z0 / (br.c * delta * w0), quality.inductor_q,
+                         strf("L%d(notch)", index));
+        ckt.add_capacitor(mid, 0, br.c * delta / (z0 * w0), quality.capacitor_q,
+                          strf("C%d(notch)", index));
+        break;
+      }
+      case LadderBranch::Topology::SeriesL: {
+        const int next = ckt.add_node();
+        ckt.add_inductor(current, next, br.l * z0 * delta / w0, quality.inductor_q,
+                         strf("L%d(trap)", index));
+        ckt.add_capacitor(current, next, 1.0 / (br.l * z0 * delta * w0),
+                          quality.capacitor_q, strf("C%d(trap)", index));
+        current = next;
+        break;
+      }
+      case LadderBranch::Topology::SeriesTrap:
+        throw PreconditionError("realize_bandstop: all-pole prototypes only");
+    }
+  }
+  ckt.set_port2(current, z0 * proto.load_resistance);
+  return ckt;
+}
+
+ElementCount count_elements(const Circuit& circuit) {
+  ElementCount n;
+  for (const Element& e : circuit.elements()) {
+    switch (e.kind) {
+      case ElementKind::Inductor: ++n.inductors; break;
+      case ElementKind::Capacitor: ++n.capacitors; break;
+      case ElementKind::Resistor: ++n.resistors; break;
+    }
+  }
+  return n;
+}
+
+}  // namespace ipass::rf

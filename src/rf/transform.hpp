@@ -1,0 +1,57 @@
+// Frequency and impedance denormalization of lowpass prototypes, and the
+// classical lowpass-to-bandpass transformation, emitting analyzable
+// Circuits.
+#pragma once
+
+#include "rf/netlist.hpp"
+#include "rf/prototype.hpp"
+#include "rf/qmodel.hpp"
+
+namespace ipass::rf {
+
+// Component-quality assignment for a realized filter: every inductor gets
+// `inductor_q`, every capacitor `capacitor_q`.
+struct ComponentQuality {
+  QModel inductor_q = QModel::lossless();
+  QModel capacitor_q = QModel::lossless();
+
+  static ComponentQuality lossless() { return {}; }
+};
+
+// Denormalize a lowpass prototype to cutoff frequency f_cut (Hz) and system
+// impedance z0 (Ohm).  Ports are attached at both ends with the prototype's
+// source/load resistance scaling.
+Circuit realize_lowpass(const LadderPrototype& proto, double f_cut, double z0,
+                        const ComponentQuality& quality = ComponentQuality::lossless());
+
+// Lowpass-to-bandpass transformation: center f0 (Hz), ripple/equal-ripple
+// bandwidth bw (Hz), system impedance z0.  Every prototype inductor becomes
+// a series resonator, every capacitor a parallel resonator; series traps
+// become the standard four-element branch.
+Circuit realize_bandpass(const LadderPrototype& proto, double f0, double bw, double z0,
+                         const ComponentQuality& quality = ComponentQuality::lossless());
+
+// Lowpass-to-highpass transformation (s -> wc/s): prototype inductors
+// become capacitors and vice versa.  All-pole prototypes and elliptic
+// mid-shunt ladders are both supported (traps map to series L-C legs).
+Circuit realize_highpass(const LadderPrototype& proto, double f_cut, double z0,
+                         const ComponentQuality& quality = ComponentQuality::lossless());
+
+// Lowpass-to-bandstop transformation: notch centered at f0 with stop
+// bandwidth bw.  Prototype inductors become parallel resonators in the
+// series path; capacitors become series resonators to ground.  All-pole
+// prototypes only.
+Circuit realize_bandstop(const LadderPrototype& proto, double f0, double bw, double z0,
+                         const ComponentQuality& quality = ComponentQuality::lossless());
+
+// Element-count accounting for a realized filter (drives area and BOM
+// bookkeeping in the core methodology).
+struct ElementCount {
+  int inductors = 0;
+  int capacitors = 0;
+  int resistors = 0;
+  int total() const { return inductors + capacitors + resistors; }
+};
+ElementCount count_elements(const Circuit& circuit);
+
+}  // namespace ipass::rf

@@ -1,0 +1,55 @@
+#include "rf/twoport.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass::rf {
+
+Abcd Abcd::identity() { return Abcd{}; }
+
+Abcd Abcd::series(Complex z) {
+  Abcd m;
+  m.b = z;
+  return m;
+}
+
+Abcd Abcd::shunt(Complex y) {
+  Abcd m;
+  m.c = y;
+  return m;
+}
+
+Abcd Abcd::transformer(double n) {
+  require(n > 0.0, "Abcd::transformer: turns ratio must be positive");
+  Abcd m;
+  m.a = Complex(n, 0.0);
+  m.d = Complex(1.0 / n, 0.0);
+  return m;
+}
+
+Abcd Abcd::cascade(const Abcd& next) const {
+  Abcd m;
+  m.a = a * next.a + b * next.c;
+  m.b = a * next.b + b * next.d;
+  m.c = c * next.a + d * next.c;
+  m.d = c * next.b + d * next.d;
+  return m;
+}
+
+Complex Abcd::determinant() const { return a * d - b * c; }
+
+Abcd::S Abcd::to_s(double z01, double z02) const {
+  require(z01 > 0.0 && z02 > 0.0, "Abcd::to_s: reference impedances must be positive");
+  const double r1 = std::sqrt(z01);
+  const double r2 = std::sqrt(z02);
+  const Complex denom = a * z02 + b + c * z01 * z02 + d * z01;
+  S s;
+  s.s11 = (a * z02 + b - c * z01 * z02 - d * z01) / denom;
+  s.s21 = 2.0 * r1 * r2 / denom;
+  s.s12 = 2.0 * determinant() * r1 * r2 / denom;
+  s.s22 = (-a * z02 + b - c * z01 * z02 + d * z01) / denom;
+  return s;
+}
+
+}  // namespace ipass::rf

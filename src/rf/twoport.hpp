@@ -1,0 +1,41 @@
+// ABCD (chain) two-port algebra.
+//
+// Used to cascade stages of the GPS receive chain (Fig 2) and as an
+// independent cross-check of the MNA engine in the property tests: a pure
+// ladder analyzed by ABCD cascading must match the MNA solution exactly.
+#pragma once
+
+#include <complex>
+
+namespace ipass::rf {
+
+using Complex = std::complex<double>;
+
+struct Abcd {
+  Complex a{1.0, 0.0};
+  Complex b{0.0, 0.0};
+  Complex c{0.0, 0.0};
+  Complex d{1.0, 0.0};
+
+  // Identity (through connection).
+  static Abcd identity();
+  // Series impedance Z in the signal path.
+  static Abcd series(Complex z);
+  // Shunt admittance Y to ground.
+  static Abcd shunt(Complex y);
+  // Ideal transformer with turns ratio n (port1:port2 = n:1).
+  static Abcd transformer(double n);
+
+  // Chain: this stage followed by `next`.
+  Abcd cascade(const Abcd& next) const;
+
+  Complex determinant() const;
+
+  // Convert to S-parameters with source and load reference impedances.
+  struct S {
+    Complex s11, s12, s21, s22;
+  };
+  S to_s(double z01, double z02) const;
+};
+
+}  // namespace ipass::rf

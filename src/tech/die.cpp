@@ -1,0 +1,54 @@
+#include "tech/die.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ipass::tech {
+
+const char* die_attach_name(DieAttach attach) {
+  switch (attach) {
+    case DieAttach::PackagedSmt: return "packaged (SMT)";
+    case DieAttach::WireBond: return "wire bond";
+    case DieAttach::FlipChip: return "flip chip";
+  }
+  return "?";
+}
+
+double die_area_mm2(const DieSpec& die, DieAttach attach) {
+  switch (attach) {
+    case DieAttach::PackagedSmt:
+      return die.package_area_mm2;
+    case DieAttach::FlipChip:
+      return die.flip_chip_area_mm2;
+    case DieAttach::WireBond: {
+      // Bare die plus a bond fan-out ring on all four sides.
+      const double side = std::sqrt(die.flip_chip_area_mm2);
+      const double wb_side = side + 2.0 * die.wb_fanout_mm;
+      return wb_side * wb_side;
+    }
+  }
+  throw PreconditionError("die_area_mm2: unknown attach style");
+}
+
+DieSpec gps_rf_chip() {
+  DieSpec d;
+  d.name = "GPS RF chip";
+  d.flip_chip_area_mm2 = 13.0;
+  d.package_area_mm2 = 225.0;
+  d.package_name = "TQFP";
+  d.pad_count = 68;
+  return d;
+}
+
+DieSpec gps_dsp_correlator() {
+  DieSpec d;
+  d.name = "DSP correlator";
+  d.flip_chip_area_mm2 = 59.0;
+  d.package_area_mm2 = 1165.0;
+  d.package_name = "PQFP";
+  d.pad_count = 144;
+  return d;
+}
+
+}  // namespace ipass::tech

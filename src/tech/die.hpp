@@ -1,0 +1,33 @@
+// Die and package area models for the GPS chip set (Table 1).
+//
+// The wire-bond footprint is modeled as the bare die plus a bond fan-out
+// ring; the published numbers (13 -> 28 mm^2 and 59 -> 88 mm^2) are both
+// matched by the same 0.85 mm ring, which is how the model earns its keep.
+#pragma once
+
+#include <string>
+
+namespace ipass::tech {
+
+enum class DieAttach { PackagedSmt, WireBond, FlipChip };
+
+const char* die_attach_name(DieAttach attach);
+
+struct DieSpec {
+  std::string name;
+  double flip_chip_area_mm2 = 0.0;  // bare die incl. bump courtyard
+  double package_area_mm2 = 0.0;    // QFP body + leads
+  std::string package_name;
+  int pad_count = 0;                // bond wires needed when wire bonded
+  double wb_fanout_mm = 0.85;       // bond ring width on the substrate
+};
+
+// Substrate/board area consumed by the die under the given attach style.
+double die_area_mm2(const DieSpec& die, DieAttach attach);
+
+// The two dies of the paper's GPS chip set (areas from Table 1; the pad
+// counts split the published 212 bond wires).
+DieSpec gps_rf_chip();        // TQFP 225 / WB 28 / FC 13, 68 pads
+DieSpec gps_dsp_correlator(); // PQFP 1165 / WB 88 / FC 59, 144 pads
+
+}  // namespace ipass::tech

@@ -1,0 +1,35 @@
+#include "tech/filter_block.hpp"
+
+namespace ipass::tech {
+
+FilterBlockSpec rf_filter_block() {
+  FilterBlockSpec b;
+  b.name = "1575.42 MHz ceramic band filter";
+  b.center_freq_hz = 1575.42e6;
+  b.bandwidth_hz = 40e6;
+  b.footprint_area_mm2 = 27.5;
+  b.insertion_loss_db = 2.0;
+  b.rejection_db = 38.0;
+  b.price_pcb = 2.70;
+  b.price_mcm = 2.10;
+  return b;
+}
+
+FilterBlockSpec if_filter_block() {
+  FilterBlockSpec b;
+  b.name = "175 MHz IF filter";
+  b.center_freq_hz = 175e6;
+  b.bandwidth_hz = 20e6;
+  b.footprint_area_mm2 = 27.5;
+  b.insertion_loss_db = 2.2;
+  b.rejection_db = 30.0;
+  b.price_pcb = 2.05;
+  b.price_mcm = 1.62;
+  return b;
+}
+
+double filter_block_price(const FilterBlockSpec& block, PartsGrade grade) {
+  return grade == PartsGrade::PcbLine ? block.price_pcb : block.price_mcm;
+}
+
+}  // namespace ipass::tech

@@ -1,0 +1,29 @@
+// Discrete SMD filter blocks (ceramic/SAW-style packaged filters) as used
+// by build-ups 1 and 2: Table 1 lists them at 27.5 mm^2 against 12 mm^2 for
+// a 3-stage integrated filter.
+#pragma once
+
+#include <string>
+
+#include "tech/smd.hpp"
+
+namespace ipass::tech {
+
+struct FilterBlockSpec {
+  std::string name;
+  double center_freq_hz = 0.0;
+  double bandwidth_hz = 0.0;
+  double footprint_area_mm2 = 27.5;  // Table 1
+  double insertion_loss_db = 2.0;    // vendor-specified midband loss
+  double rejection_db = 35.0;        // at the specified reject offset
+  double price_pcb = 2.0;
+  double price_mcm = 1.6;
+};
+
+// Catalog entries for the GPS front end.
+FilterBlockSpec rf_filter_block();   // 1575.42 MHz GPS band filter
+FilterBlockSpec if_filter_block();   // 175 MHz IF filter
+
+double filter_block_price(const FilterBlockSpec& block, PartsGrade grade);
+
+}  // namespace ipass::tech

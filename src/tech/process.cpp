@@ -1,0 +1,55 @@
+#include "tech/process.hpp"
+
+namespace ipass::tech {
+
+const char* substrate_kind_name(SubstrateKind kind) {
+  switch (kind) {
+    case SubstrateKind::Pcb: return "PCB";
+    case SubstrateKind::McmD: return "MCM-D(Si)";
+    case SubstrateKind::McmDIp: return "MCM-D(Si)+IP";
+  }
+  return "?";
+}
+
+SubstrateTechnology pcb_fr4() {
+  SubstrateTechnology t;
+  t.name = "FR4 PCB";
+  t.kind = SubstrateKind::Pcb;
+  t.cost_per_cm2 = 0.10;   // Table 2, implementation 1
+  t.fab_yield = 0.9999;
+  // The reference board mounts passives on both sides; the board outline is
+  // therefore taken as the plain sum of footprints (see DESIGN.md).
+  t.routing_overhead = 1.0;
+  t.edge_clearance_mm = 0.0;
+  t.supports_integrated_passives = false;
+  t.double_sided = true;
+  return t;
+}
+
+SubstrateTechnology mcm_d_si() {
+  SubstrateTechnology t;
+  t.name = "MCM-D(Si)";
+  t.kind = SubstrateKind::McmD;
+  t.cost_per_cm2 = 1.75;   // Table 2, implementation 2
+  t.fab_yield = 0.99;
+  t.routing_overhead = 1.1;  // Table 1 note
+  t.edge_clearance_mm = 1.0;
+  t.supports_integrated_passives = false;
+  t.double_sided = false;
+  return t;
+}
+
+SubstrateTechnology mcm_d_si_ip() {
+  SubstrateTechnology t;
+  t.name = "MCM-D(Si)+IP";
+  t.kind = SubstrateKind::McmDIp;
+  t.cost_per_cm2 = 2.25;   // Table 2, implementations 3/4
+  t.fab_yield = 0.90;      // extra paste/dielectric layers cost yield
+  t.routing_overhead = 1.1;
+  t.edge_clearance_mm = 1.0;
+  t.supports_integrated_passives = true;
+  t.double_sided = false;
+  return t;
+}
+
+}  // namespace ipass::tech

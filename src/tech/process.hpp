@@ -1,0 +1,33 @@
+// Substrate technology descriptors: the three carrier options the paper
+// compares (standard PCB, MCM-D(Si), MCM-D(Si) with integrated passives).
+#pragma once
+
+#include <string>
+
+namespace ipass::tech {
+
+enum class SubstrateKind { Pcb, McmD, McmDIp };
+
+const char* substrate_kind_name(SubstrateKind kind);
+
+// Substrate fabrication parameters (cost and yield values from Table 2 of
+// the paper; geometry rules from the note under Table 1).
+struct SubstrateTechnology {
+  std::string name;
+  SubstrateKind kind = SubstrateKind::Pcb;
+  double cost_per_cm2 = 0.0;       // substrate fabrication cost
+  double fab_yield = 1.0;          // functional yield of the bare substrate
+  double routing_overhead = 1.1;   // placed area = overhead * sum(component areas)
+  double edge_clearance_mm = 1.0;  // clearance on either side
+  bool supports_integrated_passives = false;
+  // Both-sided assembly (classical PCBs carry passives on the solder side
+  // too, silicon substrates do not).
+  bool double_sided = false;
+};
+
+// The paper's three substrate technologies with Table-2 values.
+SubstrateTechnology pcb_fr4();
+SubstrateTechnology mcm_d_si();        // thin-film on silicon, no IP layers
+SubstrateTechnology mcm_d_si_ip();     // with resistor paste + dielectric layers
+
+}  // namespace ipass::tech

@@ -1,0 +1,85 @@
+#include "tech/smd.hpp"
+
+#include "common/error.hpp"
+
+namespace ipass::tech {
+
+const char* smd_case_name(SmdCase code) {
+  switch (code) {
+    case SmdCase::C0201: return "0201";
+    case SmdCase::C0402: return "0402";
+    case SmdCase::C0603: return "0603";
+    case SmdCase::C0805: return "0805";
+    case SmdCase::C1206: return "1206";
+  }
+  return "?";
+}
+
+const std::vector<SmdSpec>& smd_catalog() {
+  // Footprints: body plus land pattern and placement courtyard.  The
+  // figure's message is that the footprint shrinks far slower than the
+  // body: mounting clearance cannot be scaled down.
+  static const std::vector<SmdSpec> catalog = {
+      {SmdCase::C1206, 3.2, 1.6, 5.12, 7.40},
+      {SmdCase::C0805, 2.0, 1.25, 2.50, 4.50},   // Table 1
+      {SmdCase::C0603, 1.6, 0.8, 1.28, 3.75},    // Table 1
+      {SmdCase::C0402, 1.0, 0.5, 0.50, 2.20},
+      {SmdCase::C0201, 0.6, 0.3, 0.18, 1.10},
+  };
+  return catalog;
+}
+
+const SmdSpec& smd_spec(SmdCase code) {
+  for (const SmdSpec& s : smd_catalog()) {
+    if (s.code == code) return s;
+  }
+  throw PreconditionError("smd_spec: unknown case code");
+}
+
+double smd_price(SmdKind kind, SmdCase code, PartsGrade grade) {
+  // Base prices, PCB line (tape & reel).
+  double price = 0.0;
+  switch (kind) {
+    case SmdKind::Resistor: price = 0.020; break;
+    case SmdKind::Capacitor: price = 0.030; break;
+    case SmdKind::Inductor: price = 0.400; break;
+    case SmdKind::DecouplingCap: price = 0.125; break;
+  }
+  // Larger cases are marginally dearer.
+  if (code == SmdCase::C1206) price *= 1.3;
+  if (code == SmdCase::C0805 && kind != SmdKind::DecouplingCap) price *= 1.1;
+  // Table 2: the MCM line sources the same bill for 8.6 instead of 11.0.
+  if (grade == PartsGrade::McmLine) price *= 0.78;
+  return price;
+}
+
+rf::QModel smd_quality(SmdKind kind) {
+  switch (kind) {
+    case SmdKind::Inductor:
+      // Multilayer chip inductor: Q ~ 13 at the 175 MHz IF.
+      return rf::QModel::peaked(22.0, 800e6, 0.7);
+    case SmdKind::Capacitor:
+      return rf::QModel::constant(200.0);  // C0G ceramic
+    case SmdKind::DecouplingCap:
+      return rf::QModel::constant(30.0);   // X7R
+    case SmdKind::Resistor:
+      return rf::QModel::lossless();
+  }
+  return rf::QModel::lossless();
+}
+
+SmdCase inductor_case_for(double henry) {
+  return henry > 100e-9 ? SmdCase::C1206 : SmdCase::C0805;
+}
+
+SmdCase default_case(SmdKind kind) {
+  switch (kind) {
+    case SmdKind::Resistor: return SmdCase::C0603;
+    case SmdKind::Capacitor: return SmdCase::C0603;
+    case SmdKind::Inductor: return SmdCase::C0805;
+    case SmdKind::DecouplingCap: return SmdCase::C0805;
+  }
+  return SmdCase::C0603;
+}
+
+}  // namespace ipass::tech

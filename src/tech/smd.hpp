@@ -1,0 +1,50 @@
+// Surface-mount passive catalog: case sizes, body and footprint areas
+// (Fig 1 of the paper, after Pohjonen & Kuisma [6]) and a price book.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rf/qmodel.hpp"
+
+namespace ipass::tech {
+
+enum class SmdCase { C0201, C0402, C0603, C0805, C1206 };
+
+const char* smd_case_name(SmdCase code);
+
+struct SmdSpec {
+  SmdCase code = SmdCase::C0603;
+  double body_length_mm = 0.0;
+  double body_width_mm = 0.0;
+  double body_area_mm2 = 0.0;      // "pure component area" of Fig 1
+  double footprint_area_mm2 = 0.0; // body + land pattern + courtyard
+};
+
+// Catalog lookup; Table 1 anchors: 0603 -> 3.75 mm^2, 0805 -> 4.5 mm^2.
+const SmdSpec& smd_spec(SmdCase code);
+// All cases in Fig-1 order (largest to smallest).
+const std::vector<SmdSpec>& smd_catalog();
+
+enum class SmdKind { Resistor, Capacitor, Inductor, DecouplingCap };
+
+// Sourcing grade: the PCB line buys standard taped parts, the MCM line buys
+// the same parts at the known-good-die-style volume terms of Table 2
+// (112 parts cost 11.0 on the PCB but 8.6 on the MCM, paper Table 2).
+enum class PartsGrade { PcbLine, McmLine };
+
+// Unit price of a passive.
+double smd_price(SmdKind kind, SmdCase code, PartsGrade grade);
+
+// Typical unloaded Q of an SMD part (used when a filter is realized in
+// mixed SMD/IP technology).  Chip inductors peak around 1 GHz.
+rf::QModel smd_quality(SmdKind kind);
+
+// Default case size used for a given part kind on the paper's boards.
+SmdCase default_case(SmdKind kind);
+
+// Case size of a chip inductor by value: large VHF inductors (> 100 nH)
+// need the 1206 body.
+SmdCase inductor_case_for(double henry);
+
+}  // namespace ipass::tech

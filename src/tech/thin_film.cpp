@@ -1,0 +1,97 @@
+#include "tech/thin_film.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ipass::tech {
+
+ResistorProcess crsi_resistor_process() { return ResistorProcess{}; }
+
+ResistorProcess nicr_resistor_process() {
+  ResistorProcess p;
+  p.sheet_ohm_sq = 25.0;
+  p.tolerance = 0.10;
+  return p;
+}
+
+double resistor_squares(const ResistorProcess& process, double ohms) {
+  require(ohms > 0.0, "resistor_squares: value must be positive");
+  return ohms / process.sheet_ohm_sq;
+}
+
+double resistor_area_mm2(const ResistorProcess& process, double ohms) {
+  const double squares = resistor_squares(process, ohms);
+  const double w_mm = process.line_width_um * 1e-3;
+  // Meander body: each square occupies w * (pitch_factor * w) of substrate
+  // (line plus the fold gap), plus one termination pad at each end.
+  const double body = squares * w_mm * w_mm * process.meander_pitch_factor;
+  return 2.0 * process.contact_pad_area_mm2 + body;
+}
+
+CapacitorProcess si3n4_capacitor_process() { return CapacitorProcess{}; }
+
+CapacitorProcess batio_capacitor_process() {
+  CapacitorProcess p;
+  p.dielectric = Dielectric::BariumTitanate;
+  // The paper: "capacitors up to 100pF/mm^2 (10nF/cm^2) have been realized"
+  // -- the high-k decoupling dielectric is the one that reaches this value.
+  p.density_pf_mm2 = 100.0;
+  p.terminal_overhead_mm2 = 0.05;  // decaps are large; bigger terminals
+  p.quality = rf::QModel::constant(15.0);  // lossy class-II dielectric
+  return p;
+}
+
+double capacitor_area_mm2(const CapacitorProcess& process, double farad) {
+  require(farad > 0.0, "capacitor_area_mm2: value must be positive");
+  const double pico = farad / kPico;
+  return pico / process.density_pf_mm2 + process.terminal_overhead_mm2;
+}
+
+SpiralInductorProcess summit_spiral_process() { return SpiralInductorProcess{}; }
+
+SpiralDesign design_spiral(const SpiralInductorProcess& process, double henry) {
+  require(henry > 0.0, "design_spiral: inductance must be positive");
+  const double rho = process.fill_ratio;
+  const double pitch_m = (process.line_width_um + process.line_spacing_um) * 1e-6;
+
+  // Modified Wheeler: L = K1 mu0 n^2 d_avg / (1 + K2 rho) with, at fixed
+  // fill ratio, d_in = d_out (1-rho)/(1+rho), n = (d_out - d_in)/(2 pitch),
+  // d_avg = (d_out + d_in)/2.  Everything collapses to L ~ d_out^3.
+  const double din_factor = (1.0 - rho) / (1.0 + rho);
+  const double turns_factor = (1.0 - din_factor) / (2.0 * pitch_m);  // n = f * d_out
+  const double davg_factor = (1.0 + din_factor) / 2.0;
+  const double coeff = process.wheeler_k1 * kMu0 * turns_factor * turns_factor *
+                       davg_factor / (1.0 + process.wheeler_k2 * rho);
+  const double d_out = std::cbrt(henry / coeff);
+
+  SpiralDesign d;
+  d.inductance_h = henry;
+  d.outer_diameter_mm = d_out * 1e3;
+  d.inner_diameter_mm = d_out * din_factor * 1e3;
+  d.turns = turns_factor * d_out;
+  const double side_mm = d.outer_diameter_mm + 2.0 * process.guard_clearance_um * 1e-3;
+  d.area_mm2 = side_mm * side_mm;
+
+  // DC series resistance of the square spiral: length ~ 4 n d_avg.
+  const double length_m = 4.0 * d.turns * (d_out * davg_factor);
+  d.dc_resistance_ohm =
+      process.metal_sheet_ohm_sq * length_m / (process.line_width_um * 1e-6);
+
+  // Metal-limited Q at the peak frequency, derated for substrate loss and
+  // capped by the substrate-loss ceiling.
+  const double w_peak = omega(process.q_peak_freq_hz);
+  d.q_peak = std::min(process.max_q_peak,
+                      process.substrate_q_factor * w_peak * henry / d.dc_resistance_ohm);
+  ensure(d.q_peak > 0.0, "design_spiral: non-positive Q estimate");
+  d.q_model = rf::QModel::peaked(d.q_peak, process.q_peak_freq_hz, process.q_slope);
+  return d;
+}
+
+double inductor_area_mm2(const SpiralInductorProcess& process, double henry) {
+  return design_spiral(process, henry).area_mm2;
+}
+
+}  // namespace ipass::tech

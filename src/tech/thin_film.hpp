@@ -1,0 +1,93 @@
+// Parametric models of SUMMIT-style thin-film integrated passives.
+//
+// Anchor points from the paper (section 2 and Table 1):
+//   * CrSi resistor paste, 360 Ohm/sq; a 200 Ohm resistor occupies 0.01 mm^2
+//     and a 100 kOhm resistor 0.25 mm^2 (meander).
+//   * capacitors up to 100 pF/mm^2 (10 nF/cm^2); IP-C(50 pF) = 0.3 mm^2.
+//   * spiral inductors; IP-L(40 nH) = 1 mm^2; "high-Q ... in the 1-2 GHz
+//     range but decreasing towards lower frequencies".
+#pragma once
+
+#include "rf/qmodel.hpp"
+
+namespace ipass::tech {
+
+// ---------------------------------------------------------------- resistors
+struct ResistorProcess {
+  double sheet_ohm_sq = 360.0;     // CrSi
+  double line_width_um = 20.0;     // drawn width of the resistor body
+  double meander_pitch_factor = 2.0;  // pitch = factor * width (line + gap)
+  double contact_pad_area_mm2 = 0.0049;  // one 70 um x 70 um termination
+  double tolerance = 0.15;         // as-fabricated
+  double trimmed_tolerance = 0.01; // after laser tuning
+};
+
+ResistorProcess crsi_resistor_process();   // 360 Ohm/sq (paper)
+ResistorProcess nicr_resistor_process();   // 25 Ohm/sq (low-value parts)
+
+// Substrate area of an integrated resistor of the given value.
+double resistor_area_mm2(const ResistorProcess& process, double ohms);
+// Number of squares needed for the value.
+double resistor_squares(const ResistorProcess& process, double ohms);
+
+// --------------------------------------------------------------- capacitors
+enum class Dielectric {
+  SiliconNitride,   // precision Si3N4 MIM, RF-grade
+  BariumTitanate,   // high-k BaTiO decoupling dielectric
+};
+
+struct CapacitorProcess {
+  Dielectric dielectric = Dielectric::SiliconNitride;
+  double density_pf_mm2 = 179.0;      // C/A
+  double terminal_overhead_mm2 = 0.02;
+  rf::QModel quality = rf::QModel::constant(40.0);
+};
+
+CapacitorProcess si3n4_capacitor_process();
+CapacitorProcess batio_capacitor_process();
+
+double capacitor_area_mm2(const CapacitorProcess& process, double farad);
+
+// ---------------------------------------------------------------- inductors
+struct SpiralInductorProcess {
+  double line_width_um = 20.0;
+  double line_spacing_um = 10.0;
+  double metal_sheet_ohm_sq = 0.004;  // 5 um plated Cu (SUMMIT high-Q option)
+  double fill_ratio = 0.4286;         // rho = (dout-din)/(dout+din)
+  double guard_clearance_um = 125.0;  // keep-out around the coil
+  // Modified-Wheeler coefficients for a square spiral (Mohan et al. 1999).
+  double wheeler_k1 = 2.34;
+  double wheeler_k2 = 2.75;
+  // Fraction of the metal-limited Q that survives substrate losses at the
+  // Q peak, and the substrate-loss ceiling on the peak Q (calibrated to the
+  // SUMMIT measurements, ref [3] of the paper: "high-Q" means Q ~ 30 in the
+  // 1-2 GHz range).
+  double substrate_q_factor = 0.65;
+  double max_q_peak = 30.0;
+  double q_peak_freq_hz = 1.5e9;
+  // Below the peak the unloaded Q is metal-limited, Q ~ wL/R ~ f, hence
+  // slope 1; this is what makes the 175 MHz IF filters lossy (paper 4.1).
+  double q_slope = 1.0;
+};
+
+SpiralInductorProcess summit_spiral_process();
+
+// A synthesized square spiral hitting the requested inductance.
+struct SpiralDesign {
+  double inductance_h = 0.0;
+  double outer_diameter_mm = 0.0;
+  double inner_diameter_mm = 0.0;
+  double turns = 0.0;
+  double area_mm2 = 0.0;            // including guard clearance
+  double dc_resistance_ohm = 0.0;
+  double q_peak = 0.0;              // estimated peak unloaded Q
+  rf::QModel q_model = rf::QModel::lossless();
+};
+
+// Solve the Wheeler formula for the outer diameter at fixed fill ratio.
+SpiralDesign design_spiral(const SpiralInductorProcess& process, double henry);
+
+// Convenience: area only.
+double inductor_area_mm2(const SpiralInductorProcess& process, double henry);
+
+}  // namespace ipass::tech

@@ -1,0 +1,34 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipass {
+namespace {
+
+TEST(Error, RequireThrowsPreconditionError) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_THROW(require(false, "boom"), PreconditionError);
+}
+
+TEST(Error, EnsureThrowsInvariantError) {
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(ensure(false, "boom"), InvariantError);
+}
+
+TEST(Error, MessagesArePreserved) {
+  try {
+    require(false, "the message");
+    FAIL() << "expected a throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(Error, HierarchyAllowsCatchingStdException) {
+  EXPECT_THROW(require(false, "x"), std::invalid_argument);
+  EXPECT_THROW(ensure(false, "x"), std::logic_error);
+  EXPECT_THROW(throw NumericalError("x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ipass

@@ -1,0 +1,105 @@
+#include "common/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ipass {
+namespace {
+
+TEST(CMatrix, ShapeAndAccess) {
+  CMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = Complex(1.0, -2.0);
+  EXPECT_EQ(m.at(1, 2), Complex(1.0, -2.0));
+  EXPECT_THROW(m.at(2, 0), PreconditionError);
+  m.set_zero();
+  EXPECT_EQ(m.at(1, 2), Complex(0.0, 0.0));
+}
+
+TEST(Solve, Identity) {
+  CMatrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a.at(i, i) = Complex(1.0, 0.0);
+  const std::vector<Complex> b = {{1, 2}, {3, 4}, {5, 6}};
+  const auto x = solve(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(x[i], b[i]);
+}
+
+TEST(Solve, Known2x2ComplexSystem) {
+  // (1+j) x + 2 y = 5+j ;  3 x + (4-j) y = 6
+  CMatrix a(2, 2);
+  a.at(0, 0) = {1, 1};
+  a.at(0, 1) = {2, 0};
+  a.at(1, 0) = {3, 0};
+  a.at(1, 1) = {4, -1};
+  const auto x = solve(a, {{5, 1}, {6, 0}});
+  // Residual check.
+  const Complex r0 = Complex(1, 1) * x[0] + 2.0 * x[1] - Complex(5, 1);
+  const Complex r1 = 3.0 * x[0] + Complex(4, -1) * x[1] - Complex(6, 0);
+  EXPECT_LT(std::abs(r0), 1e-12);
+  EXPECT_LT(std::abs(r1), 1e-12);
+}
+
+TEST(Solve, RequiresPivoting) {
+  // A zero on the diagonal forces a row swap.
+  CMatrix a(2, 2);
+  a.at(0, 0) = {0, 0};
+  a.at(0, 1) = {1, 0};
+  a.at(1, 0) = {1, 0};
+  a.at(1, 1) = {0, 0};
+  const auto x = solve(a, {{2, 0}, {3, 0}});
+  EXPECT_NEAR(x[0].real(), 3.0, 1e-14);
+  EXPECT_NEAR(x[1].real(), 2.0, 1e-14);
+}
+
+TEST(Solve, SingularThrows) {
+  CMatrix a(2, 2);
+  a.at(0, 0) = {1, 0};
+  a.at(0, 1) = {2, 0};
+  a.at(1, 0) = {2, 0};
+  a.at(1, 1) = {4, 0};
+  EXPECT_THROW(solve(a, {{1, 0}, {2, 0}}), NumericalError);
+}
+
+TEST(Solve, SizeMismatchThrows) {
+  CMatrix a(2, 2);
+  a.at(0, 0) = a.at(1, 1) = {1, 0};
+  EXPECT_THROW(solve(a, {{1, 0}}), PreconditionError);
+  CMatrix rect(2, 3);
+  EXPECT_THROW(solve(rect, {{1, 0}, {1, 0}}), PreconditionError);
+}
+
+class SolveRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolveRandomTest, ResidualSmallForRandomSystems) {
+  const int n = GetParam();
+  Pcg32 rng(static_cast<std::uint64_t>(n) * 1000 + 7);
+  CMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  std::vector<Complex> b(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      a.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    }
+    // Diagonal dominance keeps the condition number benign.
+    a.at(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += Complex(n, n);
+    b[static_cast<std::size_t>(r)] = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  const CMatrix a_copy = a;
+  const auto x = solve(a, b);
+  for (int r = 0; r < n; ++r) {
+    Complex residual = -b[static_cast<std::size_t>(r)];
+    for (int c = 0; c < n; ++c) {
+      residual += a_copy.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) *
+                  x[static_cast<std::size_t>(c)];
+    }
+    EXPECT_LT(std::abs(residual), 1e-10) << "row " << r << " of n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveRandomTest, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ipass

@@ -1,0 +1,195 @@
+#include "common/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass {
+namespace {
+
+using Cx = std::complex<double>;
+
+TEST(Poly, EvaluationHorner) {
+  // p(x) = 1 + 2x + 3x^2
+  const Poly p({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 17.0);
+  EXPECT_EQ(p.degree(), 2);
+  EXPECT_DOUBLE_EQ(p.leading(), 3.0);
+}
+
+TEST(Poly, ComplexEvaluation) {
+  const Poly p({1.0, 0.0, 1.0});  // 1 + x^2
+  const Cx v = p(Cx(0.0, 1.0));   // at x = j: 1 + j^2 = 0
+  EXPECT_LT(std::abs(v), 1e-15);
+}
+
+TEST(Poly, Arithmetic) {
+  const Poly a({1.0, 1.0});       // 1 + x
+  const Poly b({-1.0, 1.0});      // -1 + x
+  const Poly sum = a + b;         // 2x
+  EXPECT_DOUBLE_EQ(sum.coefficient(0), 0.0);
+  EXPECT_DOUBLE_EQ(sum.coefficient(1), 2.0);
+  const Poly prod = a * b;        // x^2 - 1
+  EXPECT_DOUBLE_EQ(prod.coefficient(0), -1.0);
+  EXPECT_DOUBLE_EQ(prod.coefficient(1), 0.0);
+  EXPECT_DOUBLE_EQ(prod.coefficient(2), 1.0);
+  const Poly diff = a - b;        // 2
+  EXPECT_EQ(diff.degree(), 0);
+  EXPECT_DOUBLE_EQ(diff.coefficient(0), 2.0);
+  const Poly scaled = a * 3.0;
+  EXPECT_DOUBLE_EQ(scaled.coefficient(1), 3.0);
+}
+
+TEST(Poly, Derivative) {
+  const Poly p({5.0, 3.0, 2.0, 1.0});  // 5 + 3x + 2x^2 + x^3
+  const Poly d = p.derivative();
+  EXPECT_DOUBLE_EQ(d.coefficient(0), 3.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(1), 4.0);
+  EXPECT_DOUBLE_EQ(d.coefficient(2), 3.0);
+  EXPECT_EQ(Poly::constant(7.0).derivative().degree(), 0);
+}
+
+TEST(Poly, ReflectionAndParity) {
+  const Poly p({1.0, 2.0, 3.0, 4.0});
+  const Poly r = p.reflected();  // p(-x)
+  for (const double x : {-2.0, -0.5, 0.0, 1.5}) {
+    EXPECT_NEAR(r(x), p(-x), 1e-12);
+  }
+  const Poly even = p.even_part();
+  const Poly odd = p.odd_part();
+  for (const double x : {-1.0, 0.3, 2.0}) {
+    EXPECT_NEAR(even(x) + odd(x), p(x), 1e-12);
+    EXPECT_NEAR(even(x), even(-x), 1e-12);
+    EXPECT_NEAR(odd(x), -odd(-x), 1e-12);
+  }
+}
+
+TEST(Poly, FromRealRoots) {
+  const Poly p = Poly::from_real_roots({1.0, -2.0, 3.0});
+  EXPECT_EQ(p.degree(), 3);
+  EXPECT_LT(std::abs(p(1.0)), 1e-12);
+  EXPECT_LT(std::abs(p(-2.0)), 1e-12);
+  EXPECT_LT(std::abs(p(3.0)), 1e-12);
+  EXPECT_GT(std::abs(p(0.0)), 1.0);
+}
+
+TEST(Poly, FromConjugateRoots) {
+  // Roots -1 +- 2j and real root -3: all coefficients real.
+  const Poly p = Poly::from_conjugate_roots({Cx(-1.0, 2.0), Cx(-3.0, 0.0)});
+  EXPECT_EQ(p.degree(), 3);
+  EXPECT_LT(std::abs(p(Cx(-1.0, 2.0))), 1e-10);
+  EXPECT_LT(std::abs(p(Cx(-1.0, -2.0))), 1e-10);
+  EXPECT_LT(std::abs(p(-3.0)), 1e-12);
+}
+
+TEST(Poly, DivMod) {
+  // (x^3 - 1) / (x - 1) = x^2 + x + 1 remainder 0
+  const Poly num({-1.0, 0.0, 0.0, 1.0});
+  const Poly den({-1.0, 1.0});
+  const PolyDivMod dm = num.divmod(den);
+  EXPECT_EQ(dm.quotient.degree(), 2);
+  EXPECT_DOUBLE_EQ(dm.quotient.coefficient(0), 1.0);
+  EXPECT_DOUBLE_EQ(dm.quotient.coefficient(1), 1.0);
+  EXPECT_DOUBLE_EQ(dm.quotient.coefficient(2), 1.0);
+  EXPECT_EQ(dm.remainder.degree(), 0);
+  EXPECT_NEAR(dm.remainder.coefficient(0), 0.0, 1e-12);
+}
+
+TEST(Poly, DivModWithRemainder) {
+  // (x^2 + 1) / (x - 1): quotient x + 1, remainder 2.
+  const Poly num({1.0, 0.0, 1.0});
+  const Poly den({-1.0, 1.0});
+  const PolyDivMod dm = num.divmod(den);
+  EXPECT_NEAR(dm.remainder.coefficient(0), 2.0, 1e-12);
+  // Reconstruct: q * d + r == num.
+  const Poly back = dm.quotient * den + dm.remainder;
+  for (int i = 0; i <= 2; ++i) {
+    EXPECT_NEAR(back.coefficient(static_cast<std::size_t>(i)),
+                num.coefficient(static_cast<std::size_t>(i)), 1e-12);
+  }
+}
+
+TEST(Poly, DivideExactThrowsOnResidue) {
+  const Poly num({1.0, 0.0, 1.0});
+  const Poly den({-1.0, 1.0});
+  EXPECT_THROW(num.divide_exact(den), NumericalError);
+  // But a true factor divides cleanly.
+  const Poly prod = den * Poly({3.0, 2.0});
+  const Poly q = prod.divide_exact(den);
+  EXPECT_NEAR(q.coefficient(0), 3.0, 1e-12);
+  EXPECT_NEAR(q.coefficient(1), 2.0, 1e-12);
+}
+
+TEST(Poly, DivisionByZeroThrows) {
+  const Poly p({1.0, 2.0});
+  EXPECT_THROW(p.divmod(Poly::constant(0.0)), PreconditionError);
+}
+
+TEST(FindRoots, Quadratic) {
+  // x^2 - 3x + 2 -> roots 1, 2
+  const auto roots = find_roots(Poly({2.0, -3.0, 1.0}));
+  ASSERT_EQ(roots.size(), 2u);
+  std::vector<double> re = {roots[0].real(), roots[1].real()};
+  std::sort(re.begin(), re.end());
+  EXPECT_NEAR(re[0], 1.0, 1e-10);
+  EXPECT_NEAR(re[1], 2.0, 1e-10);
+}
+
+TEST(FindRoots, ComplexConjugatePair) {
+  // x^2 + 2x + 5 -> -1 +- 2j
+  const auto roots = find_roots(Poly({5.0, 2.0, 1.0}));
+  ASSERT_EQ(roots.size(), 2u);
+  for (const Cx& r : roots) {
+    EXPECT_NEAR(r.real(), -1.0, 1e-10);
+    EXPECT_NEAR(std::abs(r.imag()), 2.0, 1e-10);
+  }
+}
+
+class RootsRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootsRoundTripTest, RootsOfConstructedPolynomialAreRecovered) {
+  const int n = GetParam();
+  // Construct conjugate-symmetric roots spread in the left half plane.
+  std::vector<Cx> expected;
+  for (int i = 0; i < n / 2; ++i) {
+    expected.emplace_back(-0.3 - 0.4 * i, 0.8 + 0.5 * i);
+  }
+  Poly p = Poly::from_conjugate_roots(expected);
+  if (n % 2 == 1) {
+    p = p * Poly({1.7, 1.0});  // real root at -1.7
+    expected.emplace_back(-1.7, 0.0);
+  }
+  const auto roots = find_roots(p);
+  ASSERT_EQ(static_cast<int>(roots.size()), n % 2 == 1 ? 2 * (n / 2) + 1 : 2 * (n / 2));
+  for (const Cx& want : expected) {
+    double best = 1e300;
+    for (const Cx& got : roots) best = std::min(best, std::abs(got - want));
+    EXPECT_LT(best, 1e-8) << "missing root near " << want.real() << "+" << want.imag() << "j";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, RootsRoundTripTest, ::testing::Values(2, 3, 4, 5, 6, 7, 9, 11));
+
+TEST(LeftHalfPlaneRoots, FiltersCorrectly) {
+  // (x-1)(x+2)(x^2+2x+5): LHP roots are -2 and -1 +- 2j.
+  const Poly p = Poly({-1.0, 1.0}) * Poly({2.0, 1.0}) * Poly({5.0, 2.0, 1.0});
+  const auto lhp = left_half_plane_roots(p);
+  EXPECT_EQ(lhp.size(), 3u);
+  for (const Cx& r : lhp) EXPECT_LT(r.real(), 0.0);
+}
+
+TEST(FindRoots, DegenerateCases) {
+  EXPECT_TRUE(find_roots(Poly::constant(4.0)).empty());
+  const auto one = find_roots(Poly({-6.0, 2.0}));  // 2x - 6
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_NEAR(one[0].real(), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ipass

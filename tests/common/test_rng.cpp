@@ -1,0 +1,100 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.hpp"
+
+namespace ipass {
+namespace {
+
+TEST(Pcg32, Deterministic) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Pcg32, SeedsProduceDistinctStreams) {
+  Pcg32 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next_u32() == b.next_u32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32, UniformInRange) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformMeanAndVariance) {
+  Pcg32 rng(11);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.005);
+  EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.003);
+}
+
+TEST(Pcg32, BernoulliFrequency) {
+  Pcg32 rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.933)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.933, 0.005);
+}
+
+TEST(Pcg32, BernoulliEdgeCases) {
+  Pcg32 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 rng(19);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Pcg32, NormalWithParameters) {
+  Pcg32 rng(23);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Pcg32, BelowIsUnbiased) {
+  Pcg32 rng(29);
+  int counts[7] = {};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, 400.0);
+  }
+}
+
+TEST(Pcg32, BelowRejectsZero) {
+  Pcg32 rng(31);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Pcg32, UniformRangeRejectsInverted) {
+  Pcg32 rng(37);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+
+namespace ipass {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a   | bb |"), std::string::npos);
+  EXPECT_NE(s.find("| 333 | 4  |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, RightAlignment) {
+  TextTable t({"name", "value"});
+  t.align_right(1);
+  t.add_row({"x", "1"});
+  t.add_row({"y", "1000"});
+  const std::string s = t.to_string();
+  // Column width is 5 ("value"); right-aligned cells pad on the left.
+  EXPECT_NE(s.find("|     1 |"), std::string::npos);
+  EXPECT_NE(s.find("|  1000 |"), std::string::npos);
+}
+
+TEST(TextTable, RuleInsertsSeparator) {
+  TextTable t({"c"});
+  t.add_row({"a"});
+  t.add_rule();
+  t.add_row({"b"});
+  const std::string s = t.to_string();
+  // Rules: top, header, the explicit one, bottom = 4 lines starting with '+'.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = s.find("+--", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTable, RejectsCellCountMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, RejectsBadAlignColumn) {
+  TextTable t({"a"});
+  EXPECT_THROW(t.align_right(1), PreconditionError);
+}
+
+TEST(TextBar, FillsProportionally) {
+  EXPECT_EQ(text_bar(0.0, 10), "          ");
+  EXPECT_EQ(text_bar(1.0, 10), "##########");
+  EXPECT_EQ(text_bar(0.5, 10), "#####     ");
+}
+
+TEST(TextBar, ClampsOutOfRange) {
+  EXPECT_EQ(text_bar(-1.0, 4), "    ");
+  EXPECT_EQ(text_bar(2.0, 4), "####");
+}
+
+TEST(Strfmt, BasicFormatting) {
+  EXPECT_EQ(strf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(percent(0.968), "96.8%");
+  EXPECT_EQ(percent(1.128, 1), "112.8%");
+}
+
+}  // namespace
+}  // namespace ipass

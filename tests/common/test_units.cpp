@@ -1,0 +1,46 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipass {
+namespace {
+
+TEST(Units, PrefixConstructors) {
+  EXPECT_DOUBLE_EQ(ghz(1.575), 1.575e9);
+  EXPECT_DOUBLE_EQ(mhz(175.0), 175e6);
+  EXPECT_DOUBLE_EQ(khz(2.0), 2e3);
+  EXPECT_DOUBLE_EQ(nh(40.0), 40e-9);
+  EXPECT_DOUBLE_EQ(pf(50.0), 50e-12);
+  EXPECT_DOUBLE_EQ(nf(3.5), 3.5e-9);
+  EXPECT_DOUBLE_EQ(kohm(100.0), 1e5);
+  EXPECT_DOUBLE_EQ(um(20.0), 2e-5);
+  EXPECT_DOUBLE_EQ(mm(1.25), 1.25e-3);
+}
+
+TEST(Units, AreaConversions) {
+  EXPECT_DOUBLE_EQ(mm2_to_cm2(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(cm2_to_mm2(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(um2_to_mm2(1e6), 1.0);
+  // Round trip.
+  EXPECT_DOUBLE_EQ(cm2_to_mm2(mm2_to_cm2(1889.0)), 1889.0);
+}
+
+TEST(Units, DecibelHelpers) {
+  EXPECT_DOUBLE_EQ(db10(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(db20(10.0), 20.0);
+  EXPECT_NEAR(from_db10(3.0), 1.9953, 1e-4);
+  EXPECT_NEAR(from_db20(6.0), 1.9953, 1e-4);
+  // Inverse pairs.
+  for (const double db : {-20.0, -3.0, 0.0, 0.5, 12.0}) {
+    EXPECT_NEAR(db10(from_db10(db)), db, 1e-12);
+    EXPECT_NEAR(db20(from_db20(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, Omega) {
+  EXPECT_NEAR(omega(1.0), 2.0 * kPi, 1e-15);
+  EXPECT_NEAR(omega(175e6) / 1e9, 1.0996, 1e-3);
+}
+
+}  // namespace
+}  // namespace ipass

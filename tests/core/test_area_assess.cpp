@@ -1,0 +1,83 @@
+#include "core/area_assess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gps/bom.hpp"
+#include "gps/table2.hpp"
+
+namespace ipass::core {
+namespace {
+
+struct Fixture {
+  FunctionalBom bom = gps::gps_front_end_bom();
+  TechKits kits;
+  gps::ConfidentialCosts cc = gps::calibrated_confidential_costs();
+};
+
+TEST(AreaAssess, PcbModuleIsTheBoardItself) {
+  Fixture fx;
+  const AreaResult r = assess_area(fx.bom, gps::buildup_pcb_smd(fx.cc), fx.kits);
+  EXPECT_DOUBLE_EQ(r.substrate.area_mm2, r.module.area_mm2);
+  // Board is dominated by the two QFPs (1390 of ~1890 mm^2).
+  EXPECT_GT(r.module_area_mm2(), 1700.0);
+  EXPECT_LT(r.module_area_mm2(), 2100.0);
+}
+
+TEST(AreaAssess, McmLaminateLargerThanSilicon) {
+  Fixture fx;
+  for (const auto make :
+       {gps::buildup_mcm_wb_smd, gps::buildup_mcm_fc_ip, gps::buildup_mcm_fc_ip_smd}) {
+    const AreaResult r = assess_area(fx.bom, make(fx.cc, YieldSemantics::PerStep), fx.kits);
+    EXPECT_GT(r.module.area_mm2, r.substrate.area_mm2);
+    // The 5 mm laminate ring: side difference is at least 10 mm.
+    EXPECT_GE(r.module.side_mm - r.substrate.side_mm, 10.0 - 1e-9);
+  }
+}
+
+TEST(AreaAssess, BuildUp2SiliconHoldsOnlyDies) {
+  Fixture fx;
+  const AreaResult r = assess_area(fx.bom, gps::buildup_mcm_wb_smd(fx.cc), fx.kits);
+  // Silicon: 1.1 * (28 + 88) wire-bonded dies + 1 mm edge -> ~177 mm^2.
+  EXPECT_NEAR(r.substrate.area_mm2, 177.0, 8.0);
+  // SMDs live on the laminate.
+  EXPECT_GT(r.smd_area_mm2, 400.0);
+}
+
+TEST(AreaAssess, Fig3OrderingHolds) {
+  Fixture fx;
+  const double a1 = assess_area(fx.bom, gps::buildup_pcb_smd(fx.cc), fx.kits).module_area_mm2();
+  const double a2 =
+      assess_area(fx.bom, gps::buildup_mcm_wb_smd(fx.cc), fx.kits).module_area_mm2();
+  const double a3 =
+      assess_area(fx.bom, gps::buildup_mcm_fc_ip(fx.cc), fx.kits).module_area_mm2();
+  const double a4 =
+      assess_area(fx.bom, gps::buildup_mcm_fc_ip_smd(fx.cc), fx.kits).module_area_mm2();
+  EXPECT_GT(a1, a2);
+  EXPECT_GT(a2, a3);
+  EXPECT_GT(a3, a4);  // "an even smaller form factor" for passives-optimized
+}
+
+TEST(AreaAssess, DecapsDominateBuildUp3Passives) {
+  Fixture fx;
+  const AreaResult r = assess_area(fx.bom, gps::buildup_mcm_fc_ip(fx.cc), fx.kits);
+  const layout::AreaBreakdown b = r.bom.breakdown();
+  // "the large area required for especially the decaps raises the direct
+  //  cost" -- decoupling is the largest passive category on the substrate.
+  EXPECT_GT(b.category_total_mm2(layout::AreaCategory::DecouplingCaps),
+            b.category_total_mm2(layout::AreaCategory::Passives));
+  EXPECT_GT(b.category_total_mm2(layout::AreaCategory::DecouplingCaps),
+            b.category_total_mm2(layout::AreaCategory::Filters));
+}
+
+TEST(AreaAssess, ComponentAreasAddUp) {
+  Fixture fx;
+  const AreaResult r = assess_area(fx.bom, gps::buildup_mcm_fc_ip_smd(fx.cc), fx.kits);
+  // smd_on_laminate is false for build-up 4: everything is on the silicon.
+  EXPECT_NEAR(r.component_area_mm2,
+              r.bom.area_mm2(Mount::Die) + r.bom.area_mm2(Mount::Integrated) +
+                  r.bom.area_mm2(Mount::Smd),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace ipass::core

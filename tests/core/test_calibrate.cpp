@@ -1,0 +1,78 @@
+#include "core/calibrate.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::core {
+namespace {
+
+TEST(Calibrate, QuadraticBowl) {
+  std::vector<Parameter> params = {
+      {"x", 0.0, -10.0, 10.0, 1.0},
+      {"y", 5.0, -10.0, 10.0, 1.0},
+  };
+  const CalibrationResult r = calibrate(params, [](const std::vector<double>& v) {
+    const double dx = v[0] - 3.0;
+    const double dy = v[1] + 2.0;
+    return dx * dx + dy * dy;
+  });
+  EXPECT_NEAR(r.parameters[0].value, 3.0, 1e-3);
+  EXPECT_NEAR(r.parameters[1].value, -2.0, 1e-3);
+  EXPECT_LT(r.objective, 1e-5);
+  EXPECT_GT(r.evaluations, 0);
+}
+
+TEST(Calibrate, RespectsBounds) {
+  std::vector<Parameter> params = {{"x", 1.0, 0.0, 2.0, 0.5}};
+  const CalibrationResult r = calibrate(params, [](const std::vector<double>& v) {
+    return (v[0] - 10.0) * (v[0] - 10.0);  // optimum far outside the box
+  });
+  EXPECT_NEAR(r.parameters[0].value, 2.0, 1e-9);
+}
+
+TEST(Calibrate, HandlesCoupledParameters) {
+  // Rosenbrock-ish valley, scaled down so coordinate descent converges.
+  std::vector<Parameter> params = {
+      {"a", 0.0, -2.0, 2.0, 0.5},
+      {"b", 0.0, -2.0, 2.0, 0.5},
+  };
+  CalibrationOptions opt;
+  opt.max_rounds = 400;
+  const CalibrationResult r = calibrate(params, [](const std::vector<double>& v) {
+    const double t1 = v[1] - v[0] * v[0];
+    const double t2 = 1.0 - v[0];
+    return 10.0 * t1 * t1 + t2 * t2;
+  }, opt);
+  EXPECT_LT(r.objective, 0.05);
+}
+
+TEST(Calibrate, StopsAtTolerance) {
+  std::vector<Parameter> params = {{"x", 0.9, 0.0, 2.0, 0.1}};
+  CalibrationOptions opt;
+  opt.tolerance = 1e-2;
+  const CalibrationResult r = calibrate(params, [](const std::vector<double>& v) {
+    return (v[0] - 1.0) * (v[0] - 1.0);
+  }, opt);
+  EXPECT_LE(r.objective, 1e-2);
+  EXPECT_LT(r.rounds, 10);
+}
+
+TEST(Calibrate, Preconditions) {
+  EXPECT_THROW(calibrate({}, [](const std::vector<double>&) { return 0.0; }),
+               PreconditionError);
+  EXPECT_THROW(calibrate({{"x", 0.0, 1.0, 0.0, 0.1}},
+                         [](const std::vector<double>&) { return 0.0; }),
+               PreconditionError);  // empty range
+  EXPECT_THROW(calibrate({{"x", 5.0, 0.0, 1.0, 0.1}},
+                         [](const std::vector<double>&) { return 0.0; }),
+               PreconditionError);  // start out of range
+  EXPECT_THROW(calibrate({{"x", 0.5, 0.0, 1.0, 0.0}},
+                         [](const std::vector<double>&) { return 0.0; }),
+               PreconditionError);  // zero step
+}
+
+}  // namespace
+}  // namespace ipass::core

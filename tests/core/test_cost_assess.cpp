@@ -1,0 +1,120 @@
+#include "core/cost_assess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gps/bom.hpp"
+#include "gps/table2.hpp"
+
+namespace ipass::core {
+namespace {
+
+struct Fixture {
+  FunctionalBom bom = gps::gps_front_end_bom();
+  TechKits kits;
+  gps::ConfidentialCosts cc = gps::calibrated_confidential_costs();
+
+  AreaResult area(const BuildUp& b) const { return assess_area(bom, b, kits); }
+};
+
+TEST(CostAssess, FlowStructurePcb) {
+  Fixture fx;
+  const BuildUp b = gps::buildup_pcb_smd(fx.cc);
+  const moe::FlowModel flow = build_flow(fx.area(b), b);
+  // PCB: fabricate, chip SMT, SMD mounting, final test -- no packaging, no
+  // functional test, no paste/rerouting steps.
+  int tests = 0, packages = 0, processes = 0;
+  for (const moe::Step& s : flow.steps()) {
+    if (s.kind == moe::Step::Kind::Test) ++tests;
+    if (s.kind == moe::Step::Kind::Package) ++packages;
+    if (s.kind == moe::Step::Kind::Process) ++processes;
+  }
+  EXPECT_EQ(tests, 1);
+  EXPECT_EQ(packages, 0);
+  EXPECT_EQ(processes, 0);
+}
+
+TEST(CostAssess, FlowStructureIpSubstrateShowsFig4Steps) {
+  Fixture fx;
+  const BuildUp b = gps::buildup_mcm_fc_ip_smd(fx.cc);
+  const moe::FlowModel flow = build_flow(fx.area(b), b);
+  bool paste = false, rerouting = false, functional = false, laminate = false;
+  for (const moe::Step& s : flow.steps()) {
+    if (s.name == "Paste impression") paste = true;
+    if (s.name == "Rerouting") rerouting = true;
+    if (s.name == "Functional test") functional = true;
+    if (s.name.find("laminate") != std::string::npos) laminate = true;
+  }
+  EXPECT_TRUE(paste);
+  EXPECT_TRUE(rerouting);
+  EXPECT_TRUE(functional);
+  EXPECT_TRUE(laminate);
+}
+
+TEST(CostAssess, WireBondStepOnlyForBuildUp2) {
+  Fixture fx;
+  const BuildUp b2 = gps::buildup_mcm_wb_smd(fx.cc);
+  const moe::FlowModel f2 = build_flow(fx.area(b2), b2);
+  bool wb2 = false;
+  for (const moe::Step& s : f2.steps()) {
+    if (s.name == "Wire bonding") {
+      wb2 = true;
+      // 212 bonds at 0.01 each.
+      EXPECT_NEAR(s.cost, 2.12, 1e-12);
+    }
+  }
+  EXPECT_TRUE(wb2);
+  const BuildUp b3 = gps::buildup_mcm_fc_ip(fx.cc);
+  const moe::FlowModel f3 = build_flow(fx.area(b3), b3);
+  for (const moe::Step& s : f3.steps()) EXPECT_NE(s.name, "Wire bonding");
+}
+
+TEST(CostAssess, SubstrateCostScalesWithArea) {
+  Fixture fx;
+  const BuildUp b3 = gps::buildup_mcm_fc_ip(fx.cc);
+  const AreaResult area = fx.area(b3);
+  const moe::FlowModel flow = build_flow(area, b3);
+  const moe::Step& fab = flow.steps().front();
+  EXPECT_EQ(fab.kind, moe::Step::Kind::Fabricate);
+  EXPECT_NEAR(fab.cost, area.substrate.area_mm2 / 100.0 * 2.25, 1e-9);
+}
+
+TEST(CostAssess, BareDiceCheaperButLowerYield) {
+  Fixture fx;
+  const BuildUp b1 = gps::buildup_pcb_smd(fx.cc);
+  const BuildUp b3 = gps::buildup_mcm_fc_ip(fx.cc);
+  const moe::CostReport r1 = assess_cost(fx.area(b1), b1).report;
+  const moe::CostReport r3 = assess_cost(fx.area(b3), b3).report;
+  // Direct chip spend: packaged > bare.
+  EXPECT_GT(r1.direct_ledger.get(moe::CostCategory::Chips),
+            r3.direct_ledger.get(moe::CostCategory::Chips));
+  // But build-up 3 ships fewer good units ("yield loss ... not fully
+  // tested chips" + 90% substrate).
+  EXPECT_GT(r1.shipped_fraction, r3.shipped_fraction);
+}
+
+TEST(CostAssess, YieldSemanticsMatter) {
+  Fixture fx;
+  const BuildUp per_step = gps::buildup_mcm_wb_smd(fx.cc, YieldSemantics::PerStep);
+  const BuildUp per_joint = gps::buildup_mcm_wb_smd(fx.cc, YieldSemantics::PerJoint);
+  const double c_step =
+      assess_cost(fx.area(per_step), per_step).report.final_cost_per_shipped;
+  const double c_joint =
+      assess_cost(fx.area(per_joint), per_joint).report.final_cost_per_shipped;
+  // 212 bonds and 112 placements at per-joint yields scrap more units.
+  EXPECT_GT(c_joint, c_step);
+}
+
+TEST(CostAssess, MonteCarloMatchesAnalytic) {
+  Fixture fx;
+  const BuildUp b4 = gps::buildup_mcm_fc_ip_smd(fx.cc);
+  const AreaResult area = fx.area(b4);
+  const moe::CostReport exact = assess_cost(area, b4).report;
+  moe::McOptions opt;
+  opt.samples = 60000;
+  const moe::McReport mc = assess_cost_monte_carlo(area, b4, opt);
+  EXPECT_NEAR(mc.report.final_cost_per_shipped, exact.final_cost_per_shipped,
+              3.0 * mc.final_cost_ci95 + 1e-9);
+}
+
+}  // namespace
+}  // namespace ipass::core

@@ -1,0 +1,77 @@
+#include "core/export.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "gps/casestudy.hpp"
+
+namespace ipass::core {
+namespace {
+
+std::size_t count_lines(const std::string& s) {
+  std::size_t n = 0;
+  for (const char c : s) {
+    if (c == '\n') ++n;
+  }
+  return n;
+}
+
+std::size_t count_fields(const std::string& line) {
+  std::size_t n = 1;
+  bool quoted = false;
+  for (const char c : line) {
+    if (c == '"') quoted = !quoted;
+    if (c == ',' && !quoted) ++n;
+  }
+  return n;
+}
+
+TEST(CsvEscape, QuotingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, DecisionReportShape) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  const std::string csv = decision_report_csv(report);
+  EXPECT_EQ(count_lines(csv), 5u);  // header + 4 build-ups
+  std::istringstream in(csv);
+  std::string header;
+  std::getline(in, header);
+  const std::size_t cols = count_fields(header);
+  std::string line;
+  int winners = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(count_fields(line), cols) << line;
+    if (line.size() >= 2 && line.substr(line.size() - 2) == ",1") ++winners;
+  }
+  EXPECT_EQ(winners, 1);
+  EXPECT_NE(csv.find("PCB/SMD"), std::string::npos);
+  EXPECT_NE(csv.find("fom"), std::string::npos);
+}
+
+TEST(Csv, PerformanceRowsPerFilter) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  const std::string csv = performance_csv(report);
+  // 4 build-ups x 2 filter specs + header.
+  EXPECT_EQ(count_lines(csv), 1u + 4u * 2u);
+  EXPECT_NE(csv.find("IF filter"), std::string::npos);
+  EXPECT_NE(csv.find("hybrid"), std::string::npos);
+}
+
+TEST(Csv, SensitivityRows) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const SensitivityReport r =
+      cost_sensitivity(study.bom, study.buildups[3], study.kits);
+  const std::string csv = sensitivity_csv(r);
+  EXPECT_EQ(count_lines(csv), 1u + standard_inputs().size());
+  EXPECT_NE(csv.find("elasticity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipass::core

@@ -1,0 +1,58 @@
+#include "core/fom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::core {
+namespace {
+
+TEST(Fom, ReferenceIsUnity) {
+  EXPECT_DOUBLE_EQ(figure_of_merit(1.0, 1.0, 1.0), 1.0);
+}
+
+TEST(Fom, PaperFig6Values) {
+  // Fig 6 rows: perf x 1/size x 1/cost.
+  EXPECT_NEAR(figure_of_merit(1.0, 0.79, 1.05), 1.2, 0.01);
+  EXPECT_NEAR(figure_of_merit(0.45, 0.60, 1.13), 0.66, 0.01);
+  EXPECT_NEAR(figure_of_merit(0.7, 0.37, 1.06), 1.8, 0.02);
+}
+
+TEST(Fom, SmallerAreaAndCostAreBetter) {
+  const double base = figure_of_merit(1.0, 1.0, 1.0);
+  EXPECT_GT(figure_of_merit(1.0, 0.5, 1.0), base);
+  EXPECT_GT(figure_of_merit(1.0, 1.0, 0.5), base);
+  EXPECT_LT(figure_of_merit(1.0, 2.0, 1.0), base);
+  EXPECT_LT(figure_of_merit(0.5, 1.0, 1.0), base);
+}
+
+TEST(Fom, WeightsGeneralizeTheProduct) {
+  // "for more complicated cases weighting factors can also be introduced"
+  FomWeights cost_blind;
+  cost_blind.cost = 0.0;
+  EXPECT_DOUBLE_EQ(figure_of_merit(0.5, 1.0, 99.0, cost_blind), 0.5);
+  FomWeights size_heavy;
+  size_heavy.size = 2.0;
+  EXPECT_DOUBLE_EQ(figure_of_merit(1.0, 0.5, 1.0, size_heavy), 4.0);
+}
+
+TEST(Fom, WeightedDecisionCanFlip) {
+  // With the plain product build-up A wins; emphasizing cost flips to B.
+  const double a = figure_of_merit(0.7, 0.37, 1.06);
+  const double b = figure_of_merit(1.0, 0.79, 1.05);
+  EXPECT_GT(a, b);
+  FomWeights perf_heavy;
+  perf_heavy.performance = 6.0;
+  EXPECT_LT(figure_of_merit(0.7, 0.37, 1.06, perf_heavy),
+            figure_of_merit(1.0, 0.79, 1.05, perf_heavy));
+}
+
+TEST(Fom, Preconditions) {
+  EXPECT_THROW(figure_of_merit(-0.1, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(figure_of_merit(1.1, 1.0, 1.0), PreconditionError);
+  EXPECT_THROW(figure_of_merit(0.5, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(figure_of_merit(0.5, 1.0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::core

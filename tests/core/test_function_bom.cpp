@@ -1,0 +1,55 @@
+#include "core/function_bom.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace ipass::core {
+namespace {
+
+FunctionalBom small_bom() {
+  FunctionalBom bom;
+  bom.name = "test system";
+  FilterSpec f;
+  f.name = "band filter";
+  f.f0_hz = ipass::ghz(1.0);
+  f.bw_hz = ipass::mhz(100.0);
+  f.count = 2;
+  bom.filters.push_back(f);
+  bom.matchings.push_back({"match", ipass::ghz(1.0), 50.0, 200.0, 1});
+  bom.decaps.push_back({"decap", ipass::nf(3.5), 4});
+  bom.resistors.push_back({"bias", ipass::kohm(100.0), 10});
+  bom.capacitors.push_back({"coupling", ipass::pf(50.0), 5});
+  return bom;
+}
+
+TEST(FunctionalBom, Counts) {
+  const FunctionalBom bom = small_bom();
+  EXPECT_EQ(bom.filter_count(), 2);
+  EXPECT_EQ(bom.discrete_function_count(), 1 + 4 + 10 + 5);
+}
+
+TEST(FunctionalBom, EmptyCounts) {
+  const FunctionalBom empty;
+  EXPECT_EQ(empty.filter_count(), 0);
+  EXPECT_EQ(empty.discrete_function_count(), 0);
+}
+
+TEST(FunctionalBom, ToStringMentionsEveryFunction) {
+  const std::string s = small_bom().to_string();
+  EXPECT_NE(s.find("band filter"), std::string::npos);
+  EXPECT_NE(s.find("match"), std::string::npos);
+  EXPECT_NE(s.find("decap"), std::string::npos);
+  EXPECT_NE(s.find("bias"), std::string::npos);
+  EXPECT_NE(s.find("coupling"), std::string::npos);
+  EXPECT_NE(s.find("3.5 nF"), std::string::npos);
+}
+
+TEST(FunctionalBom, RejectionLinePrintedWhenSpecified) {
+  FunctionalBom bom = small_bom();
+  bom.filters[0].rejection = {ipass::ghz(1.2), 20.0};
+  EXPECT_NE(bom.to_string().find("rejection >="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipass::core

@@ -1,0 +1,68 @@
+#include "core/methodology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gps/casestudy.hpp"
+
+namespace ipass::core {
+namespace {
+
+TEST(Methodology, ProducesOneAssessmentPerBuildUp) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  ASSERT_EQ(report.assessments.size(), 4u);
+  EXPECT_EQ(report.reference, 0u);
+  for (const BuildUpAssessment& a : report.assessments) {
+    EXPECT_GT(a.fom, 0.0);
+    EXPECT_GT(a.cost.final_cost_per_shipped, 0.0);
+    EXPECT_GT(a.area.module_area_mm2(), 0.0);
+  }
+}
+
+TEST(Methodology, ReferenceNormalizedToOne) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  EXPECT_DOUBLE_EQ(report.assessments[0].area_rel, 1.0);
+  EXPECT_DOUBLE_EQ(report.assessments[0].cost_rel, 1.0);
+  EXPECT_NEAR(report.assessments[0].fom, 1.0, 1e-9);
+}
+
+TEST(Methodology, WinnerIsPassivesOptimized) {
+  // "Therefore, an adaptation of solution 4 has been chosen for the final
+  //  design."
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  EXPECT_EQ(report.winner, 3u);
+  EXPECT_EQ(report.assessments[report.winner].buildup.index, 4);
+}
+
+TEST(Methodology, WeightsCanChangeTheWinner) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  FomWeights perf_is_everything;
+  perf_is_everything.performance = 10.0;
+  perf_is_everything.size = 0.2;
+  const DecisionReport report = gps::run_gps_assessment(study, perf_is_everything);
+  // With performance this dominant, a spec-compliant build-up must win.
+  EXPECT_NEAR(report.assessments[report.winner].performance.score, 1.0, 1e-9);
+}
+
+TEST(Methodology, RenderedReports) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("PCB/SMD"), std::string::npos);
+  EXPECT_NE(table.find("winner"), std::string::npos);
+  const std::string areas = report.area_bars();
+  EXPECT_NE(areas.find("%"), std::string::npos);
+  const std::string costs = report.cost_bars();
+  EXPECT_NE(costs.find("thereof chips"), std::string::npos);
+}
+
+TEST(Methodology, EmptyBuildUpListRejected) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  EXPECT_THROW(assess(study.bom, {}, study.kits), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::core

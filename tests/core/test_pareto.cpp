@@ -1,0 +1,65 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gps/casestudy.hpp"
+
+namespace ipass::core {
+namespace {
+
+BuildUpAssessment fake(double perf, double area, double cost) {
+  BuildUpAssessment a{BuildUp{},       PerformanceResult{}, AreaResult{},
+                      moe::FlowModel("f", 1.0, 0.0), moe::CostReport{}, area,
+                      cost,            0.0};
+  a.performance.score = perf;
+  return a;
+}
+
+TEST(Pareto, DominanceDefinition) {
+  const BuildUpAssessment better = fake(1.0, 0.5, 0.9);
+  const BuildUpAssessment worse = fake(0.9, 0.6, 1.0);
+  EXPECT_TRUE(dominates(better, worse));
+  EXPECT_FALSE(dominates(worse, better));
+  // Equal on all axes: neither dominates.
+  EXPECT_FALSE(dominates(better, better));
+  // Trade-off: better perf but bigger area -> no dominance either way.
+  const BuildUpAssessment tradeoff = fake(1.0, 0.7, 0.9);
+  const BuildUpAssessment other = fake(0.8, 0.4, 0.9);
+  EXPECT_FALSE(dominates(tradeoff, other));
+  EXPECT_FALSE(dominates(other, tradeoff));
+}
+
+TEST(Pareto, GpsCaseStudyFrontier) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  const std::vector<ParetoEntry> entries = pareto_analysis(report);
+  ASSERT_EQ(entries.size(), 4u);
+
+  // Build-up 1 (best cost) and build-up 4 (best area) are both on the
+  // frontier; so is 2 (best perf at smaller area than 1... check: 2 has
+  // perf 1.0 like 1 but smaller area and higher cost -> trade-off).
+  EXPECT_FALSE(entries[0].dominated) << "PCB reference";
+  EXPECT_FALSE(entries[1].dominated) << "WB/SMD";
+  EXPECT_FALSE(entries[3].dominated) << "passives optimized";
+
+  // Build-up 3 is dominated by build-up 4: worse performance, larger area,
+  // higher cost -- the paper's "suffers very hard" case.
+  EXPECT_TRUE(entries[2].dominated);
+  bool by_4 = false;
+  for (const std::size_t j : entries[2].dominated_by) {
+    if (report.assessments[j].buildup.index == 4) by_4 = true;
+  }
+  EXPECT_TRUE(by_4);
+}
+
+TEST(Pareto, TableRendering) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  const std::string t = pareto_table(report);
+  EXPECT_NE(t.find("Pareto-optimal"), std::string::npos);
+  EXPECT_NE(t.find("dominated by"), std::string::npos);
+  EXPECT_NE(t.find("(4)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipass::core

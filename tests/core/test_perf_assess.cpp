@@ -1,0 +1,89 @@
+#include "core/perf_assess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gps/bom.hpp"
+#include "gps/table2.hpp"
+
+namespace ipass::core {
+namespace {
+
+struct Fixture {
+  FunctionalBom bom = gps::gps_front_end_bom();
+  TechKits kits;
+  gps::ConfidentialCosts cc = gps::calibrated_confidential_costs();
+};
+
+TEST(PerfAssess, SmdBlocksMeetAllSpecs) {
+  Fixture fx;
+  // Build-ups 1 and 2 buy vendor filters: "completely fulfilling the specs".
+  for (const auto make : {gps::buildup_pcb_smd, gps::buildup_mcm_wb_smd}) {
+    const PerformanceResult r =
+        assess_performance(fx.bom, make(fx.cc, YieldSemantics::PerStep), fx.kits);
+    EXPECT_NEAR(r.score, 1.0, 1e-9);
+    for (const FilterPerformance& f : r.filters) {
+      EXPECT_TRUE(f.meets_spec) << f.name;
+      EXPECT_EQ(f.style, FilterStyle::SmdBlock);
+    }
+  }
+}
+
+TEST(PerfAssess, IntegratedRfFilterMeetsThreeDbSpec) {
+  Fixture fx;
+  // "Its main function is to reject the image frequency ... has losses of
+  //  3 dB at the GPS signal frequency, meeting the performance
+  //  specifications."
+  const FilterPerformance p =
+      assess_filter(fx.bom.filters[0], FilterStyle::Integrated, fx.kits);
+  EXPECT_NEAR(p.il_calc_db, 3.0, 0.35);
+  EXPECT_GE(p.score, 0.95);
+  EXPECT_GE(p.rejection_calc_db, p.rejection_spec_db - 1.0);
+}
+
+TEST(PerfAssess, IntegratedIfFilterMissesSpecBadly) {
+  Fixture fx;
+  // "The original specifications for the IF filters cannot be met with the
+  //  integrated passives only ... excessive insertion losses."
+  const FilterPerformance p =
+      assess_filter(fx.bom.filters[1], FilterStyle::Integrated, fx.kits);
+  EXPECT_FALSE(p.meets_spec);
+  EXPECT_GT(p.il_calc_db, 1.8 * p.il_spec_db);
+  EXPECT_NEAR(p.score, 0.45, 0.08);  // published performance factor
+}
+
+TEST(PerfAssess, HybridIfFilterIsBorderline) {
+  Fixture fx;
+  // "using a combination of SMDs, integrated capacitors and integrated
+  //  resistors, the performance is borderline" -> factor 0.7.
+  const FilterPerformance p =
+      assess_filter(fx.bom.filters[1], FilterStyle::Hybrid, fx.kits);
+  EXPECT_FALSE(p.meets_spec);
+  EXPECT_NEAR(p.score, 0.70, 0.08);
+  // Better than fully integrated though.
+  const FilterPerformance integrated =
+      assess_filter(fx.bom.filters[1], FilterStyle::Integrated, fx.kits);
+  EXPECT_GT(p.score, integrated.score);
+}
+
+TEST(PerfAssess, BuildUpScoreIsMinimumOverFilters) {
+  Fixture fx;
+  const PerformanceResult r3 = assess_performance(
+      fx.bom, gps::buildup_mcm_fc_ip(fx.cc, YieldSemantics::PerStep), fx.kits);
+  double min_score = 1.0;
+  for (const FilterPerformance& f : r3.filters) min_score = std::min(min_score, f.score);
+  EXPECT_DOUBLE_EQ(r3.score, min_score);
+  EXPECT_LT(r3.score, 0.6);
+}
+
+TEST(PerfAssess, TableRendering) {
+  Fixture fx;
+  const PerformanceResult r = assess_performance(
+      fx.bom, gps::buildup_mcm_fc_ip_smd(fx.cc, YieldSemantics::PerStep), fx.kits);
+  const std::string t = r.to_table();
+  EXPECT_NE(t.find("LNA output filter"), std::string::npos);
+  EXPECT_NE(t.find("IF filter"), std::string::npos);
+  EXPECT_NE(t.find("overall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipass::core

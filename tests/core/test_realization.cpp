@@ -1,0 +1,137 @@
+#include "core/realization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gps/bom.hpp"
+#include "gps/table2.hpp"
+
+namespace ipass::core {
+namespace {
+
+struct Fixture {
+  FunctionalBom bom = gps::gps_front_end_bom();
+  TechKits kits;
+  gps::ConfidentialCosts cc = gps::calibrated_confidential_costs();
+};
+
+TEST(FilterStyle, PolicyMapping) {
+  FilterSpec plain;
+  FilterSpec hybrid;
+  hybrid.hybrid_preferred = true;
+  EXPECT_EQ(filter_style_for(plain, PassivePolicy::AllSmd), FilterStyle::SmdBlock);
+  EXPECT_EQ(filter_style_for(hybrid, PassivePolicy::AllSmd), FilterStyle::SmdBlock);
+  EXPECT_EQ(filter_style_for(plain, PassivePolicy::AllIntegrated), FilterStyle::Integrated);
+  EXPECT_EQ(filter_style_for(hybrid, PassivePolicy::AllIntegrated), FilterStyle::Integrated);
+  EXPECT_EQ(filter_style_for(plain, PassivePolicy::Optimized), FilterStyle::Integrated);
+  EXPECT_EQ(filter_style_for(hybrid, PassivePolicy::Optimized), FilterStyle::Hybrid);
+}
+
+TEST(Realize, PublishedSmdCountsPerBuildUp) {
+  Fixture fx;
+  // Build-ups 1 and 2: "# SMD's 112".
+  const RealizedBom b1 = realize_bom(fx.bom, gps::buildup_pcb_smd(fx.cc), fx.kits);
+  EXPECT_EQ(b1.smd_placement_count(), 112);
+  const RealizedBom b2 = realize_bom(fx.bom, gps::buildup_mcm_wb_smd(fx.cc), fx.kits);
+  EXPECT_EQ(b2.smd_placement_count(), 112);
+  // Build-up 3: no SMDs at all.
+  const RealizedBom b3 = realize_bom(fx.bom, gps::buildup_mcm_fc_ip(fx.cc), fx.kits);
+  EXPECT_EQ(b3.smd_placement_count(), 0);
+  // Build-up 4: "# SMD's 12".
+  const RealizedBom b4 = realize_bom(fx.bom, gps::buildup_mcm_fc_ip_smd(fx.cc), fx.kits);
+  EXPECT_EQ(b4.smd_placement_count(), 12);
+}
+
+TEST(Realize, PublishedSmdPartsCost) {
+  Fixture fx;
+  // Table 2: 112 parts cost 11.0 (PCB line) / 8.6 (MCM line); 12 cost 2.6.
+  const RealizedBom b1 = realize_bom(fx.bom, gps::buildup_pcb_smd(fx.cc), fx.kits);
+  EXPECT_NEAR(b1.smd_parts_cost(), 11.0, 0.3);
+  const RealizedBom b2 = realize_bom(fx.bom, gps::buildup_mcm_wb_smd(fx.cc), fx.kits);
+  EXPECT_NEAR(b2.smd_parts_cost(), 8.6, 0.3);
+  const RealizedBom b4 = realize_bom(fx.bom, gps::buildup_mcm_fc_ip_smd(fx.cc), fx.kits);
+  EXPECT_NEAR(b4.smd_parts_cost(), 2.6, 0.3);
+}
+
+TEST(Realize, OptimizedPolicyMinimizesArea) {
+  Fixture fx;
+  const RealizedBom b4 = realize_bom(fx.bom, gps::buildup_mcm_fc_ip_smd(fx.cc), fx.kits);
+  // Decaps must be SMD (4.5 mm^2 beats ~35 mm^2 integrated).
+  for (const ComponentInstance& c : b4.components) {
+    if (c.name.find("decoupling") != std::string::npos) {
+      EXPECT_EQ(c.mount, Mount::Smd) << c.name;
+      EXPECT_DOUBLE_EQ(c.area_mm2, 4.5);
+    }
+    // Bias resistors must be integrated (0.23 mm^2 beats 3.75).
+    if (c.name.find("bias") != std::string::npos) {
+      EXPECT_EQ(c.mount, Mount::Integrated) << c.name;
+      EXPECT_LT(c.area_mm2, 0.5);
+    }
+  }
+}
+
+TEST(Realize, IntegratedFilterNearTable1Anchor) {
+  Fixture fx;
+  // Table 1: integrated 3-stage filter = 12 mm^2.
+  const double area =
+      integrated_filter_area_mm2(fx.bom.filters[0], FilterStyle::Integrated, fx.kits);
+  EXPECT_NEAR(area, 12.0, 2.5);
+  // And it beats the 27.5 mm^2 SMD block, which is the paper's point.
+  EXPECT_LT(area, 27.5);
+}
+
+TEST(Realize, HybridKeepsInductorsAsSmd) {
+  Fixture fx;
+  const FilterSpec& if_spec = fx.bom.filters[1];
+  ASSERT_TRUE(if_spec.hybrid_preferred);
+  const rf::Circuit hybrid = synthesize_filter(if_spec, FilterStyle::Hybrid, fx.kits);
+  // Hybrid and integrated share topology but differ in inductor Q.
+  const rf::Circuit integrated =
+      synthesize_filter(if_spec, FilterStyle::Integrated, fx.kits);
+  ASSERT_EQ(hybrid.elements().size(), integrated.elements().size());
+  for (std::size_t i = 0; i < hybrid.elements().size(); ++i) {
+    if (hybrid.elements()[i].kind != rf::ElementKind::Inductor) continue;
+    // SMD multilayer inductor Q at IF beats the integrated spiral.
+    EXPECT_GT(hybrid.elements()[i].q.q_at(175e6),
+              integrated.elements()[i].q.q_at(175e6));
+  }
+}
+
+TEST(Realize, DiesFollowAttachStyle) {
+  Fixture fx;
+  const RealizedBom pcb = realize_bom(fx.bom, gps::buildup_pcb_smd(fx.cc), fx.kits);
+  EXPECT_NEAR(pcb.area_mm2(Mount::Die), 225.0 + 1165.0, 1e-9);
+  const RealizedBom fc = realize_bom(fx.bom, gps::buildup_mcm_fc_ip(fx.cc), fx.kits);
+  EXPECT_NEAR(fc.area_mm2(Mount::Die), 13.0 + 59.0, 1e-9);
+  const RealizedBom wb = realize_bom(fx.bom, gps::buildup_mcm_wb_smd(fx.cc), fx.kits);
+  EXPECT_NEAR(wb.area_mm2(Mount::Die), 28.0 + 88.0, 1.5);
+}
+
+TEST(Realize, IntegratedRequiresCapableSubstrate) {
+  Fixture fx;
+  BuildUp bad = gps::buildup_mcm_fc_ip(fx.cc);
+  bad.substrate = tech::mcm_d_si();  // no IP layers
+  EXPECT_THROW(realize_bom(fx.bom, bad, fx.kits), PreconditionError);
+}
+
+TEST(Realize, SynthRejectsSmdBlockStyle) {
+  Fixture fx;
+  EXPECT_THROW(synthesize_filter(fx.bom.filters[0], FilterStyle::SmdBlock, fx.kits),
+               PreconditionError);
+  EXPECT_THROW(
+      integrated_filter_area_mm2(fx.bom.filters[0], FilterStyle::SmdBlock, fx.kits),
+      PreconditionError);
+}
+
+TEST(Realize, BreakdownCoversAllMounts) {
+  Fixture fx;
+  const RealizedBom b = realize_bom(fx.bom, gps::buildup_mcm_fc_ip_smd(fx.cc), fx.kits);
+  const double total = b.total_component_area_mm2();
+  EXPECT_NEAR(total,
+              b.area_mm2(Mount::Die) + b.area_mm2(Mount::Smd) + b.area_mm2(Mount::Integrated),
+              1e-9);
+  EXPECT_NEAR(b.breakdown().total_mm2(), total, 1e-9);
+}
+
+}  // namespace
+}  // namespace ipass::core

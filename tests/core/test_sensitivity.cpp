@@ -1,0 +1,111 @@
+#include "core/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "gps/casestudy.hpp"
+
+namespace ipass::core {
+namespace {
+
+struct Fixture {
+  gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const BuildUp& buildup(int i) const { return study.buildups[static_cast<std::size_t>(i)]; }
+};
+
+TEST(Sensitivity, ReportCoversAllStandardInputs) {
+  Fixture fx;
+  const SensitivityReport r =
+      cost_sensitivity(fx.study.bom, fx.buildup(3), fx.study.kits);
+  EXPECT_EQ(r.rows.size(), standard_inputs().size());
+  // Sorted by magnitude.
+  for (std::size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(std::abs(r.rows[i - 1].elasticity), std::abs(r.rows[i].elasticity));
+  }
+}
+
+TEST(Sensitivity, ChipCostsDominateEverywhere) {
+  // Fig 5's "thereof chip cost" is over half the direct cost, so the chip
+  // inputs must carry the largest elasticities.
+  Fixture fx;
+  for (const int b : {0, 1, 2, 3}) {
+    const SensitivityReport r =
+        cost_sensitivity(fx.study.bom, fx.buildup(b), fx.study.kits);
+    bool chip_in_top3 = false;
+    for (std::size_t i = 0; i < 3 && i < r.rows.size(); ++i) {
+      if (r.rows[i].input.find("chip") != std::string::npos ||
+          r.rows[i].input.find("DSP") != std::string::npos) {
+        chip_in_top3 = true;
+      }
+    }
+    EXPECT_TRUE(chip_in_top3) << "build-up " << b + 1;
+  }
+}
+
+TEST(Sensitivity, SubstrateYieldMattersMoreOnIpBuildUps) {
+  Fixture fx;
+  auto substrate_yield_elasticity = [&](int b) {
+    const SensitivityReport r =
+        cost_sensitivity(fx.study.bom, fx.buildup(b), fx.study.kits);
+    for (const SensitivityRow& row : r.rows) {
+      if (row.input == "substrate yield (loss)") return std::abs(row.elasticity);
+    }
+    return 0.0;
+  };
+  // 90% IP substrate (build-up 3) vs 99.99% PCB (build-up 1).
+  EXPECT_GT(substrate_yield_elasticity(2), 5.0 * substrate_yield_elasticity(0));
+}
+
+TEST(Sensitivity, CostInputsHavePositiveElasticity) {
+  Fixture fx;
+  const SensitivityReport r =
+      cost_sensitivity(fx.study.bom, fx.buildup(1), fx.study.kits);
+  for (const SensitivityRow& row : r.rows) {
+    if (row.input.find("cost") != std::string::npos ||
+        row.input == "NRE") {
+      EXPECT_GE(row.elasticity, 0.0) << row.input;
+    }
+    if (row.input.find("yield") != std::string::npos) {
+      // Improving yield (shrinking the loss) reduces cost.
+      EXPECT_LE(row.elasticity, 1e-9) << row.input;
+    }
+  }
+}
+
+TEST(Sensitivity, ElasticitiesAreScaleFree) {
+  // Halving the step should leave the (first-order) elasticity roughly
+  // unchanged.
+  Fixture fx;
+  const SensitivityReport big =
+      cost_sensitivity(fx.study.bom, fx.buildup(3), fx.study.kits, 0.10);
+  const SensitivityReport small =
+      cost_sensitivity(fx.study.bom, fx.buildup(3), fx.study.kits, 0.02);
+  for (const SensitivityRow& rb : big.rows) {
+    for (const SensitivityRow& rs : small.rows) {
+      if (rb.input != rs.input) continue;
+      if (std::abs(rb.elasticity) < 0.01) continue;
+      EXPECT_NEAR(rb.elasticity, rs.elasticity, 0.2 * std::abs(rb.elasticity) + 0.01)
+          << rb.input;
+    }
+  }
+}
+
+TEST(Sensitivity, TableRendering) {
+  Fixture fx;
+  const SensitivityReport r =
+      cost_sensitivity(fx.study.bom, fx.buildup(2), fx.study.kits);
+  const std::string t = r.to_table();
+  EXPECT_NE(t.find("elasticity"), std::string::npos);
+  EXPECT_NE(t.find("substrate"), std::string::npos);
+}
+
+TEST(Sensitivity, Preconditions) {
+  Fixture fx;
+  EXPECT_THROW(cost_sensitivity(fx.study.bom, fx.buildup(0), fx.study.kits, 0.0),
+               PreconditionError);
+  EXPECT_THROW(cost_sensitivity(fx.study.bom, fx.buildup(0), fx.study.kits, 1.5),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::core

@@ -1,0 +1,112 @@
+// Cross-build-up property suite: accounting identities and model-level
+// invariants that must hold for every build-up of the case study.
+#include <gtest/gtest.h>
+
+#include "core/cost_assess.hpp"
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+#include "moe/dot.hpp"
+#include "moe/montecarlo.hpp"
+
+namespace ipass::gps {
+namespace {
+
+class BuildUpInvariantTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const GpsCaseStudy& study() {
+    static const GpsCaseStudy s = make_gps_case_study();
+    return s;
+  }
+  const core::BuildUp& buildup() const {
+    return study().buildups[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(BuildUpInvariantTest, Equation1AccountingIdentity) {
+  // final = direct + yield loss + NRE share (Eq. 1, rearranged).
+  const core::AreaResult area = core::assess_area(study().bom, buildup(), study().kits);
+  const moe::CostReport r = core::assess_cost(area, buildup()).report;
+  EXPECT_NEAR(r.final_cost_per_shipped,
+              r.direct_cost + r.yield_loss_per_shipped + r.nre_per_shipped, 1e-9);
+  // Total spend + NRE over shipped equals the same number.
+  EXPECT_NEAR(r.final_cost_per_shipped,
+              (r.total_spend_per_started + buildup().production.nre_total /
+                                               buildup().production.volume) /
+                  r.shipped_fraction,
+              1e-9);
+}
+
+TEST_P(BuildUpInvariantTest, LedgerTotalsConsistent) {
+  const core::AreaResult area = core::assess_area(study().bom, buildup(), study().kits);
+  const moe::CostReport r = core::assess_cost(area, buildup()).report;
+  double direct_sum = 0.0;
+  double spend_sum = 0.0;
+  for (int i = 0; i < moe::kCostCategoryCount; ++i) {
+    direct_sum += r.direct_ledger.v[i];
+    spend_sum += r.spend_ledger.v[i];
+    EXPECT_GE(r.direct_ledger.v[i], 0.0);
+    EXPECT_GE(r.spend_ledger.v[i], 0.0);
+    // Expected spend never exceeds the clean-pass cost (units drop out).
+    EXPECT_LE(r.spend_ledger.v[i], r.direct_ledger.v[i] + 1e-9);
+  }
+  EXPECT_NEAR(direct_sum, r.direct_cost, 1e-9);
+  EXPECT_NEAR(spend_sum, r.total_spend_per_started, 1e-9);
+}
+
+TEST_P(BuildUpInvariantTest, ShippedFractionsAreProbabilities) {
+  const core::AreaResult area = core::assess_area(study().bom, buildup(), study().kits);
+  const moe::CostReport r = core::assess_cost(area, buildup()).report;
+  EXPECT_GT(r.shipped_fraction, 0.5);
+  EXPECT_LE(r.shipped_fraction, 1.0);
+  EXPECT_LE(r.good_fraction, r.shipped_fraction);
+  EXPECT_GE(r.escaped_defect_rate, 0.0);
+  EXPECT_LT(r.escaped_defect_rate, 0.02);  // 99% final coverage keeps escapes rare
+}
+
+TEST_P(BuildUpInvariantTest, MonteCarloWithinConfidence) {
+  const core::AreaResult area = core::assess_area(study().bom, buildup(), study().kits);
+  const moe::CostReport exact = core::assess_cost(area, buildup()).report;
+  moe::McOptions opt;
+  opt.samples = 40000;
+  opt.seed = 31337 + static_cast<std::uint64_t>(GetParam());
+  const moe::McReport mc = core::assess_cost_monte_carlo(area, buildup(), opt);
+  EXPECT_NEAR(mc.report.final_cost_per_shipped, exact.final_cost_per_shipped,
+              4.0 * mc.final_cost_ci95 + 1e-9);
+  EXPECT_NEAR(mc.report.shipped_fraction, exact.shipped_fraction, 0.01);
+}
+
+TEST_P(BuildUpInvariantTest, FlowRendersWithoutError) {
+  const core::AreaResult area = core::assess_area(study().bom, buildup(), study().kits);
+  const moe::FlowModel flow = core::build_flow(area, buildup());
+  EXPECT_FALSE(moe::to_dot(flow).empty());
+  EXPECT_FALSE(moe::to_ascii(flow).empty());
+  EXPECT_NE(moe::to_dot(flow).find("Final test"), std::string::npos);
+}
+
+TEST_P(BuildUpInvariantTest, AreaDecomposesByMount) {
+  const core::AreaResult area = core::assess_area(study().bom, buildup(), study().kits);
+  const double sum = area.bom.area_mm2(core::Mount::Die) +
+                     area.bom.area_mm2(core::Mount::Integrated) +
+                     area.bom.area_mm2(core::Mount::Smd);
+  EXPECT_NEAR(area.bom.total_component_area_mm2(), sum, 1e-9);
+  EXPECT_GT(area.module_area_mm2(), area.substrate.area_mm2 - 1e-9);
+}
+
+TEST_P(BuildUpInvariantTest, NoIntegratedPartsOnIncapableSubstrates) {
+  const core::RealizedBom bom =
+      core::realize_bom(study().bom, buildup(), study().kits);
+  if (!buildup().substrate.supports_integrated_passives) {
+    EXPECT_DOUBLE_EQ(bom.area_mm2(core::Mount::Integrated), 0.0);
+  }
+}
+
+std::string buildup_test_name(const ::testing::TestParamInfo<int>& info) {
+  static const char* const kNames[] = {"PcbSmd", "McmWbSmd", "McmFcIp", "McmFcIpSmd"};
+  return kNames[info.param];
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBuildUps, BuildUpInvariantTest, ::testing::Values(0, 1, 2, 3),
+                         buildup_test_name);
+
+}  // namespace
+}  // namespace ipass::gps

@@ -1,0 +1,74 @@
+#include "gps/published.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipass::gps {
+namespace {
+
+TEST(Published, Fig3Ratios) {
+  const auto a = published_fig3_area_ratio();
+  EXPECT_DOUBLE_EQ(a[0], 1.00);
+  EXPECT_DOUBLE_EQ(a[1], 0.79);
+  EXPECT_DOUBLE_EQ(a[2], 0.60);
+  EXPECT_DOUBLE_EQ(a[3], 0.37);
+}
+
+TEST(Published, Fig5Ratios) {
+  const auto c = published_fig5_cost_ratio();
+  EXPECT_DOUBLE_EQ(c[0], 1.000);
+  EXPECT_DOUBLE_EQ(c[1], 1.047);
+  EXPECT_DOUBLE_EQ(c[2], 1.128);
+  EXPECT_DOUBLE_EQ(c[3], 1.053);
+}
+
+TEST(Published, Fig6Table) {
+  const auto perf = published_fig6_performance();
+  const auto fom = published_fig6_fom();
+  EXPECT_DOUBLE_EQ(perf[2], 0.45);
+  EXPECT_DOUBLE_EQ(perf[3], 0.7);
+  EXPECT_DOUBLE_EQ(fom[1], 1.2);
+  EXPECT_DOUBLE_EQ(fom[3], 1.8);
+  // The paper's Fig-6 products reproduce from its own inputs.
+  const auto size = published_fig3_area_ratio();
+  const auto cost = published_fig5_cost_ratio();
+  for (int i = 0; i < 4; ++i) {
+    const double product = perf[static_cast<std::size_t>(i)] /
+                           size[static_cast<std::size_t>(i)] /
+                           cost[static_cast<std::size_t>(i)];
+    EXPECT_NEAR(product, fom[static_cast<std::size_t>(i)],
+                0.06 * fom[static_cast<std::size_t>(i)] + 1e-9)
+        << "row " << i;
+  }
+}
+
+TEST(Published, Fig4Counts) {
+  const Fig4Counts c = published_fig4_counts();
+  EXPECT_DOUBLE_EQ(c.scrapped, 208.0);
+  EXPECT_DOUBLE_EQ(c.shipped, 7799.0);
+  EXPECT_DOUBLE_EQ(c.started(), 8007.0);
+}
+
+TEST(Published, Table1AndFig1Consistent) {
+  // The 0603/0805 footprints appear in both Table 1 and Fig 1.
+  double fig1_0603 = 0.0, fig1_0805 = 0.0;
+  for (const Fig1Bar& b : published_fig1()) {
+    if (b.smd_type == "0603") fig1_0603 = b.footprint_area_mm2;
+    if (b.smd_type == "0805") fig1_0805 = b.footprint_area_mm2;
+  }
+  double t1_0603 = 0.0, t1_0805 = 0.0;
+  for (const Table1Row& r : published_table1()) {
+    if (r.item == "Passive 0603") t1_0603 = r.published_mm2;
+    if (r.item == "Passive 0805") t1_0805 = r.published_mm2;
+  }
+  EXPECT_DOUBLE_EQ(fig1_0603, t1_0603);
+  EXPECT_DOUBLE_EQ(fig1_0805, t1_0805);
+}
+
+TEST(Published, BuildupNames) {
+  const auto names = buildup_names();
+  EXPECT_STREQ(names[0], "PCB/SMD");
+  EXPECT_STREQ(names[3], "MCM-D(Si)/FC/IP&SMD");
+}
+
+}  // namespace
+}  // namespace ipass::gps

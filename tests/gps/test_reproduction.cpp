@@ -1,0 +1,133 @@
+// The headline reproduction test: run the full methodology on the GPS case
+// study and compare against every published figure of the paper.
+#include <gtest/gtest.h>
+
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+#include "gps/published.hpp"
+#include "moe/montecarlo.hpp"
+
+namespace ipass::gps {
+namespace {
+
+class ReproductionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    study_ = new GpsCaseStudy(make_gps_case_study());
+    report_ = new core::DecisionReport(run_gps_assessment(*study_));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete study_;
+    report_ = nullptr;
+    study_ = nullptr;
+  }
+  static GpsCaseStudy* study_;
+  static core::DecisionReport* report_;
+};
+
+GpsCaseStudy* ReproductionTest::study_ = nullptr;
+core::DecisionReport* ReproductionTest::report_ = nullptr;
+
+TEST_F(ReproductionTest, Fig3AreaRatios) {
+  const auto published = published_fig3_area_ratio();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(report_->assessments[i].area_rel, published[i], 0.02)
+        << "build-up " << i + 1;
+  }
+}
+
+TEST_F(ReproductionTest, Fig5CostRatios) {
+  const auto published = published_fig5_cost_ratio();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(report_->assessments[i].cost_rel, published[i], 0.012)
+        << "build-up " << i + 1;
+  }
+}
+
+TEST_F(ReproductionTest, Fig5CostOrdering) {
+  // PCB cheapest; full-IP the most expensive; WB/SMD and passives-optimized
+  // within about a point of each other in between.
+  const auto& a = report_->assessments;
+  EXPECT_LT(a[0].cost_rel, a[1].cost_rel);
+  EXPECT_LT(a[0].cost_rel, a[3].cost_rel);
+  EXPECT_GT(a[2].cost_rel, a[1].cost_rel);
+  EXPECT_GT(a[2].cost_rel, a[3].cost_rel);
+  EXPECT_NEAR(a[1].cost_rel, a[3].cost_rel, 0.03);
+}
+
+TEST_F(ReproductionTest, Fig6PerformanceScores) {
+  const auto published = published_fig6_performance();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(report_->assessments[i].performance.score, published[i], 0.06)
+        << "build-up " << i + 1;
+  }
+}
+
+TEST_F(ReproductionTest, Fig6FigureOfMerit) {
+  const auto published = published_fig6_fom();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(report_->assessments[i].fom, published[i],
+                0.08 * published[i] + 0.02)
+        << "build-up " << i + 1;
+  }
+}
+
+TEST_F(ReproductionTest, PaperDecisionReproduced) {
+  // "resulting in the highest value of 1.8 ... an adaptation of solution 4
+  //  has been chosen for the final design."
+  EXPECT_EQ(report_->winner, 3u);
+  EXPECT_GT(report_->assessments[3].fom, 1.6);
+  EXPECT_LT(report_->assessments[2].fom, 1.0);  // full IP loses on performance
+}
+
+TEST_F(ReproductionTest, Table2DerivedCountsReproduced) {
+  const auto& a = report_->assessments;
+  EXPECT_EQ(a[0].area.bom.smd_placement_count(), 112);
+  EXPECT_EQ(a[1].area.bom.smd_placement_count(), 112);
+  EXPECT_EQ(a[2].area.bom.smd_placement_count(), 0);
+  EXPECT_EQ(a[3].area.bom.smd_placement_count(), 12);
+}
+
+TEST_F(ReproductionTest, CostPenaltyStory) {
+  // "we obtained a cost penalty of 4.7% (solution 2), 12.8% (solution 3),
+  //  and 5.3% (solution 4)" -- penalties within about a point.
+  const auto& a = report_->assessments;
+  EXPECT_NEAR((a[1].cost_rel - 1.0) * 100.0, 4.7, 1.2);
+  EXPECT_NEAR((a[2].cost_rel - 1.0) * 100.0, 12.8, 1.2);
+  EXPECT_NEAR((a[3].cost_rel - 1.0) * 100.0, 5.3, 1.2);
+}
+
+TEST_F(ReproductionTest, YieldLossExplanationsHold) {
+  const auto& a = report_->assessments;
+  // "For solution 3, eliminating the wire bonding reduces the yield loss
+  //  significantly, but the large area required for especially the decaps
+  //  raises the direct cost": substrate spend of 3 exceeds that of 2.
+  EXPECT_GT(a[2].cost.spend_ledger.get(moe::CostCategory::Substrate),
+            a[1].cost.spend_ledger.get(moe::CostCategory::Substrate));
+  // "Solution 4 has slightly lower direct cost than solution 2, but this is
+  //  overcompensated by the higher yield loss."
+  EXPECT_LT(a[3].cost.direct_cost, a[1].cost.direct_cost);
+  EXPECT_GT(a[3].cost.yield_loss_per_shipped, a[1].cost.yield_loss_per_shipped);
+}
+
+TEST_F(ReproductionTest, MonteCarloConfirmsAnalyticOnWinner) {
+  const core::BuildUpAssessment& winner = report_->assessments[3];
+  moe::McOptions opt;
+  opt.samples = 80000;
+  const moe::McReport mc = core::assess_cost_monte_carlo(winner.area, winner.buildup, opt);
+  EXPECT_NEAR(mc.report.final_cost_per_shipped, winner.cost.final_cost_per_shipped,
+              3.0 * mc.final_cost_ci95 + 1e-9);
+}
+
+TEST_F(ReproductionTest, FinalLayoutAnecdote) {
+  // "The silicon area of the final layout corresponded well with the
+  //  predicted value for solution 4" -- our predicted silicon is a sane
+  //  hand-held module size (between 2 and 4 cm^2).
+  const double si = report_->assessments[3].area.substrate.area_mm2;
+  EXPECT_GT(si, 200.0);
+  EXPECT_LT(si, 400.0);
+}
+
+}  // namespace
+}  // namespace ipass::gps

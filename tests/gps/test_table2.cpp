@@ -1,0 +1,82 @@
+#include "gps/table2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipass::gps {
+namespace {
+
+TEST(Table2, PublishedValuesVerbatim) {
+  const ConfidentialCosts cc = calibrated_confidential_costs();
+  const core::BuildUp b1 = buildup_pcb_smd(cc);
+  EXPECT_DOUBLE_EQ(b1.production.rf_chip_yield, 0.999);
+  EXPECT_DOUBLE_EQ(b1.production.dsp_yield, 0.9999);
+  EXPECT_DOUBLE_EQ(b1.production.chip_assembly_cost, 0.15);
+  EXPECT_DOUBLE_EQ(b1.production.chip_assembly_yield, 0.933);
+  EXPECT_DOUBLE_EQ(b1.production.smd_assembly_cost, 0.01);
+  EXPECT_DOUBLE_EQ(b1.production.smd_assembly_yield, 0.9999);
+  EXPECT_DOUBLE_EQ(b1.production.final_test_cost, 10.0);
+  EXPECT_DOUBLE_EQ(b1.production.final_test_coverage, 0.99);
+  EXPECT_DOUBLE_EQ(b1.substrate.cost_per_cm2, 0.10);
+
+  const core::BuildUp b2 = buildup_mcm_wb_smd(cc);
+  EXPECT_DOUBLE_EQ(b2.production.rf_chip_yield, 0.95);
+  EXPECT_DOUBLE_EQ(b2.production.dsp_yield, 0.99);
+  EXPECT_DOUBLE_EQ(b2.production.chip_assembly_cost, 0.10);
+  EXPECT_DOUBLE_EQ(b2.production.wire_bond_cost, 0.01);
+  EXPECT_DOUBLE_EQ(b2.production.wire_bond_yield, 0.9999);
+  EXPECT_DOUBLE_EQ(b2.production.packaging_cost, 7.30);
+  EXPECT_DOUBLE_EQ(b2.production.packaging_yield, 0.968);
+  EXPECT_DOUBLE_EQ(b2.substrate.cost_per_cm2, 1.75);
+
+  const core::BuildUp b3 = buildup_mcm_fc_ip(cc);
+  EXPECT_DOUBLE_EQ(b3.production.packaging_cost, 4.70);
+  EXPECT_DOUBLE_EQ(b3.substrate.cost_per_cm2, 2.25);
+  EXPECT_DOUBLE_EQ(b3.substrate.fab_yield, 0.90);
+
+  const core::BuildUp b4 = buildup_mcm_fc_ip_smd(cc);
+  EXPECT_DOUBLE_EQ(b4.production.packaging_cost, 3.50);
+}
+
+TEST(Table2, BuildUpPolicies) {
+  const ConfidentialCosts cc = calibrated_confidential_costs();
+  EXPECT_EQ(buildup_pcb_smd(cc).policy, core::PassivePolicy::AllSmd);
+  EXPECT_EQ(buildup_mcm_wb_smd(cc).policy, core::PassivePolicy::AllSmd);
+  EXPECT_EQ(buildup_mcm_fc_ip(cc).policy, core::PassivePolicy::AllIntegrated);
+  EXPECT_EQ(buildup_mcm_fc_ip_smd(cc).policy, core::PassivePolicy::Optimized);
+  EXPECT_EQ(buildup_pcb_smd(cc).die_attach, tech::DieAttach::PackagedSmt);
+  EXPECT_EQ(buildup_mcm_wb_smd(cc).die_attach, tech::DieAttach::WireBond);
+  EXPECT_EQ(buildup_mcm_fc_ip(cc).die_attach, tech::DieAttach::FlipChip);
+}
+
+TEST(Table2, ConfidentialConstraintsHold) {
+  const ConfidentialCosts cc = calibrated_confidential_costs();
+  // Packaged chips cost more than bare dice.
+  EXPECT_GT(cc.rf_chip_packaged, cc.rf_chip_bare);
+  EXPECT_GT(cc.dsp_packaged, cc.dsp_bare);
+  // The big DSP die costs more than the small RF die.
+  EXPECT_GT(cc.dsp_bare, cc.rf_chip_bare);
+  // NRE ordering: PCB < MCM-D < MCM-D+IP.
+  EXPECT_LT(cc.nre_pcb, cc.nre_mcm);
+  EXPECT_LT(cc.nre_mcm, cc.nre_mcm_ip);
+  // Fig-4 volume.
+  EXPECT_DOUBLE_EQ(cc.volume, 8007.0);
+}
+
+TEST(Table2, FourBuildUpsInPaperOrder) {
+  const auto all = gps_buildups(calibrated_confidential_costs());
+  ASSERT_EQ(all.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)].index, i + 1);
+  EXPECT_TRUE(all[1].smd_on_laminate);
+  EXPECT_FALSE(all[3].smd_on_laminate);
+  EXPECT_FALSE(all[0].uses_laminate);
+}
+
+TEST(Table2, SemanticsPropagated) {
+  const ConfidentialCosts cc = calibrated_confidential_costs();
+  EXPECT_EQ(buildup_pcb_smd(cc, core::YieldSemantics::PerJoint).production.semantics,
+            core::YieldSemantics::PerJoint);
+  EXPECT_EQ(buildup_pcb_smd(cc).production.semantics, core::YieldSemantics::PerStep);
+}
+
+}  // namespace
+}  // namespace ipass::gps

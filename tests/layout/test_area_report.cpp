@@ -1,0 +1,44 @@
+#include "layout/area_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::layout {
+namespace {
+
+TEST(AreaReport, TotalsAndCategories) {
+  AreaBreakdown b;
+  b.add(AreaCategory::Dies, "RF chip", 13.0);
+  b.add(AreaCategory::Dies, "DSP", 59.0);
+  b.add(AreaCategory::DecouplingCaps, "decap", 35.05, 8);
+  b.add(AreaCategory::Passives, "bias R", 0.25, 56);
+  EXPECT_NEAR(b.total_mm2(), 13.0 + 59.0 + 8 * 35.05 + 56 * 0.25, 1e-9);
+  EXPECT_NEAR(b.category_total_mm2(AreaCategory::Dies), 72.0, 1e-12);
+  EXPECT_NEAR(b.category_total_mm2(AreaCategory::DecouplingCaps), 280.4, 1e-9);
+  EXPECT_DOUBLE_EQ(b.category_total_mm2(AreaCategory::Filters), 0.0);
+}
+
+TEST(AreaReport, TableRendering) {
+  AreaBreakdown b;
+  b.add(AreaCategory::Filters, "IF filter", 27.5, 2);
+  const std::string t = b.to_table();
+  EXPECT_NE(t.find("filters"), std::string::npos);
+  EXPECT_NE(t.find("IF filter"), std::string::npos);
+  EXPECT_NE(t.find("55.00"), std::string::npos);  // 2 x 27.5
+  EXPECT_NE(t.find("total"), std::string::npos);
+}
+
+TEST(AreaReport, Preconditions) {
+  AreaBreakdown b;
+  EXPECT_THROW(b.add(AreaCategory::Other, "x", -1.0), PreconditionError);
+  EXPECT_THROW(b.add(AreaCategory::Other, "x", 1.0, 0), PreconditionError);
+}
+
+TEST(AreaReport, CategoryNames) {
+  EXPECT_STREQ(area_category_name(AreaCategory::Dies), "dies");
+  EXPECT_STREQ(area_category_name(AreaCategory::DecouplingCaps), "decoupling");
+}
+
+}  // namespace
+}  // namespace ipass::layout

@@ -1,0 +1,63 @@
+#include "layout/substrate_rules.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::layout {
+namespace {
+
+TEST(SubstrateRules, McmRuleFromTable1Note) {
+  // "Area MCM-Substrate: 1.1 * Total Area Components + 1mm edge clearance
+  //  on either side".
+  const SubstrateDims d = mcm_substrate(100.0);
+  EXPECT_NEAR(d.side_mm, std::sqrt(110.0) + 2.0, 1e-12);
+  EXPECT_NEAR(d.area_mm2, d.side_mm * d.side_mm, 1e-12);
+}
+
+TEST(SubstrateRules, LaminateRuleFromTable1Note) {
+  // "Laminate: Total Area Silicon Substrate + 5mm edge clearance on either
+  //  side".
+  const SubstrateDims d = laminate_package(400.0);  // 20 mm silicon
+  EXPECT_NEAR(d.side_mm, 20.0 + 10.0, 1e-12);
+  EXPECT_NEAR(d.area_mm2, 900.0, 1e-9);
+}
+
+TEST(SubstrateRules, PcbBothSidedReference) {
+  const SubstrateDims d = pcb_board(1889.0);
+  EXPECT_NEAR(d.area_mm2, 1889.0, 1e-9);
+}
+
+TEST(SubstrateRules, DispatchOnTechnology) {
+  const SubstrateDims pcb = substrate_for(tech::pcb_fr4(), 1000.0);
+  EXPECT_NEAR(pcb.area_mm2, 1000.0, 1e-9);
+  const SubstrateDims mcm = substrate_for(tech::mcm_d_si(), 1000.0);
+  EXPECT_NEAR(mcm.side_mm, std::sqrt(1100.0) + 2.0, 1e-12);
+  const SubstrateDims ip = substrate_for(tech::mcm_d_si_ip(), 1000.0);
+  EXPECT_NEAR(ip.side_mm, mcm.side_mm, 1e-12);  // same geometry rule
+}
+
+TEST(SubstrateRules, EdgeDominatesSmallSubstrates) {
+  // A tiny payload still needs the edge ring.
+  const SubstrateDims d = mcm_substrate(1.0);
+  EXPECT_GT(d.side_mm, 3.0);
+}
+
+TEST(SubstrateRules, MonotoneInPayload) {
+  double prev = 0.0;
+  for (const double a : {10.0, 50.0, 200.0, 1000.0}) {
+    const double area = mcm_substrate(a).area_mm2;
+    EXPECT_GT(area, prev);
+    prev = area;
+  }
+}
+
+TEST(SubstrateRules, Preconditions) {
+  EXPECT_THROW(size_with_edge(-1.0, 1.0), PreconditionError);
+  EXPECT_THROW(size_with_edge(10.0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::layout

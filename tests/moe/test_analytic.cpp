@@ -1,0 +1,152 @@
+#include "moe/analytic.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::moe {
+namespace {
+
+TEST(Analytic, PerfectLineShipsEverything) {
+  FlowModel flow("perfect", 100.0, 0.0);
+  flow.fabricate("sub", 5.0, FixedYield{1.0}).test("final", 1.0, 0.99);
+  const CostReport r = evaluate_analytic(flow);
+  EXPECT_DOUBLE_EQ(r.shipped_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.good_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.escaped_defect_rate, 0.0);
+  EXPECT_NEAR(r.final_cost_per_shipped, 6.0, 1e-12);
+  EXPECT_NEAR(r.yield_loss_per_shipped, 0.0, 1e-12);
+}
+
+TEST(Analytic, SingleDefectiveStepFullCoverage) {
+  // Yield 0.9, coverage 1.0: exactly the defective fraction is scrapped.
+  FlowModel flow("y90", 1000.0, 0.0);
+  flow.fabricate("sub", 10.0, FixedYield{0.9}).test("final", 0.0, 1.0);
+  const CostReport r = evaluate_analytic(flow);
+  EXPECT_NEAR(r.shipped_fraction, 0.9, 1e-12);
+  // Everyone paid 10; per shipped = 10/0.9.
+  EXPECT_NEAR(r.final_cost_per_shipped, 10.0 / 0.9, 1e-12);
+  EXPECT_NEAR(r.yield_loss_per_shipped, 10.0 / 0.9 - 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.escaped_defect_rate, 0.0);
+}
+
+TEST(Analytic, EscapesWithPartialCoverage) {
+  FlowModel flow("escape", 1000.0, 0.0);
+  flow.fabricate("sub", 10.0, FixedYield{0.9}).test("final", 0.0, 0.99);
+  const CostReport r = evaluate_analytic(flow);
+  // P(scrap) = 1 - exp(lambda * ln(1-... ) -- Poisson semantics:
+  // lambda = -ln 0.9; scrap = 1 - e^{-lambda c}; c = 0.99.
+  const double lambda = -std::log(0.9);
+  const double scrap = 1.0 - std::exp(-lambda * 0.99);
+  EXPECT_NEAR(r.shipped_fraction, 1.0 - scrap, 1e-12);
+  EXPECT_GT(r.escaped_defect_rate, 0.0);
+  EXPECT_LT(r.escaped_defect_rate, 0.02);
+}
+
+TEST(Analytic, EarlyTestSavesDownstreamSpend) {
+  // Same yields/costs, one flow tests before the expensive packaging step.
+  const double pack_cost = 50.0;
+  FlowModel late("late", 1000.0, 0.0);
+  late.fabricate("sub", 5.0, FixedYield{0.8})
+      .package("pack", pack_cost, FixedYield{1.0})
+      .test("final", 1.0, 1.0);
+  FlowModel early("early", 1000.0, 0.0);
+  early.fabricate("sub", 5.0, FixedYield{0.8})
+      .test("pre", 1.0, 1.0)
+      .package("pack", pack_cost, FixedYield{1.0})
+      .test("final", 1.0, 1.0);
+  const CostReport rl = evaluate_analytic(late);
+  const CostReport re = evaluate_analytic(early);
+  EXPECT_LT(re.final_cost_per_shipped, rl.final_cost_per_shipped);
+  // Saved on the 20% scrapped units: packaging and the final test; paid on
+  // every unit: the extra pre-test.  All per shipped unit (0.8).
+  EXPECT_NEAR(rl.final_cost_per_shipped - re.final_cost_per_shipped,
+              (0.2 * (pack_cost + 1.0) - 1.0) / 0.8, 1e-9);
+}
+
+TEST(Analytic, Equation1NreAmortization) {
+  FlowModel flow("nre", 500.0, 2500.0);  // 5 per started unit
+  flow.fabricate("sub", 10.0, FixedYield{1.0}).test("final", 0.0, 1.0);
+  const CostReport r = evaluate_analytic(flow);
+  EXPECT_NEAR(r.nre_per_shipped, 5.0, 1e-12);
+  EXPECT_NEAR(r.final_cost_per_shipped, 15.0, 1e-12);
+}
+
+TEST(Analytic, ComponentYieldsCountAsFaults) {
+  FlowModel flow("chips", 1000.0, 0.0);
+  flow.fabricate("sub", 0.0, FixedYield{1.0})
+      .assemble("dice", 0.0, 0.0, FixedYield{1.0},
+                {{"die", 2, 10.0, 0.95, CostCategory::Chips}})
+      .test("final", 0.0, 1.0);
+  const CostReport r = evaluate_analytic(flow);
+  EXPECT_NEAR(r.shipped_fraction, 0.95 * 0.95, 1e-12);
+  EXPECT_NEAR(r.direct_ledger.get(CostCategory::Chips), 20.0, 1e-12);
+}
+
+TEST(Analytic, ScrapCostIncludesEverythingSunk) {
+  // Two-step line, test at the end: scrapped units carry both step costs.
+  FlowModel flow("sunk", 100.0, 0.0);
+  flow.fabricate("a", 3.0, FixedYield{0.5}).process("b", 7.0, FixedYield{1.0}, CostCategory::Assembly).test("t", 0.0, 1.0);
+  const CostReport r = evaluate_analytic(flow);
+  // spend = 10 per started; shipped 0.5 -> 20 per shipped; direct 10.
+  EXPECT_NEAR(r.final_cost_per_shipped, 20.0, 1e-12);
+  EXPECT_NEAR(r.yield_loss_per_shipped, 10.0, 1e-12);
+}
+
+TEST(Analytic, ReworkRecoversUnits) {
+  FailPolicy rework;
+  rework.rework = true;
+  rework.rework_cost = 1.0;
+  rework.rework_success = 1.0;  // always fixable
+  FlowModel with("rework", 100.0, 0.0);
+  with.fabricate("a", 10.0, FixedYield{0.8}).test("t", 0.0, 1.0, rework);
+  const CostReport r = evaluate_analytic(with);
+  // Everything ships: the 20% detected units are repaired.
+  EXPECT_NEAR(r.shipped_fraction, 1.0, 1e-12);
+  // Cost: 10 + rework on 20% = 10.2 per shipped.
+  EXPECT_NEAR(r.final_cost_per_shipped, 10.2, 1e-12);
+}
+
+TEST(Analytic, PartialReworkSplitsStream) {
+  FailPolicy rework;
+  rework.rework = true;
+  rework.rework_cost = 2.0;
+  rework.rework_success = 0.5;
+  FlowModel flow("partial", 100.0, 0.0);
+  flow.fabricate("a", 10.0, FixedYield{0.8}).test("t", 0.0, 1.0, rework);
+  const CostReport r = evaluate_analytic(flow);
+  EXPECT_NEAR(r.shipped_fraction, 0.8 + 0.2 * 0.5, 1e-12);
+}
+
+TEST(Analytic, TestThinningLeavesLatentFaults) {
+  // Two tests in sequence: the second catches part of what the first
+  // missed (Poisson thinning).
+  FlowModel flow("thin", 1000.0, 0.0);
+  flow.fabricate("a", 1.0, FixedYield{0.7}).test("t1", 0.0, 0.9).test("t2", 0.0, 0.9);
+  const CostReport r = evaluate_analytic(flow);
+  const double lambda = -std::log(0.7);
+  const double pass1 = std::exp(-lambda * 0.9);
+  const double lambda2 = lambda * 0.1;
+  const double pass2 = std::exp(-lambda2 * 0.9);
+  EXPECT_NEAR(r.shipped_fraction, pass1 * pass2, 1e-12);
+  EXPECT_NEAR(r.good_fraction, 0.7, 1e-12);  // good units always pass
+}
+
+TEST(Analytic, EmptyFlowRejected) {
+  FlowModel flow("empty", 10.0, 0.0);
+  EXPECT_THROW(evaluate_analytic(flow), PreconditionError);
+}
+
+TEST(Analytic, ReportRendering) {
+  FlowModel flow("render", 100.0, 50.0);
+  flow.fabricate("sub", 5.0, FixedYield{0.95}).test("final", 1.0, 0.99);
+  const std::string s = evaluate_analytic(flow).to_string();
+  EXPECT_NE(s.find("FINAL COST"), std::string::npos);
+  EXPECT_NE(s.find("render"), std::string::npos);
+  EXPECT_NE(s.find("substrate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipass::moe

@@ -1,0 +1,80 @@
+// Integration: area-driven defect-density yields inside a production flow
+// (the ablation configuration of bench_ablation_yield_models).
+#include <gtest/gtest.h>
+
+#include "moe/analytic.hpp"
+#include "moe/montecarlo.hpp"
+#include "moe/yield.hpp"
+
+namespace ipass::moe {
+namespace {
+
+FlowModel flow_with_area_yield(DefectModel model, double d0, double area_cm2) {
+  FlowModel flow("area-yield", 1000.0, 0.0);
+  flow.fabricate("substrate", 2.25 * area_cm2, AreaYield{model, d0, area_cm2})
+      .test("final", 1.0, 1.0);
+  return flow;
+}
+
+TEST(AreaYieldFlow, MatchesClosedFormShipping) {
+  const double d0 = 0.02;
+  for (const DefectModel model :
+       {DefectModel::Poisson, DefectModel::Murphy, DefectModel::Seeds}) {
+    for (const double area : {2.0, 5.5, 11.0}) {
+      const FlowModel flow = flow_with_area_yield(model, d0, area);
+      const CostReport r = evaluate_analytic(flow);
+      EXPECT_NEAR(r.shipped_fraction, yield_value(AreaYield{model, d0, area}), 1e-12)
+          << "area " << area;
+    }
+  }
+}
+
+TEST(AreaYieldFlow, BiggerSubstrateShipsLessAndCostsMore) {
+  const double d0 = 0.02;
+  double prev_ship = 1.0;
+  double prev_cost = 0.0;
+  for (const double area : {2.0, 4.0, 8.0, 16.0}) {
+    const CostReport r =
+        evaluate_analytic(flow_with_area_yield(DefectModel::Poisson, d0, area));
+    EXPECT_LT(r.shipped_fraction, prev_ship);
+    EXPECT_GT(r.final_cost_per_shipped, prev_cost);
+    prev_ship = r.shipped_fraction;
+    prev_cost = r.final_cost_per_shipped;
+  }
+}
+
+TEST(AreaYieldFlow, AnchoredDensityReproducesTable2Yield) {
+  // Re-anchor at the paper's 90% for a 5.6 cm^2 IP substrate, then check
+  // the flow ships 90%.
+  const double anchor_area = 5.6;
+  const double d0 = defect_density_for_yield(DefectModel::Murphy, 0.90, anchor_area);
+  const CostReport r =
+      evaluate_analytic(flow_with_area_yield(DefectModel::Murphy, d0, anchor_area));
+  EXPECT_NEAR(r.shipped_fraction, 0.90, 1e-9);
+}
+
+TEST(AreaYieldFlow, MonteCarloAgrees) {
+  const FlowModel flow = flow_with_area_yield(DefectModel::Seeds, 0.05, 6.0);
+  const CostReport exact = evaluate_analytic(flow);
+  McOptions opt;
+  opt.samples = 100000;
+  const McReport mc = evaluate_monte_carlo(flow, opt);
+  EXPECT_NEAR(mc.report.shipped_fraction, exact.shipped_fraction, 0.005);
+  EXPECT_NEAR(mc.report.final_cost_per_shipped, exact.final_cost_per_shipped,
+              3.0 * mc.final_cost_ci95 + 1e-9);
+}
+
+TEST(AreaYieldFlow, MixedYieldSpecsInOneLine) {
+  FlowModel flow("mixed", 1000.0, 0.0);
+  flow.fabricate("substrate", 10.0, AreaYield{DefectModel::Poisson, 0.02, 5.0})
+      .process("wire bond", 2.0, PerJointYield{0.9999, 212}, CostCategory::Assembly)
+      .package("laminate", 5.0, FixedYield{0.968})
+      .test("final", 1.0, 1.0);
+  const CostReport r = evaluate_analytic(flow);
+  const double expected = yield_value(AreaYield{DefectModel::Poisson, 0.02, 5.0}) *
+                          yield_value(PerJointYield{0.9999, 212}) * 0.968;
+  EXPECT_NEAR(r.shipped_fraction, expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace ipass::moe

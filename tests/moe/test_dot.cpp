@@ -1,0 +1,59 @@
+#include "moe/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "moe/analytic.hpp"
+
+namespace ipass::moe {
+namespace {
+
+FlowModel fig4_like_flow() {
+  FlowModel flow("MCM-D(Si)/FC/IP&SMD", 8007.0, 45000.0);
+  flow.fabricate("MCM-D(Si)+IP", 6.0, FixedYield{0.90})
+      .process("Paste impression", 0.0, FixedYield{1.0}, CostCategory::Substrate)
+      .process("Rerouting", 0.0, FixedYield{1.0}, CostCategory::Substrate)
+      .assemble("Flip-chip attach", 0.0, 0.10, FixedYield{0.99},
+                {{"RF chip", 1, 21.0, 0.95, CostCategory::Chips},
+                 {"DSP correlator", 1, 30.4, 0.99, CostCategory::Chips}})
+      .test("Functional test", 2.0, 0.95)
+      .package("Mount on laminate", 3.50, FixedYield{0.968})
+      .test("Final test", 10.0, 0.99);
+  return flow;
+}
+
+TEST(Dot, GraphvizContainsFig4Vocabulary) {
+  const std::string dot = to_dot(fig4_like_flow());
+  EXPECT_NE(dot.find("digraph moe"), std::string::npos);
+  EXPECT_NE(dot.find("Paste impression"), std::string::npos);
+  EXPECT_NE(dot.find("Rerouting"), std::string::npos);
+  EXPECT_NE(dot.find("SCRAP"), std::string::npos);
+  EXPECT_NE(dot.find("Modules to be shipped"), std::string::npos);
+  EXPECT_NE(dot.find("Collector"), std::string::npos);
+  EXPECT_NE(dot.find("RF chip"), std::string::npos);
+  // Every test contributes a fail edge.
+  std::size_t fails = 0;
+  for (std::size_t pos = 0; (pos = dot.find("fail", pos)) != std::string::npos; ++pos) {
+    ++fails;
+  }
+  EXPECT_EQ(fails, 2u);
+}
+
+TEST(Dot, AsciiListsAllSteps) {
+  const FlowModel flow = fig4_like_flow();
+  const std::string ascii = to_ascii(flow);
+  for (const Step& s : flow.steps()) {
+    EXPECT_NE(ascii.find(s.name), std::string::npos) << s.name;
+  }
+  EXPECT_NE(ascii.find("Collector"), std::string::npos);
+}
+
+TEST(Dot, AsciiAnnotatesCountsFromReport) {
+  const FlowModel flow = fig4_like_flow();
+  const CostReport report = evaluate_analytic(flow);
+  const std::string ascii = to_ascii(flow, &report);
+  EXPECT_NE(ascii.find("[SCRAP]"), std::string::npos);
+  EXPECT_NE(ascii.find("modules to be shipped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipass::moe

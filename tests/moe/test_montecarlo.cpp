@@ -1,0 +1,114 @@
+#include "moe/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "moe/analytic.hpp"
+
+namespace ipass::moe {
+namespace {
+
+FlowModel mcm_like_flow() {
+  FlowModel flow("mcm-like", 8007.0, 45000.0);
+  flow.fabricate("IP substrate", 12.5, FixedYield{0.90})
+      .assemble("flip chip", 0.0, 0.10, FixedYield{0.99},
+                {{"RF die", 1, 21.0, 0.95, CostCategory::Chips},
+                 {"DSP die", 1, 30.4, 0.99, CostCategory::Chips}})
+      .test("functional", 2.0, 0.95)
+      .package("laminate", 4.70, FixedYield{0.968})
+      .test("final", 10.0, 0.99);
+  return flow;
+}
+
+TEST(MonteCarlo, Deterministic) {
+  const FlowModel flow = mcm_like_flow();
+  McOptions opt;
+  opt.samples = 5000;
+  opt.seed = 123;
+  const McReport a = evaluate_monte_carlo(flow, opt);
+  const McReport b = evaluate_monte_carlo(flow, opt);
+  EXPECT_DOUBLE_EQ(a.report.final_cost_per_shipped, b.report.final_cost_per_shipped);
+  EXPECT_EQ(a.shipped_units, b.shipped_units);
+}
+
+TEST(MonteCarlo, AgreesWithAnalyticWithinCi) {
+  // The paper: "Yield figures are translated into faults using Monte Carlo
+  // simulation" -- our analytic evaluator is its exact expectation.
+  const FlowModel flow = mcm_like_flow();
+  const CostReport exact = evaluate_analytic(flow);
+  McOptions opt;
+  opt.samples = 200000;
+  opt.seed = 2026;
+  const McReport mc = evaluate_monte_carlo(flow, opt);
+  EXPECT_NEAR(mc.report.final_cost_per_shipped, exact.final_cost_per_shipped,
+              3.0 * mc.final_cost_ci95 + 1e-9);
+  EXPECT_NEAR(mc.report.shipped_fraction, exact.shipped_fraction, 0.01);
+  EXPECT_NEAR(mc.report.good_fraction, exact.good_fraction, 0.01);
+}
+
+TEST(MonteCarlo, CiShrinksWithSamples) {
+  const FlowModel flow = mcm_like_flow();
+  McOptions small;
+  small.samples = 2000;
+  McOptions large;
+  large.samples = 128000;
+  const double ci_small = evaluate_monte_carlo(flow, small).final_cost_ci95;
+  const double ci_large = evaluate_monte_carlo(flow, large).final_cost_ci95;
+  EXPECT_LT(ci_large, ci_small);
+  // sqrt(64) = 8x shrink expected, allow a loose band.
+  EXPECT_NEAR(ci_small / ci_large, 8.0, 5.0);
+}
+
+TEST(MonteCarlo, CountsAreConsistent) {
+  const FlowModel flow = mcm_like_flow();
+  McOptions opt;
+  opt.samples = 20000;
+  const McReport mc = evaluate_monte_carlo(flow, opt);
+  EXPECT_EQ(mc.samples, 20000u);
+  EXPECT_EQ(mc.shipped_units + mc.scrapped_units, mc.samples);
+  EXPECT_LE(mc.escaped_defectives, mc.shipped_units);
+  EXPECT_GT(mc.shipped_units, 0u);
+}
+
+TEST(MonteCarlo, PerfectLineNeverScraps) {
+  FlowModel flow("perfect", 100.0, 0.0);
+  flow.fabricate("sub", 1.0, FixedYield{1.0}).test("t", 0.5, 1.0);
+  McOptions opt;
+  opt.samples = 5000;
+  const McReport mc = evaluate_monte_carlo(flow, opt);
+  EXPECT_EQ(mc.scrapped_units, 0u);
+  EXPECT_EQ(mc.escaped_defectives, 0u);
+  EXPECT_DOUBLE_EQ(mc.report.final_cost_per_shipped, 1.5);
+}
+
+TEST(MonteCarlo, ReworkAtMostMaxAttempts) {
+  FailPolicy rework;
+  rework.rework = true;
+  rework.rework_cost = 1.0;
+  rework.rework_success = 0.0;  // never succeeds -> always scrapped after attempts
+  rework.max_attempts = 3;
+  FlowModel flow("hopeless-rework", 100.0, 0.0);
+  flow.fabricate("sub", 1.0, FixedYield{0.5}).test("t", 0.0, 1.0, rework);
+  McOptions opt;
+  opt.samples = 20000;
+  const McReport mc = evaluate_monte_carlo(flow, opt);
+  // Roughly half scrapped (lambda=ln2 -> P(fault)=0.5).
+  EXPECT_NEAR(static_cast<double>(mc.scrapped_units) / 20000.0, 0.5, 0.02);
+  // Spend: 1.0 everywhere + 3 rework attempts on the scrapped half.
+  EXPECT_NEAR(mc.report.total_spend_per_started, 1.0 + 0.5 * 3.0, 0.05);
+}
+
+TEST(MonteCarlo, UsesFlowVolumeWhenSamplesUnset) {
+  FlowModel flow("vol", 1234.0, 0.0);
+  flow.fabricate("sub", 1.0, FixedYield{0.99}).test("t", 0.0, 1.0);
+  const McReport mc = evaluate_monte_carlo(flow);
+  EXPECT_EQ(mc.samples, 1234u);
+}
+
+TEST(MonteCarlo, EmptyFlowRejected) {
+  FlowModel flow("empty", 10.0, 0.0);
+  EXPECT_THROW(evaluate_monte_carlo(flow), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::moe

@@ -1,0 +1,83 @@
+#include "moe/yield.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::moe {
+namespace {
+
+TEST(Yield, Fixed) {
+  EXPECT_DOUBLE_EQ(yield_value(FixedYield{0.933}), 0.933);
+  EXPECT_DOUBLE_EQ(yield_value(FixedYield{1.0}), 1.0);
+  EXPECT_THROW(yield_value(FixedYield{0.0}), PreconditionError);
+  EXPECT_THROW(yield_value(FixedYield{1.1}), PreconditionError);
+}
+
+TEST(Yield, PerJoint) {
+  // 212 bonds at 99.99% each -> 97.9% overall (Table 2 scenario).
+  EXPECT_NEAR(yield_value(PerJointYield{0.9999, 212}), 0.9790, 1e-4);
+  EXPECT_DOUBLE_EQ(yield_value(PerJointYield{0.99, 0}), 1.0);
+  EXPECT_THROW(yield_value(PerJointYield{0.0, 5}), PreconditionError);
+  EXPECT_THROW(yield_value(PerJointYield{0.99, -1}), PreconditionError);
+}
+
+TEST(Yield, AreaModelsAgreeAtZeroDefects) {
+  for (const DefectModel m : {DefectModel::Poisson, DefectModel::Murphy, DefectModel::Seeds}) {
+    EXPECT_DOUBLE_EQ(yield_value(AreaYield{m, 0.0, 10.0}), 1.0);
+  }
+}
+
+TEST(Yield, AreaModelKnownValues) {
+  // A D0 = 1: Poisson e^-1, Seeds 1/2, Murphy ((1-e^-1)/1)^2.
+  const double ad = 1.0;
+  EXPECT_NEAR(yield_value(AreaYield{DefectModel::Poisson, 1.0, ad}), std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(yield_value(AreaYield{DefectModel::Seeds, 1.0, ad}), 0.5, 1e-12);
+  const double m = 1.0 - std::exp(-1.0);
+  EXPECT_NEAR(yield_value(AreaYield{DefectModel::Murphy, 1.0, ad}), m * m, 1e-12);
+}
+
+TEST(Yield, ClassicalOrderingPoissonMostPessimistic) {
+  // For the same A*D0: Poisson <= Murphy <= Seeds.
+  for (const double ad : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double p = yield_value(AreaYield{DefectModel::Poisson, ad, 1.0});
+    const double mu = yield_value(AreaYield{DefectModel::Murphy, ad, 1.0});
+    const double s = yield_value(AreaYield{DefectModel::Seeds, ad, 1.0});
+    EXPECT_LE(p, mu + 1e-12) << "AD=" << ad;
+    EXPECT_LE(mu, s + 1e-12) << "AD=" << ad;
+  }
+}
+
+TEST(Yield, FaultIntensityIsMinusLogYield) {
+  EXPECT_NEAR(fault_intensity(FixedYield{0.9}), -std::log(0.9), 1e-12);
+  EXPECT_NEAR(fault_intensity(FixedYield{1.0}), 0.0, 1e-15);
+  EXPECT_NEAR(fault_intensity(PerJointYield{0.9999, 212}), -212.0 * std::log(0.9999), 1e-9);
+}
+
+class DefectInversionTest : public ::testing::TestWithParam<DefectModel> {};
+
+TEST_P(DefectInversionTest, DensityForYieldRoundTrips) {
+  const DefectModel model = GetParam();
+  for (const double target : {0.999, 0.99, 0.90, 0.70, 0.50}) {
+    for (const double area : {0.5, 2.25, 8.0}) {
+      const double d0 = defect_density_for_yield(model, target, area);
+      const double back = yield_value(AreaYield{model, d0, area});
+      EXPECT_NEAR(back, target, 1e-6) << "model/target/area";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, DefectInversionTest,
+                         ::testing::Values(DefectModel::Poisson, DefectModel::Murphy,
+                                           DefectModel::Seeds));
+
+TEST(Yield, InversionPreconditions) {
+  EXPECT_THROW(defect_density_for_yield(DefectModel::Poisson, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(defect_density_for_yield(DefectModel::Poisson, 0.9, 0.0), PreconditionError);
+  EXPECT_DOUBLE_EQ(defect_density_for_yield(DefectModel::Poisson, 1.0, 5.0), 0.0);
+}
+
+}  // namespace
+}  // namespace ipass::moe

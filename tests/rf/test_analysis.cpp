@@ -1,0 +1,76 @@
+#include "rf/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rf/prototype.hpp"
+#include "rf/transform.hpp"
+
+namespace ipass::rf {
+namespace {
+
+Circuit lossy_if_filter(double q_l, double q_c) {
+  ComponentQuality q;
+  q.inductor_q = QModel::constant(q_l);
+  q.capacitor_q = QModel::constant(q_c);
+  return realize_bandpass(chebyshev(2, 0.5), 175e6, 22e6, 50.0, q);
+}
+
+TEST(Measure, BandpassMetricsBasics) {
+  const Circuit ckt = lossy_if_filter(10.0, 40.0);
+  const BandpassMetrics m = measure_bandpass(ckt, 175e6, 22e6);
+  EXPECT_DOUBLE_EQ(m.f0, 175e6);
+  EXPECT_GT(m.il_at_f0_db, 3.0);   // low-Q VHF filter is lossy
+  EXPECT_LT(m.il_at_f0_db, 15.0);
+  EXPECT_GE(m.max_il_in_band_db, m.il_at_f0_db - 1e-9);
+  EXPECT_LE(m.min_il_in_band_db, m.il_at_f0_db + 1e-9);
+  EXPECT_NEAR(m.ripple_db, m.max_il_in_band_db - m.min_il_in_band_db, 1e-12);
+}
+
+TEST(Measure, LossDecreasesWithQ) {
+  double prev = 1e9;
+  for (const double q : {5.0, 10.0, 20.0, 40.0, 80.0}) {
+    const double il = measure_bandpass(lossy_if_filter(q, 100.0), 175e6, 22e6).il_at_f0_db;
+    EXPECT_LT(il, prev) << "Q=" << q;
+    prev = il;
+  }
+}
+
+TEST(Measure, RelativeRejection) {
+  const Circuit ckt = lossy_if_filter(20.0, 60.0);
+  const double rej = relative_rejection_db(ckt, 175e6, 120e6);
+  EXPECT_GT(rej, 10.0);
+  EXPECT_LT(rej, 60.0);
+  // Rejection of the passband against itself is zero.
+  EXPECT_NEAR(relative_rejection_db(ckt, 175e6, 175e6), 0.0, 1e-12);
+}
+
+TEST(Cohn, MatchesSimulationWithinTolerance) {
+  // The classical estimate should agree with MNA at midband within ~25%
+  // for moderate Q (it neglects mismatch and end effects).
+  const double qu = 1.0 / (1.0 / 12.0 + 1.0 / 40.0);
+  const double g_sum = chebyshev(2, 0.5).g_sum();
+  const double estimate = cohn_bandpass_loss_db(g_sum, 175.0 / 22.0, qu);
+  const double simulated = measure_bandpass(lossy_if_filter(12.0, 40.0), 175e6, 22e6)
+                               .il_at_f0_db;
+  EXPECT_NEAR(estimate, simulated, 0.25 * simulated);
+}
+
+TEST(Cohn, ScalesLinearlyWithNarrowness) {
+  const double base = cohn_bandpass_loss_db(2.0, 5.0, 20.0);
+  EXPECT_NEAR(cohn_bandpass_loss_db(2.0, 10.0, 20.0), 2.0 * base, 1e-12);
+  EXPECT_NEAR(cohn_bandpass_loss_db(4.0, 5.0, 20.0), 2.0 * base, 1e-12);
+  EXPECT_NEAR(cohn_bandpass_loss_db(2.0, 5.0, 40.0), 0.5 * base, 1e-12);
+}
+
+TEST(Measure, Preconditions) {
+  const Circuit ckt = lossy_if_filter(10.0, 40.0);
+  EXPECT_THROW(measure_bandpass(ckt, 0.0, 22e6), PreconditionError);
+  EXPECT_THROW(measure_bandpass(ckt, 175e6, 0.0), PreconditionError);
+  EXPECT_THROW(measure_bandpass(ckt, 175e6, 22e6, 2), PreconditionError);
+  EXPECT_THROW(cohn_bandpass_loss_db(0.0, 5.0, 10.0), PreconditionError);
+  EXPECT_THROW(cohn_bandpass_loss_db(2.0, 5.0, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::rf

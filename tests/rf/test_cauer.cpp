@@ -1,0 +1,110 @@
+#include "rf/cauer.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "rf/analysis.hpp"
+#include "rf/mna.hpp"
+#include "rf/transform.hpp"
+
+namespace ipass::rf {
+namespace {
+
+TEST(Cauer, MidShuntStructure) {
+  const LadderPrototype p = cauer_lowpass(3, 0.5, 1.5);
+  // n=3 mid-shunt: shunt C, series trap, shunt C.
+  ASSERT_EQ(p.branches.size(), 3u);
+  EXPECT_EQ(p.branches[0].topo, LadderBranch::Topology::ShuntC);
+  EXPECT_EQ(p.branches[1].topo, LadderBranch::Topology::SeriesTrap);
+  EXPECT_EQ(p.branches[2].topo, LadderBranch::Topology::ShuntC);
+  EXPECT_EQ(p.family, FilterFamily::Elliptic);
+  EXPECT_EQ(p.order, 3);
+}
+
+TEST(Cauer, ElementsPositiveAndLoadUnity) {
+  for (const int n : {3, 5, 7}) {
+    const LadderPrototype p = cauer_lowpass(n, 0.5, 1.4);
+    for (const LadderBranch& b : p.branches) {
+      if (b.topo == LadderBranch::Topology::ShuntC) {
+        EXPECT_GT(b.c, 0.0);
+      } else {
+        EXPECT_GT(b.l, 0.0);
+        EXPECT_GT(b.c, 0.0);
+      }
+    }
+    EXPECT_NEAR(p.load_resistance, 1.0, 1e-6) << "odd elliptic is equally terminated";
+    // Branch count: n reactive "stages": (n-1)/2 traps + (n+1)/2 shunt caps.
+    EXPECT_EQ(static_cast<int>(p.branches.size()), n);
+  }
+}
+
+TEST(Cauer, TrapResonancesAreTheTransmissionZeros) {
+  const int n = 5;
+  const EllipticApproximation ap = cauer_approximation(n, 0.5, 1.4);
+  const LadderPrototype p = cauer_lowpass(n, 0.5, 1.4);
+  std::vector<double> trap_freqs;
+  for (const LadderBranch& b : p.branches) {
+    if (b.topo == LadderBranch::Topology::SeriesTrap) {
+      trap_freqs.push_back(1.0 / std::sqrt(b.l * b.c));
+    }
+  }
+  ASSERT_EQ(trap_freqs.size(), ap.transmission_zeros.size());
+  for (const double wz : ap.transmission_zeros) {
+    double best = 1e300;
+    for (const double wt : trap_freqs) best = std::min(best, std::abs(wt - wz));
+    EXPECT_LT(best, 1e-6) << "zero at w=" << wz;
+  }
+}
+
+// The central property: the synthesized ladder reproduces the analytic
+// elliptic response over the whole frequency axis.
+class CauerRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(CauerRoundTripTest, LadderMatchesAnalyticResponse) {
+  const auto [n, ripple, sel] = GetParam();
+  const EllipticApproximation ap = cauer_approximation(n, ripple, sel);
+  const LadderPrototype proto = cauer_lowpass(n, ripple, sel);
+  // Realize at wc = 1 rad/s so prototype frequencies are plain numbers.
+  const Circuit ckt = realize_lowpass(proto, 1.0 / (2.0 * kPi), 1.0);
+  // Extraction round-off grows mildly with order; even n=9 stays within
+  // a few micro-dB of the analytic response.
+  const double tol = 1e-6 * static_cast<double>(n);
+  for (double w = 0.05; w < 4.0; w += 0.037) {
+    const double il_sim = insertion_loss_at(ckt, w / (2.0 * kPi));
+    const double il_ana = ap.attenuation_db(w);
+    if (il_ana > 80.0) continue;  // near transmission zeros both explode
+    EXPECT_NEAR(il_sim, il_ana, tol) << "n=" << n << " w=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, CauerRoundTripTest,
+    ::testing::Values(std::make_tuple(3, 0.1, 1.3), std::make_tuple(3, 0.5, 1.5),
+                      std::make_tuple(3, 1.0, 2.0), std::make_tuple(5, 0.5, 1.3),
+                      std::make_tuple(5, 0.18, 1.6), std::make_tuple(7, 0.4, 1.5),
+                      std::make_tuple(7, 0.1, 1.25), std::make_tuple(9, 0.3, 1.4)));
+
+TEST(Cauer, StopbandAttenuationReached) {
+  const LadderPrototype p = cauer_lowpass(3, 0.5, 1.5);
+  const Circuit ckt = realize_lowpass(p, 1.0 / (2.0 * kPi), 1.0);
+  for (double w = 1.5; w < 6.0; w += 0.11) {
+    EXPECT_GE(insertion_loss_at(ckt, w / (2.0 * kPi)), p.stopband_db - 0.01)
+        << "w=" << w;
+  }
+}
+
+TEST(Cauer, ThreeStageGpsImageFilterScenario) {
+  // The paper's LNA output filter: reject 1.225 GHz, pass 1.575 GHz.
+  const LadderPrototype proto = cauer_lowpass(3, 0.5, 1.5);
+  const Circuit bp = realize_bandpass(proto, 1575.42e6, 480e6, 50.0);
+  const double il_pass = insertion_loss_at(bp, 1575.42e6);
+  const double il_image = insertion_loss_at(bp, 1225e6);
+  EXPECT_LT(il_pass, 0.6);            // lossless ladder: only ripple
+  EXPECT_GT(il_image - il_pass, 20.0);  // "good rejection at the image frequency"
+}
+
+}  // namespace
+}  // namespace ipass::rf

@@ -1,0 +1,177 @@
+#include "rf/elliptic.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ipass::rf {
+namespace {
+
+TEST(EllipK, KnownValues) {
+  // K(0) = pi/2; K(0.5) = 1.68575; K(0.9) = 2.28055 (A&S tables).
+  EXPECT_NEAR(ellip_k(0.0), kPi / 2.0, 1e-14);
+  EXPECT_NEAR(ellip_k(0.5), 1.6857503548, 1e-9);
+  EXPECT_NEAR(ellip_k(0.9), 2.2805491384, 1e-9);
+  EXPECT_THROW(ellip_k(1.0), PreconditionError);
+  EXPECT_THROW(ellip_k(-0.1), PreconditionError);
+}
+
+TEST(Jacobi, ReducesToTrigAtZeroModulus) {
+  for (const double u : {0.1, 0.7, 1.3, 2.9}) {
+    const JacobiSncndn j = jacobi_sncndn(u, 0.0);
+    EXPECT_NEAR(j.sn, std::sin(u), 1e-12);
+    EXPECT_NEAR(j.cn, std::cos(u), 1e-12);
+    EXPECT_NEAR(j.dn, 1.0, 1e-12);
+  }
+}
+
+class JacobiIdentityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(JacobiIdentityTest, FundamentalIdentitiesHold) {
+  const double k = GetParam();
+  for (const double u : {0.05, 0.3, 0.8, 1.5, 2.4, 3.3}) {
+    const JacobiSncndn j = jacobi_sncndn(u, k);
+    EXPECT_NEAR(j.sn * j.sn + j.cn * j.cn, 1.0, 1e-10) << "k=" << k << " u=" << u;
+    EXPECT_NEAR(j.dn * j.dn + k * k * j.sn * j.sn, 1.0, 1e-10) << "k=" << k << " u=" << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, JacobiIdentityTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.667, 0.8, 0.95, 0.999));
+
+TEST(Jacobi, QuarterPeriodValues) {
+  // sn(K, k) = 1, cn(K, k) = 0, dn(K, k) = k'.
+  for (const double k : {0.2, 0.5, 0.8}) {
+    const double big_k = ellip_k(k);
+    const JacobiSncndn j = jacobi_sncndn(big_k, k);
+    EXPECT_NEAR(j.sn, 1.0, 1e-9);
+    EXPECT_NEAR(j.cn, 0.0, 1e-7);
+    EXPECT_NEAR(j.dn, std::sqrt(1.0 - k * k), 1e-9);
+  }
+}
+
+TEST(Jacobi, HalfArgumentIdentity) {
+  // sn(K/2, k) = 1/sqrt(1 + k').
+  for (const double k : {0.3, 0.6, 0.9}) {
+    const double kp = std::sqrt(1.0 - k * k);
+    const double s = jacobi_sn(ellip_k(k) / 2.0, k);
+    EXPECT_NEAR(s, 1.0 / std::sqrt(1.0 + kp), 1e-10) << "k=" << k;
+  }
+}
+
+TEST(DegreeEquation, MonotoneInOrder) {
+  const double k = 1.0 / 1.5;
+  double prev = 1.0;
+  for (const int n : {1, 3, 5, 7}) {
+    const double k1 = elliptic_degree_modulus(n, k);
+    EXPECT_LT(k1, prev) << "n=" << n;
+    EXPECT_GT(k1, 0.0);
+    prev = k1;
+  }
+}
+
+TEST(EllipticRational, NormalizedAtOne) {
+  for (const int n : {3, 5, 7}) {
+    const EllipticRational r = elliptic_rational(n, 1.0 / 1.4);
+    EXPECT_NEAR(r(1.0), 1.0, 1e-10) << "n=" << n;
+  }
+}
+
+TEST(EllipticRational, EquiripplePropertyInPassband) {
+  // |R_n| <= 1 on [0, 1] and touches 1 at the band edge.
+  const EllipticRational r = elliptic_rational(5, 1.0 / 1.3);
+  double max_abs = 0.0;
+  for (double w = 0.0; w <= 1.0; w += 0.002) {
+    max_abs = std::max(max_abs, std::abs(r(w)));
+  }
+  // The grid straddles the extrema, so the sampled maximum sits slightly
+  // below the true equal-ripple level of exactly 1.
+  EXPECT_LE(max_abs, 1.0 + 1e-9);
+  EXPECT_NEAR(max_abs, 1.0, 1e-4);
+}
+
+TEST(EllipticRational, InversionSymmetry) {
+  // R_n(1/(k w)) = R_n(1/k) / R_n(w) -- the defining property of elliptic
+  // rational functions (checked at a few points).
+  const double k = 1.0 / 1.5;
+  const EllipticRational r = elliptic_rational(3, k);
+  const double r_at_inv_k = r(1.0 / k);
+  for (const double w : {0.3, 0.55, 0.8, 0.95}) {
+    EXPECT_NEAR(r(1.0 / (k * w)) * r(w), r_at_inv_k, std::abs(r_at_inv_k) * 1e-8)
+        << "w=" << w;
+  }
+}
+
+TEST(Approximation, StopbandAttenuationFormula) {
+  const EllipticApproximation ap = elliptic_approximation(3, 0.5, 1.5);
+  // Known value from the smoke calculations: ~21.9 dB.
+  EXPECT_NEAR(ap.stopband_db, 21.92, 0.1);
+  EXPECT_EQ(ap.order, 3);
+  EXPECT_EQ(static_cast<int>(ap.poles.size()), 3);
+  EXPECT_EQ(ap.transmission_zeros.size(), 1u);
+}
+
+TEST(Approximation, PolesAreHurwitzAndConjugateSymmetric) {
+  for (const int n : {3, 5, 7}) {
+    const EllipticApproximation ap = elliptic_approximation(n, 1.0, 1.4);
+    int real_poles = 0;
+    for (const auto& p : ap.poles) {
+      EXPECT_LT(p.real(), 0.0);
+      if (std::abs(p.imag()) < 1e-9) {
+        ++real_poles;
+      } else {
+        // The conjugate must be present.
+        bool found = false;
+        for (const auto& q : ap.poles) {
+          if (std::abs(q - std::conj(p)) < 1e-7) found = true;
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+    EXPECT_EQ(real_poles, 1) << "odd order has exactly one real pole";
+  }
+}
+
+class ApproxResponseTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(ApproxResponseTest, MagnitudeRespectsRippleAndStopband) {
+  const auto [n, ripple, sel] = GetParam();
+  const EllipticApproximation ap = elliptic_approximation(n, ripple, sel);
+  // DC gain 1 for odd order.
+  EXPECT_NEAR(ap.s21_magnitude(0.0), 1.0, 1e-9);
+  // Passband: attenuation <= ripple.
+  for (double w = 0.0; w <= 1.0; w += 0.01) {
+    EXPECT_LE(ap.attenuation_db(w), ripple + 1e-6) << "w=" << w;
+  }
+  // Band edge hits the ripple exactly.
+  EXPECT_NEAR(ap.attenuation_db(1.0), ripple, 1e-6);
+  // Stopband: attenuation >= A_stop everywhere beyond ws.
+  for (double w = sel; w <= 8.0; w *= 1.07) {
+    EXPECT_GE(ap.attenuation_db(w), ap.stopband_db - 1e-6) << "w=" << w;
+  }
+  // Transmission zeros lie beyond the stopband edge.
+  for (const double wz : ap.transmission_zeros) {
+    EXPECT_GE(wz, sel - 1e-9);
+    EXPECT_GT(ap.attenuation_db(wz), 100.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, ApproxResponseTest,
+    ::testing::Values(std::make_tuple(3, 0.1, 1.3), std::make_tuple(3, 0.5, 1.5),
+                      std::make_tuple(3, 1.0, 2.0), std::make_tuple(5, 0.5, 1.2),
+                      std::make_tuple(5, 0.2, 1.6), std::make_tuple(7, 0.5, 1.3)));
+
+TEST(Approximation, Preconditions) {
+  EXPECT_THROW(elliptic_approximation(2, 0.5, 1.5), PreconditionError);  // even
+  EXPECT_THROW(elliptic_approximation(1, 0.5, 1.5), PreconditionError);  // too low
+  EXPECT_THROW(elliptic_approximation(3, 0.0, 1.5), PreconditionError);  // no ripple
+  EXPECT_THROW(elliptic_approximation(3, 0.5, 1.0), PreconditionError);  // sel <= 1
+}
+
+}  // namespace
+}  // namespace ipass::rf

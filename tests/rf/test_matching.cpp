@@ -1,0 +1,85 @@
+#include "rf/matching.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rf/mna.hpp"
+
+namespace ipass::rf {
+namespace {
+
+TEST(LSection, DesignValuesForKnownCase) {
+  // 50 -> 200 Ohm: Q = sqrt(3).
+  const LSection m = design_l_section(1575.42e6, 50.0, 200.0);
+  EXPECT_NEAR(m.q, std::sqrt(3.0), 1e-12);
+  EXPECT_TRUE(m.shunt_at_load);
+  EXPECT_GT(m.series_l, 0.0);
+  EXPECT_GT(m.shunt_c, 0.0);
+  // Series reactance = Q * 50 -> L = Q*50/w0.
+  EXPECT_NEAR(m.series_l, std::sqrt(3.0) * 50.0 / (2.0 * 3.14159265358979 * 1575.42e6),
+              1e-13);
+}
+
+class LSectionMatchTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(LSectionMatchTest, AchievesMatchAtDesignFrequency) {
+  const auto [f0, rs, rl] = GetParam();
+  const LSection m = design_l_section(f0, rs, rl);
+  const Circuit ckt = realize_l_section(m);
+  const SPoint p = analyze_at(ckt, f0);
+  EXPECT_GT(p.rl_db(), 30.0) << "return loss at design frequency";
+  EXPECT_LT(p.il_db(), 0.05) << "lossless match is transparent";
+  // Away from f0 the match degrades.
+  EXPECT_LT(analyze_at(ckt, f0 * 3.0).rl_db(), 15.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LSectionMatchTest,
+    ::testing::Values(std::make_tuple(1575.42e6, 50.0, 200.0),
+                      std::make_tuple(1575.42e6, 50.0, 150.0),
+                      std::make_tuple(1575.42e6, 200.0, 50.0),  // step down
+                      std::make_tuple(175e6, 50.0, 300.0),
+                      std::make_tuple(2.4e9, 75.0, 20.0)));
+
+TEST(LSection, FiniteQCostsInsertionLoss) {
+  const LSection m = design_l_section(1575.42e6, 50.0, 200.0);
+  ComponentQuality q;
+  q.inductor_q = QModel::constant(15.0);
+  q.capacitor_q = QModel::constant(40.0);
+  const double il = analyze_at(realize_l_section(m, q), 1575.42e6).il_db();
+  EXPECT_GT(il, 0.2);
+  EXPECT_LT(il, 2.0);
+}
+
+TEST(LSection, Preconditions) {
+  EXPECT_THROW(design_l_section(0.0, 50.0, 200.0), PreconditionError);
+  EXPECT_THROW(design_l_section(1e9, -50.0, 200.0), PreconditionError);
+  EXPECT_THROW(design_l_section(1e9, 50.0, 50.0), PreconditionError);  // equal
+}
+
+TEST(PiSection, AchievesMatchWithChosenQ) {
+  const PiSection m = design_pi_section(1575.42e6, 50.0, 200.0, 5.0);
+  EXPECT_DOUBLE_EQ(m.q, 5.0);
+  const Circuit ckt = realize_pi_section(m);
+  EXPECT_GT(analyze_at(ckt, 1575.42e6).rl_db(), 25.0);
+}
+
+TEST(PiSection, NarrowerThanLSection) {
+  // Higher Q -> narrower bandwidth: compare return loss at a 6% offset.
+  const double f0 = 1e9;
+  const Circuit l_ckt = realize_l_section(design_l_section(f0, 50.0, 200.0));
+  const Circuit pi_ckt = realize_pi_section(design_pi_section(f0, 50.0, 200.0, 8.0));
+  const double off = f0 * 1.06;
+  EXPECT_GT(analyze_at(l_ckt, off).rl_db(), analyze_at(pi_ckt, off).rl_db());
+}
+
+TEST(PiSection, RejectsTooLowQ) {
+  // Q below the L-section minimum sqrt(200/50-1) = 1.73 is infeasible.
+  EXPECT_THROW(design_pi_section(1e9, 50.0, 200.0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::rf

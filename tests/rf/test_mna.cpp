@@ -1,0 +1,174 @@
+#include "rf/mna.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ipass::rf {
+namespace {
+
+Circuit through_connection() {
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  c.add_resistor(n1, n2, 1e-6);  // near-ideal through
+  c.set_port1(n1, 50.0);
+  c.set_port2(n2, 50.0);
+  return c;
+}
+
+TEST(Mna, ThroughConnectionIsTransparent) {
+  const SPoint p = analyze_at(through_connection(), 1e9);
+  EXPECT_NEAR(std::abs(p.s21), 1.0, 1e-6);
+  EXPECT_NEAR(std::abs(p.s11), 0.0, 1e-6);
+  EXPECT_NEAR(p.il_db(), 0.0, 1e-4);
+}
+
+TEST(Mna, MatchedAttenuatorPad) {
+  // Exact 6.0206 dB (K = 2) pi attenuator for 50 Ohm:
+  // R1 = R3 = Z0 (K+1)/(K-1) = 150, R2 = Z0 (K^2-1)/(2K) = 37.5.
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  c.add_resistor(n1, 0, 150.0);
+  c.add_resistor(n1, n2, 37.5);
+  c.add_resistor(n2, 0, 150.0);
+  c.set_port1(n1, 50.0);
+  c.set_port2(n2, 50.0);
+  const SPoint p = analyze_at(c, 100e6);
+  EXPECT_NEAR(p.il_db(), 6.0206, 0.001);
+  EXPECT_GT(p.rl_db(), 60.0);  // exactly matched
+  // Frequency independent: same at any frequency.
+  const SPoint p2 = analyze_at(c, 2.5e9);
+  EXPECT_NEAR(p2.il_db(), p.il_db(), 1e-9);
+}
+
+TEST(Mna, SeriesResistorHalfVoltageRule) {
+  // Series 50 Ohm between 50 Ohm ports: S21 = 2*50/(2*50+50) = 2/3.
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  c.add_resistor(n1, n2, 50.0);
+  c.set_port1(n1, 50.0);
+  c.set_port2(n2, 50.0);
+  const SPoint p = analyze_at(c, 1e9);
+  EXPECT_NEAR(std::abs(p.s21), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(std::abs(p.s11), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Mna, LcResonatorNotchAtResonance) {
+  // Shunt series-LC (trap) to ground: full short at resonance.
+  Circuit c;
+  const int n1 = c.add_node();
+  const int mid = c.add_node();
+  c.add_inductor(n1, mid, 10e-9);
+  c.add_capacitor(mid, 0, 2.533e-12);  // f0 = 1/(2 pi sqrt(LC)) ~ 1 GHz
+  c.set_port1(n1, 50.0);
+  c.set_port2(n1, 50.0);
+  const double f0 = 1.0 / (2.0 * kPi * std::sqrt(10e-9 * 2.533e-12));
+  EXPECT_GT(analyze_at(c, f0).il_db(), 60.0);
+  EXPECT_LT(analyze_at(c, f0 / 4.0).il_db(), 1.0);
+}
+
+TEST(Mna, FiniteQLimitsNotchDepth) {
+  Circuit lossless;
+  {
+    const int n1 = lossless.add_node();
+    const int mid = lossless.add_node();
+    lossless.add_inductor(n1, mid, 10e-9);
+    lossless.add_capacitor(mid, 0, 2.533e-12);
+    lossless.set_port1(n1, 50.0);
+    lossless.set_port2(n1, 50.0);
+  }
+  Circuit lossy;
+  {
+    const int n1 = lossy.add_node();
+    const int mid = lossy.add_node();
+    lossy.add_inductor(n1, mid, 10e-9, QModel::constant(10.0));
+    lossy.add_capacitor(mid, 0, 2.533e-12, QModel::constant(10.0));
+    lossy.set_port1(n1, 50.0);
+    lossy.set_port2(n1, 50.0);
+  }
+  const double f0 = 1.0 / (2.0 * kPi * std::sqrt(10e-9 * 2.533e-12));
+  EXPECT_GT(analyze_at(lossless, f0).il_db(), analyze_at(lossy, f0).il_db() + 20.0);
+}
+
+TEST(Mna, ElementImpedanceDefinitions) {
+  Element ind{ElementKind::Inductor, 1, 0, 1e-9, QModel::constant(10.0), ""};
+  const Complex zl = element_impedance(ind, 1e9);
+  EXPECT_NEAR(zl.imag(), omega(1e9) * 1e-9, 1e-12);
+  EXPECT_NEAR(zl.real(), zl.imag() / 10.0, 1e-12);  // Q = X/R
+
+  Element cap{ElementKind::Capacitor, 1, 0, 1e-12, QModel::constant(50.0), ""};
+  const Complex zc = element_impedance(cap, 1e9);
+  EXPECT_NEAR(-zc.imag(), 1.0 / (omega(1e9) * 1e-12), 1e-9);
+  EXPECT_NEAR(zc.real(), -zc.imag() / 50.0, 1e-9);
+
+  Element res{ElementKind::Resistor, 1, 0, 75.0, QModel::lossless(), ""};
+  EXPECT_EQ(element_impedance(res, 1e9), Complex(75.0, 0.0));
+}
+
+TEST(Mna, ReciprocalPassiveNetworkConservesEnergy) {
+  // |S11|^2 + |S21|^2 <= 1 for a passive network, == 1 when lossless.
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  c.add_inductor(n1, n2, 5e-9);
+  c.add_capacitor(n2, 0, 3e-12);
+  c.set_port1(n1, 50.0);
+  c.set_port2(n2, 50.0);
+  for (const double f : linspace(0.1e9, 5e9, 40)) {
+    const SPoint p = analyze_at(c, f);
+    const double power = std::norm(p.s11) + std::norm(p.s21);
+    EXPECT_NEAR(power, 1.0, 1e-9) << "lossless at f=" << f;
+  }
+  // Make it lossy: power must drop strictly below 1.
+  c.set_quality(0, QModel::constant(15.0));
+  for (const double f : linspace(0.1e9, 5e9, 40)) {
+    const SPoint p = analyze_at(c, f);
+    EXPECT_LT(std::norm(p.s11) + std::norm(p.s21), 1.0) << "lossy at f=" << f;
+  }
+}
+
+TEST(Mna, UnequalReferenceImpedances) {
+  // Direct connection between a 50 and a 200 Ohm port: known mismatch.
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  c.add_resistor(n1, n2, 1e-6);
+  c.set_port1(n1, 50.0);
+  c.set_port2(n2, 200.0);
+  const SPoint p = analyze_at(c, 1e9);
+  // S11 = (200-50)/(200+50) = 0.6; |S21| = sqrt(1-0.36) = 0.8.
+  EXPECT_NEAR(std::abs(p.s11), 0.6, 1e-6);
+  EXPECT_NEAR(std::abs(p.s21), 0.8, 1e-6);
+}
+
+TEST(Mna, Preconditions) {
+  Circuit no_ports;
+  no_ports.add_node();
+  EXPECT_THROW(analyze_at(no_ports, 1e9), PreconditionError);
+  EXPECT_THROW(analyze_at(through_connection(), 0.0), PreconditionError);
+  EXPECT_THROW(analyze_at(through_connection(), -1e9), PreconditionError);
+}
+
+TEST(Mna, SweepAndGrids) {
+  const auto freqs = linspace(1e9, 2e9, 11);
+  ASSERT_EQ(freqs.size(), 11u);
+  EXPECT_DOUBLE_EQ(freqs.front(), 1e9);
+  EXPECT_DOUBLE_EQ(freqs.back(), 2e9);
+  const auto logs = logspace(1e6, 1e9, 4);
+  ASSERT_EQ(logs.size(), 4u);
+  EXPECT_NEAR(logs[1] / logs[0], 10.0, 1e-9);
+  const auto pts = sweep(through_connection(), freqs);
+  ASSERT_EQ(pts.size(), freqs.size());
+  for (const SPoint& p : pts) EXPECT_NEAR(p.il_db(), 0.0, 1e-4);
+  EXPECT_THROW(linspace(2.0, 1.0, 5), PreconditionError);
+  EXPECT_THROW(logspace(0.0, 1.0, 5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::rf

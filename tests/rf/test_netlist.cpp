@@ -1,0 +1,80 @@
+#include "rf/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::rf {
+namespace {
+
+TEST(Circuit, NodeAllocation) {
+  Circuit c;
+  EXPECT_EQ(c.node_count(), 0);
+  EXPECT_EQ(c.add_node(), 1);
+  EXPECT_EQ(c.add_node(), 2);
+  EXPECT_EQ(c.node_count(), 2);
+}
+
+TEST(Circuit, AddElements) {
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  c.add_resistor(n1, n2, 50.0, "R1");
+  c.add_inductor(n1, 0, 1e-9, QModel::constant(20.0), "L1");
+  c.add_capacitor(n2, 0, 1e-12, QModel::lossless(), "C1");
+  ASSERT_EQ(c.elements().size(), 3u);
+  EXPECT_EQ(c.elements()[0].kind, ElementKind::Resistor);
+  EXPECT_EQ(c.elements()[1].kind, ElementKind::Inductor);
+  EXPECT_EQ(c.elements()[2].kind, ElementKind::Capacitor);
+  EXPECT_EQ(c.elements()[0].label, "R1");
+}
+
+TEST(Circuit, RejectsBadElements) {
+  Circuit c;
+  const int n1 = c.add_node();
+  EXPECT_THROW(c.add_resistor(n1, n1, 50.0), PreconditionError);  // shorted
+  EXPECT_THROW(c.add_resistor(n1, 0, 0.0), PreconditionError);    // zero value
+  EXPECT_THROW(c.add_resistor(n1, 0, -1.0), PreconditionError);   // negative
+  EXPECT_THROW(c.add_resistor(n1, 99, 50.0), PreconditionError);  // unknown node
+}
+
+TEST(Circuit, Ports) {
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  c.set_port1(n1, 50.0);
+  c.set_port2(n2, 75.0);
+  EXPECT_EQ(c.port1().node, n1);
+  EXPECT_DOUBLE_EQ(c.port2().z0, 75.0);
+  EXPECT_THROW(c.set_port1(0, 50.0), PreconditionError);   // ground
+  EXPECT_THROW(c.set_port1(n1, 0.0), PreconditionError);   // bad Z0
+  EXPECT_THROW(c.set_port2(17, 50.0), PreconditionError);  // unknown node
+}
+
+TEST(Circuit, SetQuality) {
+  Circuit c;
+  const int n1 = c.add_node();
+  c.add_inductor(n1, 0, 1e-9);
+  EXPECT_TRUE(c.elements()[0].q.is_lossless());
+  c.set_quality(0, QModel::constant(12.0));
+  EXPECT_FALSE(c.elements()[0].q.is_lossless());
+  EXPECT_DOUBLE_EQ(c.elements()[0].q.q_at(1e9), 12.0);
+  EXPECT_THROW(c.set_quality(1, QModel::constant(5.0)), PreconditionError);
+}
+
+TEST(Circuit, ToStringContainsElements) {
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  c.add_inductor(n1, n2, 40e-9, QModel::lossless(), "Lspiral");
+  c.set_port1(n1, 50.0);
+  c.set_port2(n2, 50.0);
+  const std::string s = c.to_string();
+  EXPECT_NE(s.find("40 nH"), std::string::npos);
+  EXPECT_NE(s.find("Lspiral"), std::string::npos);
+  EXPECT_NE(s.find("P1"), std::string::npos);
+  EXPECT_NE(s.find("P2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ipass::rf

@@ -1,0 +1,65 @@
+#include "rf/qmodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::rf {
+namespace {
+
+TEST(QModel, LosslessFlag) {
+  const QModel q = QModel::lossless();
+  EXPECT_TRUE(q.is_lossless());
+}
+
+TEST(QModel, ConstantIsFlat) {
+  const QModel q = QModel::constant(40.0);
+  EXPECT_FALSE(q.is_lossless());
+  EXPECT_DOUBLE_EQ(q.q_at(1e6), 40.0);
+  EXPECT_DOUBLE_EQ(q.q_at(1e9), 40.0);
+  EXPECT_DOUBLE_EQ(q.q_at(1e12), 40.0);
+}
+
+TEST(QModel, PeakedMaximumAtPeak) {
+  const QModel q = QModel::peaked(30.0, 1.5e9, 1.0);
+  EXPECT_DOUBLE_EQ(q.q_at(1.5e9), 30.0);
+  EXPECT_LT(q.q_at(175e6), 30.0);
+  EXPECT_LT(q.q_at(10e9), 30.0);
+}
+
+TEST(QModel, PeakedLogSymmetry) {
+  const QModel q = QModel::peaked(25.0, 1.0e9, 0.7);
+  // Q(f_peak * r) == Q(f_peak / r) by construction.
+  for (const double r : {2.0, 5.0, 13.7}) {
+    EXPECT_NEAR(q.q_at(1.0e9 * r), q.q_at(1.0e9 / r), 1e-9);
+  }
+}
+
+TEST(QModel, SlopeOneMatchesMetalLimit) {
+  // With slope 1 the low-frequency branch behaves like Q ~ f.
+  const QModel q = QModel::peaked(30.0, 1.5e9, 1.0);
+  const double q1 = q.q_at(100e6);
+  const double q2 = q.q_at(200e6);
+  EXPECT_NEAR(q2 / q1, 2.0, 0.05);
+}
+
+TEST(QModel, PaperAnchorIpInductorAtIf) {
+  // The calibration anchor of DESIGN.md: an integrated spiral that peaks
+  // around 30 at 1.5 GHz has Q ~ 7 at the 175 MHz IF.
+  const QModel q = QModel::peaked(30.0, 1.5e9, 1.0);
+  EXPECT_NEAR(q.q_at(175e6), 6.9, 0.5);
+}
+
+TEST(QModel, Preconditions) {
+  EXPECT_THROW(QModel::constant(0.0), ipass::PreconditionError);
+  EXPECT_THROW(QModel::constant(-5.0), ipass::PreconditionError);
+  EXPECT_THROW(QModel::peaked(0.0, 1e9, 1.0), ipass::PreconditionError);
+  EXPECT_THROW(QModel::peaked(10.0, 0.0, 1.0), ipass::PreconditionError);
+  EXPECT_THROW(QModel::peaked(10.0, 1e9, -0.1), ipass::PreconditionError);
+  const QModel q = QModel::constant(10.0);
+  EXPECT_THROW(q.q_at(0.0), ipass::PreconditionError);
+  EXPECT_THROW(q.q_at(-1.0), ipass::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::rf

@@ -1,0 +1,128 @@
+#include "rf/tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rf/analysis.hpp"
+#include "rf/prototype.hpp"
+#include "rf/transform.hpp"
+
+namespace ipass::rf {
+namespace {
+
+Circuit nominal_if_filter() {
+  return realize_bandpass(chebyshev(2, 0.5), 175e6, 22e6, 50.0);
+}
+
+TEST(ToleranceSpec, PaperAnchors) {
+  // Section 2: "Tolerances are about 15%, with laser tuning values below 1%".
+  EXPECT_DOUBLE_EQ(ToleranceSpec::integrated_untrimmed().resistor, 0.15);
+  EXPECT_LE(ToleranceSpec::integrated_trimmed().resistor, 0.01);
+  EXPECT_LT(ToleranceSpec::integrated_trimmed().capacitor,
+            ToleranceSpec::integrated_untrimmed().capacitor);
+}
+
+TEST(ToleranceSpec, KindLookup) {
+  ToleranceSpec t;
+  t.resistor = 0.1;
+  t.inductor = 0.2;
+  t.capacitor = 0.3;
+  EXPECT_DOUBLE_EQ(t.for_kind(ElementKind::Resistor), 0.1);
+  EXPECT_DOUBLE_EQ(t.for_kind(ElementKind::Inductor), 0.2);
+  EXPECT_DOUBLE_EQ(t.for_kind(ElementKind::Capacitor), 0.3);
+}
+
+TEST(Tolerance, ZeroToleranceIsDeterministic) {
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec none;  // all zero
+  const ToleranceResult r = analyze_tolerance(
+      ckt, none, [](const Circuit& c) { return insertion_loss_at(c, 175e6); },
+      [](double il) { return il < 1.0; }, {100, 7});
+  EXPECT_DOUBLE_EQ(r.parametric_yield, 1.0);
+  EXPECT_NEAR(r.metric_stddev, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.metric_min, r.metric_max);
+}
+
+TEST(Tolerance, Reproducible) {
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  auto metric = [](const Circuit& c) { return insertion_loss_at(c, 175e6); };
+  auto pass = [](double il) { return il < 1.5; };
+  const ToleranceResult a = analyze_tolerance(ckt, tol, metric, pass, {500, 11});
+  const ToleranceResult b = analyze_tolerance(ckt, tol, metric, pass, {500, 11});
+  EXPECT_EQ(a.passing, b.passing);
+  EXPECT_DOUBLE_EQ(a.metric_mean, b.metric_mean);
+}
+
+TEST(Tolerance, TrimmingImprovesParametricYield) {
+  // The paper's laser-tuning claim, quantified: against a tight spec, the
+  // trimmed process yields strictly more than the untrimmed one.
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceOptions opt{3000, 2026};
+  const ToleranceResult untrimmed = bandpass_parametric_yield(
+      ckt, ToleranceSpec::integrated_untrimmed(), 175e6, 1.0, 0.0, opt);
+  const ToleranceResult trimmed = bandpass_parametric_yield(
+      ckt, ToleranceSpec::integrated_trimmed(), 175e6, 1.0, 0.0, opt);
+  EXPECT_GT(trimmed.parametric_yield, untrimmed.parametric_yield);
+  EXPECT_GT(trimmed.parametric_yield, 0.9);
+}
+
+TEST(Tolerance, WiderSpecHigherYield) {
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  const ToleranceOptions opt{2000, 5};
+  double prev = -1.0;
+  for (const double limit : {0.5, 1.0, 2.0, 4.0}) {
+    const ToleranceResult r =
+        bandpass_parametric_yield(ckt, tol, 175e6, limit, 0.0, opt);
+    EXPECT_GE(r.parametric_yield, prev) << "limit " << limit;
+    prev = r.parametric_yield;
+  }
+  EXPECT_GT(prev, 0.95);  // a 4 dB limit on a lossless design passes nearly all
+}
+
+TEST(Tolerance, FrequencyPullCriterionBites) {
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  const ToleranceOptions opt{2000, 5};
+  const ToleranceResult loose =
+      bandpass_parametric_yield(ckt, tol, 175e6, 1.5, 0.0, opt);
+  const ToleranceResult strict =
+      bandpass_parametric_yield(ckt, tol, 175e6, 1.5, 0.04, opt);
+  EXPECT_LE(strict.parametric_yield, loose.parametric_yield);
+}
+
+TEST(Tolerance, MetricDistributionSane) {
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceResult r = bandpass_parametric_yield(
+      ckt, ToleranceSpec::integrated_untrimmed(), 175e6, 1.0, 0.0, {2000, 13});
+  EXPECT_GE(r.metric_min, 0.0);
+  EXPECT_GE(r.metric_max, r.metric_mean);
+  EXPECT_GE(r.metric_mean, r.metric_min);
+  EXPECT_GT(r.metric_stddev, 0.0);
+  EXPECT_GT(r.ci95_half_width, 0.0);
+  EXPECT_LT(r.ci95_half_width, 0.05);
+}
+
+TEST(Tolerance, Preconditions) {
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol;
+  auto metric = [](const Circuit&) { return 0.0; };
+  auto pass = [](double) { return true; };
+  EXPECT_THROW(analyze_tolerance(ckt, tol, metric, pass, {5, 1}), PreconditionError);
+  EXPECT_THROW(analyze_tolerance(ckt, tol, nullptr, pass), PreconditionError);
+  EXPECT_THROW(bandpass_parametric_yield(ckt, tol, 0.0, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(bandpass_parametric_yield(ckt, tol, 175e6, 0.0, 0.0), PreconditionError);
+}
+
+TEST(Circuit, ScaleElementValue) {
+  Circuit ckt = nominal_if_filter();
+  const double before = ckt.elements()[0].value;
+  ckt.scale_element_value(0, 1.1);
+  EXPECT_NEAR(ckt.elements()[0].value, before * 1.1, 1e-18);
+  EXPECT_THROW(ckt.scale_element_value(99, 1.1), ipass::PreconditionError);
+  EXPECT_THROW(ckt.scale_element_value(0, 0.0), ipass::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::rf

@@ -1,0 +1,130 @@
+#include "rf/transform.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "rf/analysis.hpp"
+#include "rf/cauer.hpp"
+#include "rf/mna.hpp"
+
+namespace ipass::rf {
+namespace {
+
+TEST(Lowpass, ImpedanceAndFrequencyScaling) {
+  // Butterworth n=3 at 1 GHz / 50 Ohm: C1 = 1/(50 wc), L2 = 2*50/wc, C3 = C1.
+  const Circuit ckt = realize_lowpass(butterworth(3), 1e9, 50.0);
+  const double wc = omega(1e9);
+  ASSERT_EQ(ckt.elements().size(), 3u);
+  EXPECT_NEAR(ckt.elements()[0].value, 1.0 / (50.0 * wc), 1e-18);
+  EXPECT_NEAR(ckt.elements()[1].value, 2.0 * 50.0 / wc, 1e-14);
+  EXPECT_NEAR(ckt.elements()[2].value, 1.0 / (50.0 * wc), 1e-18);
+  EXPECT_DOUBLE_EQ(ckt.port1().z0, 50.0);
+  EXPECT_DOUBLE_EQ(ckt.port2().z0, 50.0);
+}
+
+TEST(Lowpass, ChebyshevEvenOrderLoadScaled) {
+  // Pi form, n=2: the last element is a series L, so g3 = 1.9841 is the
+  // load conductance -> R_load = 50/1.9841.
+  const LadderPrototype p = chebyshev(2, 0.5);
+  const Circuit ckt = realize_lowpass(p, 1e9, 50.0);
+  EXPECT_NEAR(ckt.port2().z0, 50.0 / 1.9841, 0.05);
+}
+
+TEST(Bandpass, CenterFrequencyTransparentWhenLossless) {
+  const Circuit bp = realize_bandpass(chebyshev(3, 0.2), 175e6, 30e6, 50.0);
+  EXPECT_LT(insertion_loss_at(bp, 175e6), 0.25);
+  // Far out of band: strong rejection on both sides.
+  EXPECT_GT(insertion_loss_at(bp, 50e6), 30.0);
+  EXPECT_GT(insertion_loss_at(bp, 600e6), 30.0);
+}
+
+TEST(Bandpass, ResonatorsTunedToCenter) {
+  const Circuit bp = realize_bandpass(chebyshev(2, 0.5), 175e6, 22e6, 50.0);
+  // Every L-C pair sharing nodes resonates at f0 (shunt and series alike).
+  // Collect element values: shunt resonator L1 C1, series resonator L2 C2.
+  double l_shunt = 0, c_shunt = 0, l_series = 0, c_series = 0;
+  for (const Element& e : bp.elements()) {
+    const bool grounded = e.node1 == 0 || e.node2 == 0;
+    if (e.kind == ElementKind::Inductor && grounded) l_shunt = e.value;
+    if (e.kind == ElementKind::Capacitor && grounded) c_shunt = e.value;
+    if (e.kind == ElementKind::Inductor && !grounded) l_series = e.value;
+    if (e.kind == ElementKind::Capacitor && !grounded) c_series = e.value;
+  }
+  const double f_shunt = 1.0 / (2.0 * kPi * std::sqrt(l_shunt * c_shunt));
+  const double f_series = 1.0 / (2.0 * kPi * std::sqrt(l_series * c_series));
+  EXPECT_NEAR(f_shunt, 175e6, 1e3);
+  EXPECT_NEAR(f_series, 175e6, 1e3);
+}
+
+TEST(Bandpass, BandwidthMatchesRippleBand) {
+  // For a Chebyshev bandpass, IL at f0 +- bw/2 equals the ripple.
+  const double f0 = 1e9, bw = 100e6, ripple = 0.5;
+  const Circuit bp = realize_bandpass(chebyshev(3, ripple), f0, bw, 50.0);
+  // Geometric-symmetry band edges: f_lo * f_hi = f0^2, f_hi - f_lo = bw.
+  const double f_hi = bw / 2.0 + std::sqrt(bw * bw / 4.0 + f0 * f0);
+  const double f_lo = f_hi - bw;
+  EXPECT_NEAR(insertion_loss_at(bp, f_hi), ripple, 0.05);
+  EXPECT_NEAR(insertion_loss_at(bp, f_lo), ripple, 0.05);
+}
+
+TEST(Bandpass, TrapBranchesCreateFiniteZeros) {
+  const LadderPrototype proto = cauer_lowpass(3, 0.5, 1.5);
+  const Circuit bp = realize_bandpass(proto, 1e9, 200e6, 50.0);
+  // The single LP trap yields two bandpass transmission zeros (one below,
+  // one above the passband): scan for two deep notches.
+  int notches = 0;
+  double prev_il = insertion_loss_at(bp, 0.4e9);
+  bool rising = false;
+  for (const double f : linspace(0.45e9, 2.2e9, 600)) {
+    const double il = insertion_loss_at(bp, f);
+    if (il > prev_il + 1e-9) {
+      rising = true;
+    } else if (rising && il < prev_il && prev_il > 45.0) {
+      ++notches;
+      rising = false;
+    }
+    prev_il = il;
+  }
+  EXPECT_GE(notches, 2);
+}
+
+TEST(Bandpass, QualityModelsAreApplied) {
+  ComponentQuality lossy;
+  lossy.inductor_q = QModel::constant(10.0);
+  lossy.capacitor_q = QModel::constant(40.0);
+  const Circuit lossless = realize_bandpass(chebyshev(2, 0.5), 175e6, 22e6, 50.0);
+  const Circuit dissipative =
+      realize_bandpass(chebyshev(2, 0.5), 175e6, 22e6, 50.0, lossy);
+  const double il0 = insertion_loss_at(lossless, 175e6);
+  const double il1 = insertion_loss_at(dissipative, 175e6);
+  EXPECT_GT(il1, il0 + 2.0);  // finite Q costs decibels at midband
+}
+
+TEST(Transform, ElementCounting) {
+  const Circuit bp = realize_bandpass(chebyshev(2, 0.5), 175e6, 22e6, 50.0);
+  const ElementCount n = count_elements(bp);
+  EXPECT_EQ(n.inductors, 2);
+  EXPECT_EQ(n.capacitors, 2);
+  EXPECT_EQ(n.resistors, 0);
+  EXPECT_EQ(n.total(), 4);
+  // Cauer n=3 bandpass: 2 shunt resonators (2L+2C) + trap branch (2L+2C).
+  const Circuit cauer_bp = realize_bandpass(cauer_lowpass(3, 0.5, 1.5), 1e9, 200e6, 50.0);
+  const ElementCount nc = count_elements(cauer_bp);
+  EXPECT_EQ(nc.inductors, 4);
+  EXPECT_EQ(nc.capacitors, 4);
+}
+
+TEST(Transform, Preconditions) {
+  const LadderPrototype p = chebyshev(2, 0.5);
+  EXPECT_THROW(realize_lowpass(p, 0.0, 50.0), PreconditionError);
+  EXPECT_THROW(realize_lowpass(p, 1e9, 0.0), PreconditionError);
+  EXPECT_THROW(realize_bandpass(p, 0.0, 1e6, 50.0), PreconditionError);
+  EXPECT_THROW(realize_bandpass(p, 1e9, 0.0, 50.0), PreconditionError);
+  EXPECT_THROW(realize_bandpass(p, 1e9, 3e9, 50.0), PreconditionError);  // bw too wide
+}
+
+}  // namespace
+}  // namespace ipass::rf

@@ -1,0 +1,126 @@
+// Highpass and bandstop realizations (extensions of the transform family).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "rf/analysis.hpp"
+#include "rf/cauer.hpp"
+#include "rf/mna.hpp"
+#include "rf/transform.hpp"
+
+namespace ipass::rf {
+namespace {
+
+TEST(Highpass, ButterworthMirrorsLowpass) {
+  const double fc = 1e9;
+  const Circuit hp = realize_highpass(butterworth(3), fc, 50.0);
+  // 3.01 dB at cutoff, transparent far above, blocking far below.
+  EXPECT_NEAR(insertion_loss_at(hp, fc), 3.0103, 0.02);
+  EXPECT_LT(insertion_loss_at(hp, 10.0 * fc), 0.01);
+  EXPECT_GT(insertion_loss_at(hp, fc / 4.0), 35.0);
+  // Mirror symmetry: HP at fc*r equals LP at fc/r.
+  const Circuit lp = realize_lowpass(butterworth(3), fc, 50.0);
+  for (const double r : {1.5, 2.0, 4.0}) {
+    EXPECT_NEAR(insertion_loss_at(hp, fc * r), insertion_loss_at(lp, fc / r), 1e-6)
+        << "r=" << r;
+  }
+}
+
+TEST(Highpass, ChebyshevRippleInPassband) {
+  const double fc = 175e6;
+  const Circuit hp = realize_highpass(chebyshev(3, 0.5), fc, 50.0);
+  double max_il = 0.0;
+  for (const double f : linspace(fc, 20.0 * fc, 400)) {
+    max_il = std::max(max_il, insertion_loss_at(hp, f));
+  }
+  EXPECT_NEAR(max_il, 0.5, 0.03);
+}
+
+TEST(Highpass, EllipticImageRejectScenario) {
+  // Alternative realization of the paper's LNA output filter as an
+  // elliptic highpass: pass 1.575 GHz, reject the 1.225 GHz image.  The
+  // frequency plan fixes the selectivity: 1575.42/1225 = 1.286, so an
+  // n=3 Cauer with ws/wp = 1.28 and the passband edge at the GPS band
+  // just covers it.
+  const LadderPrototype proto = cauer_lowpass(3, 0.5, 1.28);
+  const Circuit hp = realize_highpass(proto, 1570e6, 50.0);
+  const double il_gps = insertion_loss_at(hp, 1575.42e6);
+  const double il_image = insertion_loss_at(hp, 1225e6);
+  EXPECT_LT(il_gps, 0.6);
+  EXPECT_GT(il_image - il_gps, 13.0);
+}
+
+TEST(Highpass, EllipticTrapStaysParallel) {
+  // The prototype trap maps element-wise (L->C, C->L) but remains a
+  // parallel branch; its notch sits at wc / w_z below the passband.
+  const LadderPrototype proto = cauer_lowpass(3, 0.5, 1.5);
+  double wz = 0.0;
+  for (const LadderBranch& br : proto.branches) {
+    if (br.topo == LadderBranch::Topology::SeriesTrap) {
+      wz = 1.0 / std::sqrt(br.l * br.c);
+    }
+  }
+  ASSERT_GT(wz, 1.0);
+  const double fc = 1e9;
+  const Circuit hp = realize_highpass(proto, fc, 50.0);
+  const double f_notch = fc / wz;
+  EXPECT_GT(insertion_loss_at(hp, f_notch), 50.0);
+}
+
+TEST(Highpass, ElementKindsSwapped) {
+  const Circuit hp = realize_highpass(chebyshev(3, 0.5), 1e9, 50.0);
+  // Pi-form prototype: shunt C -> shunt L, series L -> series C.
+  const ElementCount n = count_elements(hp);
+  EXPECT_EQ(n.inductors, 2);   // two shunt branches
+  EXPECT_EQ(n.capacitors, 1);  // one series branch
+}
+
+TEST(Bandstop, NotchAtCenter) {
+  const double f0 = 175e6;
+  const Circuit bs = realize_bandstop(butterworth(3), f0, 30e6, 50.0);
+  EXPECT_GT(insertion_loss_at(bs, f0), 40.0);
+  EXPECT_LT(insertion_loss_at(bs, f0 / 2.0), 1.0);
+  EXPECT_LT(insertion_loss_at(bs, f0 * 2.0), 1.0);
+}
+
+TEST(Bandstop, StopWidthScalesWithSpec) {
+  const double f0 = 1e9;
+  const Circuit narrow = realize_bandstop(butterworth(2), f0, 50e6, 50.0);
+  const Circuit wide = realize_bandstop(butterworth(2), f0, 200e6, 50.0);
+  // At a fixed 60 MHz offset the wide notch still attenuates, the narrow
+  // one has mostly recovered.
+  const double off = f0 + 60e6;
+  EXPECT_GT(insertion_loss_at(wide, off), insertion_loss_at(narrow, off) + 6.0);
+}
+
+TEST(Bandstop, ResonatorsTunedToCenter) {
+  const double f0 = 500e6;
+  const Circuit bs = realize_bandstop(chebyshev(2, 0.5), f0, 60e6, 50.0);
+  // Every branch resonates at f0: check via L*C products.
+  std::vector<double> ls, cs;
+  for (const Element& e : bs.elements()) {
+    if (e.kind == ElementKind::Inductor) ls.push_back(e.value);
+    if (e.kind == ElementKind::Capacitor) cs.push_back(e.value);
+  }
+  ASSERT_EQ(ls.size(), cs.size());
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    const double f_res = 1.0 / (2.0 * kPi * std::sqrt(ls[i] * cs[i]));
+    EXPECT_NEAR(f_res, f0, 1e3) << "branch " << i;
+  }
+}
+
+TEST(Bandstop, RejectsEllipticPrototypes) {
+  EXPECT_THROW(realize_bandstop(cauer_lowpass(3, 0.5, 1.5), 1e9, 100e6, 50.0),
+               ipass::PreconditionError);
+}
+
+TEST(HighpassBandstop, Preconditions) {
+  const LadderPrototype p = chebyshev(2, 0.5);
+  EXPECT_THROW(realize_highpass(p, 0.0, 50.0), ipass::PreconditionError);
+  EXPECT_THROW(realize_highpass(p, 1e9, -50.0), ipass::PreconditionError);
+  EXPECT_THROW(realize_bandstop(p, 1e9, 0.0, 50.0), ipass::PreconditionError);
+  EXPECT_THROW(realize_bandstop(p, 1e9, 3e9, 50.0), ipass::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::rf

@@ -1,0 +1,94 @@
+#include "rf/twoport.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "rf/mna.hpp"
+
+namespace ipass::rf {
+namespace {
+
+TEST(Abcd, IdentityIsTransparent) {
+  const auto s = Abcd::identity().to_s(50.0, 50.0);
+  EXPECT_NEAR(std::abs(s.s21), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(s.s11), 0.0, 1e-12);
+}
+
+TEST(Abcd, SeriesImpedanceMatchesClosedForm) {
+  const auto s = Abcd::series(Complex(50.0, 0.0)).to_s(50.0, 50.0);
+  EXPECT_NEAR(std::abs(s.s21), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(std::abs(s.s11), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Abcd, ShuntAdmittanceMatchesClosedForm) {
+  // Shunt 50 Ohm: S21 = 2/(2 + Z0/R) = 2/3 for R = Z0.
+  const auto s = Abcd::shunt(Complex(1.0 / 50.0, 0.0)).to_s(50.0, 50.0);
+  EXPECT_NEAR(std::abs(s.s21), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Abcd, CascadeOrderMatters) {
+  const Abcd sz = Abcd::series(Complex(25.0, 0.0));
+  const Abcd sy = Abcd::shunt(Complex(0.01, 0.0));
+  const Abcd a = sz.cascade(sy);  // a.a = 1 + 25*0.01
+  const Abcd b = sy.cascade(sz);  // b.a = 1
+  EXPECT_NE(std::abs(a.a - b.a), 0.0);
+  EXPECT_NEAR(std::abs(a.a), 1.25, 1e-12);
+}
+
+TEST(Abcd, ReciprocityDeterminantOne) {
+  const Abcd chain = Abcd::series(Complex(10.0, 30.0))
+                         .cascade(Abcd::shunt(Complex(0.001, -0.02)))
+                         .cascade(Abcd::series(Complex(0.0, -12.0)));
+  EXPECT_NEAR(std::abs(chain.determinant() - Complex(1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Abcd, TransformerScalesImpedance) {
+  // 2:1 transformer terminated in 50 makes the input look like 200.
+  const auto s = Abcd::transformer(2.0).to_s(200.0, 50.0);
+  EXPECT_NEAR(std::abs(s.s11), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(s.s21), 1.0, 1e-12);
+  EXPECT_THROW(Abcd::transformer(0.0), ipass::PreconditionError);
+}
+
+// Property: a ladder analyzed by ABCD cascading equals the MNA solution.
+class AbcdVsMnaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AbcdVsMnaTest, LadderAgreesWithMna) {
+  const double f = GetParam();
+  const double w = omega(f);
+
+  // L-C-L T network.
+  const double l1 = 4e-9, c1 = 2.2e-12, l2 = 6e-9;
+  const Abcd chain = Abcd::series(Complex(0.0, w * l1))
+                         .cascade(Abcd::shunt(Complex(0.0, w * c1)))
+                         .cascade(Abcd::series(Complex(0.0, w * l2)));
+  const auto s_abcd = chain.to_s(50.0, 50.0);
+
+  Circuit ckt;
+  const int n1 = ckt.add_node();
+  const int n2 = ckt.add_node();
+  const int n3 = ckt.add_node();
+  ckt.add_inductor(n1, n2, l1);
+  ckt.add_capacitor(n2, 0, c1);
+  ckt.add_inductor(n2, n3, l2);
+  ckt.set_port1(n1, 50.0);
+  ckt.set_port2(n3, 50.0);
+  const SPoint s_mna = analyze_at(ckt, f);
+
+  EXPECT_NEAR(std::abs(s_abcd.s21 - s_mna.s21), 0.0, 1e-9) << "f=" << f;
+  EXPECT_NEAR(std::abs(s_abcd.s11 - s_mna.s11), 0.0, 1e-9) << "f=" << f;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, AbcdVsMnaTest,
+                         ::testing::Values(50e6, 175e6, 400e6, 1e9, 1.575e9, 3e9, 8e9));
+
+TEST(Abcd, ToSRejectsBadReference) {
+  EXPECT_THROW(Abcd::identity().to_s(0.0, 50.0), ipass::PreconditionError);
+  EXPECT_THROW(Abcd::identity().to_s(50.0, -1.0), ipass::PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::rf

@@ -1,0 +1,48 @@
+#include "tech/die.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipass::tech {
+namespace {
+
+TEST(Die, Table1AreasForRfChip) {
+  const DieSpec rf = gps_rf_chip();
+  EXPECT_DOUBLE_EQ(die_area_mm2(rf, DieAttach::PackagedSmt), 225.0);
+  EXPECT_DOUBLE_EQ(die_area_mm2(rf, DieAttach::FlipChip), 13.0);
+  // Wire bond: 28 mm^2 from the 0.85 mm fan-out ring model.
+  EXPECT_NEAR(die_area_mm2(rf, DieAttach::WireBond), 28.0, 0.5);
+}
+
+TEST(Die, Table1AreasForDsp) {
+  const DieSpec dsp = gps_dsp_correlator();
+  EXPECT_DOUBLE_EQ(die_area_mm2(dsp, DieAttach::PackagedSmt), 1165.0);
+  EXPECT_DOUBLE_EQ(die_area_mm2(dsp, DieAttach::FlipChip), 59.0);
+  EXPECT_NEAR(die_area_mm2(dsp, DieAttach::WireBond), 88.0, 0.8);
+}
+
+TEST(Die, SameFanoutExplainsBothDies) {
+  // The single 0.85 mm bond-ring parameter reproduces both published
+  // wire-bond areas -- evidence the model is the right shape.
+  EXPECT_DOUBLE_EQ(gps_rf_chip().wb_fanout_mm, gps_dsp_correlator().wb_fanout_mm);
+}
+
+TEST(Die, BondCountsSplitThePublished212) {
+  // Table 2: "# Bonds 212".
+  EXPECT_EQ(gps_rf_chip().pad_count + gps_dsp_correlator().pad_count, 212);
+}
+
+TEST(Die, AttachOrderingPackagedLargestFlipChipSmallest) {
+  for (const DieSpec& d : {gps_rf_chip(), gps_dsp_correlator()}) {
+    EXPECT_GT(die_area_mm2(d, DieAttach::PackagedSmt), die_area_mm2(d, DieAttach::WireBond));
+    EXPECT_GT(die_area_mm2(d, DieAttach::WireBond), die_area_mm2(d, DieAttach::FlipChip));
+  }
+}
+
+TEST(Die, AttachNames) {
+  EXPECT_STREQ(die_attach_name(DieAttach::PackagedSmt), "packaged (SMT)");
+  EXPECT_STREQ(die_attach_name(DieAttach::WireBond), "wire bond");
+  EXPECT_STREQ(die_attach_name(DieAttach::FlipChip), "flip chip");
+}
+
+}  // namespace
+}  // namespace ipass::tech

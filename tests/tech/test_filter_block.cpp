@@ -1,0 +1,35 @@
+#include "tech/filter_block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipass::tech {
+namespace {
+
+TEST(FilterBlock, Table1Footprint) {
+  // Table 1: Filter SMD = 27.5 mm^2.
+  EXPECT_DOUBLE_EQ(rf_filter_block().footprint_area_mm2, 27.5);
+  EXPECT_DOUBLE_EQ(if_filter_block().footprint_area_mm2, 27.5);
+}
+
+TEST(FilterBlock, FrequencyPlan) {
+  EXPECT_NEAR(rf_filter_block().center_freq_hz, 1575.42e6, 1.0);
+  EXPECT_NEAR(if_filter_block().center_freq_hz, 175e6, 1.0);
+}
+
+TEST(FilterBlock, VendorBlocksMeetTheSpecs) {
+  // SMD blocks are why build-ups 1/2 score a full 1.0: loss below 3 dB at
+  // RF and below ~5 dB at IF with comfortable rejection.
+  EXPECT_LT(rf_filter_block().insertion_loss_db, 3.0);
+  EXPECT_GT(rf_filter_block().rejection_db, 20.0);
+  EXPECT_LT(if_filter_block().insertion_loss_db, 4.9);
+}
+
+TEST(FilterBlock, McmGradeCheaper) {
+  EXPECT_LT(filter_block_price(rf_filter_block(), PartsGrade::McmLine),
+            filter_block_price(rf_filter_block(), PartsGrade::PcbLine));
+  EXPECT_DOUBLE_EQ(filter_block_price(if_filter_block(), PartsGrade::PcbLine),
+                   if_filter_block().price_pcb);
+}
+
+}  // namespace
+}  // namespace ipass::tech

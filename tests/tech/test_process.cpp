@@ -1,0 +1,41 @@
+#include "tech/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ipass::tech {
+namespace {
+
+TEST(Process, Table2SubstrateValues) {
+  const SubstrateTechnology pcb = pcb_fr4();
+  EXPECT_DOUBLE_EQ(pcb.cost_per_cm2, 0.10);
+  EXPECT_DOUBLE_EQ(pcb.fab_yield, 0.9999);
+  EXPECT_FALSE(pcb.supports_integrated_passives);
+  EXPECT_TRUE(pcb.double_sided);
+
+  const SubstrateTechnology mcm = mcm_d_si();
+  EXPECT_DOUBLE_EQ(mcm.cost_per_cm2, 1.75);
+  EXPECT_DOUBLE_EQ(mcm.fab_yield, 0.99);
+  EXPECT_DOUBLE_EQ(mcm.routing_overhead, 1.1);
+  EXPECT_DOUBLE_EQ(mcm.edge_clearance_mm, 1.0);
+
+  const SubstrateTechnology ip = mcm_d_si_ip();
+  EXPECT_DOUBLE_EQ(ip.cost_per_cm2, 2.25);
+  EXPECT_DOUBLE_EQ(ip.fab_yield, 0.90);
+  EXPECT_TRUE(ip.supports_integrated_passives);
+}
+
+TEST(Process, IpSubstrateCostsMoreAndYieldsLess) {
+  // "higher costs and lower yield for the substrate" (paper 4.1).
+  EXPECT_GT(mcm_d_si_ip().cost_per_cm2, mcm_d_si().cost_per_cm2);
+  EXPECT_LT(mcm_d_si_ip().fab_yield, mcm_d_si().fab_yield);
+  EXPECT_GT(mcm_d_si().cost_per_cm2, pcb_fr4().cost_per_cm2);
+}
+
+TEST(Process, KindNames) {
+  EXPECT_STREQ(substrate_kind_name(SubstrateKind::Pcb), "PCB");
+  EXPECT_STREQ(substrate_kind_name(SubstrateKind::McmD), "MCM-D(Si)");
+  EXPECT_STREQ(substrate_kind_name(SubstrateKind::McmDIp), "MCM-D(Si)+IP");
+}
+
+}  // namespace
+}  // namespace ipass::tech

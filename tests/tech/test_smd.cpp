@@ -1,0 +1,77 @@
+#include "tech/smd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ipass::tech {
+namespace {
+
+TEST(Smd, Table1Footprints) {
+  EXPECT_DOUBLE_EQ(smd_spec(SmdCase::C0603).footprint_area_mm2, 3.75);
+  EXPECT_DOUBLE_EQ(smd_spec(SmdCase::C0805).footprint_area_mm2, 4.50);
+}
+
+TEST(Smd, BodyAreasMatchCaseDimensions) {
+  for (const SmdSpec& s : smd_catalog()) {
+    EXPECT_NEAR(s.body_area_mm2, s.body_length_mm * s.body_width_mm, 1e-9)
+        << smd_case_name(s.code);
+  }
+}
+
+TEST(Smd, Fig1FootprintShrinksSlowerThanBody) {
+  // The message of Fig 1: mounting overhead cannot be scaled down, so the
+  // footprint/body ratio grows as cases shrink.
+  double prev_ratio = 0.0;
+  for (const SmdSpec& s : smd_catalog()) {  // ordered large -> small
+    const double ratio = s.footprint_area_mm2 / s.body_area_mm2;
+    EXPECT_GT(ratio, prev_ratio) << smd_case_name(s.code);
+    prev_ratio = ratio;
+  }
+}
+
+TEST(Smd, FootprintMonotoneInCaseSize) {
+  const auto& cat = smd_catalog();
+  for (std::size_t i = 1; i < cat.size(); ++i) {
+    EXPECT_LT(cat[i].footprint_area_mm2, cat[i - 1].footprint_area_mm2);
+    EXPECT_LT(cat[i].body_area_mm2, cat[i - 1].body_area_mm2);
+  }
+}
+
+TEST(Smd, McmGradeIsCheaper) {
+  // Table 2: the same 112-part bill costs 11.0 on the PCB line and 8.6 on
+  // the MCM line.
+  for (const SmdKind kind : {SmdKind::Resistor, SmdKind::Capacitor, SmdKind::Inductor,
+                             SmdKind::DecouplingCap}) {
+    const SmdCase code = default_case(kind);
+    EXPECT_LT(smd_price(kind, code, PartsGrade::McmLine),
+              smd_price(kind, code, PartsGrade::PcbLine));
+  }
+}
+
+TEST(Smd, InductorsCostMoreThanResistors) {
+  EXPECT_GT(smd_price(SmdKind::Inductor, SmdCase::C0805, PartsGrade::PcbLine),
+            10.0 * smd_price(SmdKind::Resistor, SmdCase::C0603, PartsGrade::PcbLine));
+}
+
+TEST(Smd, InductorCaseByValue) {
+  EXPECT_EQ(inductor_case_for(8e-9), SmdCase::C0805);
+  EXPECT_EQ(inductor_case_for(99e-9), SmdCase::C0805);
+  EXPECT_EQ(inductor_case_for(234e-9), SmdCase::C1206);
+}
+
+TEST(Smd, QualityModels) {
+  EXPECT_FALSE(smd_quality(SmdKind::Inductor).is_lossless());
+  // The calibration anchor: multilayer chip inductor Q ~ 13 at 175 MHz.
+  EXPECT_NEAR(smd_quality(SmdKind::Inductor).q_at(175e6), 13.3, 1.5);
+  EXPECT_GT(smd_quality(SmdKind::Capacitor).q_at(175e6), 100.0);
+  EXPECT_TRUE(smd_quality(SmdKind::Resistor).is_lossless());
+}
+
+TEST(Smd, CaseNames) {
+  EXPECT_STREQ(smd_case_name(SmdCase::C0402), "0402");
+  EXPECT_STREQ(smd_case_name(SmdCase::C1206), "1206");
+}
+
+}  // namespace
+}  // namespace ipass::tech

@@ -1,0 +1,148 @@
+#include "tech/thin_film.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ipass::tech {
+namespace {
+
+// --- resistors: paper anchors --------------------------------------------
+
+TEST(IpResistor, PaperAnchor200Ohm) {
+  // "with a specific resistance of 360 Ohm/sq (CrSi) a 200 Ohm resistor
+  //  would require an area of 0.01 mm^2."
+  const ResistorProcess p = crsi_resistor_process();
+  EXPECT_NEAR(resistor_area_mm2(p, 200.0), 0.01, 0.002);
+}
+
+TEST(IpResistor, PaperAnchor100kOhm) {
+  // Table 1: IP-R (100 kOhm) = 0.25 mm^2.
+  const ResistorProcess p = crsi_resistor_process();
+  EXPECT_NEAR(resistor_area_mm2(p, ipass::kohm(100.0)), 0.25, 0.03);
+}
+
+TEST(IpResistor, SquaresScaleLinearly) {
+  const ResistorProcess p = crsi_resistor_process();
+  EXPECT_NEAR(resistor_squares(p, 360.0), 1.0, 1e-12);
+  EXPECT_NEAR(resistor_squares(p, 720.0), 2.0, 1e-12);
+}
+
+TEST(IpResistor, PadDominatesSmallValues) {
+  // Below ~1 square the termination pads set the floor.
+  const ResistorProcess p = crsi_resistor_process();
+  const double tiny = resistor_area_mm2(p, 10.0);
+  EXPECT_GT(tiny, 2.0 * p.contact_pad_area_mm2 * 0.99);
+  EXPECT_LT(tiny, 0.012);
+}
+
+TEST(IpResistor, NicrForLowValues) {
+  const ResistorProcess nicr = nicr_resistor_process();
+  EXPECT_LT(nicr.sheet_ohm_sq, crsi_resistor_process().sheet_ohm_sq);
+  // A 50 Ohm termination is 2 squares in NiCr but 0.14 in CrSi.
+  EXPECT_NEAR(resistor_squares(nicr, 50.0), 2.0, 1e-12);
+}
+
+TEST(IpResistor, Preconditions) {
+  EXPECT_THROW(resistor_area_mm2(crsi_resistor_process(), 0.0), ipass::PreconditionError);
+  EXPECT_THROW(resistor_area_mm2(crsi_resistor_process(), -5.0), ipass::PreconditionError);
+}
+
+// --- capacitors -------------------------------------------------------------
+
+TEST(IpCapacitor, PaperAnchor50pF) {
+  // Table 1: IP-C (50 pF) = 0.3 mm^2.
+  EXPECT_NEAR(capacitor_area_mm2(si3n4_capacitor_process(), ipass::pf(50.0)), 0.30, 0.03);
+}
+
+TEST(IpCapacitor, BatioDensityIsThePaperFigure) {
+  // "capacitors up to 100 pF/mm^2 (10 nF/cm^2) have been realized".
+  EXPECT_DOUBLE_EQ(batio_capacitor_process().density_pf_mm2, 100.0);
+}
+
+TEST(IpCapacitor, DecapConsumesSeveralTimesTheSmdArea) {
+  // "the dielectric materials used result in areas consumed several times
+  //  as large as the area for the respective SMD component" -- the paper's
+  //  3.5 nF decap vs a 4.5 mm^2 0805.
+  const double decap = capacitor_area_mm2(batio_capacitor_process(), ipass::nf(3.5));
+  EXPECT_GT(decap / 4.5, 4.0);
+  EXPECT_LT(decap / 4.5, 12.0);
+}
+
+TEST(IpCapacitor, AreaLinearInValue) {
+  const CapacitorProcess p = si3n4_capacitor_process();
+  const double a1 = capacitor_area_mm2(p, ipass::pf(100.0)) - p.terminal_overhead_mm2;
+  const double a2 = capacitor_area_mm2(p, ipass::pf(200.0)) - p.terminal_overhead_mm2;
+  EXPECT_NEAR(a2 / a1, 2.0, 1e-9);
+}
+
+// --- inductors ---------------------------------------------------------------
+
+TEST(IpInductor, PaperAnchor40nH) {
+  // Table 1: IP-L (40 nH) = 1 mm^2.
+  const SpiralDesign d = design_spiral(summit_spiral_process(), ipass::nh(40.0));
+  EXPECT_NEAR(d.area_mm2, 1.0, 0.15);
+}
+
+TEST(IpInductor, GeometryIsSelfConsistent) {
+  const SpiralInductorProcess p = summit_spiral_process();
+  const SpiralDesign d = design_spiral(p, ipass::nh(40.0));
+  // Turns fit in the winding window at the drawn pitch.
+  const double window = (d.outer_diameter_mm - d.inner_diameter_mm) / 2.0;
+  const double pitch = (p.line_width_um + p.line_spacing_um) * 1e-3;
+  EXPECT_NEAR(window, d.turns * pitch, 0.02);
+  // Fill ratio is honored.
+  EXPECT_NEAR((d.outer_diameter_mm - d.inner_diameter_mm) /
+                  (d.outer_diameter_mm + d.inner_diameter_mm),
+              p.fill_ratio, 1e-9);
+}
+
+TEST(IpInductor, AreaGrowsSublinearlyWithL) {
+  // L ~ d^3 at fixed fill -> area ~ L^(2/3).
+  const SpiralInductorProcess p = summit_spiral_process();
+  const double a1 = design_spiral(p, ipass::nh(10.0)).outer_diameter_mm;
+  const double a8 = design_spiral(p, ipass::nh(80.0)).outer_diameter_mm;
+  EXPECT_NEAR(a8 / a1, 2.0, 0.05);  // 8x inductance = 2x diameter
+}
+
+TEST(IpInductor, QPeaksInGigahertzRangeAndFallsAtIf) {
+  // The paper's key performance effect: "quite good in the 1-2 GHz range
+  // but decreases with frequency".
+  const SpiralDesign d = design_spiral(summit_spiral_process(), ipass::nh(40.0));
+  const double q_rf = d.q_model.q_at(1.5e9);
+  const double q_if = d.q_model.q_at(175e6);
+  EXPECT_GT(q_rf, 20.0);
+  EXPECT_LT(q_if, 12.0);
+  EXPECT_GT(q_rf / q_if, 2.5);
+}
+
+TEST(IpInductor, SubstrateCapsThePeakQ) {
+  // Big coils have lots of metal, but the substrate limits the peak.
+  const SpiralDesign big = design_spiral(summit_spiral_process(), ipass::nh(500.0));
+  EXPECT_LE(big.q_peak, summit_spiral_process().max_q_peak + 1e-12);
+}
+
+TEST(IpInductor, Preconditions) {
+  EXPECT_THROW(design_spiral(summit_spiral_process(), 0.0), ipass::PreconditionError);
+  EXPECT_THROW(inductor_area_mm2(summit_spiral_process(), -1e-9),
+               ipass::PreconditionError);
+}
+
+class SpiralMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpiralMonotoneTest, LargerInductanceLargerCoil) {
+  const double l = GetParam();
+  const SpiralInductorProcess p = summit_spiral_process();
+  const SpiralDesign d1 = design_spiral(p, l);
+  const SpiralDesign d2 = design_spiral(p, l * 1.5);
+  EXPECT_GT(d2.outer_diameter_mm, d1.outer_diameter_mm);
+  EXPECT_GT(d2.area_mm2, d1.area_mm2);
+  EXPECT_GT(d2.dc_resistance_ohm, d1.dc_resistance_ohm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SpiralMonotoneTest,
+                         ::testing::Values(0.5e-9, 2e-9, 8e-9, 40e-9, 150e-9, 500e-9));
+
+}  // namespace
+}  // namespace ipass::tech
