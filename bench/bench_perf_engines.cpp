@@ -1,13 +1,19 @@
 // google-benchmark micro-benchmarks of the compute engines: MNA solves,
-// elliptic synthesis, Monte-Carlo cost simulation and the full methodology.
+// elliptic synthesis, Monte-Carlo cost simulation and the full methodology,
+// plus serial-vs-parallel and workspace-vs-naive engine comparisons.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "core/methodology.hpp"
 #include "gps/casestudy.hpp"
 #include "moe/montecarlo.hpp"
 #include "rf/analysis.hpp"
 #include "rf/cauer.hpp"
 #include "rf/mna.hpp"
+#include "rf/tolerance.hpp"
 #include "rf/transform.hpp"
 
 using namespace ipass;
@@ -35,11 +41,16 @@ void BM_CauerSynthesis(benchmark::State& state) {
 }
 BENCHMARK(BM_CauerSynthesis)->Arg(3)->Arg(5)->Arg(7);
 
-void BM_MonteCarloCost(benchmark::State& state) {
+moe::FlowModel gps_flow() {
   const gps::GpsCaseStudy study = gps::make_gps_case_study();
   const core::BuildUp& b = study.buildups[3];
   const core::AreaResult area = core::assess_area(study.bom, b, study.kits);
-  const moe::FlowModel flow = core::build_flow(area, b);
+  return core::build_flow(area, b);
+}
+
+// Default threading (IPASS_THREADS / hardware concurrency).
+void BM_MonteCarloCost(benchmark::State& state) {
+  const moe::FlowModel flow = gps_flow();
   moe::McOptions opt;
   opt.samples = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -47,18 +58,109 @@ void BM_MonteCarloCost(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_MonteCarloCost)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_MonteCarloCost)->Arg(1000)->Arg(10000)->Arg(100000)->UseRealTime();
+
+// Pinned to one thread: the serial baseline for the speedup ratio.
+void BM_MonteCarloCostSerial(benchmark::State& state) {
+  const moe::FlowModel flow = gps_flow();
+  moe::McOptions opt;
+  opt.samples = static_cast<std::size_t>(state.range(0));
+  opt.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(moe::evaluate_monte_carlo(flow, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MonteCarloCostSerial)->Arg(100000)->UseRealTime();
 
 void BM_AnalyticCost(benchmark::State& state) {
-  const gps::GpsCaseStudy study = gps::make_gps_case_study();
-  const core::BuildUp& b = study.buildups[3];
-  const core::AreaResult area = core::assess_area(study.bom, b, study.kits);
-  const moe::FlowModel flow = core::build_flow(area, b);
+  const moe::FlowModel flow = gps_flow();
   for (auto _ : state) {
     benchmark::DoNotOptimize(moe::evaluate_analytic(flow));
   }
 }
 BENCHMARK(BM_AnalyticCost);
+
+// ---- tolerance sweep: naive per-sample Circuit rebuild vs the workspace ----
+
+rf::Circuit if_filter() {
+  return rf::realize_bandpass(rf::chebyshev(2, 0.5), 175e6, 22e6, 50.0);
+}
+
+// The pre-workspace implementation: deep-copy the Circuit and re-assemble a
+// fresh MNA system for every sample, kept here as the regression baseline.
+void BM_ToleranceSweepNaive(benchmark::State& state) {
+  const rf::Circuit nominal = if_filter();
+  const rf::ToleranceSpec tol = rf::ToleranceSpec::integrated_untrimmed();
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Pcg32 rng(42);
+    std::size_t passing = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      rf::Circuit instance = nominal;
+      for (std::size_t e = 0; e < instance.elements().size(); ++e) {
+        const double t = tol.for_kind(instance.elements()[e].kind);
+        if (t <= 0.0) continue;
+        const double rel = std::clamp(rng.normal(0.0, t / 3.0), -t, t);
+        instance.scale_element_value(e, 1.0 + rel);
+      }
+      if (rf::insertion_loss_at(instance, 175e6) < 1.0) ++passing;
+    }
+    benchmark::DoNotOptimize(passing);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ToleranceSweepNaive)->Arg(2000)->UseRealTime();
+
+// Single-threaded workspace path: isolates the zero-allocation win.
+void BM_ToleranceSweepWorkspace(benchmark::State& state) {
+  const rf::Circuit nominal = if_filter();
+  const rf::ToleranceSpec tol = rf::ToleranceSpec::integrated_untrimmed();
+  rf::ToleranceOptions opt;
+  opt.samples = static_cast<std::size_t>(state.range(0));
+  opt.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf::bandpass_parametric_yield(nominal, tol, 175e6, 1.0, 0.0, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ToleranceSweepWorkspace)->Arg(2000)->UseRealTime();
+
+// Workspace path at the default thread count: the full engine.
+void BM_ToleranceSweepParallel(benchmark::State& state) {
+  const rf::Circuit nominal = if_filter();
+  const rf::ToleranceSpec tol = rf::ToleranceSpec::integrated_untrimmed();
+  rf::ToleranceOptions opt;
+  opt.samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf::bandpass_parametric_yield(nominal, tol, 175e6, 1.0, 0.0, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ToleranceSweepParallel)->Arg(2000)->UseRealTime();
+
+// ---- frequency sweep: per-point assembly vs the reusable workspace ----
+
+void BM_MnaSweepNaive(benchmark::State& state) {
+  const rf::Circuit ckt = if_filter();
+  const std::vector<double> freqs = rf::linspace(150e6, 200e6, 201);
+  for (auto _ : state) {
+    for (const double f : freqs) benchmark::DoNotOptimize(rf::analyze_at(ckt, f));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(freqs.size()));
+}
+BENCHMARK(BM_MnaSweepNaive);
+
+void BM_MnaSweepWorkspace(benchmark::State& state) {
+  const rf::Circuit ckt = if_filter();
+  const std::vector<double> freqs = rf::linspace(150e6, 200e6, 201);
+  rf::SweepWorkspace ws(ckt);
+  for (auto _ : state) {
+    for (const double f : freqs) benchmark::DoNotOptimize(ws.analyze_at(f));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(freqs.size()));
+}
+BENCHMARK(BM_MnaSweepWorkspace);
 
 void BM_FullGpsAssessment(benchmark::State& state) {
   const gps::GpsCaseStudy study = gps::make_gps_case_study();

@@ -29,8 +29,19 @@ class NumericalError : public std::runtime_error {
   explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// The message parameter is a const char* so that a passing check costs no
+// std::string construction — these guards sit inside hot loops (CMatrix::at,
+// the Monte-Carlo engines) where a per-call allocation would dominate.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw PreconditionError(message);
+}
+
 inline void require(bool condition, const std::string& message) {
   if (!condition) throw PreconditionError(message);
+}
+
+inline void ensure(bool condition, const char* message) {
+  if (!condition) throw InvariantError(message);
 }
 
 inline void ensure(bool condition, const std::string& message) {

@@ -21,17 +21,22 @@ const Complex& CMatrix::at(std::size_t r, std::size_t c) const {
 
 void CMatrix::set_zero() { data_.assign(data_.size(), Complex(0.0, 0.0)); }
 
-std::vector<Complex> solve_inplace(CMatrix& a, std::vector<Complex> b) {
+void solve_overwrite(CMatrix& a, std::vector<Complex>& b) {
   require(a.rows() == a.cols(), "solve: matrix must be square");
   require(a.rows() == b.size(), "solve: rhs size mismatch");
   const std::size_t n = a.rows();
+  // Raw row pointers: this is the innermost loop of every sweep, so skip the
+  // per-access bounds checks of CMatrix::at (indices are structurally valid).
+  Complex* const m = a.data();
+  Complex* const rhs = b.data();
 
   for (std::size_t k = 0; k < n; ++k) {
+    Complex* const row_k = m + k * n;
     // Partial pivoting: pick the largest magnitude entry in column k.
     std::size_t pivot = k;
-    double best = std::abs(a.at(k, k));
+    double best = std::abs(row_k[k]);
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double mag = std::abs(a.at(r, k));
+      const double mag = std::abs(m[r * n + k]);
       if (mag > best) {
         best = mag;
         pivot = r;
@@ -39,27 +44,34 @@ std::vector<Complex> solve_inplace(CMatrix& a, std::vector<Complex> b) {
     }
     if (best < 1e-300) throw NumericalError("solve: singular matrix");
     if (pivot != k) {
-      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(pivot, c));
-      std::swap(b[k], b[pivot]);
+      Complex* const row_p = m + pivot * n;
+      for (std::size_t c = 0; c < n; ++c) std::swap(row_k[c], row_p[c]);
+      std::swap(rhs[k], rhs[pivot]);
     }
-    const Complex inv_pivot = 1.0 / a.at(k, k);
+    const Complex inv_pivot = 1.0 / row_k[k];
     for (std::size_t r = k + 1; r < n; ++r) {
-      const Complex factor = a.at(r, k) * inv_pivot;
+      Complex* const row_r = m + r * n;
+      const Complex factor = row_r[k] * inv_pivot;
       if (factor == Complex(0.0, 0.0)) continue;
-      a.at(r, k) = factor;  // store L for clarity; not reused afterwards
-      for (std::size_t c = k + 1; c < n; ++c) a.at(r, c) -= factor * a.at(k, c);
-      b[r] -= factor * b[k];
+      row_r[k] = factor;  // store L for clarity; not reused afterwards
+      for (std::size_t c = k + 1; c < n; ++c) row_r[c] -= factor * row_k[c];
+      rhs[r] -= factor * rhs[k];
     }
   }
 
-  // Back substitution.
-  std::vector<Complex> x(n);
+  // Back substitution directly into b: entry i only reads entries > i, which
+  // already hold the solution.
   for (std::size_t i = n; i-- > 0;) {
-    Complex sum = b[i];
-    for (std::size_t c = i + 1; c < n; ++c) sum -= a.at(i, c) * x[c];
-    x[i] = sum / a.at(i, i);
+    const Complex* const row_i = m + i * n;
+    Complex sum = rhs[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= row_i[c] * rhs[c];
+    rhs[i] = sum / row_i[i];
   }
-  return x;
+}
+
+std::vector<Complex> solve_inplace(CMatrix& a, std::vector<Complex> b) {
+  solve_overwrite(a, b);
+  return b;
 }
 
 std::vector<Complex> solve(const CMatrix& a, const std::vector<Complex>& b) {

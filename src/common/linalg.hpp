@@ -26,11 +26,22 @@ class CMatrix {
   // All entries set to zero, shape preserved.
   void set_zero();
 
+  // Raw row-major storage, for pre-planned hot-loop access (the MNA stamp
+  // plan); the linear index of (r, c) is r * cols() + c.
+  Complex* data() { return data_.data(); }
+  const Complex* data() const { return data_.data(); }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<Complex> data_;
 };
+
+// Solve A x = b by LU decomposition with partial pivoting, allocation-free:
+// A is overwritten by its factors and b by the solution.  Throws
+// NumericalError on a (near-)singular matrix.  This is the hot-loop variant
+// used by the reusable MNA sweep workspace.
+void solve_overwrite(CMatrix& a, std::vector<Complex>& b);
 
 // Solve A x = b by LU decomposition with partial pivoting.
 // A is modified in place.  Throws NumericalError on a (near-)singular matrix.

@@ -1,0 +1,162 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <map>
+#include <memory>
+
+namespace ipass {
+
+namespace {
+// Set inside pool workers so nested parallel_for calls degrade to serial
+// execution instead of deadlocking on the single shared job slot.
+thread_local bool tls_in_pool_worker = false;
+}  // namespace
+
+unsigned configured_thread_count() {
+  if (const char* env = std::getenv("IPASS_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1U : hw;
+}
+
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;  // first failure; guarded by the pool mutex
+};
+
+ThreadPool::ThreadPool(unsigned threads) {
+  require(threads >= 1, "ThreadPool: need at least one thread");
+  workers_.reserve(threads - 1);
+  for (unsigned i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  tls_in_pool_worker = true;
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || (job_ != nullptr && generation_ != seen_generation); });
+    if (stop_) return;
+    seen_generation = generation_;
+    Job* job = job_;
+    ++active_;  // from here the caller must wait for us before retiring `job`
+    lk.unlock();
+    run_chunks(*job);
+    lk.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    try {
+      (*job.body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(m_);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+namespace {
+// Serial execution with the same semantics as a 1-thread pool: every index
+// runs, the first exception is rethrown at the end.
+void run_serial(std::size_t n, const std::function<void(std::size_t)>& body) {
+  std::exception_ptr error;
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || tls_in_pool_worker) {
+    run_serial(n, body);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.body = &body;
+  bool posted = false;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (job_ == nullptr) {
+      job_ = &job;
+      ++generation_;
+      posted = true;
+    }
+  }
+  if (!posted) {
+    // Another thread is already driving this pool.  Fall back to inline
+    // serial execution: results are identical either way — the determinism
+    // contract never depends on which thread runs a chunk — and callers
+    // stay free to invoke the engines from multiple application threads.
+    run_serial(n, body);
+    return;
+  }
+  cv_.notify_all();
+  run_chunks(job);
+  {
+    // Workers that claimed the job incremented active_ under the mutex, so
+    // once active_ drops to zero no thread can still touch `job`; clearing
+    // job_ under the same mutex keeps late wakers out.
+    std::unique_lock<std::mutex> lk(m_);
+    done_cv_.wait(lk, [&] { return active_ == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::shared(unsigned threads) {
+  static std::mutex pools_mutex;
+  static std::map<unsigned, std::unique_ptr<ThreadPool>>& pools =
+      *new std::map<unsigned, std::unique_ptr<ThreadPool>>();  // leaked: outlives exit
+  if (threads == 0) threads = configured_thread_count();
+  // Same cap as the IPASS_THREADS parse: a runaway programmatic value must
+  // not spawn an unbounded number of worker threads.
+  threads = std::min(threads, 4096U);
+  std::lock_guard<std::mutex> lk(pools_mutex);
+  const auto it = pools.find(threads);
+  if (it != pools.end()) return *it->second;
+  // Cached pools are never reclaimed, so bound how many distinct sizes a
+  // process can park.  Once full, reuse the largest cached pool: concurrency
+  // is only a speed knob — the determinism contract makes results identical
+  // for every pool size.
+  constexpr std::size_t kMaxCachedPools = 8;
+  if (pools.size() >= kMaxCachedPools) return *pools.rbegin()->second;
+  std::unique_ptr<ThreadPool>& pool = pools[threads];
+  pool = std::make_unique<ThreadPool>(threads);
+  return *pool;
+}
+
+}  // namespace ipass

@@ -1,0 +1,99 @@
+// Deterministic parallel execution for the Monte-Carlo engines.
+//
+// The determinism contract: every parallel computation in this library is
+// decomposed into *chunks* whose boundaries depend only on the problem size
+// (never on the thread count), each chunk derives all of its randomness from
+// its own RNG stream keyed by the chunk index, and partial results are
+// combined in ascending chunk order on the calling thread.  Consequently a
+// run with IPASS_THREADS=1 and a run with IPASS_THREADS=N produce
+// bit-identical results; threads only change how fast the chunks finish.
+//
+// `parallel_reduce` is the one primitive both engines use.  The pool itself
+// is a plain work-distributing pool: one shared job at a time, workers grab
+// chunk indices from an atomic counter, the caller participates.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ipass {
+
+// Thread count selected by the environment: the IPASS_THREADS variable when
+// set to a positive integer, otherwise std::thread::hardware_concurrency()
+// (minimum 1).  Read on every call so tests can override it per-section.
+unsigned configured_thread_count();
+
+class ThreadPool {
+ public:
+  // A pool with total concurrency `threads` (the calling thread participates
+  // in every parallel_for, so `threads - 1` workers are spawned).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total concurrency (workers + calling thread).
+  unsigned concurrency() const { return static_cast<unsigned>(workers_.size()) + 1U; }
+
+  // Run body(i) for every i in [0, n), blocking until all complete.  Indices
+  // are claimed dynamically, so the *schedule* is nondeterministic — callers
+  // must make body(i) depend only on i (see the determinism contract above),
+  // and body must be safe to invoke from several threads at once.  The first
+  // exception thrown by any body is rethrown on the calling thread after
+  // every index has been processed.  Safe to call from any thread: when the
+  // pool is already driving another job (or from inside a pool worker) the
+  // call degrades to inline serial execution, which produces the same
+  // result.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // Process-wide pool cache, one pool per concurrency level, created on
+  // first use.  threads == 0 resolves to configured_thread_count().
+  static ThreadPool& shared(unsigned threads = 0);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_;       // wakes workers when a job is posted
+  std::condition_variable done_cv_;  // wakes the caller when workers drain
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned active_ = 0;
+  bool stop_ = false;
+};
+
+// Deterministic chunked map-reduce.  [0, n_items) is split into chunks of
+// `chunk` consecutive items; fn(chunk_index, begin, end) produces a partial
+// result of type T on some thread; combine(acc, partial) folds the partials
+// into a default-constructed T in ascending chunk order on the calling
+// thread.  The result is therefore independent of the thread count.
+template <typename T, typename Fn, typename Combine>
+T parallel_reduce(std::size_t n_items, std::size_t chunk, Fn&& fn, Combine&& combine,
+                  unsigned threads = 0) {
+  require(chunk > 0, "parallel_reduce: chunk size must be positive");
+  const std::size_t n_chunks = (n_items + chunk - 1) / chunk;
+  std::vector<T> partials(n_chunks);
+  ThreadPool::shared(threads).parallel_for(n_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n_items, begin + chunk);
+    partials[c] = fn(c, begin, end);
+  });
+  T acc{};
+  for (T& partial : partials) combine(acc, std::move(partial));
+  return acc;
+}
+
+}  // namespace ipass

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/statistics.hpp"
 
@@ -11,10 +12,12 @@ namespace ipass::moe {
 
 namespace {
 
-// Poisson sampler (Knuth); step intensities here are well below 1.
-int sample_poisson(Pcg32& rng, double lambda) {
-  if (lambda <= 0.0) return 0;
-  const double limit = std::exp(-lambda);
+// Poisson sampler (Knuth); step intensities here are well below 1.  The
+// caller precomputes limit = exp(-lambda) once per step — it is the same for
+// every simulated unit.  limit >= 1 (lambda <= 0) consumes no randomness,
+// matching the historical early return.
+int sample_poisson(Pcg32& rng, double limit) {
+  if (limit >= 1.0) return 0;
   int k = 0;
   double p = 1.0;
   do {
@@ -24,10 +27,41 @@ int sample_poisson(Pcg32& rng, double lambda) {
   return k - 1;
 }
 
+// Binomial sampler.  The common case in the flow simulation is tiny n (a
+// unit rarely carries more than a few latent faults), where the historical
+// per-trial loop is both fastest and locks in the established RNG stream
+// consumption that seeded tests depend on.  For larger n, walk the inverted
+// CDF: a single uniform and O(np) expected iterations instead of n draws.
 int sample_binomial(Pcg32& rng, int n, double p) {
+  if (n <= 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (n <= 8) {
+    int k = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.bernoulli(p)) ++k;
+    }
+    return k;
+  }
+  const double p0 = std::pow(1.0 - p, n);  // P(X = 0)
+  if (p0 <= 0.0) {
+    // Underflow regime (huge n·p): the pmf recurrence would stay pinned at
+    // zero and the walk would always return n.  Fall back to per-trial
+    // sampling — rare enough that O(n) does not matter.
+    int k = 0;
+    for (int i = 0; i < n; ++i) {
+      if (rng.bernoulli(p)) ++k;
+    }
+    return k;
+  }
+  const double u = rng.uniform();
+  double pmf = p0;
+  double cdf = pmf;
+  const double odds = p / (1.0 - p);
   int k = 0;
-  for (int i = 0; i < n; ++i) {
-    if (rng.bernoulli(p)) ++k;
+  while (u > cdf && k < n) {
+    ++k;
+    pmf *= odds * static_cast<double>(n - k + 1) / static_cast<double>(k);
+    cdf += pmf;
   }
   return k;
 }
@@ -38,11 +72,43 @@ struct UnitOutcome {
   Ledger spend;
 };
 
-UnitOutcome run_unit(const FlowModel& flow, Pcg32& rng) {
+// Per-step constants hoisted out of the per-unit loop: the booked spend and
+// the Poisson threshold are identical for every simulated unit, so paying
+// exp() and the component loop once per step (instead of once per unit per
+// step) cuts the per-unit cost substantially.
+struct PlannedStep {
+  const Step* step = nullptr;
+  bool is_test = false;
+  Ledger spend;               // non-test: everything booked on entry
+  double poisson_limit = 1.0; // non-test: exp(-added_fault_intensity)
+};
+
+std::vector<PlannedStep> plan_steps(const FlowModel& flow) {
+  std::vector<PlannedStep> plan;
+  plan.reserve(flow.steps().size());
+  for (const Step& s : flow.steps()) {
+    PlannedStep p;
+    p.step = &s;
+    p.is_test = s.kind == Step::Kind::Test;
+    if (!p.is_test) {
+      p.spend.add(s.category, s.cost + s.cost_per_component * s.component_count());
+      for (const ComponentInput& c : s.components) {
+        p.spend.add(c.category, c.unit_cost * c.count);
+      }
+      const double lambda = s.added_fault_intensity();
+      p.poisson_limit = lambda <= 0.0 ? 1.0 : std::exp(-lambda);
+    }
+    plan.push_back(p);
+  }
+  return plan;
+}
+
+UnitOutcome run_unit(const std::vector<PlannedStep>& plan, Pcg32& rng) {
   UnitOutcome out;
   int faults = 0;
-  for (const Step& s : flow.steps()) {
-    if (s.kind == Step::Kind::Test) {
+  for (const PlannedStep& p : plan) {
+    const Step& s = *p.step;
+    if (p.is_test) {
       out.spend.add(CostCategory::Test, s.cost);
       int detected = sample_binomial(rng, faults, s.fault_coverage);
       if (detected > 0) {
@@ -61,16 +127,22 @@ UnitOutcome run_unit(const FlowModel& flow, Pcg32& rng) {
       continue;
     }
 
-    out.spend.add(s.category, s.cost + s.cost_per_component * s.component_count());
-    for (const ComponentInput& c : s.components) {
-      out.spend.add(c.category, c.unit_cost * c.count);
-    }
-    faults += sample_poisson(rng, s.added_fault_intensity());
+    out.spend += p.spend;
+    faults += sample_poisson(rng, p.poisson_limit);
   }
   out.shipped = true;
   out.good = faults == 0;
   return out;
 }
+
+// Everything one batch contributes; folded in batch order by the reduction.
+struct McAccum {
+  Ledger spend;
+  std::size_t shipped = 0;
+  std::size_t good = 0;
+  std::size_t units = 0;
+  RunningStats batch_final_cost;  // one point per batch with shipped > 0
+};
 
 }  // namespace
 
@@ -81,39 +153,60 @@ McReport evaluate_monte_carlo(const FlowModel& flow, const McOptions& options) {
   require(n >= 1, "evaluate_monte_carlo: need at least one sample");
   const std::size_t batches = std::max<std::size_t>(1, std::min(options.batches, n));
 
-  Pcg32 rng(options.seed);
-  Ledger spend_total;
-  std::size_t shipped = 0;
-  std::size_t good = 0;
-  RunningStats batch_final_cost;
   // NRE is amortized over the production volume (Eq. 1), independent of how
   // many units the simulation samples.
   const double nre_per_started = flow.nre_total() / flow.volume();
 
+  // Batch sizes depend only on (n, batches): the remainder is spread over
+  // the leading batches, same as the historical serial split.
+  std::vector<std::size_t> batch_sizes(batches);
   std::size_t done = 0;
   for (std::size_t b = 0; b < batches; ++b) {
-    const std::size_t batch_n = (n - done) / (batches - b);
-    double batch_spend = 0.0;
-    std::size_t batch_shipped = 0;
-    for (std::size_t i = 0; i < batch_n; ++i) {
-      const UnitOutcome u = run_unit(flow, rng);
-      spend_total += u.spend;
-      batch_spend += u.spend.total();
-      if (u.shipped) {
-        ++shipped;
-        ++batch_shipped;
-        if (u.good) ++good;
-      }
-    }
-    done += batch_n;
-    if (batch_shipped > 0) {
-      batch_final_cost.add(
-          (batch_spend + nre_per_started * static_cast<double>(batch_n)) /
-          static_cast<double>(batch_shipped));
-    }
+    batch_sizes[b] = (n - done) / (batches - b);
+    done += batch_sizes[b];
   }
   ensure(done == n, "evaluate_monte_carlo: batch split mismatch");
-  ensure(shipped > 0, "evaluate_monte_carlo: nothing shipped");
+
+  const std::vector<PlannedStep> plan = plan_steps(flow);
+  const McAccum total = parallel_reduce<McAccum>(
+      batches, 1,
+      [&](std::size_t b, std::size_t /*begin*/, std::size_t /*end*/) {
+        // Batch b's dedicated RNG stream: the determinism contract.
+        Pcg32 rng(options.seed, b);
+        McAccum a;
+        a.units = batch_sizes[b];
+        double batch_spend = 0.0;
+        std::size_t batch_shipped = 0;
+        for (std::size_t i = 0; i < batch_sizes[b]; ++i) {
+          const UnitOutcome u = run_unit(plan, rng);
+          a.spend += u.spend;
+          batch_spend += u.spend.total();
+          if (u.shipped) {
+            ++a.shipped;
+            ++batch_shipped;
+            if (u.good) ++a.good;
+          }
+        }
+        if (batch_shipped > 0) {
+          a.batch_final_cost.add(
+              (batch_spend + nre_per_started * static_cast<double>(batch_sizes[b])) /
+              static_cast<double>(batch_shipped));
+        }
+        return a;
+      },
+      [](McAccum& acc, McAccum&& part) {
+        acc.spend += part.spend;
+        acc.shipped += part.shipped;
+        acc.good += part.good;
+        acc.units += part.units;
+        acc.batch_final_cost.merge(part.batch_final_cost);
+      },
+      options.threads);
+
+  ensure(total.units == n, "evaluate_monte_carlo: sample count mismatch");
+  ensure(total.shipped > 0, "evaluate_monte_carlo: nothing shipped");
+  const std::size_t shipped = total.shipped;
+  const std::size_t good = total.good;
 
   McReport mc;
   mc.samples = n;
@@ -121,7 +214,7 @@ McReport evaluate_monte_carlo(const FlowModel& flow, const McOptions& options) {
   mc.shipped_units = shipped;
   mc.scrapped_units = n - shipped;
   mc.escaped_defectives = shipped - good;
-  mc.final_cost_ci95 = batch_final_cost.ci95_half_width();
+  mc.final_cost_ci95 = total.batch_final_cost.ci95_half_width();
 
   CostReport& r = mc.report;
   r.flow_name = flow.name();
@@ -133,11 +226,11 @@ McReport evaluate_monte_carlo(const FlowModel& flow, const McOptions& options) {
       1.0 - static_cast<double>(good) / static_cast<double>(shipped);
   r.direct_cost = flow.direct_unit_cost();
   r.direct_ledger = flow.direct_unit_ledger();
-  r.spend_ledger = spend_total.scaled(1.0 / static_cast<double>(n));
+  r.spend_ledger = total.spend.scaled(1.0 / static_cast<double>(n));
   r.total_spend_per_started = r.spend_ledger.total();
   r.nre_per_shipped = nre_per_started / r.shipped_fraction;
   r.final_cost_per_shipped =
-      (spend_total.total() + nre_per_started * static_cast<double>(n)) /
+      (total.spend.total() + nre_per_started * static_cast<double>(n)) /
       static_cast<double>(shipped);
   r.yield_loss_per_shipped = r.final_cost_per_shipped - r.direct_cost - r.nre_per_shipped;
   return mc;

@@ -15,8 +15,18 @@ struct McOptions {
   std::size_t samples = 0;  // 0: use the flow's production volume
   std::uint64_t seed = 20000127;  // DATE 2000 :-)
   std::size_t batches = 20;       // batch-mean CI estimation
+  // Worker threads; 0 resolves to IPASS_THREADS / hardware concurrency.
+  // Results are bit-identical for every thread count (see below).
+  unsigned threads = 0;
 };
 
+// Evaluate the flow by simulating individual units.
+//
+// Determinism contract: batch b draws all of its randomness from the
+// dedicated RNG stream Pcg32(options.seed, b), batches are the unit of
+// parallel work, and batch results are folded in ascending batch order.
+// The report is therefore a pure function of (flow, samples, seed, batches)
+// — the thread count only changes the wall-clock time.
 McReport evaluate_monte_carlo(const FlowModel& flow, const McOptions& options = {});
 
 }  // namespace ipass::moe

@@ -12,23 +12,27 @@ double SPoint::il_db() const { return -db20(std::abs(s21)); }
 double SPoint::rl_db() const { return -db20(std::abs(s11)); }
 double SPoint::s21_db() const { return db20(std::abs(s21)); }
 
-Complex element_impedance(const Element& element, double freq) {
+Complex impedance_of(ElementKind kind, double value, const QModel& q, double freq) {
   const double w = omega(freq);
-  switch (element.kind) {
+  switch (kind) {
     case ElementKind::Resistor:
-      return Complex(element.value, 0.0);
+      return Complex(value, 0.0);
     case ElementKind::Inductor: {
-      const double x = w * element.value;
-      const double r = element.q.is_lossless() ? 0.0 : x / element.q.q_at(freq);
+      const double x = w * value;
+      const double r = q.is_lossless() ? 0.0 : x / q.q_at(freq);
       return Complex(r, x);
     }
     case ElementKind::Capacitor: {
-      const double x = 1.0 / (w * element.value);
-      const double r = element.q.is_lossless() ? 0.0 : x / element.q.q_at(freq);
+      const double x = 1.0 / (w * value);
+      const double r = q.is_lossless() ? 0.0 : x / q.q_at(freq);
       return Complex(r, -x);
     }
   }
-  throw InvariantError("element_impedance: unknown element kind");
+  throw InvariantError("impedance_of: unknown element kind");
+}
+
+Complex element_impedance(const Element& element, double freq) {
+  return impedance_of(element.kind, element.value, element.q, freq);
 }
 
 SPoint analyze_at(const Circuit& circuit, double freq) {
@@ -72,10 +76,103 @@ SPoint analyze_at(const Circuit& circuit, double freq) {
   return pt;
 }
 
+SweepWorkspace::SweepWorkspace(const Circuit& circuit) {
+  require(circuit.port1().node != 0 && circuit.port2().node != 0,
+          "SweepWorkspace: both ports must be set");
+  n_ = static_cast<std::size_t>(circuit.node_count());
+  require(n_ >= 1, "SweepWorkspace: circuit has no nodes");
+  port1_ = circuit.port1();
+  port2_ = circuit.port2();
+
+  auto diag_index = [this](int node) {
+    return node == 0 ? npos
+                     : (static_cast<std::size_t>(node - 1)) * n_ +
+                           static_cast<std::size_t>(node - 1);
+  };
+  auto off_index = [this](int r, int c) {
+    return (r == 0 || c == 0) ? npos
+                              : (static_cast<std::size_t>(r - 1)) * n_ +
+                                    static_cast<std::size_t>(c - 1);
+  };
+
+  stamps_.reserve(circuit.elements().size());
+  nominal_.reserve(circuit.elements().size());
+  for (const Element& e : circuit.elements()) {
+    Stamp s;
+    s.kind = e.kind;
+    s.q = e.q;
+    s.diag1 = diag_index(e.node1);
+    s.diag2 = diag_index(e.node2);
+    s.off12 = off_index(e.node1, e.node2);
+    s.off21 = off_index(e.node2, e.node1);
+    stamps_.push_back(s);
+    nominal_.push_back(e.value);
+  }
+  values_ = nominal_;
+  port1_diag_ = diag_index(port1_.node);
+  port2_diag_ = diag_index(port2_.node);
+  y_ = CMatrix(n_, n_);
+  rhs_.resize(n_, Complex(0.0, 0.0));
+}
+
+double SweepWorkspace::nominal_value(std::size_t element_index) const {
+  require(element_index < nominal_.size(), "SweepWorkspace: index out of range");
+  return nominal_[element_index];
+}
+
+double SweepWorkspace::value(std::size_t element_index) const {
+  require(element_index < values_.size(), "SweepWorkspace: index out of range");
+  return values_[element_index];
+}
+
+void SweepWorkspace::set_value(std::size_t element_index, double value) {
+  require(element_index < values_.size(), "SweepWorkspace: index out of range");
+  require(value > 0.0, "SweepWorkspace::set_value: value must be positive");
+  values_[element_index] = value;
+}
+
+void SweepWorkspace::reset_values() { values_ = nominal_; }
+
+SPoint SweepWorkspace::analyze_at(double freq) {
+  require(freq > 0.0, "SweepWorkspace::analyze_at: frequency must be positive");
+  y_.set_zero();
+  Complex* y = y_.data();
+  // Stamp order and arithmetic mirror the free analyze_at() exactly, so the
+  // assembled matrix (and hence the solution) is bit-identical to it.
+  for (std::size_t i = 0; i < stamps_.size(); ++i) {
+    const Stamp& s = stamps_[i];
+    const Complex adm = 1.0 / impedance_of(s.kind, values_[i], s.q, freq);
+    if (s.diag1 != npos) y[s.diag1] += adm;
+    if (s.diag2 != npos) y[s.diag2] += adm;
+    if (s.off12 != npos) {
+      y[s.off12] -= adm;
+      y[s.off21] -= adm;
+    }
+  }
+  y[port1_diag_] += Complex(1.0 / port1_.z0, 0.0);
+  y[port2_diag_] += Complex(1.0 / port2_.z0, 0.0);
+
+  rhs_.assign(n_, Complex(0.0, 0.0));
+  rhs_[static_cast<std::size_t>(port1_.node - 1)] = Complex(1.0 / port1_.z0, 0.0);
+  solve_overwrite(y_, rhs_);
+
+  SPoint pt;
+  pt.freq = freq;
+  const Complex v1 = rhs_[static_cast<std::size_t>(port1_.node - 1)];
+  const Complex v2 = rhs_[static_cast<std::size_t>(port2_.node - 1)];
+  pt.s11 = 2.0 * v1 - 1.0;
+  pt.s21 = 2.0 * v2 * std::sqrt(port1_.z0 / port2_.z0);
+  return pt;
+}
+
+double SweepWorkspace::insertion_loss_at(double freq) { return analyze_at(freq).il_db(); }
+
 std::vector<SPoint> sweep(const Circuit& circuit, const std::vector<double>& freqs) {
   std::vector<SPoint> out;
   out.reserve(freqs.size());
-  for (const double f : freqs) out.push_back(analyze_at(circuit, f));
+  if (freqs.empty()) return out;
+  SweepWorkspace ws(circuit);  // one assembly plan + matrix for the whole sweep
+  for (const double f : freqs) out.push_back(ws.analyze_at(f));
   return out;
 }
 

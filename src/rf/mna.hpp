@@ -8,6 +8,7 @@
 #include <complex>
 #include <vector>
 
+#include "common/linalg.hpp"
 #include "rf/netlist.hpp"
 
 namespace ipass::rf {
@@ -30,6 +31,58 @@ struct SPoint {
 // Series impedance of an element at frequency f, including the finite-Q
 // loss term (L: Z = wL/Q + jwL; C: Z = 1/(wC Q) - j/(wC); R: Z = R).
 Complex element_impedance(const Element& element, double freq);
+
+// Same, with the value supplied separately (used by SweepWorkspace, whose
+// perturbed values live outside any Circuit).
+Complex impedance_of(ElementKind kind, double value, const QModel& q, double freq);
+
+// Reusable solver state for repeated analyses of one circuit topology.
+//
+// Construction assembles a *stamp plan* once: for every element the linear
+// indices of its four admittance-matrix slots.  analyze_at() then re-stamps
+// and re-solves entirely in pre-allocated storage — zero heap allocation per
+// point — which is what makes dense tolerance Monte-Carlo sweeps cheap.
+// Element values can be perturbed per sample via set_value(); results are
+// bit-identical to rebuilding a scaled Circuit and calling the free
+// analyze_at(), because the assembly order and arithmetic are the same.
+class SweepWorkspace {
+ public:
+  explicit SweepWorkspace(const Circuit& circuit);
+
+  std::size_t element_count() const { return stamps_.size(); }
+  double nominal_value(std::size_t element_index) const;
+  double value(std::size_t element_index) const;
+  void set_value(std::size_t element_index, double value);
+  void reset_values();  // restore every element to its nominal value
+
+  // Analyze at one frequency with the current (possibly perturbed) values.
+  SPoint analyze_at(double freq);
+  double insertion_loss_at(double freq);
+
+ private:
+  struct Stamp {
+    ElementKind kind = ElementKind::Resistor;
+    QModel q = QModel::lossless();
+    // Linear indices into the admittance matrix; npos when the node is
+    // ground and the slot does not exist.
+    std::size_t diag1 = npos;
+    std::size_t diag2 = npos;
+    std::size_t off12 = npos;
+    std::size_t off21 = npos;
+  };
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::size_t n_ = 0;  // non-ground node count
+  Port port1_;
+  Port port2_;
+  std::size_t port1_diag_ = npos;
+  std::size_t port2_diag_ = npos;
+  std::vector<Stamp> stamps_;
+  std::vector<double> nominal_;
+  std::vector<double> values_;
+  CMatrix y_;
+  std::vector<Complex> rhs_;
+};
 
 // Analyze the circuit at one frequency.  Both ports must be set and f > 0.
 SPoint analyze_at(const Circuit& circuit, double freq);

@@ -44,6 +44,13 @@ void Circuit::scale_element_value(std::size_t element_index, double factor) {
   elements_[element_index].value *= factor;
 }
 
+void Circuit::set_element_value(std::size_t element_index, double value) {
+  require(element_index < elements_.size(),
+          "Circuit::set_element_value: index out of range");
+  require(value > 0.0, "Circuit::set_element_value: value must be positive");
+  elements_[element_index].value = value;
+}
+
 void Circuit::set_port1(int node, double z0) {
   check_node(node);
   require(node != 0, "Circuit::set_port1: port cannot sit on ground");

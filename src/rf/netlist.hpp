@@ -63,6 +63,10 @@ class Circuit {
   // Monte-Carlo to perturb manufactured instances.
   void scale_element_value(std::size_t element_index, double factor);
 
+  // Overwrite one element's value (> 0); used to re-perturb a scratch
+  // instance without accumulating round-off from repeated scaling.
+  void set_element_value(std::size_t element_index, double value);
+
   // Human-readable netlist dump (used by the Fig-2 bench and examples).
   std::string to_string() const;
 

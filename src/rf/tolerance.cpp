@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/statistics.hpp"
 
@@ -46,6 +48,93 @@ ToleranceSpec ToleranceSpec::smd_standard() {
   return t;
 }
 
+namespace {
+
+struct TolAccum {
+  RunningStats stats;
+  std::size_t passing = 0;
+};
+
+// Relative 3-sigma tolerance per element, resolved once up front.  A
+// tolerance >= 100% could clamp a sample to a non-positive element value
+// (which the value setters reject mid-run); fail fast instead.
+std::vector<double> per_element_tolerance(const Circuit& nominal,
+                                          const ToleranceSpec& tolerance) {
+  std::vector<double> tols;
+  tols.reserve(nominal.elements().size());
+  for (const Element& e : nominal.elements()) {
+    const double tol = tolerance.for_kind(e.kind);
+    require(tol < 1.0, "analyze_tolerance: element tolerance must be below 100%");
+    tols.push_back(tol);
+  }
+  return tols;
+}
+
+std::vector<double> nominal_values(const Circuit& nominal) {
+  std::vector<double> values;
+  values.reserve(nominal.elements().size());
+  for (const Element& e : nominal.elements()) values.push_back(e.value);
+  return values;
+}
+
+// Draw one manufactured instance: every element value is perturbed by a
+// truncated normal (sigma = tol/3, clamped to +-tol) relative to nominal.
+// Both analyze_tolerance overloads draw through here, so they consume the
+// RNG stream identically.
+template <typename SetValue>
+void draw_instance(Pcg32& rng, const std::vector<double>& nominal,
+                   const std::vector<double>& tols, const SetValue& set_value) {
+  for (std::size_t e = 0; e < tols.size(); ++e) {
+    const double tol = tols[e];
+    if (tol <= 0.0) continue;
+    const double rel = std::clamp(rng.normal(0.0, tol / 3.0), -tol, tol);
+    set_value(e, nominal[e] * (1.0 + rel));
+  }
+}
+
+// The shared chunked driver.  make_scratch() builds one reusable per-chunk
+// instance (a Circuit copy or a SweepWorkspace); eval_sample(scratch, rng)
+// perturbs it and returns the monitored metric.
+template <typename MakeScratch, typename EvalSample>
+ToleranceResult run_tolerance(std::size_t samples, std::uint64_t seed, unsigned threads,
+                              const MakeScratch& make_scratch, const EvalSample& eval_sample,
+                              const std::function<bool(double)>& passes) {
+  const TolAccum acc = parallel_reduce<TolAccum>(
+      samples, kToleranceChunk,
+      [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
+        // Chunk-dedicated RNG stream: the determinism contract.
+        Pcg32 rng(seed, chunk_index);
+        auto scratch = make_scratch();
+        TolAccum a;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double m = eval_sample(scratch, rng);
+          a.stats.add(m);
+          if (passes(m)) ++a.passing;
+        }
+        return a;
+      },
+      [](TolAccum& acc_, TolAccum&& part) {
+        acc_.stats.merge(part.stats);
+        acc_.passing += part.passing;
+      },
+      threads);
+
+  ToleranceResult r;
+  r.samples = samples;
+  r.passing = acc.passing;
+  r.parametric_yield = static_cast<double>(acc.passing) / static_cast<double>(samples);
+  const double p = r.parametric_yield;
+  r.ci95_half_width = 1.959963985 * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
+                                              static_cast<double>(samples));
+  r.metric_mean = acc.stats.mean();
+  r.metric_stddev = acc.stats.stddev();
+  r.metric_min = acc.stats.min();
+  r.metric_max = acc.stats.max();
+  return r;
+}
+
+}  // namespace
+
 ToleranceResult analyze_tolerance(const Circuit& nominal, const ToleranceSpec& tolerance,
                                   const std::function<double(const Circuit&)>& metric,
                                   const std::function<bool(double)>& passes,
@@ -54,41 +143,41 @@ ToleranceResult analyze_tolerance(const Circuit& nominal, const ToleranceSpec& t
   require(static_cast<bool>(metric), "analyze_tolerance: metric required");
   require(static_cast<bool>(passes), "analyze_tolerance: spec predicate required");
 
-  Pcg32 rng(options.seed);
-  RunningStats stats;
-  std::size_t passing = 0;
+  const std::vector<double> tols = per_element_tolerance(nominal, tolerance);
+  const std::vector<double> values = nominal_values(nominal);
+  return run_tolerance(
+      options.samples, options.seed, options.threads,
+      [&nominal]() { return nominal; },  // one scratch copy per chunk
+      [&](Circuit& scratch, Pcg32& rng) {
+        draw_instance(rng, values, tols, [&scratch](std::size_t e, double v) {
+          scratch.set_element_value(e, v);
+        });
+        return metric(scratch);
+      },
+      passes);
+}
 
-  for (std::size_t i = 0; i < options.samples; ++i) {
-    // Perturb every element value: normal with sigma = tol/3, clamped to
-    // the +-tol window (truncated-normal manufacturing model).
-    Circuit instance = nominal;
-    for (std::size_t e = 0; e < instance.elements().size(); ++e) {
-      const Element& el = instance.elements()[e];
-      const double tol = tolerance.for_kind(el.kind);
-      if (tol <= 0.0) continue;
-      const double rel = std::clamp(rng.normal(0.0, tol / 3.0), -tol, tol);
-      // Re-add by rebuilding value in place: Circuit has no setter for the
-      // value, so we scale through the quality-preserving mutator below.
-      instance.scale_element_value(e, 1.0 + rel);
-    }
-    const double m = metric(instance);
-    stats.add(m);
-    if (passes(m)) ++passing;
-  }
+ToleranceResult analyze_tolerance_fast(const Circuit& nominal,
+                                       const ToleranceSpec& tolerance,
+                                       const WorkspaceMetric& metric,
+                                       const std::function<bool(double)>& passes,
+                                       const ToleranceOptions& options) {
+  require(options.samples >= 10, "analyze_tolerance_fast: need at least 10 samples");
+  require(static_cast<bool>(metric), "analyze_tolerance_fast: metric required");
+  require(static_cast<bool>(passes), "analyze_tolerance_fast: spec predicate required");
 
-  ToleranceResult r;
-  r.samples = options.samples;
-  r.passing = passing;
-  r.parametric_yield = static_cast<double>(passing) / static_cast<double>(options.samples);
-  const double p = r.parametric_yield;
-  r.ci95_half_width =
-      1.959963985 * std::sqrt(std::max(p * (1.0 - p), 1e-12) /
-                              static_cast<double>(options.samples));
-  r.metric_mean = stats.mean();
-  r.metric_stddev = stats.stddev();
-  r.metric_min = stats.min();
-  r.metric_max = stats.max();
-  return r;
+  const std::vector<double> tols = per_element_tolerance(nominal, tolerance);
+  const std::vector<double> values = nominal_values(nominal);
+  return run_tolerance(
+      options.samples, options.seed, options.threads,
+      [&nominal]() { return SweepWorkspace(nominal); },  // one plan per chunk
+      [&](SweepWorkspace& scratch, Pcg32& rng) {
+        draw_instance(rng, values, tols, [&scratch](std::size_t e, double v) {
+          scratch.set_value(e, v);
+        });
+        return metric(scratch);
+      },
+      passes);
 }
 
 ToleranceResult bandpass_parametric_yield(const Circuit& nominal,
@@ -97,30 +186,19 @@ ToleranceResult bandpass_parametric_yield(const Circuit& nominal,
                                           const ToleranceOptions& options) {
   require(f0 > 0.0, "bandpass_parametric_yield: f0 must be positive");
   require(max_il_db > 0.0, "bandpass_parametric_yield: loss limit must be positive");
-  // Metric: midband insertion loss; the frequency-pull criterion is folded
-  // in by probing the shifted band edges as well.
-  auto metric = [f0](const Circuit& c) { return insertion_loss_at(c, f0); };
-  auto passes = [&, f0, max_il_db, max_f0_shift_rel](double il_at_f0) {
-    if (il_at_f0 > max_il_db) return false;
-    (void)max_f0_shift_rel;
-    return true;
-  };
-  // For the frequency pull we need per-instance analysis, so run the full
-  // generic loop with a combined metric instead.
-  auto combined_metric = [f0, max_f0_shift_rel](const Circuit& c) {
-    double worst = insertion_loss_at(c, f0);
+  // Worst insertion loss over band center plus, when a frequency pull is
+  // allowed, both detuned positions: the passband must still cover f0 when
+  // the filter detunes by the allowed pull.
+  const WorkspaceMetric worst_case_il = [f0, max_f0_shift_rel](SweepWorkspace& ws) {
+    double worst = ws.insertion_loss_at(f0);
     if (max_f0_shift_rel > 0.0) {
-      // The passband must still cover f0 when the filter detunes by the
-      // allowed pull: probe both detuned positions.
-      worst = std::max(worst, insertion_loss_at(c, f0 * (1.0 + max_f0_shift_rel)));
-      worst = std::max(worst, insertion_loss_at(c, f0 * (1.0 - max_f0_shift_rel)));
+      worst = std::max(worst, ws.insertion_loss_at(f0 * (1.0 + max_f0_shift_rel)));
+      worst = std::max(worst, ws.insertion_loss_at(f0 * (1.0 - max_f0_shift_rel)));
     }
     return worst;
   };
-  auto combined_passes = [max_il_db](double worst) { return worst <= max_il_db; };
-  (void)metric;
-  (void)passes;
-  return analyze_tolerance(nominal, tolerance, combined_metric, combined_passes, options);
+  const auto passes = [max_il_db](double worst) { return worst <= max_il_db; };
+  return analyze_tolerance_fast(nominal, tolerance, worst_case_il, passes, options);
 }
 
 }  // namespace ipass::rf

@@ -32,6 +32,10 @@ struct ToleranceSpec {
 // A specification predicate on the analyzed filter.
 using SpecCheck = std::function<bool(const Circuit& instance)>;
 
+// A metric evaluated on the reusable zero-allocation sweep workspace (its
+// element values already carry the sample's perturbation).
+using WorkspaceMetric = std::function<double(SweepWorkspace& instance)>;
+
 struct ToleranceResult {
   std::size_t samples = 0;
   std::size_t passing = 0;
@@ -47,14 +51,42 @@ struct ToleranceResult {
 struct ToleranceOptions {
   std::size_t samples = 2000;
   std::uint64_t seed = 42;
+  // Worker threads; 0 resolves to IPASS_THREADS / hardware concurrency.
+  // Results are bit-identical for every thread count (see below).
+  unsigned threads = 0;
 };
 
+// Samples per parallel chunk.  Part of the determinism contract: chunk c
+// perturbs its samples from the dedicated RNG stream Pcg32(seed, c), and
+// chunk results are folded in ascending chunk order, so a ToleranceResult
+// is a pure function of (circuit, tolerance, spec, samples, seed) — the
+// thread count only changes the wall-clock time.
+inline constexpr std::size_t kToleranceChunk = 64;
+
 // Run the analysis.  `metric` is evaluated on every sampled instance (for
-// the distribution statistics); `passes` decides spec compliance.
+// the distribution statistics); `passes` decides spec compliance.  Each
+// chunk perturbs a single scratch copy of the circuit in place (absolute
+// value writes, no per-sample Circuit copies).  NOTE: with more than one
+// thread, `metric` and `passes` are invoked concurrently from pool workers
+// — they must be thread-safe (pure functions of their argument are; mutating
+// shared captured state is not).  Pass options.threads = 1 for callbacks
+// with side effects.
 ToleranceResult analyze_tolerance(const Circuit& nominal, const ToleranceSpec& tolerance,
                                   const std::function<double(const Circuit&)>& metric,
                                   const std::function<bool(double)>& passes,
                                   const ToleranceOptions& options = {});
+
+// Fast path: the metric runs directly on a SweepWorkspace, so a sample costs
+// one stamp-and-solve per probed frequency and no heap allocation at all.
+// Draws the same perturbations as the Circuit variant (identical RNG
+// consumption), and a workspace analysis is bit-identical to analyzing the
+// equivalently perturbed Circuit — so both variants report identical results
+// for metrics that probe the same frequencies.
+ToleranceResult analyze_tolerance_fast(const Circuit& nominal,
+                                       const ToleranceSpec& tolerance,
+                                       const WorkspaceMetric& metric,
+                                       const std::function<bool(double)>& passes,
+                                       const ToleranceOptions& options = {});
 
 // Convenience: parametric yield of a bandpass filter against a maximum
 // midband insertion loss and a maximum center-frequency pull.

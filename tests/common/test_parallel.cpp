@@ -1,0 +1,200 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ipass {
+namespace {
+
+TEST(ConfiguredThreadCount, EnvOverrideWins) {
+  ASSERT_EQ(setenv("IPASS_THREADS", "3", 1), 0);
+  EXPECT_EQ(configured_thread_count(), 3U);
+  ASSERT_EQ(setenv("IPASS_THREADS", "1", 1), 0);
+  EXPECT_EQ(configured_thread_count(), 1U);
+  unsetenv("IPASS_THREADS");
+  EXPECT_GE(configured_thread_count(), 1U);
+}
+
+TEST(ConfiguredThreadCount, GarbageEnvIgnored) {
+  ASSERT_EQ(setenv("IPASS_THREADS", "bogus", 1), 0);
+  EXPECT_GE(configured_thread_count(), 1U);
+  ASSERT_EQ(setenv("IPASS_THREADS", "0", 1), 0);
+  EXPECT_GE(configured_thread_count(), 1U);
+  ASSERT_EQ(setenv("IPASS_THREADS", "-4", 1), 0);
+  EXPECT_GE(configured_thread_count(), 1U);
+  unsetenv("IPASS_THREADS");
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.concurrency(), 4U);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndOneItems) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0U);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.concurrency(), 1U);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ExceptionPropagatesAfterAllIndicesRun) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  EXPECT_THROW(pool.parallel_for(hits.size(),
+                                 [&](std::size_t i) {
+                                   ++hits[i];
+                                   if (i == 13) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<long>(i); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    // A nested parallel_for from a worker must not deadlock on the single
+    // shared job slot; it degrades to serial execution.
+    ThreadPool::shared(2).parallel_for(4, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, ConcurrentDriversFallBackToSerial) {
+  // Two application threads may drive the same cached pool at once: the
+  // loser of the job-slot race must degrade to inline serial execution, not
+  // throw or deadlock.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  auto drive = [&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.parallel_for(50, [&](std::size_t i) { total += static_cast<long>(i); });
+    }
+  };
+  std::thread a(drive);
+  std::thread b(drive);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2L * 20L * 1225L);
+}
+
+TEST(ThreadPool, SharedPoolIsCachedPerConcurrency) {
+  ThreadPool& a = ThreadPool::shared(2);
+  ThreadPool& b = ThreadPool::shared(2);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.concurrency(), 2U);
+  EXPECT_NE(&a, &ThreadPool::shared(3));
+}
+
+TEST(ParallelReduce, SumMatchesClosedForm) {
+  struct Acc {
+    long sum = 0;
+    std::size_t items = 0;
+  };
+  for (const unsigned threads : {1U, 2U, 4U}) {
+    const Acc acc = parallel_reduce<Acc>(
+        1000, 37,
+        [](std::size_t, std::size_t begin, std::size_t end) {
+          Acc a;
+          for (std::size_t i = begin; i < end; ++i) a.sum += static_cast<long>(i);
+          a.items = end - begin;
+          return a;
+        },
+        [](Acc& t, Acc&& p) {
+          t.sum += p.sum;
+          t.items += p.items;
+        },
+        threads);
+    EXPECT_EQ(acc.sum, 499500L) << threads << " threads";
+    EXPECT_EQ(acc.items, 1000U);
+  }
+}
+
+TEST(ParallelReduce, CombineRunsInChunkOrder) {
+  for (const unsigned threads : {1U, 4U}) {
+    const std::vector<std::size_t> order = parallel_reduce<std::vector<std::size_t>>(
+        100, 9,
+        [](std::size_t c, std::size_t, std::size_t) {
+          return std::vector<std::size_t>{c};
+        },
+        [](std::vector<std::size_t>& acc, std::vector<std::size_t>&& p) {
+          acc.insert(acc.end(), p.begin(), p.end());
+        },
+        threads);
+    ASSERT_EQ(order.size(), 12U);  // ceil(100 / 9)
+    for (std::size_t c = 0; c < order.size(); ++c) EXPECT_EQ(order[c], c);
+  }
+}
+
+TEST(ParallelReduce, PerChunkRngStreamsAreThreadCountInvariant) {
+  // The determinism contract end-to-end: randomness keyed by chunk index,
+  // combined in chunk order, must not depend on the thread count.
+  auto run = [](unsigned threads) {
+    return parallel_reduce<std::vector<std::uint32_t>>(
+        1000, 64,
+        [](std::size_t c, std::size_t begin, std::size_t end) {
+          Pcg32 rng(99, c);
+          std::vector<std::uint32_t> draws;
+          for (std::size_t i = begin; i < end; ++i) draws.push_back(rng.next_u32());
+          return draws;
+        },
+        [](std::vector<std::uint32_t>& acc, std::vector<std::uint32_t>&& p) {
+          acc.insert(acc.end(), p.begin(), p.end());
+        },
+        threads);
+  };
+  const auto serial = run(1);
+  const auto parallel4 = run(4);
+  ASSERT_EQ(serial.size(), 1000U);
+  EXPECT_EQ(serial, parallel4);
+}
+
+TEST(ParallelReduce, RejectsZeroChunk) {
+  EXPECT_THROW(parallel_reduce<int>(
+                   10, 0, [](std::size_t, std::size_t, std::size_t) { return 0; },
+                   [](int&, int&&) {}, 1),
+               PreconditionError);
+}
+
+TEST(ParallelReduce, ZeroItemsYieldDefault) {
+  const int acc = parallel_reduce<int>(
+      0, 8, [](std::size_t, std::size_t, std::size_t) { return 7; },
+      [](int& t, int&& p) { t += p; }, 2);
+  EXPECT_EQ(acc, 0);
+}
+
+}  // namespace
+}  // namespace ipass

@@ -31,6 +31,43 @@ TEST(MonteCarlo, Deterministic) {
   EXPECT_EQ(a.shipped_units, b.shipped_units);
 }
 
+TEST(MonteCarlo, ThreadCountDoesNotChangeTheReport) {
+  // The determinism contract: batch b draws from stream Pcg32(seed, b) and
+  // batches are folded in order, so 1-thread and 4-thread runs must produce
+  // bit-identical reports.
+  const FlowModel flow = mcm_like_flow();
+  McOptions serial;
+  serial.samples = 30000;
+  serial.seed = 777;
+  serial.threads = 1;
+  McOptions parallel = serial;
+  parallel.threads = 4;
+  const McReport a = evaluate_monte_carlo(flow, serial);
+  const McReport b = evaluate_monte_carlo(flow, parallel);
+  EXPECT_EQ(a.shipped_units, b.shipped_units);
+  EXPECT_EQ(a.scrapped_units, b.scrapped_units);
+  EXPECT_EQ(a.escaped_defectives, b.escaped_defectives);
+  EXPECT_EQ(a.final_cost_ci95, b.final_cost_ci95);
+  EXPECT_EQ(a.report.final_cost_per_shipped, b.report.final_cost_per_shipped);
+  EXPECT_EQ(a.report.total_spend_per_started, b.report.total_spend_per_started);
+  EXPECT_EQ(a.report.yield_loss_per_shipped, b.report.yield_loss_per_shipped);
+  for (int c = 0; c < kCostCategoryCount; ++c) {
+    EXPECT_EQ(a.report.spend_ledger.v[c], b.report.spend_ledger.v[c]) << "category " << c;
+  }
+}
+
+TEST(MonteCarlo, DefaultThreadsMatchExplicitSingleThread) {
+  const FlowModel flow = mcm_like_flow();
+  McOptions opt;
+  opt.samples = 10000;
+  McOptions one = opt;
+  one.threads = 1;
+  const McReport a = evaluate_monte_carlo(flow, opt);
+  const McReport b = evaluate_monte_carlo(flow, one);
+  EXPECT_EQ(a.report.final_cost_per_shipped, b.report.final_cost_per_shipped);
+  EXPECT_EQ(a.shipped_units, b.shipped_units);
+}
+
 TEST(MonteCarlo, AgreesWithAnalyticWithinCi) {
   // The paper: "Yield figures are translated into faults using Monte Carlo
   // simulation" -- our analytic evaluator is its exact expectation.

@@ -155,6 +155,78 @@ TEST(Mna, Preconditions) {
   EXPECT_THROW(analyze_at(through_connection(), -1e9), PreconditionError);
 }
 
+Circuit bandpass_like() {
+  // A fourth-order-ish LC ladder exercising series and shunt stamps.
+  Circuit c;
+  const int n1 = c.add_node();
+  const int n2 = c.add_node();
+  const int n3 = c.add_node();
+  c.add_inductor(n1, n2, 42e-9, QModel::constant(35.0));
+  c.add_capacitor(n2, 0, 18e-12, QModel::constant(80.0));
+  c.add_inductor(n2, 0, 6e-9);
+  c.add_capacitor(n2, n3, 9e-12);
+  c.add_resistor(n3, 0, 820.0);
+  c.set_port1(n1, 50.0);
+  c.set_port2(n3, 50.0);
+  return c;
+}
+
+TEST(SweepWorkspace, MatchesFreeAnalyzeAtBitwise) {
+  const Circuit ckt = bandpass_like();
+  SweepWorkspace ws(ckt);
+  for (const double f : linspace(50e6, 2e9, 25)) {
+    const SPoint naive = analyze_at(ckt, f);
+    const SPoint fast = ws.analyze_at(f);
+    EXPECT_EQ(naive.s11, fast.s11) << "f=" << f;
+    EXPECT_EQ(naive.s21, fast.s21) << "f=" << f;
+    EXPECT_EQ(naive.freq, fast.freq);
+  }
+}
+
+TEST(SweepWorkspace, PerturbedValuesMatchPerturbedCircuitBitwise) {
+  Circuit ckt = bandpass_like();
+  SweepWorkspace ws(ckt);
+  ASSERT_EQ(ws.element_count(), ckt.elements().size());
+  // Perturb the workspace and an equivalent Circuit identically.
+  for (std::size_t e = 0; e < ws.element_count(); ++e) {
+    const double v = ws.nominal_value(e) * (1.0 + 0.01 * static_cast<double>(e + 1));
+    ws.set_value(e, v);
+    ckt.set_element_value(e, v);
+    EXPECT_EQ(ws.value(e), v);
+  }
+  for (const double f : {100e6, 400e6, 1.3e9}) {
+    const SPoint naive = analyze_at(ckt, f);
+    const SPoint fast = ws.analyze_at(f);
+    EXPECT_EQ(naive.s11, fast.s11) << "f=" << f;
+    EXPECT_EQ(naive.s21, fast.s21) << "f=" << f;
+  }
+}
+
+TEST(SweepWorkspace, ResetRestoresNominal) {
+  const Circuit ckt = bandpass_like();
+  SweepWorkspace ws(ckt);
+  const SPoint before = ws.analyze_at(300e6);
+  ws.set_value(0, ws.nominal_value(0) * 1.2);
+  const SPoint perturbed = ws.analyze_at(300e6);
+  EXPECT_NE(before.s21, perturbed.s21);
+  ws.reset_values();
+  const SPoint after = ws.analyze_at(300e6);
+  EXPECT_EQ(before.s11, after.s11);
+  EXPECT_EQ(before.s21, after.s21);
+}
+
+TEST(SweepWorkspace, Preconditions) {
+  Circuit no_ports;
+  no_ports.add_node();
+  EXPECT_THROW(SweepWorkspace ws(no_ports), PreconditionError);
+  SweepWorkspace ws(bandpass_like());
+  EXPECT_THROW(ws.analyze_at(0.0), PreconditionError);
+  EXPECT_THROW(ws.set_value(99, 1.0), PreconditionError);
+  EXPECT_THROW(ws.set_value(0, 0.0), PreconditionError);
+  EXPECT_THROW(ws.value(99), PreconditionError);
+  EXPECT_THROW(ws.nominal_value(99), PreconditionError);
+}
+
 TEST(Mna, SweepAndGrids) {
   const auto freqs = linspace(1e9, 2e9, 11);
   ASSERT_EQ(freqs.size(), 11u);

@@ -54,6 +54,58 @@ TEST(Tolerance, Reproducible) {
   EXPECT_DOUBLE_EQ(a.metric_mean, b.metric_mean);
 }
 
+TEST(Tolerance, ThreadCountDoesNotChangeTheResult) {
+  // The determinism contract: chunk c draws from stream Pcg32(seed, c) and
+  // chunks are folded in order, so 1-thread and 4-thread runs must produce
+  // bit-identical results.
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  auto metric = [](const Circuit& c) { return insertion_loss_at(c, 175e6); };
+  auto pass = [](double il) { return il < 1.5; };
+  ToleranceOptions serial{1000, 31, 1};
+  ToleranceOptions parallel{1000, 31, 4};
+  const ToleranceResult a = analyze_tolerance(ckt, tol, metric, pass, serial);
+  const ToleranceResult b = analyze_tolerance(ckt, tol, metric, pass, parallel);
+  EXPECT_EQ(a.passing, b.passing);
+  EXPECT_EQ(a.metric_mean, b.metric_mean);
+  EXPECT_EQ(a.metric_stddev, b.metric_stddev);
+  EXPECT_EQ(a.metric_min, b.metric_min);
+  EXPECT_EQ(a.metric_max, b.metric_max);
+  EXPECT_EQ(a.ci95_half_width, b.ci95_half_width);
+}
+
+TEST(Tolerance, BandpassYieldThreadCountInvariant) {
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  const ToleranceResult a =
+      bandpass_parametric_yield(ckt, tol, 175e6, 1.0, 0.02, {2000, 91, 1});
+  const ToleranceResult b =
+      bandpass_parametric_yield(ckt, tol, 175e6, 1.0, 0.02, {2000, 91, 4});
+  EXPECT_EQ(a.passing, b.passing);
+  EXPECT_EQ(a.metric_mean, b.metric_mean);
+  EXPECT_EQ(a.metric_min, b.metric_min);
+  EXPECT_EQ(a.metric_max, b.metric_max);
+}
+
+TEST(Tolerance, FastPathMatchesCircuitPathBitwise) {
+  // The SweepWorkspace fast path draws the same perturbations and assembles
+  // the same matrices as the Circuit path, so for metrics probing the same
+  // frequency the two must agree exactly.
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  auto pass = [](double il) { return il < 1.5; };
+  const ToleranceOptions opt{500, 47};
+  const ToleranceResult slow = analyze_tolerance(
+      ckt, tol, [](const Circuit& c) { return insertion_loss_at(c, 175e6); }, pass, opt);
+  const ToleranceResult fast = analyze_tolerance_fast(
+      ckt, tol, [](SweepWorkspace& ws) { return ws.insertion_loss_at(175e6); }, pass, opt);
+  EXPECT_EQ(slow.passing, fast.passing);
+  EXPECT_EQ(slow.metric_mean, fast.metric_mean);
+  EXPECT_EQ(slow.metric_stddev, fast.metric_stddev);
+  EXPECT_EQ(slow.metric_min, fast.metric_min);
+  EXPECT_EQ(slow.metric_max, fast.metric_max);
+}
+
 TEST(Tolerance, TrimmingImprovesParametricYield) {
   // The paper's laser-tuning claim, quantified: against a tight spec, the
   // trimmed process yields strictly more than the untrimmed one.
