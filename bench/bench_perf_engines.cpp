@@ -8,6 +8,7 @@
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/methodology.hpp"
+#include "core/scenario_grid.hpp"
 #include "gps/casestudy.hpp"
 #include "moe/montecarlo.hpp"
 #include "rf/analysis.hpp"
@@ -112,7 +113,27 @@ void BM_ToleranceSweepNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_ToleranceSweepNaive)->Arg(2000)->UseRealTime();
 
-// Single-threaded workspace path: isolates the zero-allocation win.
+// Single-threaded scalar-workspace engine (the pre-batch fast path),
+// kept as the engine-tier comparison point.
+void BM_ToleranceSweepScalar(benchmark::State& state) {
+  const rf::Circuit nominal = if_filter();
+  const rf::ToleranceSpec tol = rf::ToleranceSpec::integrated_untrimmed();
+  rf::ToleranceOptions opt;
+  opt.samples = static_cast<std::size_t>(state.range(0));
+  opt.threads = 1;
+  const rf::WorkspaceMetric il = [](rf::SweepWorkspace& ws) {
+    return ws.insertion_loss_at(175e6);
+  };
+  const auto passes = [](double worst) { return worst <= 1.0; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf::analyze_tolerance_fast(nominal, tol, il, passes, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ToleranceSweepScalar)->Arg(2000)->UseRealTime();
+
+// Single-threaded batched engine (bandpass_parametric_yield rides the
+// W-lane BatchSweepWorkspace): the headline single-thread number.
 void BM_ToleranceSweepWorkspace(benchmark::State& state) {
   const rf::Circuit nominal = if_filter();
   const rf::ToleranceSpec tol = rf::ToleranceSpec::integrated_untrimmed();
@@ -169,6 +190,42 @@ void BM_FullGpsAssessment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullGpsAssessment);
+
+// ---- scenario-grid sharding: (build-up x process corner x volume) cells ----
+
+core::ScenarioGrid make_grid(const gps::GpsCaseStudy& study, std::size_t cells) {
+  core::ScenarioGrid grid;
+  grid.buildups = study.buildups;  // 4 build-ups
+  const std::size_t volumes = 500;
+  const std::size_t corners = cells / (grid.buildups.size() * volumes);
+  grid.corners = core::ScenarioGrid::corner_sweep(corners, 0.25, 4.0, 0.7, 1.3);
+  grid.volumes = core::ScenarioGrid::volume_sweep(volumes, 1e3, 1e7);
+  return grid;
+}
+
+// Pinned to one thread: the serial cells/s number the CI gate tracks.
+void BM_ScenarioGrid(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::ScenarioGrid grid =
+      make_grid(study, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_scenario_grid(study.bom, study.kits, grid, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(grid.cell_count()));
+}
+BENCHMARK(BM_ScenarioGrid)->Arg(100000)->UseRealTime();
+
+// Default threading: the fan-out across the pool (scales with cores).
+void BM_ScenarioGridParallel(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::ScenarioGrid grid =
+      make_grid(study, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_scenario_grid(study.bom, study.kits, grid));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(grid.cell_count()));
+}
+BENCHMARK(BM_ScenarioGridParallel)->Arg(100000)->Arg(1000000)->UseRealTime();
 
 }  // namespace
 

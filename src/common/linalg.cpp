@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/linalg_batch_kernel.hpp"
 
 namespace ipass {
 
@@ -34,26 +35,35 @@ void solve_overwrite(CMatrix& a, std::vector<Complex>& b) {
     Complex* const row_k = m + k * n;
     // Partial pivoting: pick the largest magnitude entry in column k.
     std::size_t pivot = k;
-    double best = std::abs(row_k[k]);
+    double best_sq = detail::sq_mag(row_k[k].real(), row_k[k].imag());
     for (std::size_t r = k + 1; r < n; ++r) {
-      const double mag = std::abs(m[r * n + k]);
-      if (mag > best) {
-        best = mag;
+      const Complex cand = m[r * n + k];
+      const double cand_sq = detail::sq_mag(cand.real(), cand.imag());
+      if (detail::magnitude_greater(cand_sq, cand, best_sq, m[pivot * n + k])) {
+        best_sq = cand_sq;
         pivot = r;
       }
     }
-    if (best < 1e-300) throw NumericalError("solve: singular matrix");
+    if (detail::near_singular(best_sq, m[pivot * n + k])) {
+      throw NumericalError("solve: singular matrix");
+    }
     if (pivot != k) {
       Complex* const row_p = m + pivot * n;
       for (std::size_t c = 0; c < n; ++c) std::swap(row_k[c], row_p[c]);
       std::swap(rhs[k], rhs[pivot]);
     }
+    // The last step has no rows left to eliminate, so its reciprocal would
+    // go unused — skip the division.
+    if (k + 1 == n) break;
     const Complex inv_pivot = 1.0 / row_k[k];
     for (std::size_t r = k + 1; r < n; ++r) {
       Complex* const row_r = m + r * n;
       const Complex factor = row_r[k] * inv_pivot;
+      // Structural zeros below the diagonal are common in nodal matrices;
+      // their row update is a no-op, so skip it.  L is never stored — only
+      // U and the transformed rhs feed the back substitution — so nothing
+      // below the diagonal is written at all.
       if (factor == Complex(0.0, 0.0)) continue;
-      row_r[k] = factor;  // store L for clarity; not reused afterwards
       for (std::size_t c = k + 1; c < n; ++c) row_r[c] -= factor * row_k[c];
       rhs[r] -= factor * rhs[k];
     }
@@ -77,6 +87,65 @@ std::vector<Complex> solve_inplace(CMatrix& a, std::vector<Complex> b) {
 std::vector<Complex> solve(const CMatrix& a, const std::vector<Complex>& b) {
   CMatrix copy = a;
   return solve_inplace(copy, b);
+}
+
+// ------------------------------------------------------------------ batch
+
+BatchCMatrix::BatchCMatrix(std::size_t n, std::size_t lanes)
+    : n_(n), lanes_(lanes), re_(n * n * lanes, 0.0), im_(n * n * lanes, 0.0) {}
+
+void BatchCMatrix::set_zero() {
+  re_.assign(re_.size(), 0.0);
+  im_.assign(im_.size(), 0.0);
+}
+
+Complex BatchCMatrix::get(std::size_t r, std::size_t c, std::size_t lane) const {
+  require(r < n_ && c < n_ && lane < lanes_, "BatchCMatrix::get: index out of range");
+  const std::size_t i = index(r, c, lane);
+  return Complex(re_[i], im_[i]);
+}
+
+void BatchCMatrix::set(std::size_t r, std::size_t c, std::size_t lane, Complex value) {
+  require(r < n_ && c < n_ && lane < lanes_, "BatchCMatrix::set: index out of range");
+  const std::size_t i = index(r, c, lane);
+  re_[i] = value.real();
+  im_[i] = value.imag();
+}
+
+BatchCVector::BatchCVector(std::size_t n, std::size_t lanes)
+    : n_(n), lanes_(lanes), re_(n * lanes, 0.0), im_(n * lanes, 0.0) {}
+
+void BatchCVector::set_zero() {
+  re_.assign(re_.size(), 0.0);
+  im_.assign(im_.size(), 0.0);
+}
+
+Complex BatchCVector::get(std::size_t i, std::size_t lane) const {
+  require(i < n_ && lane < lanes_, "BatchCVector::get: index out of range");
+  return Complex(re_[index(i, lane)], im_[index(i, lane)]);
+}
+
+void BatchCVector::set(std::size_t i, std::size_t lane, Complex value) {
+  require(i < n_ && lane < lanes_, "BatchCVector::set: index out of range");
+  re_[index(i, lane)] = value.real();
+  im_[index(i, lane)] = value.imag();
+}
+
+void BatchCVector::copy_from(const BatchCVector& other) {
+  require(n_ == other.n_ && lanes_ == other.lanes_,
+          "BatchCVector::copy_from: shape mismatch");
+  re_ = other.re_;
+  im_ = other.im_;
+}
+
+void batch_solve_overwrite(BatchCMatrix& a, BatchCVector& b, std::size_t solved_down_to) {
+  require(a.lanes() >= 1 && a.lanes() <= kMaxBatchLanes,
+          "batch_solve_overwrite: lane count out of range");
+  require(b.size() == a.size() && b.lanes() == a.lanes(),
+          "batch_solve_overwrite: rhs shape mismatch");
+  require(solved_down_to <= a.size(), "batch_solve_overwrite: solved_down_to out of range");
+  detail::batch_solve_dispatch(a.size(), a.lanes(), solved_down_to, a.re(), a.im(), b.re(),
+                               b.im());
 }
 
 }  // namespace ipass

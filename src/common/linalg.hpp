@@ -1,10 +1,23 @@
 // Dense complex linear algebra for the MNA AC engine.
 //
 // Circuits in this library are small (tens of nodes), so a straightforward
-// dense LU with partial pivoting is both simplest and fastest.
+// dense LU with partial pivoting is both simplest and fastest.  Two solver
+// tiers share that algorithm:
+//
+//   solve_overwrite        one system at a time, used by SweepWorkspace;
+//   batch_solve_overwrite  W same-size systems at once in structure-of-
+//                          arrays layout, used by BatchSweepWorkspace to
+//                          feed the tolerance Monte-Carlo engine.
+//
+// The batch solver is *bit-identical* per lane to the scalar solver: pivots
+// are selected per lane with the same magnitude comparisons and every
+// arithmetic operation is performed in the same order per matrix, so lane w
+// of a batch solve equals a scalar solve of that lane's system down to the
+// last bit.  The tolerance engine's determinism contract rests on this.
 #pragma once
 
 #include <complex>
+#include <cstddef>
 #include <vector>
 
 namespace ipass {
@@ -49,5 +62,142 @@ std::vector<Complex> solve_inplace(CMatrix& a, std::vector<Complex> b);
 
 // Convenience overload preserving A.
 std::vector<Complex> solve(const CMatrix& a, const std::vector<Complex>& b);
+
+// ------------------------------------------------------------------ batch
+
+// Upper bound on the lane count of a batch solve; the solver keeps per-lane
+// pivot scratch on the stack.
+inline constexpr std::size_t kMaxBatchLanes = 32;
+
+// W same-size complex matrices in structure-of-arrays layout: separate
+// re[]/im[] planes with the *lane* index innermost, so the element (r, c)
+// of lane w lives at (r * n + c) * lanes + w.  Sweeping w at a fixed (r, c)
+// touches contiguous memory, which is what lets the k-elimination inner
+// loops of batch_solve_overwrite auto-vectorize.
+class BatchCMatrix {
+ public:
+  BatchCMatrix() = default;
+  BatchCMatrix(std::size_t n, std::size_t lanes);
+
+  std::size_t size() const { return n_; }
+  std::size_t lanes() const { return lanes_; }
+  std::size_t index(std::size_t r, std::size_t c, std::size_t lane) const {
+    return (r * n_ + c) * lanes_ + lane;
+  }
+
+  // All entries of every lane set to zero.
+  void set_zero();
+
+  Complex get(std::size_t r, std::size_t c, std::size_t lane) const;
+  void set(std::size_t r, std::size_t c, std::size_t lane, Complex value);
+
+  double* re() { return re_.data(); }
+  double* im() { return im_.data(); }
+  const double* re() const { return re_.data(); }
+  const double* im() const { return im_.data(); }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t lanes_ = 0;
+  std::vector<double> re_;
+  std::vector<double> im_;
+};
+
+// W same-size complex vectors in the matching SoA layout: entry i of lane w
+// lives at i * lanes + w.
+class BatchCVector {
+ public:
+  BatchCVector() = default;
+  BatchCVector(std::size_t n, std::size_t lanes);
+
+  std::size_t size() const { return n_; }
+  std::size_t lanes() const { return lanes_; }
+  std::size_t index(std::size_t i, std::size_t lane) const { return i * lanes_ + lane; }
+
+  void set_zero();
+
+  Complex get(std::size_t i, std::size_t lane) const;
+  void set(std::size_t i, std::size_t lane, Complex value);
+
+  // Copy every lane of `other` into this vector (sizes must match).
+  void copy_from(const BatchCVector& other);
+
+  double* re() { return re_.data(); }
+  double* im() { return im_.data(); }
+  const double* re() const { return re_.data(); }
+  const double* im() const { return im_.data(); }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t lanes_ = 0;
+  std::vector<double> re_;
+  std::vector<double> im_;
+};
+
+// Factor and solve all W systems A_w x_w = b_w at once: A is overwritten by
+// its per-lane LU factors and b by the per-lane solutions.  Each lane picks
+// its own pivot rows; the arithmetic per matrix is ordered exactly like
+// solve_overwrite, so every lane's solution is bit-identical to a scalar
+// solve of the same system.  Throws NumericalError as soon as *any* lane
+// turns out (near-)singular — the same condition under which the scalar
+// solver would have thrown for that lane — leaving a and b unspecified.
+//
+// solved_down_to truncates the back substitution: only solution entries
+// i >= solved_down_to are produced (entry i depends on entries > i alone,
+// so the produced entries still carry exactly the full-solve bits; the
+// entries below hold elimination residue).  The MNA insertion-loss path
+// uses this to stop at the output port's node.
+void batch_solve_overwrite(BatchCMatrix& a, BatchCVector& b,
+                           std::size_t solved_down_to = 0);
+
+namespace detail {
+
+// Complex division with results bit-identical to the std::complex<double>
+// operator/ of this toolchain (Smith's algorithm, as emitted by libgcc's
+// __divdc3 for in-range operands), but inlinable in per-lane hot loops.
+// Operands far outside the normal range are delegated to the library
+// operator, whose extra rescaling steps diverge from plain Smith there.
+inline Complex div_exact(Complex num, Complex den) {
+  const double a = num.real(), b = num.imag();
+  const double c = den.real(), d = den.imag();
+  const double fa = a < 0.0 ? -a : a, fb = b < 0.0 ? -b : b;
+  const double fc = c < 0.0 ? -c : c, fd = d < 0.0 ? -d : d;
+  if (fa < 1e140 && fb < 1e140 && fc < 1e140 && fd < 1e140 && (fc > 1e-140 || fd > 1e-140)) {
+    double x, y;
+    if (fc < fd) {
+      const double ratio = c / d;
+      const double denom = (c * ratio) + d;
+      x = ((a * ratio) + b) / denom;
+      y = ((b * ratio) - a) / denom;
+    } else {
+      const double ratio = d / c;
+      const double denom = c + (d * ratio);
+      x = (a + (b * ratio)) / denom;
+      y = (b - (a * ratio)) / denom;
+    }
+    return Complex(x, y);
+  }
+  return num / den;
+}
+
+// 1 / z with the same bits as div_exact(Complex(1, 0), z), specialized for
+// the purely imaginary and purely real denominators that lossless reactive
+// elements and resistors produce.  Smith's algorithm collapses there:
+//   z = (±0, d):  ratio = ±0/d, denom = d, x = (+0)/d = copysign(0, d),
+//                 y = (±0 - 1)/d = -1/d           — one real division;
+//   z = (c, 0), c > 0:  ratio = +0/c, x = 1/c, y = (0 - +0)/c = +0.
+inline Complex recip_exact(Complex z) {
+  const double c = z.real(), d = z.imag();
+  const double fd = d < 0.0 ? -d : d;
+  if (c == 0.0 && fd > 1e-140 && fd < 1e140) {
+    return Complex(d > 0.0 ? 0.0 : -0.0, -1.0 / d);
+  }
+  if (d == 0.0 && c > 1e-140 && c < 1e140) {
+    return Complex(1.0 / c, 0.0);
+  }
+  return div_exact(Complex(1.0, 0.0), z);
+}
+
+}  // namespace detail
 
 }  // namespace ipass

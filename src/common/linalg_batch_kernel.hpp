@@ -1,0 +1,326 @@
+// The batch LU kernel, header-inline so the MNA batch workspace compiles
+// the whole stamp -> factor -> solve chain into one optimized unit (the
+// cross-TU call cost showed up clearly on the tolerance sweep).  Not part
+// of the public API: include common/linalg.hpp and call
+// batch_solve_overwrite unless you are the MNA hot path.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <type_traits>
+
+#include "common/error.hpp"
+#include "common/linalg.hpp"
+
+namespace ipass::detail {
+
+inline double sq_mag(double re, double im) { return re * re + im * im; }
+
+// Squares below this bound sit close enough to the subnormal range that
+// their rounding error can misorder them; the comparisons fall back to the
+// exact magnitudes there.  (1e-280 in the square is |v| ~ 1e-140, far above
+// the scalar solver's 1e-300 singularity threshold.)
+constexpr double kSafeSq = 1e-280;
+
+// Exactly the boolean (std::abs(cand) > std::abs(best)) — the comparison
+// the pivot search has always used — but resolved from the squared
+// magnitudes when they are well separated.  hypot is correctly rounded to
+// ~1 ulp and a squared magnitude to ~3 ulp, so outside a 1e-9 relative
+// margin the square comparison provably agrees with the hypot comparison;
+// inside the margin (or out of the safe range, including inf/0 squares) we
+// pay the two hypot calls.
+inline bool magnitude_greater(double cand_sq, Complex cand, double best_sq, Complex best) {
+  constexpr double kMargin = 1.0 + 1e-9;
+  if (cand_sq >= kSafeSq && best_sq >= kSafeSq) {
+    if (cand_sq > best_sq * kMargin) return true;
+    if (cand_sq * kMargin < best_sq) return false;
+  }
+  return std::abs(cand) > std::abs(best);
+}
+
+// Exactly the boolean (std::abs(v) < 1e-300) used by the singularity check.
+inline bool near_singular(double v_sq, Complex v) {
+  if (v_sq >= kSafeSq) return false;
+  return std::abs(v) < 1e-300;
+}
+
+// The batch LU kernel.  LaneCount and Size are either std::integral_constant
+// (the tolerance engine's fixed W and the small circuit orders, letting the
+// compiler fully unroll the lane and elimination loops) or plain std::size_t
+// for arbitrary shapes.
+template <typename Size, typename LaneCount>
+void batch_solve_impl(Size n, std::size_t solved_down_to,
+                      double* __restrict__ const are, double* __restrict__ const aim,
+                      double* __restrict__ const bre, double* __restrict__ const bim,
+                      LaneCount W) {
+  std::array<std::size_t, kMaxBatchLanes> pivot;
+  std::array<double, kMaxBatchLanes> best_sq;
+  std::array<double, kMaxBatchLanes> ipr, ipi;
+  std::array<double, kMaxBatchLanes> fre, fim;
+  std::array<bool, kMaxBatchLanes> live;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Per-lane partial pivoting, same magnitude comparisons as the scalar
+    // solver (see magnitude_greater).
+    const std::size_t kk = (k * n + k) * W;
+    for (std::size_t w = 0; w < W; ++w) {
+      pivot[w] = k;
+      best_sq[w] = sq_mag(are[kk + w], aim[kk + w]);
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const std::size_t rk = (r * n + k) * W;
+      // Vector pass: a decision is clear when both squares are safely in
+      // range and outside the comparison margin; any ambiguous lane drops
+      // the whole row to the exact per-lane comparison (identical
+      // decisions, see magnitude_greater).
+      constexpr double kMargin = 1.0 + 1e-9;
+      bool need_exact = false;
+      std::array<double, kMaxBatchLanes> cand_sq;
+      std::array<bool, kMaxBatchLanes> take;
+      for (std::size_t w = 0; w < W; ++w) {
+        cand_sq[w] = sq_mag(are[rk + w], aim[rk + w]);
+        const bool in_range = cand_sq[w] >= kSafeSq && best_sq[w] >= kSafeSq;
+        const bool gt = cand_sq[w] > best_sq[w] * kMargin;
+        const bool lt = cand_sq[w] * kMargin < best_sq[w];
+        // A candidate that is exactly zero (structural zeros are common)
+        // can never win the strict magnitude comparison — decided without
+        // the exact fallback.
+        const bool zero = are[rk + w] == 0.0 && aim[rk + w] == 0.0;
+        take[w] = in_range && gt;
+        need_exact = need_exact || !(zero || (in_range && (gt || lt)));
+      }
+      if (need_exact) {
+        for (std::size_t w = 0; w < W; ++w) {
+          const Complex cand(are[rk + w], aim[rk + w]);
+          const std::size_t pk = (pivot[w] * n + k) * W + w;
+          if (magnitude_greater(cand_sq[w], cand, best_sq[w], Complex(are[pk], aim[pk]))) {
+            best_sq[w] = cand_sq[w];
+            pivot[w] = r;
+          }
+        }
+      } else {
+        for (std::size_t w = 0; w < W; ++w) {
+          pivot[w] = take[w] ? r : pivot[w];
+          best_sq[w] = take[w] ? cand_sq[w] : best_sq[w];
+        }
+      }
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      const std::size_t pk = (pivot[w] * n + k) * W + w;
+      if (near_singular(best_sq[w], Complex(are[pk], aim[pk]))) {
+        throw NumericalError("solve: singular matrix");
+      }
+    }
+    // Per-lane row swaps: lanes pivot independently, but under small
+    // perturbations they almost always agree — when they do, the swap is a
+    // straight exchange of contiguous lane blocks (vectorizable); only
+    // disagreeing columns pay the per-lane scatter.
+    bool uniform = true;
+    for (std::size_t w = 1; w < W; ++w) uniform = uniform && pivot[w] == pivot[0];
+    if (uniform) {
+      const std::size_t p = pivot[0];
+      if (p != k) {
+        for (std::size_t c = 0; c < n; ++c) {
+          const std::size_t kc = (k * n + c) * W;
+          const std::size_t pc = (p * n + c) * W;
+          for (std::size_t w = 0; w < W; ++w) {
+            std::swap(are[kc + w], are[pc + w]);
+            std::swap(aim[kc + w], aim[pc + w]);
+          }
+        }
+        for (std::size_t w = 0; w < W; ++w) {
+          std::swap(bre[k * W + w], bre[p * W + w]);
+          std::swap(bim[k * W + w], bim[p * W + w]);
+        }
+      }
+    } else {
+      for (std::size_t w = 0; w < W; ++w) {
+        const std::size_t p = pivot[w];
+        if (p == k) continue;
+        for (std::size_t c = 0; c < n; ++c) {
+          std::swap(are[(k * n + c) * W + w], are[(p * n + c) * W + w]);
+          std::swap(aim[(k * n + c) * W + w], aim[(p * n + c) * W + w]);
+        }
+        std::swap(bre[k * W + w], bre[p * W + w]);
+        std::swap(bim[k * W + w], bim[p * W + w]);
+      }
+    }
+    // No rows below the last pivot: its reciprocal would go unused.
+    if (k + 1 == n) break;
+    // Reciprocal of the pivot, branchless across lanes when every lane is
+    // comfortably in range (the common case): the Smith branch becomes a
+    // select, the three divisions vectorize, and IEEE division is correctly
+    // rounded in scalar and packed form alike — the bits match div_exact.
+    bool in_range = true;
+    for (std::size_t w = 0; w < W; ++w) {
+      const double c = are[kk + w], d = aim[kk + w];
+      const double fc = c < 0.0 ? -c : c, fd = d < 0.0 ? -d : d;
+      in_range = in_range && fc < 1e140 && fd < 1e140 && (fc > 1e-140 || fd > 1e-140);
+    }
+    if (in_range) {
+      for (std::size_t w = 0; w < W; ++w) {
+        const double c = are[kk + w], d = aim[kk + w];
+        const double fc = c < 0.0 ? -c : c, fd = d < 0.0 ? -d : d;
+        const bool sw = fc < fd;
+        const double ratio = (sw ? c : d) / (sw ? d : c);
+        const double denom = sw ? (c * ratio) + d : c + (d * ratio);
+        // a = 1, b = 0 spelled out so the signed-zero algebra matches the
+        // general formula exactly.
+        const double xnum = sw ? (1.0 * ratio) + 0.0 : 1.0 + (0.0 * ratio);
+        const double ynum = sw ? (0.0 * ratio) - 1.0 : 0.0 - (1.0 * ratio);
+        ipr[w] = xnum / denom;
+        ipi[w] = ynum / denom;
+      }
+    } else {
+      for (std::size_t w = 0; w < W; ++w) {
+        const Complex ip =
+            div_exact(Complex(1.0, 0.0), Complex(are[kk + w], aim[kk + w]));
+        ipr[w] = ip.real();
+        ipi[w] = ip.imag();
+      }
+    }
+
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const std::size_t rk = (r * n + k) * W;
+      // factor = m[r][k] * inv_pivot, complex multiply ordered like the
+      // scalar solver's.  A lane whose factor is exactly zero must skip its
+      // update entirely (the scalar `continue`), or subtracting ±0 products
+      // would flip the signs of zero entries.
+      bool any_live = false;
+      bool all_live = true;
+      for (std::size_t w = 0; w < W; ++w) {
+        const double rr = are[rk + w], ri = aim[rk + w];
+        const double fr = rr * ipr[w] - ri * ipi[w];
+        const double fi = rr * ipi[w] + ri * ipr[w];
+        fre[w] = fr;
+        fim[w] = fi;
+        const bool lv = (fr != 0.0) || (fi != 0.0);
+        live[w] = lv;
+        any_live = any_live || lv;
+        all_live = all_live && lv;
+      }
+      if (!any_live) continue;  // structural zero in every lane: the common skip
+      if (all_live) {
+        for (std::size_t c = k + 1; c < n; ++c) {
+          const std::size_t kc = (k * n + c) * W;
+          const std::size_t rc = (r * n + c) * W;
+          for (std::size_t w = 0; w < W; ++w) {
+            const double t_re = fre[w] * are[kc + w] - fim[w] * aim[kc + w];
+            const double t_im = fre[w] * aim[kc + w] + fim[w] * are[kc + w];
+            are[rc + w] -= t_re;
+            aim[rc + w] -= t_im;
+          }
+        }
+        for (std::size_t w = 0; w < W; ++w) {
+          const double t_re = fre[w] * bre[k * W + w] - fim[w] * bim[k * W + w];
+          const double t_im = fre[w] * bim[k * W + w] + fim[w] * bre[k * W + w];
+          bre[r * W + w] -= t_re;
+          bim[r * W + w] -= t_im;
+        }
+      } else {
+        // Mixed lanes (a value-zero factor in some lanes only): predicate
+        // per lane so skipped lanes keep their bits untouched.
+        for (std::size_t c = k + 1; c < n; ++c) {
+          const std::size_t kc = (k * n + c) * W;
+          const std::size_t rc = (r * n + c) * W;
+          for (std::size_t w = 0; w < W; ++w) {
+            if (!live[w]) continue;
+            are[rc + w] -= fre[w] * are[kc + w] - fim[w] * aim[kc + w];
+            aim[rc + w] -= fre[w] * aim[kc + w] + fim[w] * are[kc + w];
+          }
+        }
+        for (std::size_t w = 0; w < W; ++w) {
+          if (!live[w]) continue;
+          bre[r * W + w] -= fre[w] * bre[k * W + w] - fim[w] * bim[k * W + w];
+          bim[r * W + w] -= fre[w] * bim[k * W + w] + fim[w] * bre[k * W + w];
+        }
+      }
+    }
+  }
+
+  // Back substitution directly into b, entry order identical to the scalar
+  // solver: ascending c accumulation, then one exact complex division.
+  std::array<double, kMaxBatchLanes> sre, sim;
+  for (std::size_t i = n; i-- > solved_down_to;) {
+    for (std::size_t w = 0; w < W; ++w) {
+      sre[w] = bre[i * W + w];
+      sim[w] = bim[i * W + w];
+    }
+    for (std::size_t c = i + 1; c < n; ++c) {
+      const std::size_t ic = (i * n + c) * W;
+      for (std::size_t w = 0; w < W; ++w) {
+        const double t_re = are[ic + w] * bre[c * W + w] - aim[ic + w] * bim[c * W + w];
+        const double t_im = are[ic + w] * bim[c * W + w] + aim[ic + w] * bre[c * W + w];
+        sre[w] -= t_re;
+        sim[w] -= t_im;
+      }
+    }
+    const std::size_t ii = (i * n + i) * W;
+    // Same branchless in-range Smith as the pivot reciprocal above, with a
+    // general numerator.
+    bool in_range = true;
+    for (std::size_t w = 0; w < W; ++w) {
+      const double a = sre[w], b = sim[w];
+      const double c = are[ii + w], d = aim[ii + w];
+      const double fa = a < 0.0 ? -a : a, fb = b < 0.0 ? -b : b;
+      const double fc = c < 0.0 ? -c : c, fd = d < 0.0 ? -d : d;
+      in_range = in_range && fa < 1e140 && fb < 1e140 && fc < 1e140 && fd < 1e140 &&
+                 (fc > 1e-140 || fd > 1e-140);
+    }
+    if (in_range) {
+      for (std::size_t w = 0; w < W; ++w) {
+        const double a = sre[w], b = sim[w];
+        const double c = are[ii + w], d = aim[ii + w];
+        const double fc = c < 0.0 ? -c : c, fd = d < 0.0 ? -d : d;
+        const bool sw = fc < fd;
+        const double ratio = (sw ? c : d) / (sw ? d : c);
+        const double denom = sw ? (c * ratio) + d : c + (d * ratio);
+        const double xnum = sw ? (a * ratio) + b : a + (b * ratio);
+        const double ynum = sw ? (b * ratio) - a : b - (a * ratio);
+        bre[i * W + w] = xnum / denom;
+        bim[i * W + w] = ynum / denom;
+      }
+    } else {
+      for (std::size_t w = 0; w < W; ++w) {
+        const Complex x = div_exact(Complex(sre[w], sim[w]),
+                                            Complex(are[ii + w], aim[ii + w]));
+        bre[i * W + w] = x.real();
+        bim[i * W + w] = x.imag();
+      }
+    }
+  }
+}
+
+// Shape dispatch: compile-time lane count / order for the tolerance
+// engine's shapes, runtime loops otherwise.  Callers guarantee the shapes
+// agree (the public batch_solve_overwrite validates them).
+inline void batch_solve_dispatch(std::size_t n, std::size_t lanes, std::size_t solved_down_to,
+                                 double* are, double* aim, double* bre, double* bim) {
+  if (lanes == 8) {
+    constexpr std::integral_constant<std::size_t, 8> kW8{};
+    switch (n) {
+      case 2:
+        return batch_solve_impl(std::integral_constant<std::size_t, 2>{}, solved_down_to,
+                                are, aim, bre, bim, kW8);
+      case 3:
+        return batch_solve_impl(std::integral_constant<std::size_t, 3>{}, solved_down_to,
+                                are, aim, bre, bim, kW8);
+      case 4:
+        return batch_solve_impl(std::integral_constant<std::size_t, 4>{}, solved_down_to,
+                                are, aim, bre, bim, kW8);
+      case 5:
+        return batch_solve_impl(std::integral_constant<std::size_t, 5>{}, solved_down_to,
+                                are, aim, bre, bim, kW8);
+      case 6:
+        return batch_solve_impl(std::integral_constant<std::size_t, 6>{}, solved_down_to,
+                                are, aim, bre, bim, kW8);
+      default:
+        return batch_solve_impl(n, solved_down_to, are, aim, bre, bim, kW8);
+    }
+  }
+  batch_solve_impl(n, solved_down_to, are, aim, bre, bim, lanes);
+}
+
+}  // namespace ipass::detail

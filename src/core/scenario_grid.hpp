@@ -1,0 +1,87 @@
+// Scenario-grid sharding: sweep a (build-up × process corner × volume)
+// grid of cost scenarios across the thread pool.
+//
+// Chiplet-era cost studies frame technology selection as sweeping huge
+// scenario grids rather than evaluating one operating point; this front-end
+// does that for the paper's methodology.  Every build-up's production flow
+// is compiled once into a flat, allocation-free cost model (the per-worker
+// "cost-model state"); each grid cell then re-evaluates that model under a
+// process corner's multiplicative scalings and a production volume.  Cells
+// fan out over parallel_reduce with the usual determinism contract: chunk
+// boundaries depend only on the grid shape and partials fold in ascending
+// order, so a summary is bit-identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/buildup.hpp"
+#include "core/function_bom.hpp"
+#include "core/realization.hpp"
+
+namespace ipass::core {
+
+// One process corner: multiplicative scalings applied to a compiled flow.
+// fault_scale multiplies every step's fault intensity (lambda = -ln y, so
+// 2.0 squares each step yield and 0.0 models a perfect line); cost_scale
+// multiplies every direct cost booked along the line (steps and consumed
+// components alike).  NRE is scenario overhead, not a line cost, and is
+// left unscaled.
+struct ProcessCorner {
+  double fault_scale = 1.0;
+  double cost_scale = 1.0;
+};
+
+// The grid descriptor.  Cells are the cross product of the three axes;
+// cell (b, c, v) carries buildups[b] under corners[c] at volumes[v]
+// started units, with linear index (c * volumes.size() + v) * buildups.size() + b.
+struct ScenarioGrid {
+  std::vector<BuildUp> buildups;
+  std::vector<ProcessCorner> corners;
+  std::vector<double> volumes;
+
+  std::size_t cell_count() const {
+    return buildups.size() * corners.size() * volumes.size();
+  }
+
+  // Evenly spaced corner axis: n corners interpolating fault_scale over
+  // [fault_lo, fault_hi] and cost_scale over [cost_lo, cost_hi] in lock
+  // step.  Descending ranges are fine.
+  static std::vector<ProcessCorner> corner_sweep(std::size_t n, double fault_lo,
+                                                 double fault_hi, double cost_lo,
+                                                 double cost_hi);
+
+  // Geometrically spaced volume axis (descending supported).
+  static std::vector<double> volume_sweep(std::size_t n, double lo, double hi);
+};
+
+// One evaluated cell (the summary keeps the extreme ones).
+struct ScenarioCell {
+  std::size_t cell = 0;     // linear index, see ScenarioGrid
+  std::size_t buildup = 0;  // axis indices
+  std::size_t corner = 0;
+  std::size_t volume = 0;
+  double final_cost_per_shipped = 0.0;
+  double shipped_fraction = 0.0;
+};
+
+struct ScenarioGridSummary {
+  std::size_t cells = 0;
+  ScenarioCell best;   // lowest final cost per shipped (ties: lowest index)
+  ScenarioCell worst;  // highest (ties: lowest index)
+  double cost_mean = 0.0;
+  double cost_stddev = 0.0;
+  // For every (corner, volume) pair, the build-up with the lowest final
+  // cost per shipped gets one win (ties: lowest build-up index).
+  std::vector<std::size_t> wins_per_buildup;
+
+  std::string to_string(const ScenarioGrid& grid) const;
+};
+
+// Evaluate the whole grid.  threads = 0 resolves to IPASS_THREADS /
+// hardware concurrency; results are bit-identical for every thread count.
+ScenarioGridSummary evaluate_scenario_grid(const FunctionalBom& bom, const TechKits& kits,
+                                           const ScenarioGrid& grid, unsigned threads = 0);
+
+}  // namespace ipass::core

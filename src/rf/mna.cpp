@@ -1,9 +1,13 @@
 #include "rf/mna.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <type_traits>
 
 #include "common/error.hpp"
 #include "common/linalg.hpp"
+#include "common/linalg_batch_kernel.hpp"
 #include "common/units.hpp"
 
 namespace ipass::rf {
@@ -76,27 +80,31 @@ SPoint analyze_at(const Circuit& circuit, double freq) {
   return pt;
 }
 
-SweepWorkspace::SweepWorkspace(const Circuit& circuit) {
+namespace detail {
+
+StampPlan StampPlan::build(const Circuit& circuit) {
   require(circuit.port1().node != 0 && circuit.port2().node != 0,
           "SweepWorkspace: both ports must be set");
-  n_ = static_cast<std::size_t>(circuit.node_count());
-  require(n_ >= 1, "SweepWorkspace: circuit has no nodes");
-  port1_ = circuit.port1();
-  port2_ = circuit.port2();
+  StampPlan plan;
+  plan.n = static_cast<std::size_t>(circuit.node_count());
+  require(plan.n >= 1, "SweepWorkspace: circuit has no nodes");
+  plan.port1 = circuit.port1();
+  plan.port2 = circuit.port2();
 
-  auto diag_index = [this](int node) {
+  const std::size_t n = plan.n;
+  auto diag_index = [n](int node) {
     return node == 0 ? npos
-                     : (static_cast<std::size_t>(node - 1)) * n_ +
+                     : (static_cast<std::size_t>(node - 1)) * n +
                            static_cast<std::size_t>(node - 1);
   };
-  auto off_index = [this](int r, int c) {
+  auto off_index = [n](int r, int c) {
     return (r == 0 || c == 0) ? npos
-                              : (static_cast<std::size_t>(r - 1)) * n_ +
+                              : (static_cast<std::size_t>(r - 1)) * n +
                                     static_cast<std::size_t>(c - 1);
   };
 
-  stamps_.reserve(circuit.elements().size());
-  nominal_.reserve(circuit.elements().size());
+  plan.stamps.reserve(circuit.elements().size());
+  plan.nominal.reserve(circuit.elements().size());
   for (const Element& e : circuit.elements()) {
     Stamp s;
     s.kind = e.kind;
@@ -105,19 +113,35 @@ SweepWorkspace::SweepWorkspace(const Circuit& circuit) {
     s.diag2 = diag_index(e.node2);
     s.off12 = off_index(e.node1, e.node2);
     s.off21 = off_index(e.node2, e.node1);
-    stamps_.push_back(s);
-    nominal_.push_back(e.value);
+    plan.stamps.push_back(s);
+    plan.nominal.push_back(e.value);
   }
-  values_ = nominal_;
-  port1_diag_ = diag_index(port1_.node);
-  port2_diag_ = diag_index(port2_.node);
-  y_ = CMatrix(n_, n_);
-  rhs_.resize(n_, Complex(0.0, 0.0));
+  plan.port1_diag = diag_index(plan.port1.node);
+  plan.port2_diag = diag_index(plan.port2.node);
+  plan.port1_index = static_cast<std::size_t>(plan.port1.node - 1);
+  plan.port2_index = static_cast<std::size_t>(plan.port2.node - 1);
+  // Hoisted factor of the S21 formula; the per-point value is identical
+  // because sqrt of the same quotient is deterministic.
+  plan.s21_scale = std::sqrt(plan.port1.z0 / plan.port2.z0);
+  return plan;
+}
+
+}  // namespace detail
+
+SweepWorkspace::SweepWorkspace(const Circuit& circuit) : plan_(detail::StampPlan::build(circuit)) {
+  values_ = plan_.nominal;
+  y_ = CMatrix(plan_.n, plan_.n);
+  // The Norton current vector never changes: one nonzero slot, written here
+  // once.  Solves write into x_, so there is no per-point rhs rebuild (the
+  // pre-batch implementation re-zeroed the whole vector every point).
+  rhs_.assign(plan_.n, Complex(0.0, 0.0));
+  rhs_[plan_.port1_index] = Complex(1.0 / plan_.port1.z0, 0.0);
+  x_ = rhs_;
 }
 
 double SweepWorkspace::nominal_value(std::size_t element_index) const {
-  require(element_index < nominal_.size(), "SweepWorkspace: index out of range");
-  return nominal_[element_index];
+  require(element_index < plan_.nominal.size(), "SweepWorkspace: index out of range");
+  return plan_.nominal[element_index];
 }
 
 double SweepWorkspace::value(std::size_t element_index) const {
@@ -131,7 +155,7 @@ void SweepWorkspace::set_value(std::size_t element_index, double value) {
   values_[element_index] = value;
 }
 
-void SweepWorkspace::reset_values() { values_ = nominal_; }
+void SweepWorkspace::reset_values() { values_ = plan_.nominal; }
 
 SPoint SweepWorkspace::analyze_at(double freq) {
   require(freq > 0.0, "SweepWorkspace::analyze_at: frequency must be positive");
@@ -139,33 +163,250 @@ SPoint SweepWorkspace::analyze_at(double freq) {
   Complex* y = y_.data();
   // Stamp order and arithmetic mirror the free analyze_at() exactly, so the
   // assembled matrix (and hence the solution) is bit-identical to it.
-  for (std::size_t i = 0; i < stamps_.size(); ++i) {
-    const Stamp& s = stamps_[i];
+  for (std::size_t i = 0; i < plan_.stamps.size(); ++i) {
+    const detail::StampPlan::Stamp& s = plan_.stamps[i];
     const Complex adm = 1.0 / impedance_of(s.kind, values_[i], s.q, freq);
-    if (s.diag1 != npos) y[s.diag1] += adm;
-    if (s.diag2 != npos) y[s.diag2] += adm;
-    if (s.off12 != npos) {
+    if (s.diag1 != detail::StampPlan::npos) y[s.diag1] += adm;
+    if (s.diag2 != detail::StampPlan::npos) y[s.diag2] += adm;
+    if (s.off12 != detail::StampPlan::npos) {
       y[s.off12] -= adm;
       y[s.off21] -= adm;
     }
   }
-  y[port1_diag_] += Complex(1.0 / port1_.z0, 0.0);
-  y[port2_diag_] += Complex(1.0 / port2_.z0, 0.0);
+  y[plan_.port1_diag] += Complex(1.0 / plan_.port1.z0, 0.0);
+  y[plan_.port2_diag] += Complex(1.0 / plan_.port2.z0, 0.0);
 
-  rhs_.assign(n_, Complex(0.0, 0.0));
-  rhs_[static_cast<std::size_t>(port1_.node - 1)] = Complex(1.0 / port1_.z0, 0.0);
-  solve_overwrite(y_, rhs_);
+  x_ = rhs_;  // pre-sized copy of the constant Norton vector, no allocation
+  solve_overwrite(y_, x_);
 
   SPoint pt;
   pt.freq = freq;
-  const Complex v1 = rhs_[static_cast<std::size_t>(port1_.node - 1)];
-  const Complex v2 = rhs_[static_cast<std::size_t>(port2_.node - 1)];
+  const Complex v1 = x_[plan_.port1_index];
+  const Complex v2 = x_[plan_.port2_index];
   pt.s11 = 2.0 * v1 - 1.0;
-  pt.s21 = 2.0 * v2 * std::sqrt(port1_.z0 / port2_.z0);
+  pt.s21 = 2.0 * v2 * plan_.s21_scale;
   return pt;
 }
 
 double SweepWorkspace::insertion_loss_at(double freq) { return analyze_at(freq).il_db(); }
+
+BatchSweepWorkspace::BatchSweepWorkspace(const Circuit& circuit, std::size_t lanes)
+    : plan_(detail::StampPlan::build(circuit)), lanes_(lanes) {
+  require(lanes >= 1 && lanes <= kMaxBatchLanes,
+          "BatchSweepWorkspace: lane count out of range");
+  values_.resize(plan_.nominal.size() * lanes_);
+  reset_values();
+  y_ = BatchCMatrix(plan_.n, lanes_);
+  rhs_ = BatchCVector(plan_.n, lanes_);
+  x_ = BatchCVector(plan_.n, lanes_);
+  const Complex norton(1.0 / plan_.port1.z0, 0.0);
+  for (std::size_t w = 0; w < lanes_; ++w) rhs_.set(plan_.port1_index, w, norton);
+
+  // Admittance scratch: one lane-major row per element, plus two constant
+  // rows for the port admittances (filled here, never overwritten).
+  const std::size_t n_elements = plan_.stamps.size();
+  admre_.assign((n_elements + 2) * lanes_, 0.0);
+  admim_.assign((n_elements + 2) * lanes_, 0.0);
+  for (std::size_t w = 0; w < lanes_; ++w) {
+    admre_[(n_elements + 0) * lanes_ + w] = 1.0 / plan_.port1.z0;
+    admre_[(n_elements + 1) * lanes_ + w] = 1.0 / plan_.port2.z0;
+  }
+
+  // Slot plan: per matrix slot, the signed contributions in exactly the
+  // order the scalar workspace accumulates them — elements in netlist
+  // order (+diag1, +diag2, -off12, -off21), then port 1, then port 2 — so
+  // the per-slot sums are bit-identical to the scalar += / -= chain.
+  const std::size_t n_slots = plan_.n * plan_.n;
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> contribs(n_slots);
+  for (std::size_t i = 0; i < n_elements; ++i) {
+    const detail::StampPlan::Stamp& s = plan_.stamps[i];
+    const auto src = static_cast<std::uint32_t>(i);
+    if (s.diag1 != detail::StampPlan::npos) contribs[s.diag1].emplace_back(src, 1.0);
+    if (s.diag2 != detail::StampPlan::npos) contribs[s.diag2].emplace_back(src, 1.0);
+    if (s.off12 != detail::StampPlan::npos) {
+      contribs[s.off12].emplace_back(src, -1.0);
+      contribs[s.off21].emplace_back(src, -1.0);
+    }
+  }
+  contribs[plan_.port1_diag].emplace_back(static_cast<std::uint32_t>(n_elements), 1.0);
+  contribs[plan_.port2_diag].emplace_back(static_cast<std::uint32_t>(n_elements + 1), 1.0);
+  slot_offsets_.assign(n_slots + 1, 0);
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    slot_offsets_[s + 1] =
+        slot_offsets_[s] + static_cast<std::uint32_t>(contribs[s].size());
+  }
+  slot_source_.reserve(slot_offsets_[n_slots]);
+  slot_sign_.reserve(slot_offsets_[n_slots]);
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    for (const auto& [src, sign] : contribs[s]) {
+      slot_source_.push_back(src);
+      slot_sign_.push_back(sign);
+    }
+  }
+}
+
+double BatchSweepWorkspace::nominal_value(std::size_t element_index) const {
+  require(element_index < plan_.nominal.size(), "BatchSweepWorkspace: index out of range");
+  return plan_.nominal[element_index];
+}
+
+double BatchSweepWorkspace::value(std::size_t lane, std::size_t element_index) const {
+  require(lane < lanes_ && element_index < plan_.nominal.size(),
+          "BatchSweepWorkspace: index out of range");
+  return values_[element_index * lanes_ + lane];
+}
+
+void BatchSweepWorkspace::reset_values() {
+  for (std::size_t e = 0; e < plan_.nominal.size(); ++e) {
+    for (std::size_t w = 0; w < lanes_; ++w) values_[e * lanes_ + w] = plan_.nominal[e];
+  }
+}
+
+template <typename LaneCount>
+void BatchSweepWorkspace::stamp_lanes(double freq, LaneCount w_count) {
+  const std::size_t W = w_count;
+  // Per-lane admittances, arithmetic identical to the scalar workspace's
+  // 1.0 / impedance_of(...) (recip_exact reproduces the library division
+  // bit for bit).
+  double* __restrict__ const admre = admre_.data();
+  double* __restrict__ const admim = admim_.data();
+  const double w0 = omega(freq);
+  for (std::size_t i = 0; i < plan_.stamps.size(); ++i) {
+    const detail::StampPlan::Stamp& s = plan_.stamps[i];
+    const double* __restrict__ const vals = values_.data() + i * W;
+    double* __restrict__ const ore = admre + i * W;
+    double* __restrict__ const oim = admim + i * W;
+    // Kind-specialized fast paths: for resistors and lossless reactances
+    // the impedance is purely real / purely imaginary, so recip_exact
+    // collapses to one real division per lane (see its derivation) and the
+    // lane loop vectorizes.  The expressions below are recip_exact's own
+    // algebra spelled out, so the bits are identical; lossy elements and
+    // out-of-range values take the generic per-lane path.
+    bool fast = true;
+    if (s.kind == ElementKind::Resistor) {
+      for (std::size_t w = 0; w < W; ++w) {
+        fast = fast && vals[w] > 1e-140 && vals[w] < 1e140;
+      }
+      if (fast) {
+        for (std::size_t w = 0; w < W; ++w) {
+          ore[w] = 1.0 / vals[w];
+          oim[w] = 0.0;
+        }
+        continue;
+      }
+    } else if (s.q.is_lossless() && s.kind == ElementKind::Inductor) {
+      for (std::size_t w = 0; w < W; ++w) {
+        const double x = w0 * vals[w];
+        fast = fast && x > 1e-140 && x < 1e140;
+      }
+      if (fast) {
+        for (std::size_t w = 0; w < W; ++w) {
+          ore[w] = 0.0;  // z = (0, x), x > 0
+          oim[w] = -1.0 / (w0 * vals[w]);
+        }
+        continue;
+      }
+    } else if (s.q.is_lossless() && s.kind == ElementKind::Capacitor) {
+      std::array<double, kMaxBatchLanes> x;
+      for (std::size_t w = 0; w < W; ++w) {
+        x[w] = 1.0 / (w0 * vals[w]);
+        fast = fast && x[w] > 1e-140 && x[w] < 1e140;
+      }
+      if (fast) {
+        for (std::size_t w = 0; w < W; ++w) {
+          ore[w] = -0.0;  // z = (0, -x), x > 0
+          oim[w] = -1.0 / -x[w];
+        }
+        continue;
+      }
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      const Complex z = impedance_of(s.kind, values_[i * W + w], s.q, freq);
+      const Complex adm = ipass::detail::recip_exact(z);
+      admre[i * W + w] = adm.real();
+      admim[i * W + w] = adm.imag();
+    }
+  }
+  // Assemble per slot: each slot's signed contributions are summed in the
+  // scalar stamp order (adding a negated operand is IEEE subtraction, so
+  // the chain is bit-identical to the scalar += / -= sequence) and stored
+  // once; contribution-free slots store plain zero.
+  double* __restrict__ const yre = y_.re();
+  double* __restrict__ const yim = y_.im();
+  const std::size_t n_slots = plan_.n * plan_.n;
+  std::array<double, kMaxBatchLanes> acc_re, acc_im;
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    const std::uint32_t b = slot_offsets_[s];
+    const std::uint32_t e = slot_offsets_[s + 1];
+    if (e - b == 1) {
+      // Single contribution (every off-diagonal): store 0 ± adm directly.
+      // The leading 0.0 + keeps the zero signs of the accumulate chain.
+      const double sign = slot_sign_[b];
+      const double* __restrict__ const src_re = admre + slot_source_[b] * W;
+      const double* __restrict__ const src_im = admim + slot_source_[b] * W;
+      for (std::size_t w = 0; w < W; ++w) {
+        yre[s * W + w] = 0.0 + sign * src_re[w];
+        yim[s * W + w] = 0.0 + sign * src_im[w];
+      }
+      continue;
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      acc_re[w] = 0.0;
+      acc_im[w] = 0.0;
+    }
+    for (std::uint32_t c = b; c < e; ++c) {
+      const double sign = slot_sign_[c];
+      const double* __restrict__ const src_re = admre + slot_source_[c] * W;
+      const double* __restrict__ const src_im = admim + slot_source_[c] * W;
+      for (std::size_t w = 0; w < W; ++w) {
+        acc_re[w] += sign * src_re[w];
+        acc_im[w] += sign * src_im[w];
+      }
+    }
+    for (std::size_t w = 0; w < W; ++w) {
+      yre[s * W + w] = acc_re[w];
+      yim[s * W + w] = acc_im[w];
+    }
+  }
+}
+
+void BatchSweepWorkspace::stamp_and_solve(double freq, std::size_t solved_down_to) {
+  require(freq > 0.0, "BatchSweepWorkspace: frequency must be positive");
+  if (lanes_ == 8) {
+    stamp_lanes(freq, std::integral_constant<std::size_t, 8>{});
+  } else {
+    stamp_lanes(freq, lanes_);
+  }
+  x_.copy_from(rhs_);  // pre-sized copy of the constant Norton lanes
+  // Straight into the header-inline kernel: shapes are correct by
+  // construction, and keeping the whole stamp -> solve chain in this TU is
+  // worth a measurable slice of the tolerance sweep.
+  ipass::detail::batch_solve_dispatch(plan_.n, lanes_, solved_down_to, y_.re(), y_.im(),
+                                      x_.re(), x_.im());
+}
+
+void BatchSweepWorkspace::analyze_at(double freq, SPoint* out) {
+  stamp_and_solve(freq, std::min(plan_.port1_index, plan_.port2_index));
+  for (std::size_t w = 0; w < lanes_; ++w) {
+    SPoint pt;
+    pt.freq = freq;
+    const Complex v1 = x_.get(plan_.port1_index, w);
+    const Complex v2 = x_.get(plan_.port2_index, w);
+    pt.s11 = 2.0 * v1 - 1.0;
+    pt.s21 = 2.0 * v2 * plan_.s21_scale;
+    out[w] = pt;
+  }
+}
+
+void BatchSweepWorkspace::insertion_loss_at(double freq, double* out) {
+  stamp_and_solve(freq, plan_.port2_index);
+  const double* const xre = x_.re() + plan_.port2_index * lanes_;
+  const double* const xim = x_.im() + plan_.port2_index * lanes_;
+  for (std::size_t w = 0; w < lanes_; ++w) {
+    const Complex s21 = 2.0 * Complex(xre[w], xim[w]) * plan_.s21_scale;
+    out[w] = -db20(std::abs(s21));
+  }
+}
 
 std::vector<SPoint> sweep(const Circuit& circuit, const std::vector<double>& freqs) {
   std::vector<SPoint> out;
@@ -178,7 +419,8 @@ std::vector<SPoint> sweep(const Circuit& circuit, const std::vector<double>& fre
 
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
   require(n >= 2, "linspace: need at least two points");
-  require(hi > lo, "linspace: hi must exceed lo");
+  // An ordered comparison (rather than hi != lo) also rejects NaN endpoints.
+  require(hi > lo || hi < lo, "linspace: lo and hi must differ (either order is fine)");
   std::vector<double> out(n);
   for (std::size_t i = 0; i < n; ++i) {
     out[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
@@ -187,9 +429,9 @@ std::vector<double> linspace(double lo, double hi, std::size_t n) {
 }
 
 std::vector<double> logspace(double lo, double hi, std::size_t n) {
-  require(lo > 0.0, "logspace: lo must be positive");
+  require(lo > 0.0 && hi > 0.0, "logspace: lo and hi must both be positive");
   require(n >= 2, "logspace: need at least two points");
-  require(hi > lo, "logspace: hi must exceed lo");
+  require(hi > lo || hi < lo, "logspace: lo and hi must differ (either order is fine)");
   std::vector<double> out(n);
   const double llo = std::log10(lo);
   const double lhi = std::log10(hi);

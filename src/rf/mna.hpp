@@ -3,11 +3,25 @@
 // Ports are modeled the standard way: a 1 V source behind Z01 drives port 1
 // (as its Norton equivalent), port 2 is terminated in Z02, and
 //   S11 = 2 V1 - 1,   S21 = 2 V2 sqrt(Z01/Z02).
+//
+// Three engines share one assembly plan (see detail::StampPlan):
+//
+//   analyze_at           rebuild + solve per call — simplest, for one-offs;
+//   SweepWorkspace       zero-allocation re-stamp + scalar solve per point;
+//   BatchSweepWorkspace  W perturbed value sets stamped from the shared
+//                        plan and solved together by batch_solve_overwrite.
+//
+// Every tier is bit-identical to the one below it for the same element
+// values: the stamp order, the assembly arithmetic and the solver
+// arithmetic are the same, so a batch lane equals a SweepWorkspace point
+// equals a fresh analyze_at down to the last bit.
 #pragma once
 
 #include <complex>
+#include <cstdint>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/linalg.hpp"
 #include "rf/netlist.hpp"
 
@@ -32,34 +46,16 @@ struct SPoint {
 // loss term (L: Z = wL/Q + jwL; C: Z = 1/(wC Q) - j/(wC); R: Z = R).
 Complex element_impedance(const Element& element, double freq);
 
-// Same, with the value supplied separately (used by SweepWorkspace, whose
-// perturbed values live outside any Circuit).
+// Same, with the value supplied separately (used by the sweep workspaces,
+// whose perturbed values live outside any Circuit).
 Complex impedance_of(ElementKind kind, double value, const QModel& q, double freq);
 
-// Reusable solver state for repeated analyses of one circuit topology.
-//
-// Construction assembles a *stamp plan* once: for every element the linear
-// indices of its four admittance-matrix slots.  analyze_at() then re-stamps
-// and re-solves entirely in pre-allocated storage — zero heap allocation per
-// point — which is what makes dense tolerance Monte-Carlo sweeps cheap.
-// Element values can be perturbed per sample via set_value(); results are
-// bit-identical to rebuilding a scaled Circuit and calling the free
-// analyze_at(), because the assembly order and arithmetic are the same.
-class SweepWorkspace {
- public:
-  explicit SweepWorkspace(const Circuit& circuit);
+namespace detail {
 
-  std::size_t element_count() const { return stamps_.size(); }
-  double nominal_value(std::size_t element_index) const;
-  double value(std::size_t element_index) const;
-  void set_value(std::size_t element_index, double value);
-  void reset_values();  // restore every element to its nominal value
-
-  // Analyze at one frequency with the current (possibly perturbed) values.
-  SPoint analyze_at(double freq);
-  double insertion_loss_at(double freq);
-
- private:
+// The assembly plan both sweep workspaces share: for every element the
+// linear indices of its four admittance-matrix slots, resolved once from
+// the circuit topology.
+struct StampPlan {
   struct Stamp {
     ElementKind kind = ElementKind::Resistor;
     QModel q = QModel::lossless();
@@ -72,16 +68,109 @@ class SweepWorkspace {
   };
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  std::size_t n_ = 0;  // non-ground node count
-  Port port1_;
-  Port port2_;
-  std::size_t port1_diag_ = npos;
-  std::size_t port2_diag_ = npos;
-  std::vector<Stamp> stamps_;
-  std::vector<double> nominal_;
+  std::size_t n = 0;  // non-ground node count
+  Port port1;
+  Port port2;
+  std::size_t port1_diag = npos;
+  std::size_t port2_diag = npos;
+  std::size_t port1_index = 0;  // rhs/solution slot of each port node
+  std::size_t port2_index = 0;
+  double s21_scale = 1.0;  // sqrt(Z01/Z02), hoisted out of the per-point math
+  std::vector<Stamp> stamps;
+  std::vector<double> nominal;
+
+  // Builds the plan; both ports must be set and the circuit non-empty.
+  static StampPlan build(const Circuit& circuit);
+};
+
+}  // namespace detail
+
+// Reusable solver state for repeated analyses of one circuit topology.
+//
+// Construction assembles the stamp plan once; analyze_at() then re-stamps
+// and re-solves entirely in pre-allocated storage — zero heap allocation per
+// point — which is what makes dense tolerance Monte-Carlo sweeps cheap.
+// Element values can be perturbed per sample via set_value(); results are
+// bit-identical to rebuilding a scaled Circuit and calling the free
+// analyze_at(), because the assembly order and arithmetic are the same.
+class SweepWorkspace {
+ public:
+  explicit SweepWorkspace(const Circuit& circuit);
+
+  std::size_t element_count() const { return plan_.stamps.size(); }
+  double nominal_value(std::size_t element_index) const;
+  double value(std::size_t element_index) const;
+  void set_value(std::size_t element_index, double value);
+  void reset_values();  // restore every element to its nominal value
+
+  // Analyze at one frequency with the current (possibly perturbed) values.
+  SPoint analyze_at(double freq);
+  double insertion_loss_at(double freq);
+
+ private:
+  detail::StampPlan plan_;
   std::vector<double> values_;
   CMatrix y_;
-  std::vector<Complex> rhs_;
+  std::vector<Complex> rhs_;  // the Norton current vector, written once
+  std::vector<Complex> x_;    // per-point solve scratch / solution
+};
+
+// W independently perturbed copies of one circuit topology, stamped from
+// the shared plan and solved together (SoA complex LU, see
+// batch_solve_overwrite).  Lane w behaves exactly like a SweepWorkspace
+// holding the same values: its S-parameters and insertion loss are
+// bit-identical.  This is the tolerance engine's hot path — it consumes
+// Monte-Carlo samples in lanes of kToleranceBatchLanes.
+class BatchSweepWorkspace {
+ public:
+  // lanes must be in [1, kMaxBatchLanes].
+  BatchSweepWorkspace(const Circuit& circuit, std::size_t lanes);
+
+  std::size_t lanes() const { return lanes_; }
+  std::size_t element_count() const { return plan_.stamps.size(); }
+  double nominal_value(std::size_t element_index) const;
+  double value(std::size_t lane, std::size_t element_index) const;
+  // Inline: the tolerance driver calls this for every perturbed element of
+  // every sample.
+  void set_value(std::size_t lane, std::size_t element_index, double value) {
+    require(lane < lanes_ && element_index < plan_.nominal.size(),
+            "BatchSweepWorkspace: index out of range");
+    require(value > 0.0, "BatchSweepWorkspace::set_value: value must be positive");
+    values_[element_index * lanes_ + lane] = value;
+  }
+  void reset_values();  // every lane back to nominal
+
+  // Analyze every lane at one frequency; out must hold lanes() entries.
+  void analyze_at(double freq, SPoint* out);
+  // Insertion loss only (skips S11), out must hold lanes() entries.  The
+  // values are bit-identical to analyze_at(...).il_db() per lane.
+  void insertion_loss_at(double freq, double* out);
+
+ private:
+  // Stamp every lane and solve down to solution entry `solved_down_to`
+  // (see batch_solve_overwrite); the insertion-loss path stops at the
+  // output port's node.
+  void stamp_and_solve(double freq, std::size_t solved_down_to);
+  template <typename LaneCount>
+  void stamp_lanes(double freq, LaneCount w_count);
+
+  detail::StampPlan plan_;
+  std::size_t lanes_ = 0;
+  std::vector<double> values_;  // lane-major: [element * lanes + lane]
+  // Per-point admittances, lane-major; the last two entries are the
+  // constant port admittances (written once).
+  std::vector<double> admre_;
+  std::vector<double> admim_;
+  // Slot plan: for every matrix slot, the CSR list of signed admittance
+  // contributions in stamp order — assembly then *stores* each slot once
+  // instead of read-modify-writing four scattered slots per element, and
+  // slots with no contributions are stored as zero (replacing set_zero).
+  std::vector<std::uint32_t> slot_offsets_;
+  std::vector<std::uint32_t> slot_source_;
+  std::vector<double> slot_sign_;
+  BatchCMatrix y_;
+  BatchCVector rhs_;  // the Norton current lanes, written once
+  BatchCVector x_;    // per-point solve scratch / solutions
 };
 
 // Analyze the circuit at one frequency.  Both ports must be set and f > 0.
@@ -90,7 +179,8 @@ SPoint analyze_at(const Circuit& circuit, double freq);
 // Analyze over a list of frequencies.
 std::vector<SPoint> sweep(const Circuit& circuit, const std::vector<double>& freqs);
 
-// Frequency grids.
+// Frequency grids between two distinct endpoints; descending sweeps
+// (hi < lo) are supported and produce a descending grid.
 std::vector<double> linspace(double lo, double hi, std::size_t n);
 std::vector<double> logspace(double lo, double hi, std::size_t n);
 

@@ -1,7 +1,9 @@
 #include "rf/tolerance.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/error.hpp"
@@ -77,48 +79,37 @@ std::vector<double> nominal_values(const Circuit& nominal) {
   return values;
 }
 
-// Draw one manufactured instance: every element value is perturbed by a
-// truncated normal (sigma = tol/3, clamped to +-tol) relative to nominal.
-// Both analyze_tolerance overloads draw through here, so they consume the
-// RNG stream identically.
-template <typename SetValue>
-void draw_instance(Pcg32& rng, const std::vector<double>& nominal,
-                   const std::vector<double>& tols, const SetValue& set_value) {
+// The perturbation plan: every element with a nonzero tolerance, with its
+// sigma (tol / 3) resolved up front.  Draw order is element order, exactly
+// like the historical per-sample loop.
+struct Perturbation {
+  std::uint32_t element = 0;
+  double sigma = 0.0;    // tol / 3
+  double tol = 0.0;      // clamp bound
+  double nominal = 0.0;
+};
+
+std::vector<Perturbation> perturbation_plan(const std::vector<double>& tols,
+                                            const std::vector<double>& values) {
+  std::vector<Perturbation> plan;
+  plan.reserve(tols.size());
   for (std::size_t e = 0; e < tols.size(); ++e) {
-    const double tol = tols[e];
-    if (tol <= 0.0) continue;
-    const double rel = std::clamp(rng.normal(0.0, tol / 3.0), -tol, tol);
-    set_value(e, nominal[e] * (1.0 + rel));
+    if (tols[e] <= 0.0) continue;
+    plan.push_back({static_cast<std::uint32_t>(e), tols[e] / 3.0, tols[e], values[e]});
   }
+  return plan;
 }
 
-// The shared chunked driver.  make_scratch() builds one reusable per-chunk
-// instance (a Circuit copy or a SweepWorkspace); eval_sample(scratch, rng)
-// perturbs it and returns the monitored metric.
-template <typename MakeScratch, typename EvalSample>
-ToleranceResult run_tolerance(std::size_t samples, std::uint64_t seed, unsigned threads,
-                              const MakeScratch& make_scratch, const EvalSample& eval_sample,
-                              const std::function<bool(double)>& passes) {
-  const TolAccum acc = parallel_reduce<TolAccum>(
-      samples, kToleranceChunk,
-      [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
-        // Chunk-dedicated RNG stream: the determinism contract.
-        Pcg32 rng(seed, chunk_index);
-        auto scratch = make_scratch();
-        TolAccum a;
-        for (std::size_t i = begin; i < end; ++i) {
-          const double m = eval_sample(scratch, rng);
-          a.stats.add(m);
-          if (passes(m)) ++a.passing;
-        }
-        return a;
-      },
-      [](TolAccum& acc_, TolAccum&& part) {
-        acc_.stats.merge(part.stats);
-        acc_.passing += part.passing;
-      },
-      threads);
+// One perturbed element value from a standard-normal draw z, bit-identical
+// to the per-sample path rng.normal(0.0, tol / 3.0) followed by the clamp
+// (normal(mean, sigma) is mean + sigma * z, spelled out here so the
+// blocked draws reproduce it exactly, signed zeros included).
+inline double perturbed_value(const Perturbation& p, double z) {
+  const double rel = std::clamp(0.0 + p.sigma * z, -p.tol, p.tol);
+  return p.nominal * (1.0 + rel);
+}
 
+ToleranceResult finish(std::size_t samples, const TolAccum& acc) {
   ToleranceResult r;
   r.samples = samples;
   r.passing = acc.passing;
@@ -131,6 +122,112 @@ ToleranceResult run_tolerance(std::size_t samples, std::uint64_t seed, unsigned 
   r.metric_min = acc.stats.min();
   r.metric_max = acc.stats.max();
   return r;
+}
+
+// The shared chunked driver for the scalar (one sample at a time) engines.
+// make_scratch() builds one reusable per-chunk instance (a Circuit copy or
+// a SweepWorkspace); set_value(scratch, e, v) applies a perturbed value;
+// eval(scratch) returns the monitored metric.  The chunk's Gaussian block
+// is drawn up front with fill_normals — the same stream, consumed in the
+// same order, as the historical per-sample draws.
+template <typename MakeScratch, typename SetValue, typename Eval, typename Passes>
+ToleranceResult run_tolerance(std::size_t samples, std::uint64_t seed, unsigned threads,
+                              const std::vector<double>& tols,
+                              const std::vector<double>& values,
+                              const MakeScratch& make_scratch, const SetValue& set_value,
+                              const Eval& eval, const Passes& passes) {
+  const std::vector<Perturbation> pert = perturbation_plan(tols, values);
+  const std::size_t n_draw = pert.size();
+  const TolAccum acc = parallel_reduce<TolAccum>(
+      samples, kToleranceChunk,
+      [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
+        // Chunk-dedicated RNG stream: the determinism contract.
+        Pcg32 rng(seed, chunk_index);
+        auto scratch = make_scratch();
+        const std::size_t n_samples = end - begin;
+        std::vector<double> z(n_samples * n_draw);
+        rng.fill_normals(z.data(), z.size());
+        TolAccum a;
+        for (std::size_t i = 0; i < n_samples; ++i) {
+          const double* zs = z.data() + i * n_draw;
+          for (std::size_t j = 0; j < n_draw; ++j) {
+            set_value(scratch, pert[j].element, perturbed_value(pert[j], zs[j]));
+          }
+          const double m = eval(scratch);
+          a.stats.add(m);
+          if (passes(m)) ++a.passing;
+        }
+        return a;
+      },
+      [](TolAccum& acc_, TolAccum&& part) {
+        acc_.stats.merge(part.stats);
+        acc_.passing += part.passing;
+      },
+      threads);
+  return finish(samples, acc);
+}
+
+// The batched driver: same chunking, same RNG streams and same per-sample
+// accumulation order as the scalar driver, but samples are applied to the
+// lanes of one BatchSweepWorkspace and solved kToleranceBatchLanes at a
+// time.  The trailing partial group leaves stale (valid) values in its
+// unused lanes; their metrics are computed and discarded.
+template <typename BatchMetric, typename Passes>
+ToleranceResult run_tolerance_batched(const Circuit& nominal, std::size_t samples,
+                                      std::uint64_t seed, unsigned threads,
+                                      const std::vector<double>& tols,
+                                      const std::vector<double>& values,
+                                      const BatchMetric& batch_metric,
+                                      const Passes& passes) {
+  constexpr std::size_t W = kToleranceBatchLanes;
+  const std::vector<Perturbation> pert = perturbation_plan(tols, values);
+  const std::size_t n_draw = pert.size();
+  // One prototype workspace; chunks copy it (plain vector copies) instead
+  // of re-deriving the stamp and slot plans from the Circuit every chunk.
+  const BatchSweepWorkspace prototype(nominal, W);
+  const TolAccum acc = parallel_reduce<TolAccum>(
+      samples, kToleranceChunk,
+      [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
+        Pcg32 rng(seed, chunk_index);
+        BatchSweepWorkspace ws = prototype;
+        const std::size_t n_samples = end - begin;
+        // The Gaussian block lives on the stack for ordinary element
+        // counts; only very large circuits fall back to the heap.
+        std::array<double, kToleranceChunk * 16> z_stack;
+        std::vector<double> z_heap;
+        double* z = z_stack.data();
+        const std::size_t n_z = n_samples * n_draw;
+        if (n_z > z_stack.size()) {
+          z_heap.resize(n_z);
+          z = z_heap.data();
+        }
+        rng.fill_normals(z, n_z);
+        std::array<double, W> metrics{};
+        TolAccum a;
+        for (std::size_t done = 0; done < n_samples;) {
+          const std::size_t active = std::min(W, n_samples - done);
+          for (std::size_t w = 0; w < active; ++w) {
+            const double* zs = z + (done + w) * n_draw;
+            for (std::size_t j = 0; j < n_draw; ++j) {
+              ws.set_value(w, pert[j].element, perturbed_value(pert[j], zs[j]));
+            }
+          }
+          batch_metric(ws, metrics.data());
+          for (std::size_t w = 0; w < active; ++w) {
+            const double m = metrics[w];
+            a.stats.add(m);
+            if (passes(m)) ++a.passing;
+          }
+          done += active;
+        }
+        return a;
+      },
+      [](TolAccum& acc_, TolAccum&& part) {
+        acc_.stats.merge(part.stats);
+        acc_.passing += part.passing;
+      },
+      threads);
+  return finish(samples, acc);
 }
 
 }  // namespace
@@ -146,15 +243,10 @@ ToleranceResult analyze_tolerance(const Circuit& nominal, const ToleranceSpec& t
   const std::vector<double> tols = per_element_tolerance(nominal, tolerance);
   const std::vector<double> values = nominal_values(nominal);
   return run_tolerance(
-      options.samples, options.seed, options.threads,
+      options.samples, options.seed, options.threads, tols, values,
       [&nominal]() { return nominal; },  // one scratch copy per chunk
-      [&](Circuit& scratch, Pcg32& rng) {
-        draw_instance(rng, values, tols, [&scratch](std::size_t e, double v) {
-          scratch.set_element_value(e, v);
-        });
-        return metric(scratch);
-      },
-      passes);
+      [](Circuit& scratch, std::size_t e, double v) { scratch.set_element_value(e, v); },
+      [&metric](Circuit& scratch) { return metric(scratch); }, passes);
 }
 
 ToleranceResult analyze_tolerance_fast(const Circuit& nominal,
@@ -169,15 +261,25 @@ ToleranceResult analyze_tolerance_fast(const Circuit& nominal,
   const std::vector<double> tols = per_element_tolerance(nominal, tolerance);
   const std::vector<double> values = nominal_values(nominal);
   return run_tolerance(
-      options.samples, options.seed, options.threads,
+      options.samples, options.seed, options.threads, tols, values,
       [&nominal]() { return SweepWorkspace(nominal); },  // one plan per chunk
-      [&](SweepWorkspace& scratch, Pcg32& rng) {
-        draw_instance(rng, values, tols, [&scratch](std::size_t e, double v) {
-          scratch.set_value(e, v);
-        });
-        return metric(scratch);
-      },
-      passes);
+      [](SweepWorkspace& scratch, std::size_t e, double v) { scratch.set_value(e, v); },
+      [&metric](SweepWorkspace& scratch) { return metric(scratch); }, passes);
+}
+
+ToleranceResult analyze_tolerance_batched(const Circuit& nominal,
+                                          const ToleranceSpec& tolerance,
+                                          const BatchWorkspaceMetric& metric,
+                                          const std::function<bool(double)>& passes,
+                                          const ToleranceOptions& options) {
+  require(options.samples >= 10, "analyze_tolerance_batched: need at least 10 samples");
+  require(static_cast<bool>(metric), "analyze_tolerance_batched: metric required");
+  require(static_cast<bool>(passes), "analyze_tolerance_batched: spec predicate required");
+
+  const std::vector<double> tols = per_element_tolerance(nominal, tolerance);
+  const std::vector<double> values = nominal_values(nominal);
+  return run_tolerance_batched(nominal, options.samples, options.seed, options.threads,
+                               tols, values, metric, passes);
 }
 
 ToleranceResult bandpass_parametric_yield(const Circuit& nominal,
@@ -186,19 +288,28 @@ ToleranceResult bandpass_parametric_yield(const Circuit& nominal,
                                           const ToleranceOptions& options) {
   require(f0 > 0.0, "bandpass_parametric_yield: f0 must be positive");
   require(max_il_db > 0.0, "bandpass_parametric_yield: loss limit must be positive");
+  require(options.samples >= 10, "bandpass_parametric_yield: need at least 10 samples");
   // Worst insertion loss over band center plus, when a frequency pull is
   // allowed, both detuned positions: the passband must still cover f0 when
-  // the filter detunes by the allowed pull.
-  const WorkspaceMetric worst_case_il = [f0, max_f0_shift_rel](SweepWorkspace& ws) {
-    double worst = ws.insertion_loss_at(f0);
+  // the filter detunes by the allowed pull.  Evaluated on the batched
+  // engine, lane order matching sample order; the per-lane max chain is the
+  // same as the scalar metric's, so results are bit-identical to the
+  // scalar-workspace implementation.
+  const std::vector<double> tols = per_element_tolerance(nominal, tolerance);
+  const std::vector<double> values = nominal_values(nominal);
+  const auto worst_case_il = [f0, max_f0_shift_rel](BatchSweepWorkspace& ws, double* out) {
+    ws.insertion_loss_at(f0, out);
     if (max_f0_shift_rel > 0.0) {
-      worst = std::max(worst, ws.insertion_loss_at(f0 * (1.0 + max_f0_shift_rel)));
-      worst = std::max(worst, ws.insertion_loss_at(f0 * (1.0 - max_f0_shift_rel)));
+      std::array<double, kToleranceBatchLanes> detuned;
+      ws.insertion_loss_at(f0 * (1.0 + max_f0_shift_rel), detuned.data());
+      for (std::size_t w = 0; w < ws.lanes(); ++w) out[w] = std::max(out[w], detuned[w]);
+      ws.insertion_loss_at(f0 * (1.0 - max_f0_shift_rel), detuned.data());
+      for (std::size_t w = 0; w < ws.lanes(); ++w) out[w] = std::max(out[w], detuned[w]);
     }
-    return worst;
   };
   const auto passes = [max_il_db](double worst) { return worst <= max_il_db; };
-  return analyze_tolerance_fast(nominal, tolerance, worst_case_il, passes, options);
+  return run_tolerance_batched(nominal, options.samples, options.seed, options.threads,
+                               tols, values, worst_case_il, passes);
 }
 
 }  // namespace ipass::rf

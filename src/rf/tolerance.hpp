@@ -36,6 +36,11 @@ using SpecCheck = std::function<bool(const Circuit& instance)>;
 // element values already carry the sample's perturbation).
 using WorkspaceMetric = std::function<double(SweepWorkspace& instance)>;
 
+// A metric evaluated on a batch workspace whose lanes each carry one
+// sample's perturbed values; must write ws.lanes() metric values to out.
+using BatchWorkspaceMetric =
+    std::function<void(BatchSweepWorkspace& instance, double* out)>;
+
 struct ToleranceResult {
   std::size_t samples = 0;
   std::size_t passing = 0;
@@ -63,6 +68,13 @@ struct ToleranceOptions {
 // thread count only changes the wall-clock time.
 inline constexpr std::size_t kToleranceChunk = 64;
 
+// Lane width of the batched engine: inside each 64-sample chunk, samples
+// are consumed in groups of this many, stamped into a BatchSweepWorkspace
+// and solved together.  Grouping does not change any result — every lane is
+// bit-identical to a scalar solve of its sample — so the batch width, like
+// the thread count, only changes the wall-clock time.
+inline constexpr std::size_t kToleranceBatchLanes = 8;
+
 // Run the analysis.  `metric` is evaluated on every sampled instance (for
 // the distribution statistics); `passes` decides spec compliance.  Each
 // chunk perturbs a single scratch copy of the circuit in place (absolute
@@ -88,8 +100,25 @@ ToleranceResult analyze_tolerance_fast(const Circuit& nominal,
                                        const std::function<bool(double)>& passes,
                                        const ToleranceOptions& options = {});
 
+// Batched fast path: the metric sees kToleranceBatchLanes samples at a
+// time in the lanes of a BatchSweepWorkspace.  Perturbations ride the same
+// RNG streams as the scalar variants (the Gaussian block of a chunk is
+// drawn up front via Pcg32::fill_normals, which consumes the stream
+// identically), and every lane solve is bit-identical to the scalar
+// solver — so for a batch metric that probes the same frequencies as a
+// scalar metric, the ToleranceResult is bit-identical to
+// analyze_tolerance_fast.  The trailing partial group evaluates stale
+// (valid) values in its unused lanes and ignores them.
+ToleranceResult analyze_tolerance_batched(const Circuit& nominal,
+                                          const ToleranceSpec& tolerance,
+                                          const BatchWorkspaceMetric& metric,
+                                          const std::function<bool(double)>& passes,
+                                          const ToleranceOptions& options = {});
+
 // Convenience: parametric yield of a bandpass filter against a maximum
-// midband insertion loss and a maximum center-frequency pull.
+// midband insertion loss and a maximum center-frequency pull.  Rides the
+// batched engine; results are bit-identical to the scalar workspace path
+// (and to releases that used it) for every thread count and batch width.
 ToleranceResult bandpass_parametric_yield(const Circuit& nominal,
                                           const ToleranceSpec& tolerance, double f0,
                                           double max_il_db, double max_f0_shift_rel,

@@ -1,5 +1,9 @@
 #include "common/linalg.hpp"
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -100,6 +104,187 @@ TEST_P(SolveRandomTest, ResidualSmallForRandomSystems) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SolveRandomTest, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------- batch
+
+// Bitwise equality, distinguishing +0.0 from -0.0 (operator== would not).
+::testing::AssertionResult BitsEqual(Complex a, Complex b) {
+  std::uint64_t ar, ai, br, bi;
+  const double are = a.real(), aim = a.imag(), bre = b.real(), bim = b.imag();
+  std::memcpy(&ar, &are, 8);
+  std::memcpy(&ai, &aim, 8);
+  std::memcpy(&br, &bre, 8);
+  std::memcpy(&bi, &bim, 8);
+  if (ar == br && ai == bi) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "(" << a.real() << "," << a.imag() << ") != (" << b.real() << ","
+         << b.imag() << ")";
+}
+
+// One random system per lane (lane-dependent magnitude scale, to exercise
+// the pivot search's exact-comparison fallbacks), solved both ways.
+void CheckBatchMatchesScalar(std::size_t n, std::size_t lanes, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  BatchCMatrix ba(n, lanes);
+  BatchCVector bb(n, lanes);
+  std::vector<CMatrix> sa(lanes, CMatrix(n, n));
+  std::vector<std::vector<Complex>> sb(lanes, std::vector<Complex>(n));
+  for (std::size_t w = 0; w < lanes; ++w) {
+    // Spread the magnitudes across lanes, including scales whose squared
+    // pivots overflow or underflow a double.
+    const double scale = std::pow(10.0, rng.uniform(-1.0, 1.0) * (w % 5) * 40.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        Complex v(rng.uniform(-1, 1) * scale, rng.uniform(-1, 1) * scale);
+        if (r == c) v += Complex(static_cast<double>(n), static_cast<double>(n)) * scale;
+        ba.set(r, c, w, v);
+        sa[w].at(r, c) = v;
+      }
+      const Complex rhs(rng.uniform(-1, 1) * scale, rng.uniform(-1, 1) * scale);
+      bb.set(r, w, rhs);
+      sb[w][r] = rhs;
+    }
+  }
+  for (std::size_t w = 0; w < lanes; ++w) solve_overwrite(sa[w], sb[w]);
+  batch_solve_overwrite(ba, bb);
+  for (std::size_t w = 0; w < lanes; ++w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitsEqual(bb.get(i, w), sb[w][i]))
+          << "solution lane " << w << " entry " << i << " n=" << n;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_TRUE(BitsEqual(ba.get(r, c, w), sa[w].at(r, c)))
+            << "factor lane " << w << " (" << r << "," << c << ") n=" << n;
+      }
+    }
+  }
+}
+
+class BatchSolveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSolveTest, LanesMatchScalarBitwise) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    CheckBatchMatchesScalar(n, lanes, 1000 * n + lanes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchSolveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+TEST(BatchSolve, LanesPivotIndependently) {
+  // Lane 0 needs a row swap at k=0 (zero diagonal); lane 1 does not.
+  const std::size_t n = 2, lanes = 2;
+  BatchCMatrix ba(n, lanes);
+  BatchCVector bb(n, lanes);
+  std::vector<CMatrix> sa(lanes, CMatrix(n, n));
+  std::vector<std::vector<Complex>> sb(lanes, std::vector<Complex>(n));
+  const Complex m0[2][2] = {{{0, 0}, {1, 0}}, {{1, 0}, {0, 0}}};  // anti-diagonal
+  const Complex m1[2][2] = {{{5, 1}, {1, 0}}, {{1, 0}, {4, -2}}};  // diag-dominant
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      ba.set(r, c, 0, m0[r][c]);
+      ba.set(r, c, 1, m1[r][c]);
+      sa[0].at(r, c) = m0[r][c];
+      sa[1].at(r, c) = m1[r][c];
+    }
+    const Complex rhs(static_cast<double>(r) + 2.0, -1.0);
+    bb.set(r, 0, rhs);
+    bb.set(r, 1, rhs);
+    sb[0][r] = rhs;
+    sb[1][r] = rhs;
+  }
+  for (std::size_t w = 0; w < lanes; ++w) solve_overwrite(sa[w], sb[w]);
+  batch_solve_overwrite(ba, bb);
+  for (std::size_t w = 0; w < lanes; ++w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitsEqual(bb.get(i, w), sb[w][i])) << "lane " << w << " entry " << i;
+    }
+  }
+}
+
+TEST(BatchSolve, MixedStructuralZeroLanes) {
+  // Lane 0's below-diagonal entry is a structural zero (elimination skips
+  // its row update, like the scalar `continue`); lane 1's is not.
+  const std::size_t n = 3, lanes = 2;
+  BatchCMatrix ba(n, lanes);
+  BatchCVector bb(n, lanes);
+  std::vector<CMatrix> sa(lanes, CMatrix(n, n));
+  std::vector<std::vector<Complex>> sb(lanes, std::vector<Complex>(n));
+  Pcg32 rng(99);
+  for (std::size_t w = 0; w < lanes; ++w) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        Complex v(rng.uniform(-1, 1), rng.uniform(-1, 1));
+        if (r == c) v = Complex(8.0 + static_cast<double>(r), 8.0);  // no pivoting
+        if (w == 0 && r == 2 && c == 0) v = Complex(0.0, 0.0);
+        ba.set(r, c, w, v);
+        sa[w].at(r, c) = v;
+      }
+      const Complex rhs(rng.uniform(-1, 1), rng.uniform(-1, 1));
+      bb.set(r, w, rhs);
+      sb[w][r] = rhs;
+    }
+  }
+  for (std::size_t w = 0; w < lanes; ++w) solve_overwrite(sa[w], sb[w]);
+  batch_solve_overwrite(ba, bb);
+  for (std::size_t w = 0; w < lanes; ++w) {
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(BitsEqual(bb.get(i, w), sb[w][i])) << "lane " << w << " entry " << i;
+    }
+  }
+}
+
+TEST(BatchSolve, SingularLaneThrows) {
+  // One healthy lane, one singular lane: the batch must throw exactly like
+  // a scalar solve of the singular lane would.
+  const std::size_t n = 2, lanes = 2;
+  BatchCMatrix ba(n, lanes);
+  BatchCVector bb(n, lanes);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      ba.set(r, c, 0, r == c ? Complex(3.0, 1.0) : Complex(0.5, 0.0));
+      ba.set(r, c, 1, Complex(1.0 + static_cast<double>(c), 0.0));  // rank 1
+    }
+    bb.set(r, 0, Complex(1.0, 0.0));
+    bb.set(r, 1, Complex(1.0, 0.0));
+  }
+  EXPECT_THROW(batch_solve_overwrite(ba, bb), NumericalError);
+}
+
+TEST(DivExact, MatchesLibraryOperatorBitwise) {
+  Pcg32 rng(2024);
+  for (int i = 0; i < 200000; ++i) {
+    const double scale = std::pow(10.0, rng.uniform(-120.0, 120.0));
+    const Complex num(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    const Complex den(rng.uniform(-1, 1) * scale, rng.uniform(-1, 1) * scale);
+    ASSERT_TRUE(BitsEqual(detail::div_exact(num, den), num / den));
+    // The reciprocal fast paths: purely imaginary (lossless L/C) and purely
+    // real (resistor) denominators, both signs.
+    const double d = rng.uniform(-1, 1) * scale;
+    if (d != 0.0) {
+      ASSERT_TRUE(BitsEqual(detail::recip_exact(Complex(0.0, d)), 1.0 / Complex(0.0, d)));
+      ASSERT_TRUE(BitsEqual(detail::recip_exact(Complex(-0.0, d)), 1.0 / Complex(-0.0, d)));
+      ASSERT_TRUE(BitsEqual(detail::recip_exact(Complex(std::fabs(d), 0.0)),
+                            1.0 / Complex(std::fabs(d), 0.0)));
+    }
+    ASSERT_TRUE(BitsEqual(detail::recip_exact(den), 1.0 / den));
+  }
+}
+
+TEST(BatchSolve, ShapePreconditions) {
+  BatchCMatrix a(2, 4);
+  BatchCVector wrong_lanes(2, 3);
+  EXPECT_THROW(batch_solve_overwrite(a, wrong_lanes), PreconditionError);
+  BatchCVector wrong_size(3, 4);
+  EXPECT_THROW(batch_solve_overwrite(a, wrong_size), PreconditionError);
+  BatchCMatrix too_wide(2, kMaxBatchLanes + 1);
+  BatchCVector b_too_wide(2, kMaxBatchLanes + 1);
+  EXPECT_THROW(batch_solve_overwrite(too_wide, b_too_wide), PreconditionError);
+  EXPECT_THROW(a.get(2, 0, 0), PreconditionError);
+  EXPECT_THROW(a.set(0, 0, 4, Complex(1, 0)), PreconditionError);
+}
 
 }  // namespace
 }  // namespace ipass

@@ -1,5 +1,8 @@
 #include "common/rng.hpp"
 
+#include <cstddef>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/statistics.hpp"
@@ -94,6 +97,49 @@ TEST(Pcg32, BelowRejectsZero) {
 TEST(Pcg32, UniformRangeRejectsInverted) {
   Pcg32 rng(37);
   EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Pcg32, FillNormalsMatchesScalarDraws) {
+  // Blocked generation must consume the stream exactly like normal(),
+  // including the Box-Muller cache, for every block length parity.
+  for (const std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                  std::size_t{7}, std::size_t{64}, std::size_t{257}}) {
+    Pcg32 scalar(123, count);
+    Pcg32 blocked(123, count);
+    std::vector<double> expect(count), got(count);
+    for (std::size_t i = 0; i < count; ++i) expect[i] = scalar.normal();
+    blocked.fill_normals(got.data(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(expect[i], got[i]) << "count=" << count << " i=" << i;
+    }
+    // The trailing cache state must match too: the next draw agrees.
+    ASSERT_EQ(scalar.normal(), blocked.normal()) << "count=" << count;
+    ASSERT_EQ(scalar.next_u32(), blocked.next_u32()) << "count=" << count;
+  }
+}
+
+TEST(Pcg32, FillNormalsInterleavesWithScalarDraws) {
+  // A block started with a cached value pending must flush it first.
+  Pcg32 scalar(7);
+  Pcg32 blocked(7);
+  ASSERT_EQ(scalar.normal(), blocked.normal());  // leaves one value cached
+  std::vector<double> expect(5), got(5);
+  for (auto& v : expect) v = scalar.normal();
+  blocked.fill_normals(got.data(), got.size());
+  for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(expect[i], got[i]);
+  ASSERT_EQ(scalar.normal(), blocked.normal());
+}
+
+TEST(Pcg32, FillNormalsDistribution) {
+  Pcg32 rng(41);
+  RunningStats s;
+  std::vector<double> block(4096);
+  for (int rep = 0; rep < 50; ++rep) {
+    rng.fill_normals(block.data(), block.size());
+    for (const double v : block) s.add(v);
+  }
+  EXPECT_NEAR(s.mean(), 0.0, 0.01);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.01);
 }
 
 }  // namespace

@@ -238,8 +238,106 @@ TEST(Mna, SweepAndGrids) {
   const auto pts = sweep(through_connection(), freqs);
   ASSERT_EQ(pts.size(), freqs.size());
   for (const SPoint& p : pts) EXPECT_NEAR(p.il_db(), 0.0, 1e-4);
-  EXPECT_THROW(linspace(2.0, 1.0, 5), PreconditionError);
   EXPECT_THROW(logspace(0.0, 1.0, 5), PreconditionError);
+}
+
+TEST(BatchSweepWorkspace, LanesMatchScalarWorkspaceBitwise) {
+  const Circuit ckt = bandpass_like();
+  const std::size_t lanes = 8;
+  BatchSweepWorkspace batch(ckt, lanes);
+  ASSERT_EQ(batch.lanes(), lanes);
+  ASSERT_EQ(batch.element_count(), ckt.elements().size());
+  // Give every lane its own perturbation set.
+  std::vector<SweepWorkspace> scalars;
+  for (std::size_t w = 0; w < lanes; ++w) {
+    scalars.emplace_back(ckt);
+    for (std::size_t e = 0; e < batch.element_count(); ++e) {
+      const double v = batch.nominal_value(e) *
+                       (1.0 + 0.002 * static_cast<double>(w + 1) * static_cast<double>(e + 1));
+      batch.set_value(w, e, v);
+      scalars[w].set_value(e, v);
+      EXPECT_EQ(batch.value(w, e), v);
+    }
+  }
+  std::vector<SPoint> pts(lanes);
+  std::vector<double> ils(lanes);
+  for (const double f : {100e6, 175e6, 400e6, 1.3e9}) {
+    batch.analyze_at(f, pts.data());
+    batch.insertion_loss_at(f, ils.data());
+    for (std::size_t w = 0; w < lanes; ++w) {
+      const SPoint ref = scalars[w].analyze_at(f);
+      EXPECT_EQ(ref.s11, pts[w].s11) << "lane " << w << " f=" << f;
+      EXPECT_EQ(ref.s21, pts[w].s21) << "lane " << w << " f=" << f;
+      EXPECT_EQ(ref.freq, pts[w].freq);
+      EXPECT_EQ(ref.il_db(), ils[w]) << "lane " << w << " f=" << f;
+    }
+  }
+}
+
+TEST(BatchSweepWorkspace, ResetRestoresNominalInEveryLane) {
+  const Circuit ckt = bandpass_like();
+  BatchSweepWorkspace batch(ckt, 3);
+  SweepWorkspace scalar(ckt);
+  std::vector<double> before(3);
+  batch.insertion_loss_at(250e6, before.data());
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(before[w], before[0]);  // all lanes nominal
+    batch.set_value(w, 0, batch.nominal_value(0) * (1.1 + 0.1 * static_cast<double>(w)));
+  }
+  std::vector<double> perturbed(3);
+  batch.insertion_loss_at(250e6, perturbed.data());
+  for (std::size_t w = 0; w < 3; ++w) EXPECT_NE(perturbed[w], before[w]);
+  batch.reset_values();
+  std::vector<double> after(3);
+  batch.insertion_loss_at(250e6, after.data());
+  for (std::size_t w = 0; w < 3; ++w) EXPECT_EQ(after[w], before[w]);
+  EXPECT_EQ(scalar.insertion_loss_at(250e6), after[0]);
+}
+
+TEST(BatchSweepWorkspace, Preconditions) {
+  Circuit no_ports;
+  no_ports.add_node();
+  EXPECT_THROW(BatchSweepWorkspace ws(no_ports, 4), PreconditionError);
+  EXPECT_THROW(BatchSweepWorkspace ws(bandpass_like(), 0), PreconditionError);
+  EXPECT_THROW(BatchSweepWorkspace ws(bandpass_like(), kMaxBatchLanes + 1),
+               PreconditionError);
+  BatchSweepWorkspace ws(bandpass_like(), 2);
+  std::vector<double> out(2);
+  EXPECT_THROW(ws.insertion_loss_at(0.0, out.data()), PreconditionError);
+  EXPECT_THROW(ws.set_value(2, 0, 1.0), PreconditionError);
+  EXPECT_THROW(ws.set_value(0, 99, 1.0), PreconditionError);
+  EXPECT_THROW(ws.set_value(0, 0, 0.0), PreconditionError);
+  EXPECT_THROW(ws.value(2, 0), PreconditionError);
+  EXPECT_THROW(ws.nominal_value(99), PreconditionError);
+}
+
+TEST(Mna, DescendingGrids) {
+  // hi < lo sweeps the grid downwards; the endpoints stay exact.
+  const auto down = linspace(2e9, 1e9, 11);
+  ASSERT_EQ(down.size(), 11u);
+  EXPECT_DOUBLE_EQ(down.front(), 2e9);
+  EXPECT_DOUBLE_EQ(down.back(), 1e9);
+  for (std::size_t i = 1; i < down.size(); ++i) EXPECT_LT(down[i], down[i - 1]);
+
+  const auto logs = logspace(1e9, 1e6, 4);
+  ASSERT_EQ(logs.size(), 4u);
+  EXPECT_NEAR(logs[0] / logs[1], 10.0, 1e-6);
+  for (std::size_t i = 1; i < logs.size(); ++i) EXPECT_LT(logs[i], logs[i - 1]);
+
+  // A descending grid analyzes just like an ascending one.
+  const auto pts = sweep(through_connection(), down);
+  ASSERT_EQ(pts.size(), down.size());
+  for (const SPoint& p : pts) EXPECT_NEAR(p.il_db(), 0.0, 1e-4);
+
+  // Equal endpoints stay an error, named after the arguments.
+  EXPECT_THROW(linspace(1.0, 1.0, 5), PreconditionError);
+  EXPECT_THROW(logspace(2.0, 2.0, 5), PreconditionError);
+  try {
+    linspace(3.0, 3.0, 5);
+    FAIL() << "linspace accepted equal endpoints";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("lo and hi"), std::string::npos);
+  }
 }
 
 }  // namespace

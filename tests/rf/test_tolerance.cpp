@@ -1,5 +1,8 @@
 #include "rf/tolerance.hpp"
 
+#include <algorithm>
+#include <cstddef>
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
@@ -104,6 +107,75 @@ TEST(Tolerance, FastPathMatchesCircuitPathBitwise) {
   EXPECT_EQ(slow.metric_stddev, fast.metric_stddev);
   EXPECT_EQ(slow.metric_min, fast.metric_min);
   EXPECT_EQ(slow.metric_max, fast.metric_max);
+}
+
+TEST(Tolerance, BatchedPathMatchesScalarFastPathBitwise) {
+  // The batched engine consumes the same RNG streams and its lane solves
+  // are bit-identical to the scalar workspace solver, so for metrics that
+  // probe the same frequencies the results must agree exactly — including
+  // sample counts that leave a partial trailing chunk and a partial
+  // trailing lane group (106 = 64 + 42, 42 = 5*8 + 2).
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  auto pass = [](double il) { return il < 1.5; };
+  for (const std::size_t samples : {std::size_t{106}, std::size_t{512}}) {
+    const ToleranceOptions opt{samples, 47};
+    const ToleranceResult scalar = analyze_tolerance_fast(
+        ckt, tol, [](SweepWorkspace& ws) { return ws.insertion_loss_at(175e6); }, pass,
+        opt);
+    const ToleranceResult batched = analyze_tolerance_batched(
+        ckt, tol,
+        [](BatchSweepWorkspace& ws, double* out) { ws.insertion_loss_at(175e6, out); },
+        pass, opt);
+    EXPECT_EQ(scalar.passing, batched.passing) << samples;
+    EXPECT_EQ(scalar.metric_mean, batched.metric_mean) << samples;
+    EXPECT_EQ(scalar.metric_stddev, batched.metric_stddev) << samples;
+    EXPECT_EQ(scalar.metric_min, batched.metric_min) << samples;
+    EXPECT_EQ(scalar.metric_max, batched.metric_max) << samples;
+  }
+}
+
+TEST(Tolerance, BandpassYieldMatchesScalarWorstCaseMetric) {
+  // bandpass_parametric_yield rides the batched engine; the equivalent
+  // scalar worst-case metric on the PR-1 era fast path must agree bit for
+  // bit, frequency pull included.
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  const double f0 = 175e6, shift = 0.02;
+  const ToleranceOptions opt{1000, 91};
+  const ToleranceResult batched =
+      bandpass_parametric_yield(ckt, tol, f0, 1.0, shift, opt);
+  const ToleranceResult scalar = analyze_tolerance_fast(
+      ckt, tol,
+      [f0, shift](SweepWorkspace& ws) {
+        double worst = ws.insertion_loss_at(f0);
+        worst = std::max(worst, ws.insertion_loss_at(f0 * (1.0 + shift)));
+        worst = std::max(worst, ws.insertion_loss_at(f0 * (1.0 - shift)));
+        return worst;
+      },
+      [](double worst) { return worst <= 1.0; }, opt);
+  EXPECT_EQ(scalar.passing, batched.passing);
+  EXPECT_EQ(scalar.parametric_yield, batched.parametric_yield);
+  EXPECT_EQ(scalar.metric_mean, batched.metric_mean);
+  EXPECT_EQ(scalar.metric_stddev, batched.metric_stddev);
+  EXPECT_EQ(scalar.metric_min, batched.metric_min);
+  EXPECT_EQ(scalar.metric_max, batched.metric_max);
+}
+
+TEST(Tolerance, BatchedThreadCountInvariant) {
+  const Circuit ckt = nominal_if_filter();
+  const ToleranceSpec tol = ToleranceSpec::integrated_untrimmed();
+  auto metric = [](BatchSweepWorkspace& ws, double* out) {
+    ws.insertion_loss_at(175e6, out);
+  };
+  auto pass = [](double il) { return il < 1.5; };
+  const ToleranceResult a = analyze_tolerance_batched(ckt, tol, metric, pass, {777, 5, 1});
+  const ToleranceResult b = analyze_tolerance_batched(ckt, tol, metric, pass, {777, 5, 4});
+  EXPECT_EQ(a.passing, b.passing);
+  EXPECT_EQ(a.metric_mean, b.metric_mean);
+  EXPECT_EQ(a.metric_stddev, b.metric_stddev);
+  EXPECT_EQ(a.metric_min, b.metric_min);
+  EXPECT_EQ(a.metric_max, b.metric_max);
 }
 
 TEST(Tolerance, TrimmingImprovesParametricYield) {

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Gate CI on the hot benchmarks: fail when a named bench regresses more
+than the threshold against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [--threshold 1.25]
+
+Compares real_time of the named hot benches.  The committed baseline was
+measured on a 1-CPU 2.1 GHz dev VM; hosted CI runners are faster, so a
+genuine regression has to eat the whole hardware margin before slipping
+through, while false alarms from runner jitter stay unlikely at a 25%
+threshold.  Benches present only in the fresh file are reported but never
+fail the gate (new benchmarks need a baseline refresh first).
+"""
+import argparse
+import json
+import sys
+
+# Single-thread benches only: a multithreaded number measured on a 1-core
+# baseline box is incomparable with a many-core CI runner in either
+# direction, so gating it would be noise.
+HOT_BENCHES = [
+    "BM_ToleranceSweepWorkspace/2000/real_time",
+    "BM_ToleranceSweepScalar/2000/real_time",
+    "BM_MnaSweepWorkspace",
+    "BM_MonteCarloCostSerial/100000/real_time",
+    "BM_ScenarioGrid/100000/real_time",
+]
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="fail when fresh/baseline exceeds this (default 1.25)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+    failures = []
+    for name in HOT_BENCHES:
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh results")
+            continue
+        if name not in baseline:
+            print(f"  {name}: no baseline entry (new bench), skipping")
+            continue
+        base_t = float(baseline[name]["real_time"])
+        fresh_t = float(fresh[name]["real_time"])
+        ratio = fresh_t / base_t
+        status = "FAIL" if ratio > args.threshold else "ok"
+        print(f"  {name}: {fresh_t:.0f} ns vs baseline {base_t:.0f} ns "
+              f"(x{ratio:.2f}) {status}")
+        if ratio > args.threshold:
+            failures.append(f"{name}: regression x{ratio:.2f} > x{args.threshold:.2f}")
+
+    if failures:
+        print("\nBenchmark regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nBenchmark regression gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
