@@ -7,9 +7,11 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/calibrate.hpp"
 #include "core/methodology.hpp"
 #include "core/scenario_grid.hpp"
 #include "gps/casestudy.hpp"
+#include "gps/published.hpp"
 #include "moe/montecarlo.hpp"
 #include "rf/analysis.hpp"
 #include "rf/cauer.hpp"
@@ -190,6 +192,109 @@ void BM_FullGpsAssessment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullGpsAssessment);
+
+// ---- batched GPS assessment: W calibration-input points per call ----
+
+std::vector<gps::GpsSweepPoint> gps_sweep_points(const gps::GpsCaseStudy& study,
+                                                 std::size_t n) {
+  std::vector<gps::GpsSweepPoint> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i].confidential = study.confidential;
+    points[i].confidential.rf_chip_bare = 15.0 + 0.5 * static_cast<double>(i % 11);
+    points[i].confidential.dsp_bare = 26.0 + 0.75 * static_cast<double>(i % 7);
+    points[i].confidential.nre_mcm_ip = 30000.0 + 2500.0 * static_cast<double>(i % 13);
+  }
+  return points;
+}
+
+// The pre-pipeline way to sweep W calibration inputs: rebuild the study and
+// run the full assessment per point.  The ratio against BM_GpsAssessment is
+// the headline speedup of this engine tier.
+void BM_GpsAssessmentSerial(benchmark::State& state) {
+  const gps::GpsCaseStudy base = gps::make_gps_case_study();
+  const std::vector<gps::GpsSweepPoint> points =
+      gps_sweep_points(base, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const gps::GpsSweepPoint& p : points) {
+      const gps::GpsCaseStudy study = gps::make_gps_case_study(p.confidential, p.semantics);
+      benchmark::DoNotOptimize(gps::run_gps_assessment(study, p.weights));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GpsAssessmentSerial)->Arg(64)->UseRealTime();
+
+// Batched pipeline, pinned to one thread.  The one-time compile (performance
+// + area + flow flattening) is timed too: this is the full cost of a sweep.
+void BM_GpsAssessment(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const std::vector<gps::GpsSweepPoint> points =
+      gps_sweep_points(study, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+    benchmark::DoNotOptimize(gps::run_gps_assessment_batched(pipeline, points, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GpsAssessment)->Arg(64)->Arg(1024)->UseRealTime();
+
+// Compiled pipeline at the default thread count, compile amortized away:
+// the steady-state sweep throughput (points/s).
+void BM_GpsAssessmentParallel(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<gps::GpsSweepPoint> points =
+      gps_sweep_points(study, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gps::run_gps_assessment_batched(pipeline, points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GpsAssessmentParallel)->Arg(1024)->Arg(16384)->UseRealTime();
+
+// Whole-round batched coordinate descent against the Fig-5 cost targets on
+// a compiled pipeline (the bench_calibration workload, engine tier only).
+void BM_CalibrationSweep(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const auto published = gps::published_fig5_cost_ratio();
+
+  const core::BatchObjective objective = [&](const std::vector<std::vector<double>>& pts,
+                                             std::vector<double>& values) {
+    std::vector<core::AssessmentInputs> inputs(pts.size());
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      gps::GpsSweepPoint point;
+      point.confidential = study.confidential;
+      point.confidential.rf_chip_packaged = pts[k][0];
+      point.confidential.dsp_packaged = pts[k][1];
+      point.confidential.rf_chip_bare = pts[k][2];
+      point.confidential.dsp_bare = pts[k][3];
+      inputs[k] = gps::gps_assessment_inputs(point);
+    }
+    const core::BatchAssessmentResult batch = pipeline.evaluate(inputs, 1);
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      double err = 0.0;
+      for (std::size_t i = 1; i < 4; ++i) {
+        const double d = batch.at(k, i).cost_rel - published[i];
+        err += d * d;
+      }
+      values[k] = err;
+    }
+  };
+
+  const std::vector<core::Parameter> params = {
+      {"XX", 20.0, 5.0, 80.0, 2.0},
+      {"ZZ", 30.0, 5.0, 120.0, 2.0},
+      {"YY", 18.0, 5.0, 80.0, 2.0},
+      {"AA", 26.0, 5.0, 120.0, 2.0},
+  };
+  core::CalibrationOptions opt;
+  opt.max_rounds = 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::calibrate_batched(params, objective, opt));
+  }
+}
+BENCHMARK(BM_CalibrationSweep)->UseRealTime();
 
 // ---- scenario-grid sharding: (build-up x process corner x volume) cells ----
 

@@ -1,0 +1,68 @@
+// Batched calibration-input sweep: how robust is the paper's decision
+// ("solution 4 wins") against the inputs it could not publish?
+//
+// The GPS case study is compiled once into an AssessmentPipeline; a grid of
+// confidential-cost hypotheses (bare RF chip price x integrated-passives
+// NRE pool) is then costed in one batched call, fanned across the thread
+// pool.  Per point we get a full Fig-6 style summary; the sweep aggregates
+// who wins where.
+#include <cstdio>
+#include <vector>
+
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+
+using namespace ipass;
+
+int main() {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+
+  // 21 x 21 grid: RF bare-die price 10..40, MCM-D+IP NRE 20k..120k.
+  const std::size_t kPrices = 21;
+  const std::size_t kNres = 21;
+  std::vector<gps::GpsSweepPoint> points;
+  points.reserve(kPrices * kNres);
+  for (std::size_t i = 0; i < kPrices; ++i) {
+    for (std::size_t j = 0; j < kNres; ++j) {
+      gps::GpsSweepPoint p;
+      p.confidential = study.confidential;
+      p.confidential.rf_chip_bare =
+          10.0 + 30.0 * static_cast<double>(i) / static_cast<double>(kPrices - 1);
+      p.confidential.nre_mcm_ip =
+          20000.0 + 100000.0 * static_cast<double>(j) / static_cast<double>(kNres - 1);
+      points.push_back(p);
+    }
+  }
+
+  const core::CalibrationSweepSummary sweep =
+      gps::run_gps_assessment_batched(pipeline, points);
+
+  std::printf("swept %zu confidential-cost hypotheses over %zu build-ups\n\n",
+              sweep.results.points, sweep.results.buildups);
+  for (std::size_t b = 0; b < sweep.results.buildups; ++b) {
+    std::printf("  wins[%s]: %zu\n", pipeline.buildups()[b].name.c_str(),
+                sweep.wins_per_buildup[b]);
+  }
+
+  const gps::GpsSweepPoint& best = points[sweep.best_point];
+  std::printf("\nstrongest decision: point %zu (RF bare %.1f, NRE MCM-D+IP %.0f)\n",
+              sweep.best_point, best.confidential.rf_chip_bare,
+              best.confidential.nre_mcm_ip);
+  const std::size_t w = sweep.results.winners[sweep.best_point];
+  const core::BuildUpSummary& s = sweep.results.at(sweep.best_point, w);
+  std::printf("  winner %s: FoM %.2f, cost %.1f%%, area %.1f%% of PCB\n",
+              pipeline.buildups()[w].name.c_str(), s.fom, s.cost_rel * 100.0,
+              s.area_rel * 100.0);
+
+  // A winner flip, if the sweep contains one.
+  for (std::size_t p = 0; p < sweep.results.points; ++p) {
+    if (sweep.results.winners[p] != sweep.results.winners[sweep.best_point]) {
+      std::printf("\nwinner flips at point %zu (RF bare %.1f, NRE %.0f) -> %s\n", p,
+                  points[p].confidential.rf_chip_bare, points[p].confidential.nre_mcm_ip,
+                  pipeline.buildups()[sweep.results.winners[p]].name.c_str());
+      break;
+    }
+  }
+  return 0;
+}

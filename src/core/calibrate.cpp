@@ -6,11 +6,34 @@
 
 namespace ipass::core {
 
-CalibrationResult calibrate(std::vector<Parameter> parameters, const Objective& objective,
-                            const CalibrationOptions& options) {
+namespace {
+
+// One axis move of a coordinate-descent round, in serial visiting order.
+struct AxisMove {
+  std::size_t axis = 0;
+  double dir = 0.0;
+};
+
+// Both objective modes run this descent; `speculate` only controls how many
+// candidates are proposed per objective call (1 = classic serial descent,
+// whole-round = batched).  The consumed (point, value) stream is identical
+// either way, so the results match bit for bit.
+CalibrationResult calibrate_impl(std::vector<Parameter> parameters,
+                                 const BatchObjective& objective,
+                                 const CalibrationOptions& options, bool speculate) {
   require(!parameters.empty(), "calibrate: need at least one parameter");
-  for (const Parameter& p : parameters) {
-    require(p.max > p.min, "calibrate: empty parameter range: " + p.name);
+  std::vector<bool> fixed(parameters.size(), false);
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    const Parameter& p = parameters[i];
+    require(p.max >= p.min, "calibrate: empty parameter range: " + p.name);
+    if (p.max == p.min) {
+      // Degenerate box: the parameter has exactly one feasible value.  Hold
+      // it fixed instead of stepping (and instead of feeding the zero range
+      // into the min_step_rel stall test, which could never converge).
+      require(p.value == p.min, "calibrate: initial value out of range: " + p.name);
+      fixed[i] = true;
+      continue;
+    }
     require(p.value >= p.min && p.value <= p.max,
             "calibrate: initial value out of range: " + p.name);
     require(p.step > 0.0, "calibrate: step must be positive: " + p.name);
@@ -24,35 +47,84 @@ CalibrationResult calibrate(std::vector<Parameter> parameters, const Objective& 
     step[i] = parameters[i].step;
   }
 
-  auto eval = [&](const std::vector<double>& v) {
-    ++result.evaluations;
-    return objective(v);
+  std::vector<AxisMove> moves;  // serial visiting order of one round
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    if (fixed[i]) continue;
+    moves.push_back({i, +1.0});
+    moves.push_back({i, -1.0});
+  }
+
+  // Proposal scratch, reused across calls.
+  std::vector<std::vector<double>> points;
+  std::vector<double> values;
+  std::vector<std::size_t> move_of_point;
+  std::vector<double> candidate_of_point;
+
+  auto score = [&]() {
+    values.assign(points.size(), 0.0);
+    objective(points, values);
+    ensure(values.size() == points.size(),
+           "calibrate: batch objective resized the value vector");
+    result.proposed += static_cast<int>(points.size());
   };
 
-  double best = eval(x);
+  // Collect candidates for moves[from..), from the current x, skipping
+  // moves whose clamped candidate is a no-op (exactly the serial descent's
+  // skip rule), and score them in one objective call.
+  auto propose_and_score = [&](std::size_t from, std::size_t width) {
+    points.clear();
+    move_of_point.clear();
+    candidate_of_point.clear();
+    for (std::size_t m = from; m < moves.size() && points.size() < width; ++m) {
+      const AxisMove& mv = moves[m];
+      const double candidate = std::clamp(x[mv.axis] + mv.dir * step[mv.axis],
+                                          parameters[mv.axis].min, parameters[mv.axis].max);
+      if (candidate == x[mv.axis]) continue;
+      points.push_back(x);
+      points.back()[mv.axis] = candidate;
+      move_of_point.push_back(m);
+      candidate_of_point.push_back(candidate);
+    }
+    if (!points.empty()) score();
+  };
+
+  double best;
+  {
+    points.assign(1, x);
+    score();
+    ++result.evaluations;
+    best = values[0];
+  }
+
   for (int round = 0; round < options.max_rounds; ++round) {
     result.rounds = round + 1;
     bool improved = false;
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      for (const double dir : {+1.0, -1.0}) {
-        const double candidate =
-            std::clamp(x[i] + dir * step[i], parameters[i].min, parameters[i].max);
-        if (candidate == x[i]) continue;
-        const double saved = x[i];
-        x[i] = candidate;
-        const double value = eval(x);
-        if (value < best) {
-          best = value;
+    std::size_t m = 0;
+    while (m < moves.size()) {
+      propose_and_score(m, speculate ? moves.size() : 1);
+      if (points.empty()) break;  // every remaining move is a no-op
+      bool accepted = false;
+      for (std::size_t k = 0; k < points.size(); ++k) {
+        ++result.evaluations;
+        if (values[k] < best) {
+          best = values[k];
+          x[moves[move_of_point[k]].axis] = candidate_of_point[k];
           improved = true;
-        } else {
-          x[i] = saved;
+          // Later speculative candidates were scored against the old x —
+          // stale now.  Discard them and re-propose from the next move.
+          m = move_of_point[k] + 1;
+          accepted = true;
+          break;
         }
       }
+      if (!accepted) m = move_of_point.back() + 1;
     }
+    if (options.on_round) options.on_round(result.rounds, best);
     if (best <= options.tolerance) break;
     if (!improved) {
       bool any_step_left = false;
       for (std::size_t i = 0; i < step.size(); ++i) {
+        if (fixed[i]) continue;
         step[i] *= options.shrink;
         if (step[i] > options.min_step_rel * (parameters[i].max - parameters[i].min)) {
           any_step_left = true;
@@ -66,6 +138,23 @@ CalibrationResult calibrate(std::vector<Parameter> parameters, const Objective& 
   result.parameters = std::move(parameters);
   result.objective = best;
   return result;
+}
+
+}  // namespace
+
+CalibrationResult calibrate(std::vector<Parameter> parameters, const Objective& objective,
+                            const CalibrationOptions& options) {
+  const BatchObjective one_by_one = [&objective](const std::vector<std::vector<double>>& points,
+                                                 std::vector<double>& values) {
+    for (std::size_t i = 0; i < points.size(); ++i) values[i] = objective(points[i]);
+  };
+  return calibrate_impl(std::move(parameters), one_by_one, options, /*speculate=*/false);
+}
+
+CalibrationResult calibrate_batched(std::vector<Parameter> parameters,
+                                    const BatchObjective& objective,
+                                    const CalibrationOptions& options) {
+  return calibrate_impl(std::move(parameters), objective, options, /*speculate=*/true);
 }
 
 }  // namespace ipass::core

@@ -4,6 +4,17 @@
 // NRE, functional-test parameters) from its published outputs (the cost and
 // area percentages of Figs 3 and 5).  Deliberately derivative-free: the
 // objective runs whole MOE evaluations.
+//
+// Two objective modes share one descent:
+//   * calibrate() scores one candidate point per call,
+//   * calibrate_batched() speculatively proposes the whole remainder of a
+//     coordinate-descent round (every axis move from the current point) and
+//     scores it in a single objective call — built for batch evaluators
+//     like core::AssessmentPipeline::evaluate, where W points cost barely
+//     more than one.
+// The batched mode consumes the scores in serial order and discards
+// whatever an accepted move invalidates, so both modes walk the identical
+// descent: same consumed evaluations, bit-identical fitted values.
 #pragma once
 
 #include <functional>
@@ -17,28 +28,46 @@ struct Parameter {
   double value = 0.0;
   double min = 0.0;
   double max = 0.0;
-  double step = 0.0;  // initial step size
+  double step = 0.0;  // initial step size (ignored when max == min)
 };
 
 struct CalibrationResult {
   std::vector<Parameter> parameters;  // with fitted values
   double objective = 0.0;
-  int evaluations = 0;
+  int evaluations = 0;  // objective values consumed by the descent
+  int proposed = 0;     // points sent to the objective; == evaluations in
+                        // serial mode, >= in batched mode (speculation)
   int rounds = 0;
 };
 
 using Objective = std::function<double(const std::vector<double>&)>;
+
+// Batched objective: score all candidates at once.  values has
+// points.size() entries; values[i] must be the objective at points[i].
+using BatchObjective = std::function<void(const std::vector<std::vector<double>>& points,
+                                          std::vector<double>& values)>;
 
 struct CalibrationOptions {
   int max_rounds = 100;
   double shrink = 0.5;        // step shrink factor when a round stalls
   double min_step_rel = 1e-5; // stop when all steps shrink below rel * range
   double tolerance = 1e-12;   // stop when the objective is this small
+  // Progress hook: called after every completed round with the 1-based
+  // round number and the best objective value so far.
+  std::function<void(int round, double best)> on_round;
 };
 
 // Minimize `objective` over the boxed parameters.  The objective must be
-// non-negative (typically a sum of squared relative errors).
+// non-negative (typically a sum of squared relative errors).  A parameter
+// with max == min is held fixed at that value (its step is ignored); every
+// other parameter needs a positive step or calibration fails fast, naming
+// the offending parameter.
 CalibrationResult calibrate(std::vector<Parameter> parameters, const Objective& objective,
                             const CalibrationOptions& options = {});
+
+// Same descent, whole-round speculative proposals (see the header comment).
+CalibrationResult calibrate_batched(std::vector<Parameter> parameters,
+                                    const BatchObjective& objective,
+                                    const CalibrationOptions& options = {});
 
 }  // namespace ipass::core

@@ -1,5 +1,7 @@
 #include "core/cost_assess.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/units.hpp"
 
@@ -9,6 +11,7 @@ namespace {
 
 using moe::CostCategory;
 using moe::FixedYield;
+using moe::Ledger;
 using moe::PerJointYield;
 using moe::YieldSpec;
 
@@ -93,6 +96,215 @@ moe::FlowModel build_flow(const AreaResult& area, const BuildUp& buildup) {
   // --- final test -----------------------------------------------------------
   flow.test("Final test", pd.final_test_cost, pd.final_test_coverage);
   return flow;
+}
+
+CompiledCostModel compile_cost_model(const AreaResult& area, const BuildUp& buildup) {
+  CompiledCostModel m;
+  m.substrate_cost =
+      mm2_to_cm2(area.substrate.area_mm2) * buildup.substrate.cost_per_cm2;
+  m.substrate_fab_yield = buildup.substrate.fab_yield;
+  m.integrated_passive_steps = buildup.substrate.supports_integrated_passives;
+  m.wire_bonded = buildup.die_attach == tech::DieAttach::WireBond;
+  if (m.wire_bonded) {
+    m.bond_count = tech::gps_rf_chip().pad_count + tech::gps_dsp_correlator().pad_count;
+  }
+  m.smd_count = area.bom.smd_placement_count();
+  m.smd_parts_cost = area.bom.smd_parts_cost();
+  m.smd_on_carrier = m.smd_count > 0 && !buildup.smd_on_laminate;
+  m.uses_laminate = buildup.uses_laminate;
+  m.smd_on_laminate = buildup.smd_on_laminate;
+  return m;
+}
+
+namespace {
+
+// Flattened step for the compiled walk: the numbers a Step carries, no
+// strings.  At most two components (the chip lot) per step.
+struct FlatComponent {
+  double unit_cost = 0.0;
+  int count = 0;
+  double incoming_yield = 1.0;
+  CostCategory category = CostCategory::Passives;
+};
+
+struct FlatStep {
+  bool is_test = false;
+  CostCategory category = CostCategory::Assembly;
+  double cost = 0.0;
+  double cost_per_component = 0.0;
+  int n_components = 0;
+  FlatComponent comp[2];
+  double lambda = 0.0;         // non-test: added fault intensity
+  double fault_coverage = 0.0;  // test only
+};
+
+// Mirrors Step::component_count().
+int flat_component_count(const FlatStep& s) {
+  int sum = 0;
+  for (int i = 0; i < s.n_components; ++i) sum += s.comp[i].count;
+  return sum;
+}
+
+// Mirrors Step::added_fault_intensity(), same operation order.
+double flat_fault_intensity(const FlatStep& s, const YieldSpec& yield) {
+  double lambda = moe::fault_intensity(yield);
+  for (int i = 0; i < s.n_components; ++i) {
+    const FlatComponent& c = s.comp[i];
+    require(c.incoming_yield > 0.0 && c.incoming_yield <= 1.0,
+            "ComponentInput: incoming yield must be in (0,1]");
+    lambda += -std::log(c.incoming_yield) * c.count;
+  }
+  return lambda;
+}
+
+FlatStep flat_process(CostCategory category, double cost, const YieldSpec& yield) {
+  FlatStep s;
+  s.category = category;
+  s.cost = cost;
+  s.lambda = flat_fault_intensity(s, yield);
+  return s;
+}
+
+FlatStep flat_test(double cost, double fault_coverage, const char* what) {
+  require(fault_coverage >= 0.0 && fault_coverage <= 1.0, what);
+  FlatStep s;
+  s.is_test = true;
+  s.category = CostCategory::Test;
+  s.cost = cost;
+  s.fault_coverage = fault_coverage;
+  return s;
+}
+
+// Build the flat step sequence for (model, pd): the numeric twin of
+// build_flow(), step for step.
+int build_flat_steps(const CompiledCostModel& m, const ProductionData& pd,
+                     FlatStep* steps) {
+  require(pd.volume > 0.0, "FlowModel: volume must be positive");
+  require(pd.nre_total >= 0.0, "FlowModel: NRE must be non-negative");
+  int n = 0;
+
+  // --- carrier fabrication ---
+  steps[n++] = flat_process(CostCategory::Substrate, m.substrate_cost,
+                            FixedYield{m.substrate_fab_yield});
+  if (m.integrated_passive_steps) {
+    for (int i = 0; i < 3; ++i) {
+      steps[n++] = flat_process(CostCategory::Substrate, 0.0, FixedYield{1.0});
+    }
+  }
+
+  // --- dice ---
+  {
+    FlatStep s;
+    s.category = CostCategory::Assembly;
+    s.cost = 0.0;
+    s.cost_per_component = pd.chip_assembly_cost;
+    s.n_components = 2;
+    s.comp[0] = {pd.rf_chip_cost, 1, pd.rf_chip_yield, CostCategory::Chips};
+    s.comp[1] = {pd.dsp_cost, 1, pd.dsp_yield, CostCategory::Chips};
+    s.lambda = flat_fault_intensity(s, step_yield(pd.chip_assembly_yield, 2, pd.semantics));
+    steps[n++] = s;
+  }
+  if (m.wire_bonded) {
+    steps[n++] = flat_process(
+        CostCategory::Assembly, pd.wire_bond_cost * m.bond_count,
+        step_yield(pd.wire_bond_yield, m.bond_count, pd.semantics));
+  }
+
+  // --- SMD passives on the carrier ---
+  FlatStep smd;
+  if (m.smd_count > 0) {
+    smd.category = CostCategory::Assembly;
+    smd.cost = 0.0;
+    smd.cost_per_component = pd.smd_assembly_cost;
+    smd.n_components = 1;
+    smd.comp[0] = {m.smd_parts_cost / m.smd_count, m.smd_count, 1.0,
+                   CostCategory::Passives};
+    smd.lambda = flat_fault_intensity(
+        smd, step_yield(pd.smd_assembly_yield, m.smd_count, pd.semantics));
+  }
+  if (m.smd_on_carrier) steps[n++] = smd;
+
+  // --- functional test before packaging ---
+  if (pd.functional_test_coverage > 0.0) {
+    steps[n++] = flat_test(pd.functional_test_cost, pd.functional_test_coverage,
+                           "FlowModel::test: coverage must be in [0,1]");
+  }
+
+  // --- packaging ---
+  if (m.uses_laminate) {
+    FlatStep pack = flat_process(CostCategory::Packaging, pd.packaging_cost,
+                                 FixedYield{pd.packaging_yield});
+    steps[n++] = pack;
+    if (m.smd_count > 0 && m.smd_on_laminate) steps[n++] = smd;
+  }
+
+  // --- final test ---
+  steps[n++] = flat_test(pd.final_test_cost, pd.final_test_coverage,
+                         "FlowModel::test: coverage must be in [0,1]");
+  return n;
+}
+
+// Upper bound on steps: fabricate + 3 IP + chips + bonds + SMD + functional
+// test + package + laminate SMD + final test.
+inline constexpr int kMaxFlatSteps = 12;
+
+}  // namespace
+
+CostSummary evaluate_compiled_cost(const CompiledCostModel& model, const ProductionData& pd) {
+  FlatStep steps[kMaxFlatSteps];
+  const int n_steps = build_flat_steps(model, pd, steps);
+
+  // The walk below is a line-for-line numeric twin of evaluate_analytic()
+  // (same expressions, same order), so every output bit matches the
+  // FlowModel path.  Compiled flows never rework, so that branch is gone.
+  double alive = 1.0;
+  double lambda = 0.0;
+  Ledger spend;
+  Ledger unit_acc;
+
+  for (int i = 0; i < n_steps; ++i) {
+    const FlatStep& s = steps[i];
+    if (s.is_test) {
+      spend.add(CostCategory::Test, alive * s.cost);
+      unit_acc.add(CostCategory::Test, s.cost);
+
+      const double p_detect = 1.0 - std::exp(-lambda * s.fault_coverage);
+      const double detected = alive * p_detect;
+      const double recovered = 0.0;
+      const double survivors = alive - detected;
+      const double lambda_survivors = lambda * (1.0 - s.fault_coverage);
+      alive = survivors + recovered;
+      ensure(alive > 0.0, "evaluate_compiled_cost: everything scrapped");
+      lambda = (survivors * lambda_survivors) / alive;
+      continue;
+    }
+
+    const double step_cost = s.cost + s.cost_per_component * flat_component_count(s);
+    spend.add(s.category, alive * step_cost);
+    unit_acc.add(s.category, step_cost);
+    for (int c = 0; c < s.n_components; ++c) {
+      const FlatComponent& comp = s.comp[c];
+      spend.add(comp.category, alive * comp.unit_cost * comp.count);
+      unit_acc.add(comp.category, comp.unit_cost * comp.count);
+    }
+    lambda += s.lambda;
+  }
+
+  CostSummary r;
+  r.volume = pd.volume;
+  r.shipped_fraction = alive;
+  r.shipped_units = alive * pd.volume;
+  r.good_fraction = alive * std::exp(-lambda);
+  r.escaped_defect_rate = 1.0 - std::exp(-lambda);
+  r.direct_cost = unit_acc.total();
+  r.chip_cost_direct = unit_acc.get(CostCategory::Chips);
+  r.total_spend_per_started = spend.total();
+  r.nre_per_shipped = pd.nre_total / (pd.volume * alive);
+  r.final_cost_per_shipped =
+      (spend.total() + pd.nre_total / pd.volume) / alive;
+  r.yield_loss_per_shipped =
+      r.final_cost_per_shipped - r.direct_cost - r.nre_per_shipped;
+  return r;
 }
 
 CostAssessment assess_cost(const AreaResult& area, const BuildUp& buildup) {

@@ -27,4 +27,47 @@ CostAssessment assess_cost(const AreaResult& area, const BuildUp& buildup);
 moe::McReport assess_cost_monte_carlo(const AreaResult& area, const BuildUp& buildup,
                                       const moe::McOptions& options = {});
 
+// ---------------------------------------------------------------------------
+// Batched path: everything build_flow() derives from sources *other* than
+// the build-up's ProductionData, captured once.  A parameter sweep then
+// re-costs the same physical build-up under W different ProductionData
+// vectors without reconstructing a FlowModel (no strings, no vectors, no
+// per-evaluation allocation at all).
+struct CompiledCostModel {
+  double substrate_cost = 0.0;      // mm2_to_cm2(substrate area) * cost/cm2
+  double substrate_fab_yield = 1.0;
+  bool integrated_passive_steps = false;  // the structural Fig-4 steps
+  bool wire_bonded = false;
+  int bond_count = 0;
+  int smd_count = 0;
+  double smd_parts_cost = 0.0;
+  bool smd_on_carrier = false;
+  bool uses_laminate = false;
+  bool smd_on_laminate = false;
+};
+
+CompiledCostModel compile_cost_model(const AreaResult& area, const BuildUp& buildup);
+
+// The numeric core of a CostReport: what the batched assessment pipeline
+// keeps per (sweep point, build-up).
+struct CostSummary {
+  double volume = 0.0;
+  double shipped_fraction = 0.0;
+  double shipped_units = 0.0;
+  double good_fraction = 0.0;
+  double escaped_defect_rate = 0.0;
+  double direct_cost = 0.0;
+  double chip_cost_direct = 0.0;
+  double yield_loss_per_shipped = 0.0;
+  double nre_per_shipped = 0.0;
+  double final_cost_per_shipped = 0.0;
+  double total_spend_per_started = 0.0;
+};
+
+// Cost a compiled model under one ProductionData vector.  Every field is
+// bit-identical to evaluate_analytic(build_flow(area, b')) where b' is the
+// compiled build-up with its production data replaced by `pd` — the golden
+// and pipeline-equivalence tests enforce this down to the last ulp.
+CostSummary evaluate_compiled_cost(const CompiledCostModel& model, const ProductionData& pd);
+
 }  // namespace ipass::core

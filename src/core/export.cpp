@@ -15,6 +15,105 @@ std::string csv_escape(const std::string& value) {
   return out;
 }
 
+namespace {
+
+// JSON string escaping for the few names we serialize (no control chars in
+// practice, but keep the escapes correct anyway).
+std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// %.17g round-trips every finite binary64 exactly.
+std::string jnum(double v) { return strf("%.17g", v); }
+
+std::string ledger_json(const moe::Ledger& ledger) {
+  std::string out = "{";
+  for (int i = 0; i < moe::kCostCategoryCount; ++i) {
+    if (i) out += ", ";
+    out += strf("\"%s\": %s", moe::cost_category_name(static_cast<moe::CostCategory>(i)),
+                jnum(ledger.v[i]).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string decision_report_json(const DecisionReport& report) {
+  std::string out = "{\n";
+  out += strf("  \"reference\": %zu,\n  \"winner\": %zu,\n", report.reference,
+              report.winner);
+  out += strf("  \"weights\": {\"performance\": %s, \"size\": %s, \"cost\": %s},\n",
+              jnum(report.weights.performance).c_str(), jnum(report.weights.size).c_str(),
+              jnum(report.weights.cost).c_str());
+  out += "  \"assessments\": [\n";
+  for (std::size_t i = 0; i < report.assessments.size(); ++i) {
+    const BuildUpAssessment& a = report.assessments[i];
+    out += "    {\n";
+    out += strf("      \"index\": %d,\n      \"name\": \"%s\",\n", a.buildup.index,
+                json_escape(a.buildup.name).c_str());
+    out += strf("      \"performance\": {\"score\": %s, \"filters\": [\n",
+                jnum(a.performance.score).c_str());
+    for (std::size_t f = 0; f < a.performance.filters.size(); ++f) {
+      const FilterPerformance& fp = a.performance.filters[f];
+      out += strf(
+          "        {\"name\": \"%s\", \"style\": \"%s\", \"il_spec_db\": %s, "
+          "\"il_calc_db\": %s, \"rejection_spec_db\": %s, \"rejection_calc_db\": %s, "
+          "\"loss_score\": %s, \"rejection_score\": %s, \"score\": %s, "
+          "\"meets_spec\": %s}%s\n",
+          json_escape(fp.name).c_str(), filter_style_name(fp.style),
+          jnum(fp.il_spec_db).c_str(), jnum(fp.il_calc_db).c_str(),
+          jnum(fp.rejection_spec_db).c_str(), jnum(fp.rejection_calc_db).c_str(),
+          jnum(fp.loss_score).c_str(), jnum(fp.rejection_score).c_str(),
+          jnum(fp.score).c_str(), fp.meets_spec ? "true" : "false",
+          f + 1 < a.performance.filters.size() ? "," : "");
+    }
+    out += "      ]},\n";
+    out += strf(
+        "      \"area\": {\"component_area_mm2\": %s, \"smd_area_mm2\": %s, "
+        "\"substrate_side_mm\": %s, \"substrate_area_mm2\": %s, "
+        "\"module_side_mm\": %s, \"module_area_mm2\": %s},\n",
+        jnum(a.area.component_area_mm2).c_str(), jnum(a.area.smd_area_mm2).c_str(),
+        jnum(a.area.substrate.side_mm).c_str(), jnum(a.area.substrate.area_mm2).c_str(),
+        jnum(a.area.module.side_mm).c_str(), jnum(a.area.module.area_mm2).c_str());
+    const moe::CostReport& c = a.cost;
+    out += strf(
+        "      \"cost\": {\"volume\": %s, \"shipped_fraction\": %s, "
+        "\"shipped_units\": %s, \"good_fraction\": %s, \"escaped_defect_rate\": %s, "
+        "\"direct_cost\": %s, \"yield_loss_per_shipped\": %s, \"nre_per_shipped\": %s, "
+        "\"final_cost_per_shipped\": %s, \"total_spend_per_started\": %s,\n",
+        jnum(c.volume).c_str(), jnum(c.shipped_fraction).c_str(),
+        jnum(c.shipped_units).c_str(), jnum(c.good_fraction).c_str(),
+        jnum(c.escaped_defect_rate).c_str(), jnum(c.direct_cost).c_str(),
+        jnum(c.yield_loss_per_shipped).c_str(), jnum(c.nre_per_shipped).c_str(),
+        jnum(c.final_cost_per_shipped).c_str(), jnum(c.total_spend_per_started).c_str());
+    out += strf("      \"direct_ledger\": %s,\n      \"spend_ledger\": %s},\n",
+                ledger_json(c.direct_ledger).c_str(), ledger_json(c.spend_ledger).c_str());
+    out += strf("      \"area_rel\": %s,\n      \"cost_rel\": %s,\n      \"fom\": %s\n",
+                jnum(a.area_rel).c_str(), jnum(a.cost_rel).c_str(), jnum(a.fom).c_str());
+    out += strf("    }%s\n", i + 1 < report.assessments.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
 std::string decision_report_csv(const DecisionReport& report) {
   std::string out =
       "index,name,performance,module_area_mm2,area_rel,final_cost_per_shipped,"

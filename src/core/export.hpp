@@ -12,6 +12,12 @@ namespace ipass::core {
 // decomposition (Eq. 1 terms), figure of merit.
 std::string decision_report_csv(const DecisionReport& report);
 
+// Full-fidelity JSON dump of a DecisionReport.  Doubles are printed with
+// %.17g, which round-trips IEEE-754 binary64 exactly, so two reports whose
+// serializations match are bitwise-identical field for field — this is the
+// format of the golden files under tests/gps/golden/.
+std::string decision_report_json(const DecisionReport& report);
+
 // One row per filter per build-up: the performance-assessment detail.
 std::string performance_csv(const DecisionReport& report);
 

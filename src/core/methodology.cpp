@@ -1,8 +1,10 @@
 #include "core/methodology.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/strfmt.hpp"
 #include "common/table.hpp"
 
@@ -10,16 +12,53 @@ namespace ipass::core {
 
 DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buildups,
                       const TechKits& kits, const FomWeights& weights) {
-  require(!buildups.empty(), "assess: need at least one build-up");
+  AssessmentInputs inputs;
+  inputs.weights = weights;
+  return AssessmentPipeline(bom, buildups, kits).report(inputs);
+}
+
+AssessmentPipeline::AssessmentPipeline(const FunctionalBom& bom,
+                                       std::vector<BuildUp> buildups,
+                                       const TechKits& kits)
+    : buildups_(std::move(buildups)) {
+  require(!buildups_.empty(), "assess: need at least one build-up");
+  performance_.reserve(buildups_.size());
+  areas_.reserve(buildups_.size());
+  compiled_.reserve(buildups_.size());
+  for (const BuildUp& b : buildups_) {
+    performance_.push_back(assess_performance(bom, b, kits));
+    areas_.push_back(assess_area(bom, b, kits));
+    compiled_.push_back(compile_cost_model(areas_.back(), b));
+  }
+  ref_area_ = areas_.front().module_area_mm2();
+  area_rel_.reserve(buildups_.size());
+  for (const AreaResult& a : areas_) {
+    area_rel_.push_back(a.module_area_mm2() / ref_area_);
+  }
+}
+
+const PerformanceResult& AssessmentPipeline::performance(std::size_t buildup) const {
+  require(buildup < buildups_.size(), "AssessmentPipeline: build-up index out of range");
+  return performance_[buildup];
+}
+
+const AreaResult& AssessmentPipeline::area(std::size_t buildup) const {
+  require(buildup < buildups_.size(), "AssessmentPipeline: build-up index out of range");
+  return areas_[buildup];
+}
+
+DecisionReport AssessmentPipeline::report(const AssessmentInputs& inputs) const {
+  require(inputs.production.empty() || inputs.production.size() == buildups_.size(),
+          "AssessmentPipeline: production vector must have one entry per build-up");
 
   DecisionReport report;
-  report.weights = weights;
-  for (const BuildUp& b : buildups) {
-    PerformanceResult perf = assess_performance(bom, b, kits);
-    AreaResult area = assess_area(bom, b, kits);
-    CostAssessment cost = assess_cost(area, b);
+  report.weights = inputs.weights;
+  for (std::size_t b = 0; b < buildups_.size(); ++b) {
+    BuildUp buildup = buildups_[b];
+    if (!inputs.production.empty()) buildup.production = inputs.production[b];
+    CostAssessment cost = assess_cost(areas_[b], buildup);
     report.assessments.push_back(BuildUpAssessment{
-        b, std::move(perf), std::move(area), std::move(cost.flow),
+        std::move(buildup), performance_[b], areas_[b], std::move(cost.flow),
         std::move(cost.report), 1.0, 1.0, 0.0});
   }
 
@@ -31,7 +70,7 @@ DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buil
   for (BuildUpAssessment& a : report.assessments) {
     a.area_rel = a.area.module_area_mm2() / ref_area;
     a.cost_rel = a.cost.final_cost_per_shipped / ref_cost;
-    a.fom = figure_of_merit(a.performance.score, a.area_rel, a.cost_rel, weights);
+    a.fom = figure_of_merit(a.performance.score, a.area_rel, a.cost_rel, inputs.weights);
   }
 
   report.winner = 0;
@@ -41,6 +80,107 @@ DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buil
     }
   }
   return report;
+}
+
+void AssessmentPipeline::evaluate_point(const AssessmentInputs& point,
+                                        BuildUpSummary* out, std::size_t& winner) const {
+  const std::size_t n = buildups_.size();
+  for (std::size_t b = 0; b < n; ++b) {
+    const ProductionData& pd =
+        point.production.empty() ? buildups_[b].production : point.production[b];
+    const CostSummary cost = evaluate_compiled_cost(compiled_[b], pd);
+    BuildUpSummary& s = out[b];
+    s.performance = performance_[b].score;
+    s.module_area_mm2 = areas_[b].module_area_mm2();
+    s.area_rel = area_rel_[b];
+    s.shipped_fraction = cost.shipped_fraction;
+    s.direct_cost = cost.direct_cost;
+    s.chip_cost_direct = cost.chip_cost_direct;
+    s.yield_loss_per_shipped = cost.yield_loss_per_shipped;
+    s.nre_per_shipped = cost.nre_per_shipped;
+    s.final_cost_per_shipped = cost.final_cost_per_shipped;
+  }
+
+  const double ref_cost = out[0].final_cost_per_shipped;
+  ensure(ref_area_ > 0.0 && ref_cost > 0.0, "assess: degenerate reference build-up");
+  for (std::size_t b = 0; b < n; ++b) {
+    out[b].cost_rel = out[b].final_cost_per_shipped / ref_cost;
+    out[b].fom =
+        figure_of_merit(out[b].performance, out[b].area_rel, out[b].cost_rel, point.weights);
+  }
+
+  winner = 0;
+  for (std::size_t b = 1; b < n; ++b) {
+    if (out[b].fom > out[winner].fom) winner = b;
+  }
+}
+
+BatchAssessmentResult AssessmentPipeline::evaluate(
+    const std::vector<AssessmentInputs>& points, unsigned threads) const {
+  const std::size_t n_b = buildups_.size();
+  for (const AssessmentInputs& p : points) {
+    require(p.production.empty() || p.production.size() == n_b,
+            "AssessmentPipeline: production vector must have one entry per build-up");
+  }
+
+  BatchAssessmentResult out;
+  out.points = points.size();
+  out.buildups = n_b;
+  out.summaries.resize(points.size() * n_b);
+  out.winners.resize(points.size());
+  if (points.empty()) return out;
+
+  // Chunked fan-out.  Every output slot depends only on its own point, so
+  // both the thread count and the way a sweep is split into evaluate()
+  // calls leave the results bit-identical (chunks only bound scheduling
+  // granularity; there is no cross-point arithmetic).
+  constexpr std::size_t kChunk = 8;
+  const std::size_t n_chunks = (points.size() + kChunk - 1) / kChunk;
+  ThreadPool::shared(threads).parallel_for(n_chunks, [&](std::size_t c) {
+    const std::size_t begin = c * kChunk;
+    const std::size_t end = std::min(points.size(), begin + kChunk);
+    for (std::size_t p = begin; p < end; ++p) {
+      evaluate_point(points[p], &out.summaries[p * n_b], out.winners[p]);
+    }
+  });
+  return out;
+}
+
+BuildUpSummary summarize(const BuildUpAssessment& a) {
+  BuildUpSummary s;
+  s.performance = a.performance.score;
+  s.module_area_mm2 = a.area.module_area_mm2();
+  s.area_rel = a.area_rel;
+  s.shipped_fraction = a.cost.shipped_fraction;
+  s.direct_cost = a.cost.direct_cost;
+  s.chip_cost_direct = a.cost.chip_cost_direct();
+  s.yield_loss_per_shipped = a.cost.yield_loss_per_shipped;
+  s.nre_per_shipped = a.cost.nre_per_shipped;
+  s.final_cost_per_shipped = a.cost.final_cost_per_shipped;
+  s.cost_rel = a.cost_rel;
+  s.fom = a.fom;
+  return s;
+}
+
+CalibrationSweepSummary sweep_calibration_inputs(const AssessmentPipeline& pipeline,
+                                                 const std::vector<AssessmentInputs>& points,
+                                                 unsigned threads) {
+  require(!points.empty(), "sweep_calibration_inputs: need at least one point");
+  CalibrationSweepSummary summary;
+  summary.results = pipeline.evaluate(points, threads);
+  summary.wins_per_buildup.assign(pipeline.buildup_count(), 0);
+  bool has_best = false;
+  for (std::size_t p = 0; p < summary.results.points; ++p) {
+    const std::size_t w = summary.results.winners[p];
+    ++summary.wins_per_buildup[w];
+    const double fom = summary.results.at(p, w).fom;
+    if (!has_best || fom > summary.best_fom) {
+      summary.best_point = p;
+      summary.best_fom = fom;
+      has_best = true;
+    }
+  }
+  return summary;
 }
 
 std::string DecisionReport::to_table() const {

@@ -43,4 +43,103 @@ struct DecisionReport {
 DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buildups,
                       const TechKits& kits, const FomWeights& weights = {});
 
+// ---------------------------------------------------------------------------
+// Batched assessment pipeline.
+//
+// assess() pays for performance simulation (MNA sweeps of every filter) and
+// area realization on every call, although neither depends on the
+// production-cost inputs a calibration sweep varies.  AssessmentPipeline
+// compiles a case study once — performance and area resolved per build-up,
+// each production flow flattened into a CompiledCostModel — and then costs
+// W parameter vectors per evaluate() call with zero per-point allocation,
+// fanned across the thread pool.  Results are bit-identical to assess()
+// for every thread count and every batch split.
+
+// One parameter vector of a sweep: per-build-up production data (empty =
+// the compiled build-ups' own data) plus the decision weights.
+struct AssessmentInputs {
+  std::vector<ProductionData> production;  // one entry per build-up, or empty
+  FomWeights weights;
+};
+
+// The numeric per-build-up outcome of one sweep point: everything the
+// Fig 3/5/6 decision needs, as plain doubles.
+struct BuildUpSummary {
+  double performance = 0.0;
+  double module_area_mm2 = 0.0;
+  double area_rel = 1.0;
+  double shipped_fraction = 0.0;
+  double direct_cost = 0.0;
+  double chip_cost_direct = 0.0;
+  double yield_loss_per_shipped = 0.0;
+  double nre_per_shipped = 0.0;
+  double final_cost_per_shipped = 0.0;
+  double cost_rel = 1.0;
+  double fom = 0.0;
+};
+
+// The corresponding slice of a full DecisionReport (for equivalence checks
+// and for promoting a sweep point to a report).
+BuildUpSummary summarize(const BuildUpAssessment& assessment);
+
+// Flat batch result: summaries[point * buildups + b].
+struct BatchAssessmentResult {
+  std::size_t points = 0;
+  std::size_t buildups = 0;
+  std::vector<BuildUpSummary> summaries;
+  std::vector<std::size_t> winners;  // per point: index of the highest FoM
+
+  const BuildUpSummary& at(std::size_t point, std::size_t buildup) const {
+    return summaries[point * buildups + buildup];
+  }
+};
+
+class AssessmentPipeline {
+ public:
+  // Compiling runs the full performance and area assessment per build-up —
+  // as expensive as one assess() call — so build once, evaluate often.
+  AssessmentPipeline(const FunctionalBom& bom, std::vector<BuildUp> buildups,
+                     const TechKits& kits);
+
+  std::size_t buildup_count() const { return buildups_.size(); }
+  const std::vector<BuildUp>& buildups() const { return buildups_; }
+  const PerformanceResult& performance(std::size_t buildup) const;
+  const AreaResult& area(std::size_t buildup) const;
+
+  // Full-fidelity scalar path: the DecisionReport assess() would produce
+  // for the compiled build-ups with `inputs` applied (bit-identical to it;
+  // assess() is implemented on top of this).
+  DecisionReport report(const AssessmentInputs& inputs = {}) const;
+
+  // Batched path: cost W parameter vectors.  Deterministic: any thread
+  // count (0 = IPASS_THREADS / hardware) and any split of the same points
+  // into several evaluate() calls produce bit-identical summaries.
+  BatchAssessmentResult evaluate(const std::vector<AssessmentInputs>& points,
+                                 unsigned threads = 0) const;
+
+ private:
+  void evaluate_point(const AssessmentInputs& point, BuildUpSummary* out,
+                      std::size_t& winner) const;
+
+  std::vector<BuildUp> buildups_;
+  std::vector<PerformanceResult> performance_;
+  std::vector<AreaResult> areas_;
+  std::vector<CompiledCostModel> compiled_;
+  std::vector<double> area_rel_;
+  double ref_area_ = 0.0;
+};
+
+// Calibration-input sweep front-end: evaluate every point and aggregate the
+// decision landscape (who wins where, and the strongest overall decision).
+struct CalibrationSweepSummary {
+  BatchAssessmentResult results;
+  std::vector<std::size_t> wins_per_buildup;  // winner counts across points
+  std::size_t best_point = 0;  // point with the highest winning FoM (ties: lowest index)
+  double best_fom = 0.0;
+};
+
+CalibrationSweepSummary sweep_calibration_inputs(const AssessmentPipeline& pipeline,
+                                                 const std::vector<AssessmentInputs>& points,
+                                                 unsigned threads = 0);
+
 }  // namespace ipass::core

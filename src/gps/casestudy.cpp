@@ -21,4 +21,24 @@ core::DecisionReport run_gps_assessment(const GpsCaseStudy& study,
   return core::assess(study.bom, study.buildups, study.kits, weights);
 }
 
+core::AssessmentPipeline make_gps_pipeline(const GpsCaseStudy& study) {
+  return core::AssessmentPipeline(study.bom, study.buildups, study.kits);
+}
+
+core::AssessmentInputs gps_assessment_inputs(const GpsSweepPoint& point) {
+  core::AssessmentInputs inputs;
+  inputs.production = gps_production_data(point.confidential, point.semantics);
+  inputs.weights = point.weights;
+  return inputs;
+}
+
+core::CalibrationSweepSummary run_gps_assessment_batched(
+    const core::AssessmentPipeline& pipeline, const std::vector<GpsSweepPoint>& points,
+    unsigned threads) {
+  std::vector<core::AssessmentInputs> inputs;
+  inputs.reserve(points.size());
+  for (const GpsSweepPoint& p : points) inputs.push_back(gps_assessment_inputs(p));
+  return core::sweep_calibration_inputs(pipeline, inputs, threads);
+}
+
 }  // namespace ipass::gps

@@ -28,4 +28,33 @@ GpsCaseStudy make_gps_case_study(const ConfidentialCosts& confidential,
 core::DecisionReport run_gps_assessment(const GpsCaseStudy& study,
                                         const core::FomWeights& weights = {});
 
+// ---------------------------------------------------------------------------
+// Batched sweeps.  Performance and area do not depend on the confidential
+// inputs, so a sweep over cost hypotheses compiles the case study once and
+// re-costs it per point.
+
+// One point of a batched GPS sweep: a confidential-cost hypothesis plus the
+// yield semantics and decision weights to assess it under.
+struct GpsSweepPoint {
+  ConfidentialCosts confidential;
+  core::YieldSemantics semantics = core::YieldSemantics::PerStep;
+  core::FomWeights weights;
+};
+
+// Compile the case study into a reusable assessment pipeline (performance +
+// area resolved, per-build-up production flows flattened).  As expensive as
+// one run_gps_assessment() call; every sweep point after that is ~free.
+core::AssessmentPipeline make_gps_pipeline(const GpsCaseStudy& study);
+
+// Map a sweep point onto the pipeline's per-build-up parameter vector.
+core::AssessmentInputs gps_assessment_inputs(const GpsSweepPoint& point);
+
+// Evaluate W sweep points against a compiled pipeline.  Bit-identical for
+// any thread count and any batch split; point i's summaries equal
+// core::summarize() of run_gps_assessment() on a case study rebuilt with
+// point i's parameters.
+core::CalibrationSweepSummary run_gps_assessment_batched(
+    const core::AssessmentPipeline& pipeline, const std::vector<GpsSweepPoint>& points,
+    unsigned threads = 0);
+
 }  // namespace ipass::gps

@@ -32,6 +32,55 @@ core::ProductionData mcm_common(const ConfidentialCosts& cc,
   return pd;
 }
 
+// The four ProductionData columns, shared by the build-up constructors and
+// gps_production_data() so a batched sweep re-derives exactly the numbers
+// a rebuilt case study would carry.
+
+core::ProductionData production_pcb_smd(const ConfidentialCosts& cc,
+                                        core::YieldSemantics semantics) {
+  core::ProductionData pd = common_data(cc, semantics);
+  pd.rf_chip_cost = cc.rf_chip_packaged;   // "XX/99.9%"
+  pd.rf_chip_yield = 0.999;
+  pd.dsp_cost = cc.dsp_packaged;           // "ZZ/99.99%"
+  pd.dsp_yield = 0.9999;
+  pd.chip_assembly_cost = 0.15;            // "0.15/93.3%"
+  pd.chip_assembly_yield = 0.933;
+  pd.smd_assembly_cost = 0.01;             // "0.01/99.99%"
+  pd.smd_assembly_yield = 0.9999;
+  pd.nre_total = cc.nre_pcb;
+  return pd;
+}
+
+core::ProductionData production_mcm_wb_smd(const ConfidentialCosts& cc,
+                                           core::YieldSemantics semantics) {
+  core::ProductionData pd = mcm_common(cc, semantics);
+  pd.wire_bond_cost = 0.01;      // "0.01/99.99%", "# Bonds 212"
+  pd.wire_bond_yield = 0.9999;
+  pd.smd_assembly_cost = 0.01;
+  pd.smd_assembly_yield = 0.9999;
+  pd.packaging_cost = 7.30;      // "7.30/96.8%"
+  pd.nre_total = cc.nre_mcm;
+  return pd;
+}
+
+core::ProductionData production_mcm_fc_ip(const ConfidentialCosts& cc,
+                                          core::YieldSemantics semantics) {
+  core::ProductionData pd = mcm_common(cc, semantics);
+  pd.packaging_cost = 4.70;      // "4.70/96.8%"
+  pd.nre_total = cc.nre_mcm_ip;
+  return pd;
+}
+
+core::ProductionData production_mcm_fc_ip_smd(const ConfidentialCosts& cc,
+                                              core::YieldSemantics semantics) {
+  core::ProductionData pd = mcm_common(cc, semantics);
+  pd.smd_assembly_cost = 0.01;   // "0.01/99.99%"
+  pd.smd_assembly_yield = 0.9999;
+  pd.packaging_cost = 3.50;      // "3.50/96.8%"
+  pd.nre_total = cc.nre_mcm_ip;
+  return pd;
+}
+
 }  // namespace
 
 core::BuildUp buildup_pcb_smd(const ConfidentialCosts& cc, core::YieldSemantics semantics) {
@@ -43,18 +92,7 @@ core::BuildUp buildup_pcb_smd(const ConfidentialCosts& cc, core::YieldSemantics 
   b.policy = core::PassivePolicy::AllSmd;
   b.parts_grade = tech::PartsGrade::PcbLine;
   b.uses_laminate = false;
-
-  core::ProductionData pd = common_data(cc, semantics);
-  pd.rf_chip_cost = cc.rf_chip_packaged;   // "XX/99.9%"
-  pd.rf_chip_yield = 0.999;
-  pd.dsp_cost = cc.dsp_packaged;           // "ZZ/99.99%"
-  pd.dsp_yield = 0.9999;
-  pd.chip_assembly_cost = 0.15;            // "0.15/93.3%"
-  pd.chip_assembly_yield = 0.933;
-  pd.smd_assembly_cost = 0.01;             // "0.01/99.99%"
-  pd.smd_assembly_yield = 0.9999;
-  pd.nre_total = cc.nre_pcb;
-  b.production = pd;
+  b.production = production_pcb_smd(cc, semantics);
   return b;
 }
 
@@ -68,15 +106,7 @@ core::BuildUp buildup_mcm_wb_smd(const ConfidentialCosts& cc, core::YieldSemanti
   b.parts_grade = tech::PartsGrade::McmLine;
   b.uses_laminate = true;
   b.smd_on_laminate = true;   // SMDs around the Si module on the BGA laminate
-
-  core::ProductionData pd = mcm_common(cc, semantics);
-  pd.wire_bond_cost = 0.01;      // "0.01/99.99%", "# Bonds 212"
-  pd.wire_bond_yield = 0.9999;
-  pd.smd_assembly_cost = 0.01;
-  pd.smd_assembly_yield = 0.9999;
-  pd.packaging_cost = 7.30;      // "7.30/96.8%"
-  pd.nre_total = cc.nre_mcm;
-  b.production = pd;
+  b.production = production_mcm_wb_smd(cc, semantics);
   return b;
 }
 
@@ -89,11 +119,7 @@ core::BuildUp buildup_mcm_fc_ip(const ConfidentialCosts& cc, core::YieldSemantic
   b.policy = core::PassivePolicy::AllIntegrated;
   b.parts_grade = tech::PartsGrade::McmLine;
   b.uses_laminate = true;
-
-  core::ProductionData pd = mcm_common(cc, semantics);
-  pd.packaging_cost = 4.70;      // "4.70/96.8%"
-  pd.nre_total = cc.nre_mcm_ip;
-  b.production = pd;
+  b.production = production_mcm_fc_ip(cc, semantics);
   return b;
 }
 
@@ -109,13 +135,7 @@ core::BuildUp buildup_mcm_fc_ip_smd(const ConfidentialCosts& cc,
   b.uses_laminate = true;
   b.smd_on_laminate = false;  // the 12 SMDs sit inside the module ("keeping
                               // the IF filters inside the MCM")
-
-  core::ProductionData pd = mcm_common(cc, semantics);
-  pd.smd_assembly_cost = 0.01;   // "0.01/99.99%"
-  pd.smd_assembly_yield = 0.9999;
-  pd.packaging_cost = 3.50;      // "3.50/96.8%"
-  pd.nre_total = cc.nre_mcm_ip;
-  b.production = pd;
+  b.production = production_mcm_fc_ip_smd(cc, semantics);
   return b;
 }
 
@@ -123,6 +143,12 @@ std::vector<core::BuildUp> gps_buildups(const ConfidentialCosts& cc,
                                         core::YieldSemantics semantics) {
   return {buildup_pcb_smd(cc, semantics), buildup_mcm_wb_smd(cc, semantics),
           buildup_mcm_fc_ip(cc, semantics), buildup_mcm_fc_ip_smd(cc, semantics)};
+}
+
+std::vector<core::ProductionData> gps_production_data(const ConfidentialCosts& cc,
+                                                      core::YieldSemantics semantics) {
+  return {production_pcb_smd(cc, semantics), production_mcm_wb_smd(cc, semantics),
+          production_mcm_fc_ip(cc, semantics), production_mcm_fc_ip_smd(cc, semantics)};
 }
 
 }  // namespace ipass::gps

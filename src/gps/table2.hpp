@@ -27,4 +27,11 @@ core::BuildUp buildup_mcm_fc_ip_smd(const ConfidentialCosts& cc,
 std::vector<core::BuildUp> gps_buildups(const ConfidentialCosts& cc,
                                         core::YieldSemantics semantics = core::YieldSemantics::PerStep);
 
+// Just the ProductionData columns of the four build-ups (no build-up
+// geometry, no strings): the per-point parameter vector of a batched
+// assessment sweep.  Entry order matches gps_buildups().
+std::vector<core::ProductionData> gps_production_data(
+    const ConfidentialCosts& cc,
+    core::YieldSemantics semantics = core::YieldSemantics::PerStep);
+
 }  // namespace ipass::gps

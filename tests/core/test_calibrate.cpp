@@ -1,13 +1,71 @@
 #include "core/calibrate.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace ipass::core {
 namespace {
+
+bool bits_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+BatchObjective one_by_one(const Objective& objective) {
+  return [objective](const std::vector<std::vector<double>>& points,
+                     std::vector<double>& values) {
+    for (std::size_t i = 0; i < points.size(); ++i) values[i] = objective(points[i]);
+  };
+}
+
+// A seeded random boxed problem: anisotropic quadratic with the optimum
+// possibly outside the box.
+struct RandomProblem {
+  std::vector<Parameter> parameters;
+  std::vector<double> center;
+  std::vector<double> weight;
+
+  explicit RandomProblem(unsigned seed) {
+    Pcg32 rng(seed);
+    const std::size_t n = 1 + seed % 5;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double lo = rng.uniform(-10.0, 10.0);
+      const double hi = lo + rng.uniform(0.5, 20.0);
+      const double start = rng.uniform(lo, hi);
+      const double step = (hi - lo) * rng.uniform(0.05, 0.5);
+      parameters.push_back({"p" + std::to_string(i), start, lo, hi, step});
+      center.push_back(rng.uniform(-15.0, 15.0));
+      weight.push_back(rng.uniform(0.1, 5.0));
+    }
+  }
+
+  Objective objective() const {
+    return [this](const std::vector<double>& v) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        const double d = v[i] - center[i];
+        sum += weight[i] * d * d;
+      }
+      return sum;
+    };
+  }
+};
+
+void expect_results_identical(const CalibrationResult& a, const CalibrationResult& b) {
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_TRUE(bits_equal(a.objective, b.objective))
+      << a.objective << " vs " << b.objective;
+  ASSERT_EQ(a.parameters.size(), b.parameters.size());
+  for (std::size_t i = 0; i < a.parameters.size(); ++i) {
+    EXPECT_TRUE(bits_equal(a.parameters[i].value, b.parameters[i].value))
+        << "param " << i << ": " << a.parameters[i].value << " vs "
+        << b.parameters[i].value;
+  }
+}
 
 TEST(Calibrate, QuadraticBowl) {
   std::vector<Parameter> params = {
@@ -58,6 +116,132 @@ TEST(Calibrate, StopsAtTolerance) {
   }, opt);
   EXPECT_LE(r.objective, 1e-2);
   EXPECT_LT(r.rounds, 10);
+}
+
+// --- property / fuzz layer -------------------------------------------------
+
+TEST(Calibrate, PropertyRandomQuadratics) {
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    const RandomProblem problem(seed);
+    const Objective objective = problem.objective();
+    const double initial = [&] {
+      std::vector<double> x;
+      for (const Parameter& p : problem.parameters) x.push_back(p.value);
+      return objective(x);
+    }();
+
+    double last_best = 0.0;
+    int reported_rounds = 0;
+    CalibrationOptions opt;
+    opt.max_rounds = 80;
+    opt.on_round = [&](int round, double best) {
+      // The best objective is monotonically non-increasing across rounds.
+      if (reported_rounds > 0) EXPECT_LE(best, last_best) << "seed " << seed;
+      EXPECT_EQ(round, reported_rounds + 1);
+      reported_rounds = round;
+      last_best = best;
+    };
+
+    const CalibrationResult r = calibrate(problem.parameters, objective, opt);
+    EXPECT_EQ(r.rounds, reported_rounds) << "seed " << seed;
+    EXPECT_LE(r.objective, initial) << "seed " << seed;
+    EXPECT_TRUE(bits_equal(r.objective, last_best)) << "seed " << seed;
+    EXPECT_EQ(r.proposed, r.evaluations) << "seed " << seed;  // serial mode
+    ASSERT_EQ(r.parameters.size(), problem.parameters.size());
+    std::vector<double> fitted;
+    for (std::size_t i = 0; i < r.parameters.size(); ++i) {
+      // Fitted values stay inside the box.
+      EXPECT_GE(r.parameters[i].value, r.parameters[i].min) << "seed " << seed;
+      EXPECT_LE(r.parameters[i].value, r.parameters[i].max) << "seed " << seed;
+      fitted.push_back(r.parameters[i].value);
+    }
+    // The reported objective is the objective at the fitted point.
+    EXPECT_TRUE(bits_equal(r.objective, objective(fitted))) << "seed " << seed;
+  }
+}
+
+TEST(Calibrate, BatchedIdenticalToSerialRandomQuadratics) {
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    const RandomProblem problem(seed);
+    const Objective objective = problem.objective();
+    CalibrationOptions opt;
+    opt.max_rounds = 80;
+    const CalibrationResult serial = calibrate(problem.parameters, objective, opt);
+    const CalibrationResult batched =
+        calibrate_batched(problem.parameters, one_by_one(objective), opt);
+    expect_results_identical(serial, batched);
+    // Speculation may score extra candidates but never consumes them.
+    EXPECT_GE(batched.proposed, batched.evaluations) << "seed " << seed;
+  }
+}
+
+TEST(Calibrate, BatchedIdenticalToSerialRosenbrock) {
+  const std::vector<Parameter> params = {
+      {"a", 0.0, -2.0, 2.0, 0.5},
+      {"b", 0.0, -2.0, 2.0, 0.5},
+  };
+  const Objective rosenbrock = [](const std::vector<double>& v) {
+    const double t1 = v[1] - v[0] * v[0];
+    const double t2 = 1.0 - v[0];
+    return 10.0 * t1 * t1 + t2 * t2;
+  };
+  CalibrationOptions opt;
+  opt.max_rounds = 400;
+  const CalibrationResult serial = calibrate(params, rosenbrock, opt);
+  const CalibrationResult batched = calibrate_batched(params, one_by_one(rosenbrock), opt);
+  expect_results_identical(serial, batched);
+  EXPECT_LT(batched.objective, 0.05);
+}
+
+// --- degenerate boxes and step validation ----------------------------------
+
+TEST(Calibrate, DegenerateBoxIsHeldFixed) {
+  // max == min: the parameter has one feasible value; it must neither move
+  // nor stall the descent of the free parameters.
+  const std::vector<Parameter> params = {
+      {"pinned", 2.0, 2.0, 2.0, 0.0},
+      {"x", 0.0, -10.0, 10.0, 1.0},
+  };
+  const CalibrationResult r = calibrate(params, [](const std::vector<double>& v) {
+    return v[0] + (v[1] - 3.0) * (v[1] - 3.0);
+  });
+  EXPECT_TRUE(bits_equal(r.parameters[0].value, 2.0));
+  EXPECT_NEAR(r.parameters[1].value, 3.0, 1e-3);
+  EXPECT_LT(r.rounds, 100);  // the degenerate axis must not block the stall test
+}
+
+TEST(Calibrate, AllParametersFixedTerminatesImmediately) {
+  const std::vector<Parameter> params = {{"only", 1.5, 1.5, 1.5, 0.0}};
+  int calls = 0;
+  const CalibrationResult r = calibrate(params, [&](const std::vector<double>& v) {
+    ++calls;
+    return v[0] * v[0];
+  });
+  EXPECT_EQ(calls, 1);  // the initial point only
+  EXPECT_EQ(r.evaluations, 1);
+  EXPECT_TRUE(bits_equal(r.parameters[0].value, 1.5));
+}
+
+TEST(Calibrate, DegenerateBoxValueMismatchThrows) {
+  EXPECT_THROW(calibrate({{"pinned", 1.0, 2.0, 2.0, 0.1}},
+                         [](const std::vector<double>&) { return 0.0; }),
+               PreconditionError);
+}
+
+TEST(Calibrate, StepErrorsNameTheParameter) {
+  const Objective zero = [](const std::vector<double>&) { return 0.0; };
+  try {
+    calibrate({{"rf_chip_price", 0.5, 0.0, 1.0, 0.0}}, zero);
+    FAIL() << "zero step must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("rf_chip_price"), std::string::npos) << e.what();
+  }
+  try {
+    calibrate({{"nre_pool", 0.5, 0.0, 1.0, -0.25}}, zero);
+    FAIL() << "negative step must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("nre_pool"), std::string::npos) << e.what();
+  }
 }
 
 TEST(Calibrate, Preconditions) {

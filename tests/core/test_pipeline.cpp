@@ -1,0 +1,201 @@
+// The batched assessment pipeline: scalar equivalence, thread-count and
+// batch-split invariance (the determinism contract of common/parallel.hpp
+// applied to the assessment stack).
+#include <cstdlib>
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/methodology.hpp"
+#include "gps/casestudy.hpp"
+
+namespace ipass::core {
+namespace {
+
+bool bits_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+// The field walks in this file assume an all-double struct.
+static_assert(sizeof(BuildUpSummary) % sizeof(double) == 0,
+              "BuildUpSummary gained a non-double member; update the field walks");
+
+void expect_batches_identical(const BatchAssessmentResult& a, const BatchAssessmentResult& b) {
+  ASSERT_EQ(a.points, b.points);
+  ASSERT_EQ(a.buildups, b.buildups);
+  ASSERT_EQ(a.summaries.size(), b.summaries.size());
+  EXPECT_EQ(a.winners, b.winners);
+  constexpr std::size_t kFields = sizeof(BuildUpSummary) / sizeof(double);
+  for (std::size_t i = 0; i < a.summaries.size(); ++i) {
+    const double* pa = &a.summaries[i].performance;
+    const double* pb = &b.summaries[i].performance;
+    for (std::size_t f = 0; f < kFields; ++f) {
+      EXPECT_TRUE(bits_equal(pa[f], pb[f]))
+          << "summary " << i << " field " << f << ": " << pa[f] << " vs " << pb[f];
+    }
+  }
+}
+
+// A sweep with some spread: chip prices, NRE, volume, test coverage, yield
+// semantics and weights all vary across points.
+std::vector<gps::GpsSweepPoint> make_sweep(const gps::GpsCaseStudy& study, std::size_t n) {
+  std::vector<gps::GpsSweepPoint> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gps::GpsSweepPoint& p = points[i];
+    p.confidential = study.confidential;
+    p.confidential.rf_chip_bare = 15.0 + 0.5 * static_cast<double>(i % 11);
+    p.confidential.dsp_bare = 26.0 + 0.75 * static_cast<double>(i % 7);
+    p.confidential.nre_mcm_ip = 30000.0 + 2500.0 * static_cast<double>(i % 13);
+    p.confidential.volume = 4000.0 + 1000.0 * static_cast<double>(i % 5);
+    if (i % 4 == 1) p.confidential.functional_test_coverage = 0.0;
+    if (i % 3 == 2) p.semantics = YieldSemantics::PerJoint;
+    p.weights.performance = 1.0 + 0.25 * static_cast<double>(i % 3);
+    p.weights.cost = 0.75 + 0.125 * static_cast<double>(i % 4);
+  }
+  return points;
+}
+
+std::vector<AssessmentInputs> as_inputs(const std::vector<gps::GpsSweepPoint>& points) {
+  std::vector<AssessmentInputs> inputs;
+  inputs.reserve(points.size());
+  for (const gps::GpsSweepPoint& p : points) inputs.push_back(gps::gps_assessment_inputs(p));
+  return inputs;
+}
+
+TEST(AssessmentPipeline, SinglePointMatchesScalarAssessmentBitwise) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+
+  const DecisionReport scalar = gps::run_gps_assessment(study);
+  // Empty production = the compiled build-ups' own data.
+  const BatchAssessmentResult batch = pipeline.evaluate({AssessmentInputs{}});
+  ASSERT_EQ(batch.points, 1u);
+  ASSERT_EQ(batch.buildups, scalar.assessments.size());
+  EXPECT_EQ(batch.winners[0], scalar.winner);
+
+  constexpr std::size_t kFields = sizeof(BuildUpSummary) / sizeof(double);
+  for (std::size_t b = 0; b < batch.buildups; ++b) {
+    const BuildUpSummary expected = summarize(scalar.assessments[b]);
+    const double* pa = &batch.at(0, b).performance;
+    const double* pb = &expected.performance;
+    for (std::size_t f = 0; f < kFields; ++f) {
+      EXPECT_TRUE(bits_equal(pa[f], pb[f])) << "build-up " << b << " field " << f;
+    }
+  }
+}
+
+TEST(AssessmentPipeline, ReportEqualsAssess) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const DecisionReport from_pipeline = pipeline.report();
+  const DecisionReport from_assess = assess(study.bom, study.buildups, study.kits);
+  ASSERT_EQ(from_pipeline.assessments.size(), from_assess.assessments.size());
+  EXPECT_EQ(from_pipeline.winner, from_assess.winner);
+  for (std::size_t b = 0; b < from_assess.assessments.size(); ++b) {
+    EXPECT_TRUE(bits_equal(from_pipeline.assessments[b].fom, from_assess.assessments[b].fom));
+    EXPECT_TRUE(bits_equal(from_pipeline.assessments[b].cost_rel,
+                           from_assess.assessments[b].cost_rel));
+    EXPECT_TRUE(bits_equal(from_pipeline.assessments[b].cost.final_cost_per_shipped,
+                           from_assess.assessments[b].cost.final_cost_per_shipped));
+  }
+}
+
+TEST(AssessmentPipeline, ThreadCountInvariance) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<AssessmentInputs> inputs = as_inputs(make_sweep(study, 33));
+
+  ASSERT_EQ(setenv("IPASS_THREADS", "1", 1), 0);
+  const BatchAssessmentResult serial = pipeline.evaluate(inputs);
+  ASSERT_EQ(setenv("IPASS_THREADS", "8", 1), 0);
+  const BatchAssessmentResult parallel = pipeline.evaluate(inputs);
+  unsetenv("IPASS_THREADS");
+  const BatchAssessmentResult explicit_three = pipeline.evaluate(inputs, 3);
+
+  expect_batches_identical(serial, parallel);
+  expect_batches_identical(serial, explicit_three);
+}
+
+TEST(AssessmentPipeline, BatchSplitInvariance) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<AssessmentInputs> inputs = as_inputs(make_sweep(study, 21));
+
+  const BatchAssessmentResult whole = pipeline.evaluate(inputs, 2);
+
+  const std::size_t split = 8;  // not a multiple of the internal chunk
+  const std::vector<AssessmentInputs> head(inputs.begin(), inputs.begin() + split);
+  const std::vector<AssessmentInputs> tail(inputs.begin() + split, inputs.end());
+  BatchAssessmentResult stitched = pipeline.evaluate(head, 2);
+  const BatchAssessmentResult rest = pipeline.evaluate(tail, 2);
+  stitched.points += rest.points;
+  stitched.summaries.insert(stitched.summaries.end(), rest.summaries.begin(),
+                            rest.summaries.end());
+  stitched.winners.insert(stitched.winners.end(), rest.winners.begin(), rest.winners.end());
+
+  expect_batches_identical(whole, stitched);
+}
+
+TEST(AssessmentPipeline, SweepPointsMatchRebuiltStudies) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<gps::GpsSweepPoint> points = make_sweep(study, 7);
+  const CalibrationSweepSummary sweep = gps::run_gps_assessment_batched(pipeline, points);
+
+  constexpr std::size_t kFields = sizeof(BuildUpSummary) / sizeof(double);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const gps::GpsCaseStudy rebuilt =
+        gps::make_gps_case_study(points[p].confidential, points[p].semantics);
+    const DecisionReport scalar = gps::run_gps_assessment(rebuilt, points[p].weights);
+    EXPECT_EQ(sweep.results.winners[p], scalar.winner) << "point " << p;
+    for (std::size_t b = 0; b < sweep.results.buildups; ++b) {
+      const BuildUpSummary expected = summarize(scalar.assessments[b]);
+      const double* pa = &sweep.results.at(p, b).performance;
+      const double* pb = &expected.performance;
+      for (std::size_t f = 0; f < kFields; ++f) {
+        EXPECT_TRUE(bits_equal(pa[f], pb[f]))
+            << "point " << p << " build-up " << b << " field " << f;
+      }
+    }
+  }
+}
+
+TEST(SweepCalibrationInputs, AggregatesAreConsistent) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<AssessmentInputs> inputs = as_inputs(make_sweep(study, 19));
+  const CalibrationSweepSummary sweep = sweep_calibration_inputs(pipeline, inputs);
+
+  ASSERT_EQ(sweep.wins_per_buildup.size(), pipeline.buildup_count());
+  std::size_t total_wins = 0;
+  for (const std::size_t w : sweep.wins_per_buildup) total_wins += w;
+  EXPECT_EQ(total_wins, inputs.size());
+
+  // best_point carries the highest winning FoM.
+  ASSERT_LT(sweep.best_point, sweep.results.points);
+  for (std::size_t p = 0; p < sweep.results.points; ++p) {
+    const double fom = sweep.results.at(p, sweep.results.winners[p]).fom;
+    EXPECT_LE(fom, sweep.best_fom);
+  }
+  EXPECT_TRUE(bits_equal(
+      sweep.best_fom, sweep.results.at(sweep.best_point, sweep.results.winners[sweep.best_point]).fom));
+}
+
+TEST(AssessmentPipeline, ValidatesProductionVectorSize) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  AssessmentInputs bad;
+  bad.production.resize(2);  // 4 build-ups compiled
+  EXPECT_THROW(pipeline.evaluate({bad}), PreconditionError);
+  EXPECT_THROW(pipeline.report(bad), PreconditionError);
+}
+
+TEST(AssessmentPipeline, EmptyBatchIsFine) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const BatchAssessmentResult empty = pipeline.evaluate({});
+  EXPECT_EQ(empty.points, 0u);
+  EXPECT_TRUE(empty.summaries.empty());
+}
+
+}  // namespace
+}  // namespace ipass::core

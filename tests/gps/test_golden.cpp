@@ -1,0 +1,136 @@
+// Golden-file regression suite: the seed run_gps_assessment() DecisionReport
+// serialized with %.17g (exact binary64 round-trip) and pinned under
+// tests/gps/golden/.  Any refactor of the assessment stack that drifts the
+// paper's numbers by even one ulp fails here.  Regenerate deliberately with
+// build/gen_gps_golden (see tools/gen_gps_golden.cpp).
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/export.hpp"
+#include "gps/casestudy.hpp"
+
+#ifndef IPASS_GOLDEN_DIR
+#error "IPASS_GOLDEN_DIR must point at tests/gps/golden"
+#endif
+
+namespace ipass {
+namespace {
+
+std::string read_golden(const char* name) {
+  const std::string path = std::string(IPASS_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Field-for-field: every line of the serialization must match, and with
+// %.17g formatting a matching line means bitwise-matching doubles.
+void expect_matches_golden(const core::DecisionReport& report, const char* golden_name) {
+  const std::vector<std::string> expected = lines_of(read_golden(golden_name));
+  const std::vector<std::string> actual = lines_of(core::decision_report_json(report));
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(actual.size(), expected.size()) << golden_name;
+  for (std::size_t i = 0; i < std::min(actual.size(), expected.size()); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << golden_name << " line " << i + 1;
+  }
+}
+
+bool bits_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+void expect_summary_bits(const core::BuildUpSummary& a, const core::BuildUpSummary& b,
+                         std::size_t buildup) {
+  // The field walk below assumes an all-double struct.
+  static_assert(sizeof(core::BuildUpSummary) % sizeof(double) == 0,
+                "BuildUpSummary gained a non-double member; update the field walk");
+  const double* pa = &a.performance;
+  const double* pb = &b.performance;
+  constexpr std::size_t kFields = sizeof(core::BuildUpSummary) / sizeof(double);
+  for (std::size_t f = 0; f < kFields; ++f) {
+    EXPECT_TRUE(bits_equal(pa[f], pb[f]))
+        << "build-up " << buildup << " field " << f << ": " << pa[f] << " vs " << pb[f];
+  }
+}
+
+TEST(GpsGolden, DefaultAssessmentMatchesGolden) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  expect_matches_golden(gps::run_gps_assessment(study), "default.json");
+}
+
+TEST(GpsGolden, PerJointSemanticsMatchesGolden) {
+  const gps::GpsCaseStudy study =
+      gps::make_gps_case_study(core::YieldSemantics::PerJoint);
+  expect_matches_golden(gps::run_gps_assessment(study), "per_joint.json");
+}
+
+TEST(GpsGolden, WeightedFomMatchesGolden) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  core::FomWeights weights;
+  weights.performance = 2.0;
+  weights.size = 1.0;
+  weights.cost = 0.5;
+  expect_matches_golden(gps::run_gps_assessment(study, weights), "weighted.json");
+}
+
+// The pipeline's scalar path must reproduce the golden reports too (it is
+// what core::assess() now runs on).
+TEST(GpsGolden, PipelineReportMatchesGolden) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  expect_matches_golden(pipeline.report(), "default.json");
+
+  core::AssessmentInputs weighted;
+  weighted.weights.performance = 2.0;
+  weighted.weights.size = 1.0;
+  weighted.weights.cost = 0.5;
+  expect_matches_golden(pipeline.report(weighted), "weighted.json");
+}
+
+// And the batched path must agree with the golden-pinned scalar path down
+// to the last bit, for each golden variant.
+TEST(GpsGolden, BatchedPipelineReproducesGoldenVariants) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+
+  std::vector<gps::GpsSweepPoint> points(3);
+  points[0].confidential = study.confidential;
+  points[1].confidential = study.confidential;
+  points[1].semantics = core::YieldSemantics::PerJoint;
+  points[2].confidential = study.confidential;
+  points[2].weights.performance = 2.0;
+  points[2].weights.size = 1.0;
+  points[2].weights.cost = 0.5;
+
+  const core::CalibrationSweepSummary sweep =
+      gps::run_gps_assessment_batched(pipeline, points);
+  ASSERT_EQ(sweep.results.points, 3u);
+  ASSERT_EQ(sweep.results.buildups, 4u);
+
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const gps::GpsCaseStudy rebuilt =
+        gps::make_gps_case_study(points[p].confidential, points[p].semantics);
+    const core::DecisionReport scalar =
+        gps::run_gps_assessment(rebuilt, points[p].weights);
+    EXPECT_EQ(sweep.results.winners[p], scalar.winner) << "point " << p;
+    for (std::size_t b = 0; b < 4; ++b) {
+      expect_summary_bits(sweep.results.at(p, b), core::summarize(scalar.assessments[b]), b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ipass

@@ -24,6 +24,8 @@ HOT_BENCHES = [
     "BM_MnaSweepWorkspace",
     "BM_MonteCarloCostSerial/100000/real_time",
     "BM_ScenarioGrid/100000/real_time",
+    "BM_GpsAssessment/64/real_time",
+    "BM_CalibrationSweep/real_time",
 ]
 
 

@@ -1,0 +1,58 @@
+// Regenerate the golden DecisionReport files under tests/gps/golden/.
+//
+// The goldens pin the paper-reproduction numbers (Figs 3/5/6, Table 2) down
+// to the last bit: tests/gps/test_golden.cpp asserts that the assessment
+// stack reproduces these files exactly, so a refactor that drifts any
+// double by one ulp fails loudly.  Only regenerate when a change is *meant*
+// to move the numbers, and say so in the commit message.
+//
+// Usage: gen_gps_golden <output-dir>
+#include <cstdio>
+#include <fstream>
+
+#include "core/export.hpp"
+#include "gps/casestudy.hpp"
+
+using namespace ipass;
+
+namespace {
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 1;
+  }
+  const std::string dir = argv[1];
+
+  // The paper's run: per-step Table-2 yields, unweighted figure of merit.
+  const gps::GpsCaseStudy per_step = gps::make_gps_case_study();
+  write_file(dir + "/default.json",
+             core::decision_report_json(gps::run_gps_assessment(per_step)));
+
+  // Per-joint yield semantics (212 bond wires at 99.99% each, etc.).
+  const gps::GpsCaseStudy per_joint =
+      gps::make_gps_case_study(core::YieldSemantics::PerJoint);
+  write_file(dir + "/per_joint.json",
+             core::decision_report_json(gps::run_gps_assessment(per_joint)));
+
+  // Weighted figure of merit (performance-heavy decision).
+  core::FomWeights weights;
+  weights.performance = 2.0;
+  weights.size = 1.0;
+  weights.cost = 0.5;
+  write_file(dir + "/weighted.json",
+             core::decision_report_json(gps::run_gps_assessment(per_step, weights)));
+  return 0;
+}
