@@ -9,7 +9,9 @@
 #include "common/rng.hpp"
 #include "core/calibrate.hpp"
 #include "core/methodology.hpp"
+#include "core/pareto.hpp"
 #include "core/scenario_grid.hpp"
+#include "core/sensitivity.hpp"
 #include "gps/casestudy.hpp"
 #include "gps/published.hpp"
 #include "moe/montecarlo.hpp"
@@ -251,6 +253,100 @@ void BM_GpsAssessmentParallel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_GpsAssessmentParallel)->Arg(1024)->Arg(16384)->UseRealTime();
+
+// Steady-state per-point cost of the SoA batch walk: prebuilt inputs, the
+// compile amortized away, pinned to one thread.  This is the µs/point
+// number the ROADMAP tracks.
+void BM_GpsAssessmentEvaluate(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<gps::GpsSweepPoint> points =
+      gps_sweep_points(study, static_cast<std::size_t>(state.range(0)));
+  std::vector<core::AssessmentInputs> inputs;
+  inputs.reserve(points.size());
+  for (const gps::GpsSweepPoint& p : points) inputs.push_back(gps::gps_assessment_inputs(p));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.evaluate(inputs, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GpsAssessmentEvaluate)->Arg(1024)->UseRealTime();
+
+// ---- sensitivity: per-perturbation re-assessment vs the batched pipeline ----
+
+// The pre-pipeline implementation of cost_sensitivity: realize the area and
+// rebuild + walk the full production flow for every perturbed build-up.
+// Kept as the engine-tier comparison point.
+void BM_SensitivitySerial(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::BuildUp& buildup = study.buildups[3];
+  const std::vector<core::SensitivityInput> inputs = core::standard_inputs();
+  for (auto _ : state) {
+    auto final_cost = [&](const core::BuildUp& b) {
+      const core::AreaResult area = core::assess_area(study.bom, b, study.kits);
+      return core::assess_cost(area, b).report.final_cost_per_shipped;
+    };
+    const double base = final_cost(buildup);
+    double acc = base;
+    for (const core::SensitivityInput& input : inputs) {
+      acc += final_cost(input.perturb(buildup, 0.05));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(inputs.size() + 1));
+}
+BENCHMARK(BM_SensitivitySerial)->UseRealTime();
+
+// Pipeline-backed cost_sensitivity (area realized once, every perturbation
+// one compiled-cost lane), pinned to one thread.
+void BM_Sensitivity(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  core::SensitivityOptions opt;
+  opt.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::cost_sensitivity(study.bom, study.buildups[3], study.kits, opt));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(core::standard_inputs().size() + 1));
+}
+BENCHMARK(BM_Sensitivity)->UseRealTime();
+
+// ---- Pareto fronts over a sweep: full re-assessment vs the pipeline ----
+
+// Per point: rebuild the case study, run the full assessment, analyze.
+void BM_ParetoSerial(benchmark::State& state) {
+  const gps::GpsCaseStudy base = gps::make_gps_case_study();
+  const std::vector<gps::GpsSweepPoint> points =
+      gps_sweep_points(base, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t frontier = 0;
+    for (const gps::GpsSweepPoint& p : points) {
+      const gps::GpsCaseStudy study = gps::make_gps_case_study(p.confidential, p.semantics);
+      const core::DecisionReport report = gps::run_gps_assessment(study, p.weights);
+      for (const core::ParetoEntry& e : core::pareto_analysis(report)) {
+        if (!e.dominated) ++frontier;
+      }
+    }
+    benchmark::DoNotOptimize(frontier);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParetoSerial)->Arg(16)->UseRealTime();
+
+// Pipeline-backed sweep (compile included, like BM_GpsAssessment), pinned
+// to one thread.
+void BM_Pareto(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const std::vector<gps::GpsSweepPoint> points =
+      gps_sweep_points(study, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+    benchmark::DoNotOptimize(gps::run_gps_pareto_sweep(pipeline, points, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Pareto)->Arg(16)->Arg(256)->UseRealTime();
 
 // Whole-round batched coordinate descent against the Fig-5 cost targets on
 // a compiled pipeline (the bench_calibration workload, engine tier only).

@@ -25,6 +25,26 @@ int main() {
   std::puts("cost' bar of Fig 5); the IP build-ups add a strong substrate-yield");
   std::puts("elasticity -- the technology risk the paper's abstract mentions.\n");
 
+  std::puts("=== Forward vs central difference (build-up 3, step 20%) ===\n");
+  core::SensitivityOptions fwd;
+  fwd.rel_step = 0.2;
+  core::SensitivityOptions central = fwd;
+  central.difference = core::FiniteDifference::Central;
+  const core::SensitivityReport rf_ =
+      core::cost_sensitivity(study.bom, study.buildups[2], study.kits, fwd);
+  const core::SensitivityReport rc =
+      core::cost_sensitivity(study.bom, study.buildups[2], study.kits, central);
+  for (const core::SensitivityRow& row : rf_.rows) {
+    for (const core::SensitivityRow& crow : rc.rows) {
+      if (crow.input != row.input) continue;
+      std::printf("%-32s forward %+7.3f   central %+7.3f\n", row.input.c_str(),
+                  row.elasticity, crow.elasticity);
+    }
+  }
+  std::puts("\nOn nonlinear inputs (the yield-loss scalings) the one-sided");
+  std::puts("difference is biased by the curvature; central removes the");
+  std::puts("first-order bias at the same step size.\n");
+
   std::puts("=== Pareto view of the decision (Fig 6 restated) ===\n");
   const core::DecisionReport report = gps::run_gps_assessment(study);
   std::fputs(core::pareto_table(report).c_str(), stdout);

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/units.hpp"
+#include "core/flow_walk_kernel.hpp"
 
 namespace ipass::core {
 
@@ -118,193 +119,352 @@ CompiledCostModel compile_cost_model(const AreaResult& area, const BuildUp& buil
 
 namespace {
 
-// Flattened step for the compiled walk: the numbers a Step carries, no
-// strings.  At most two components (the chip lot) per step.
-struct FlatComponent {
-  double unit_cost = 0.0;
-  int count = 0;
-  double incoming_yield = 1.0;
-  CostCategory category = CostCategory::Passives;
-};
-
-struct FlatStep {
-  bool is_test = false;
-  CostCategory category = CostCategory::Assembly;
-  double cost = 0.0;
-  double cost_per_component = 0.0;
-  int n_components = 0;
-  FlatComponent comp[2];
-  double lambda = 0.0;         // non-test: added fault intensity
-  double fault_coverage = 0.0;  // test only
-};
-
-// Mirrors Step::component_count().
-int flat_component_count(const FlatStep& s) {
-  int sum = 0;
-  for (int i = 0; i < s.n_components; ++i) sum += s.comp[i].count;
-  return sum;
-}
-
-// Mirrors Step::added_fault_intensity(), same operation order.
-double flat_fault_intensity(const FlatStep& s, const YieldSpec& yield) {
-  double lambda = moe::fault_intensity(yield);
-  for (int i = 0; i < s.n_components; ++i) {
-    const FlatComponent& c = s.comp[i];
-    require(c.incoming_yield > 0.0 && c.incoming_yield <= 1.0,
-            "ComponentInput: incoming yield must be in (0,1]");
-    lambda += -std::log(c.incoming_yield) * c.count;
-  }
-  return lambda;
-}
-
-FlatStep flat_process(CostCategory category, double cost, const YieldSpec& yield) {
-  FlatStep s;
-  s.category = category;
-  s.cost = cost;
-  s.lambda = flat_fault_intensity(s, yield);
-  return s;
-}
-
-FlatStep flat_test(double cost, double fault_coverage, const char* what) {
-  require(fault_coverage >= 0.0 && fault_coverage <= 1.0, what);
-  FlatStep s;
-  s.is_test = true;
-  s.category = CostCategory::Test;
-  s.cost = cost;
-  s.fault_coverage = fault_coverage;
-  return s;
-}
-
-// Build the flat step sequence for (model, pd): the numeric twin of
-// build_flow(), step for step.
-int build_flat_steps(const CompiledCostModel& m, const ProductionData& pd,
-                     FlatStep* steps) {
-  require(pd.volume > 0.0, "FlowModel: volume must be positive");
-  require(pd.nre_total >= 0.0, "FlowModel: NRE must be non-negative");
-  int n = 0;
-
-  // --- carrier fabrication ---
-  steps[n++] = flat_process(CostCategory::Substrate, m.substrate_cost,
-                            FixedYield{m.substrate_fab_yield});
-  if (m.integrated_passive_steps) {
-    for (int i = 0; i < 3; ++i) {
-      steps[n++] = flat_process(CostCategory::Substrate, 0.0, FixedYield{1.0});
-    }
-  }
-
-  // --- dice ---
-  {
-    FlatStep s;
-    s.category = CostCategory::Assembly;
-    s.cost = 0.0;
-    s.cost_per_component = pd.chip_assembly_cost;
-    s.n_components = 2;
-    s.comp[0] = {pd.rf_chip_cost, 1, pd.rf_chip_yield, CostCategory::Chips};
-    s.comp[1] = {pd.dsp_cost, 1, pd.dsp_yield, CostCategory::Chips};
-    s.lambda = flat_fault_intensity(s, step_yield(pd.chip_assembly_yield, 2, pd.semantics));
-    steps[n++] = s;
-  }
-  if (m.wire_bonded) {
-    steps[n++] = flat_process(
-        CostCategory::Assembly, pd.wire_bond_cost * m.bond_count,
-        step_yield(pd.wire_bond_yield, m.bond_count, pd.semantics));
-  }
-
-  // --- SMD passives on the carrier ---
-  FlatStep smd;
-  if (m.smd_count > 0) {
-    smd.category = CostCategory::Assembly;
-    smd.cost = 0.0;
-    smd.cost_per_component = pd.smd_assembly_cost;
-    smd.n_components = 1;
-    smd.comp[0] = {m.smd_parts_cost / m.smd_count, m.smd_count, 1.0,
-                   CostCategory::Passives};
-    smd.lambda = flat_fault_intensity(
-        smd, step_yield(pd.smd_assembly_yield, m.smd_count, pd.semantics));
-  }
-  if (m.smd_on_carrier) steps[n++] = smd;
-
-  // --- functional test before packaging ---
-  if (pd.functional_test_coverage > 0.0) {
-    steps[n++] = flat_test(pd.functional_test_cost, pd.functional_test_coverage,
-                           "FlowModel::test: coverage must be in [0,1]");
-  }
-
-  // --- packaging ---
-  if (m.uses_laminate) {
-    FlatStep pack = flat_process(CostCategory::Packaging, pd.packaging_cost,
-                                 FixedYield{pd.packaging_yield});
-    steps[n++] = pack;
-    if (m.smd_count > 0 && m.smd_on_laminate) steps[n++] = smd;
-  }
-
-  // --- final test ---
-  steps[n++] = flat_test(pd.final_test_cost, pd.final_test_coverage,
-                         "FlowModel::test: coverage must be in [0,1]");
-  return n;
-}
+// ---------------------------------------------------------------------------
+// SoA-batched compiled walk.
+//
+// The flattened flow of (model, pd) is the numeric twin of build_flow(),
+// step for step.  A batch of lanes with identical step *structure* (same
+// model flags, same SMD count, functional test present in all or none)
+// shares one structural skeleton; every per-lane number lives in a
+// lane-major plane field[step][lane].  Each lane is then walked through the
+// shared flow-walk kernel, so a lane's CostSummary is bit-identical to the
+// FlowModel path no matter how the sweep was batched.
 
 // Upper bound on steps: fabricate + 3 IP + chips + bonds + SMD + functional
 // test + package + laminate SMD + final test.
 inline constexpr int kMaxFlatSteps = 12;
 
-}  // namespace
+// Lane-shared structure of one flattened step.  At most two component lots
+// (the chip pair) per step; component counts are model-derived and
+// therefore lane-shared.
+struct FlatComponentInfo {
+  int count = 0;
+  CostCategory category = CostCategory::Passives;
+};
 
-CostSummary evaluate_compiled_cost(const CompiledCostModel& model, const ProductionData& pd) {
-  FlatStep steps[kMaxFlatSteps];
-  const int n_steps = build_flat_steps(model, pd, steps);
+struct FlatStepInfo {
+  bool is_test = false;
+  CostCategory category = CostCategory::Assembly;
+  int n_components = 0;
+  FlatComponentInfo comp[2];
+};
 
-  // The walk below is a line-for-line numeric twin of evaluate_analytic()
-  // (same expressions, same order), so every output bit matches the
-  // FlowModel path.  Compiled flows never rework, so that branch is gone.
-  double alive = 1.0;
-  double lambda = 0.0;
+struct FlatBatch {
+  std::size_t lanes = 0;
+  int n_steps = 0;
+  FlatStepInfo info[kMaxFlatSteps];
+  // Lane-major planes [step][lane].  `cost` carries the walk's already
+  // combined direct step cost (for tests: the test cost); `lambda` and
+  // `coverage` are only read for their step kind.
+  double cost[kMaxFlatSteps][kCostBatchLanes];
+  double comp_unit_cost[kMaxFlatSteps][2][kCostBatchLanes];
+  double lambda[kMaxFlatSteps][kCostBatchLanes];
+  double coverage[kMaxFlatSteps][kCostBatchLanes];
+};
+
+// Mirrors one ComponentInput's contribution to Step::added_fault_intensity().
+double component_lambda(double incoming_yield, int count) {
+  require(incoming_yield > 0.0 && incoming_yield <= 1.0,
+          "ComponentInput: incoming yield must be in (0,1]");
+  return -std::log(incoming_yield) * count;
+}
+
+// Transcendental memo shared by the lanes of a group.  exp (like the log
+// chains behind the lambda planes) is a pure function, so equal argument
+// bits give equal result bits — reusing the previous lane's value when the
+// argument repeats changes nothing.  In calibration-style sweeps the yield
+// inputs rarely vary across points, so almost every lane past the first
+// hits the cache; that is the batch path's main win over W scalar calls.
+// (operator== only conflates +0.0/-0.0, where exp agrees too.)
+struct ExpCache {
+  bool valid = false;
+  double arg = 0.0;
+  double value = 0.0;
+
+  double operator()(double x) {
+    if (!valid || arg != x) {
+      valid = true;
+      arg = x;
+      value = std::exp(x);
+    }
+    return value;
+  }
+};
+
+void check_coverage(double fault_coverage) {
+  require(fault_coverage >= 0.0 && fault_coverage <= 1.0,
+          "FlowModel::test: coverage must be in [0,1]");
+}
+
+// Build the flattened flow for `lanes` structure-identical points: the
+// numeric twin of build_flow(), step for step.  The walk's per-step direct
+// cost `s.cost + s.cost_per_component * component_count` is precombined
+// per lane here — every expression keeps the FlowModel path's operands and
+// order, so no bit changes (a dropped `+ 0.0` term is exact for the
+// non-negative costs booked along a flow).
+void build_flat_batch(const CostEvalPoint* pts, std::size_t lanes, FlatBatch& b) {
+  b.lanes = lanes;
+  const CompiledCostModel& m0 = *pts[0].model;  // lane-shared structure flags
+  for (std::size_t w = 0; w < lanes; ++w) {
+    require(pts[w].pd->volume > 0.0, "FlowModel: volume must be positive");
+    require(pts[w].pd->nre_total >= 0.0, "FlowModel: NRE must be non-negative");
+  }
+  int n = 0;
+
+  // The lambda planes below reuse the previous lane's value whenever the
+  // yield inputs repeat — the -ln chains are pure functions, so equal
+  // inputs give equal bits, and sweeps rarely vary yields lane to lane
+  // (see ExpCache).  Costs are always per-lane; they are the cheap part.
+
+  // --- carrier fabrication ---
+  b.info[n] = FlatStepInfo{};
+  b.info[n].category = CostCategory::Substrate;
+  for (std::size_t w = 0; w < lanes; ++w) {
+    b.cost[n][w] = pts[w].model->substrate_cost;
+    b.lambda[n][w] =
+        w > 0 && pts[w].model->substrate_fab_yield == pts[w - 1].model->substrate_fab_yield
+            ? b.lambda[n][w - 1]
+            : moe::fault_intensity(FixedYield{pts[w].model->substrate_fab_yield});
+  }
+  ++n;
+  if (m0.integrated_passive_steps) {
+    // Structural Fig-4 steps: cost 0, yield 1 in every lane.
+    const double ip_lambda = moe::fault_intensity(FixedYield{1.0});
+    for (int i = 0; i < 3; ++i) {
+      b.info[n] = FlatStepInfo{};
+      b.info[n].category = CostCategory::Substrate;
+      for (std::size_t w = 0; w < lanes; ++w) {
+        b.cost[n][w] = 0.0;
+        b.lambda[n][w] = ip_lambda;
+      }
+      ++n;
+    }
+  }
+
+  // --- dice ---
+  b.info[n] = FlatStepInfo{};
+  b.info[n].category = CostCategory::Assembly;
+  b.info[n].n_components = 2;
+  b.info[n].comp[0] = {1, CostCategory::Chips};
+  b.info[n].comp[1] = {1, CostCategory::Chips};
+  for (std::size_t w = 0; w < lanes; ++w) {
+    const ProductionData& pd = *pts[w].pd;
+    b.cost[n][w] = pd.chip_assembly_cost * 2;
+    b.comp_unit_cost[n][0][w] = pd.rf_chip_cost;
+    b.comp_unit_cost[n][1][w] = pd.dsp_cost;
+    const ProductionData* prev = w > 0 ? pts[w - 1].pd : nullptr;
+    if (prev && pd.chip_assembly_yield == prev->chip_assembly_yield &&
+        pd.rf_chip_yield == prev->rf_chip_yield && pd.dsp_yield == prev->dsp_yield &&
+        pd.semantics == prev->semantics) {
+      b.lambda[n][w] = b.lambda[n][w - 1];
+    } else {
+      double lam = moe::fault_intensity(step_yield(pd.chip_assembly_yield, 2, pd.semantics));
+      lam += component_lambda(pd.rf_chip_yield, 1);
+      lam += component_lambda(pd.dsp_yield, 1);
+      b.lambda[n][w] = lam;
+    }
+  }
+  ++n;
+  if (m0.wire_bonded) {
+    b.info[n] = FlatStepInfo{};
+    b.info[n].category = CostCategory::Assembly;
+    for (std::size_t w = 0; w < lanes; ++w) {
+      const ProductionData& pd = *pts[w].pd;
+      const int bonds = pts[w].model->bond_count;  // group-shared (structure key)
+      b.cost[n][w] = pd.wire_bond_cost * bonds;
+      b.lambda[n][w] = w > 0 && pd.wire_bond_yield == pts[w - 1].pd->wire_bond_yield &&
+                               pd.semantics == pts[w - 1].pd->semantics
+                           ? b.lambda[n][w - 1]
+                           : moe::fault_intensity(
+                                 step_yield(pd.wire_bond_yield, bonds, pd.semantics));
+    }
+    ++n;
+  }
+
+  // --- SMD passives (on the carrier and/or the laminate) ---
+  const auto fill_smd = [&](int at) {
+    b.info[at] = FlatStepInfo{};
+    b.info[at].category = CostCategory::Assembly;
+    b.info[at].n_components = 1;
+    b.info[at].comp[0] = {m0.smd_count, CostCategory::Passives};
+    for (std::size_t w = 0; w < lanes; ++w) {
+      const ProductionData& pd = *pts[w].pd;
+      const CompiledCostModel& m = *pts[w].model;
+      b.cost[at][w] = pd.smd_assembly_cost * m.smd_count;
+      b.comp_unit_cost[at][0][w] = m.smd_parts_cost / m.smd_count;
+      if (w > 0 && pd.smd_assembly_yield == pts[w - 1].pd->smd_assembly_yield &&
+          pd.semantics == pts[w - 1].pd->semantics) {
+        b.lambda[at][w] = b.lambda[at][w - 1];
+      } else {
+        double lam =
+            moe::fault_intensity(step_yield(pd.smd_assembly_yield, m.smd_count, pd.semantics));
+        lam += component_lambda(1.0, m.smd_count);
+        b.lambda[at][w] = lam;
+      }
+    }
+  };
+  if (m0.smd_on_carrier) fill_smd(n++);
+
+  // --- functional test before packaging ---
+  if (pts[0].pd->functional_test_coverage > 0.0) {
+    b.info[n] = FlatStepInfo{};
+    b.info[n].is_test = true;
+    b.info[n].category = CostCategory::Test;
+    for (std::size_t w = 0; w < lanes; ++w) {
+      const ProductionData& pd = *pts[w].pd;
+      check_coverage(pd.functional_test_coverage);
+      b.cost[n][w] = pd.functional_test_cost;
+      b.coverage[n][w] = pd.functional_test_coverage;
+    }
+    ++n;
+  }
+
+  // --- packaging ---
+  if (m0.uses_laminate) {
+    b.info[n] = FlatStepInfo{};
+    b.info[n].category = CostCategory::Packaging;
+    for (std::size_t w = 0; w < lanes; ++w) {
+      const ProductionData& pd = *pts[w].pd;
+      b.cost[n][w] = pd.packaging_cost;
+      b.lambda[n][w] = w > 0 && pd.packaging_yield == pts[w - 1].pd->packaging_yield
+                           ? b.lambda[n][w - 1]
+                           : moe::fault_intensity(FixedYield{pd.packaging_yield});
+    }
+    ++n;
+    if (m0.smd_count > 0 && m0.smd_on_laminate) fill_smd(n++);
+  }
+
+  // --- final test ---
+  b.info[n] = FlatStepInfo{};
+  b.info[n].is_test = true;
+  b.info[n].category = CostCategory::Test;
+  for (std::size_t w = 0; w < lanes; ++w) {
+    const ProductionData& pd = *pts[w].pd;
+    check_coverage(pd.final_test_coverage);
+    b.cost[n][w] = pd.final_test_cost;
+    b.coverage[n][w] = pd.final_test_coverage;
+  }
+  ++n;
+  b.n_steps = n;
+}
+
+// Step sequence the kernel iterates: plain indices into the batch planes.
+struct LaneStepsView {
+  int n_steps = 0;
+  std::size_t size() const { return static_cast<std::size_t>(n_steps); }
+  std::size_t operator[](std::size_t i) const { return i; }
+};
+
+// Ledger-capturing, no-rework instantiation of the shared walk kernel,
+// reading one lane of the SoA planes.  Test-step exponentials go through
+// the group's shared caches: the kernel calls exp_value exactly once per
+// test step and lanes traverse identical structure, so the k-th call of
+// every lane is the same test step and hits the same cache slot.
+struct CompiledWalkPolicy {
+  const FlatBatch& b;
+  std::size_t lane;
+  ExpCache* test_exp;  // one slot per test step, shared across lanes
   Ledger spend;
   Ledger unit_acc;
 
-  for (int i = 0; i < n_steps; ++i) {
-    const FlatStep& s = steps[i];
-    if (s.is_test) {
-      spend.add(CostCategory::Test, alive * s.cost);
-      unit_acc.add(CostCategory::Test, s.cost);
+  bool is_test(std::size_t i) const { return b.info[i].is_test; }
+  double coverage(std::size_t i) const { return b.coverage[i][lane]; }
 
-      const double p_detect = 1.0 - std::exp(-lambda * s.fault_coverage);
-      const double detected = alive * p_detect;
-      const double recovered = 0.0;
-      const double survivors = alive - detected;
-      const double lambda_survivors = lambda * (1.0 - s.fault_coverage);
-      alive = survivors + recovered;
-      ensure(alive > 0.0, "evaluate_compiled_cost: everything scrapped");
-      lambda = (survivors * lambda_survivors) / alive;
-      continue;
-    }
+  void book_test(std::size_t i, double alive) {
+    const double cost = b.cost[i][lane];
+    spend.add(CostCategory::Test, alive * cost);
+    unit_acc.add(CostCategory::Test, cost);
+  }
 
-    const double step_cost = s.cost + s.cost_per_component * flat_component_count(s);
+  double exp_value(double x) { return (*test_exp++)(x); }
+
+  // Compiled flows never rework.
+  static double rework(std::size_t /*i*/, double /*detected*/) { return 0.0; }
+  void on_scrapped(double /*scrapped*/) {}
+
+  static const char* all_scrapped_message() {
+    return "evaluate_compiled_cost: everything scrapped";
+  }
+
+  void book_step(std::size_t i, double alive) {
+    const FlatStepInfo& s = b.info[i];
+    const double step_cost = b.cost[i][lane];
     spend.add(s.category, alive * step_cost);
     unit_acc.add(s.category, step_cost);
     for (int c = 0; c < s.n_components; ++c) {
-      const FlatComponent& comp = s.comp[c];
-      spend.add(comp.category, alive * comp.unit_cost * comp.count);
-      unit_acc.add(comp.category, comp.unit_cost * comp.count);
+      const double unit_cost = b.comp_unit_cost[i][c][lane];
+      spend.add(s.comp[c].category, alive * unit_cost * s.comp[c].count);
+      unit_acc.add(s.comp[c].category, unit_cost * s.comp[c].count);
     }
-    lambda += s.lambda;
   }
 
-  CostSummary r;
-  r.volume = pd.volume;
-  r.shipped_fraction = alive;
-  r.shipped_units = alive * pd.volume;
-  r.good_fraction = alive * std::exp(-lambda);
-  r.escaped_defect_rate = 1.0 - std::exp(-lambda);
-  r.direct_cost = unit_acc.total();
-  r.chip_cost_direct = unit_acc.get(CostCategory::Chips);
-  r.total_spend_per_started = spend.total();
-  r.nre_per_shipped = pd.nre_total / (pd.volume * alive);
-  r.final_cost_per_shipped =
-      (spend.total() + pd.nre_total / pd.volume) / alive;
-  r.yield_loss_per_shipped =
-      r.final_cost_per_shipped - r.direct_cost - r.nre_per_shipped;
-  return r;
+  double added_lambda(std::size_t i) const { return b.lambda[i][lane]; }
+};
+
+void evaluate_lane_group(const CostEvalPoint* pts, std::size_t lanes, CostSummary* out) {
+  FlatBatch b;
+  build_flat_batch(pts, lanes, b);
+  ExpCache test_exp[kMaxFlatSteps];
+  ExpCache escape_exp;  // the epilogue's exp(-lambda)
+  for (std::size_t w = 0; w < lanes; ++w) {
+    CompiledWalkPolicy walk{b, w, test_exp, {}, {}};
+    const WalkOutcome wo = walk_flow_steps(LaneStepsView{b.n_steps}, walk);
+    const ProductionData& pd = *pts[w].pd;
+
+    CostSummary r;
+    r.volume = pd.volume;
+    r.shipped_fraction = wo.alive;
+    r.shipped_units = wo.alive * pd.volume;
+    const double escape = escape_exp(-wo.lambda);
+    r.good_fraction = wo.alive * escape;
+    r.escaped_defect_rate = 1.0 - escape;
+    r.direct_cost = walk.unit_acc.total();
+    r.chip_cost_direct = walk.unit_acc.get(CostCategory::Chips);
+    r.total_spend_per_started = walk.spend.total();
+    r.nre_per_shipped = pd.nre_total / (pd.volume * wo.alive);
+    r.final_cost_per_shipped =
+        (walk.spend.total() + pd.nre_total / pd.volume) / wo.alive;
+    r.yield_loss_per_shipped =
+        r.final_cost_per_shipped - r.direct_cost - r.nre_per_shipped;
+    out[w] = r;
+  }
+}
+
+// Two lanes can share one structural skeleton when every branch the builder
+// takes is the same: model flags, the model-derived component counts, and
+// the presence of the functional test.
+bool same_flow_structure(const CostEvalPoint& a, const CostEvalPoint& b) {
+  const CompiledCostModel& ma = *a.model;
+  const CompiledCostModel& mb = *b.model;
+  return ma.integrated_passive_steps == mb.integrated_passive_steps &&
+         ma.wire_bonded == mb.wire_bonded && ma.bond_count == mb.bond_count &&
+         ma.smd_count == mb.smd_count && ma.smd_on_carrier == mb.smd_on_carrier &&
+         ma.uses_laminate == mb.uses_laminate &&
+         ma.smd_on_laminate == mb.smd_on_laminate &&
+         (a.pd->functional_test_coverage > 0.0) == (b.pd->functional_test_coverage > 0.0);
+}
+
+}  // namespace
+
+void evaluate_compiled_cost_batch(const CostEvalPoint* points, std::size_t n,
+                                  CostSummary* out) {
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t end = i + 1;
+    while (end < n && end - i < kCostBatchLanes &&
+           same_flow_structure(points[i], points[end])) {
+      ++end;
+    }
+    evaluate_lane_group(points + i, end - i, out + i);
+    i = end;
+  }
+}
+
+CostSummary evaluate_compiled_cost(const CompiledCostModel& model, const ProductionData& pd) {
+  const CostEvalPoint point{&model, &pd};
+  CostSummary out;
+  evaluate_compiled_cost_batch(&point, 1, &out);
+  return out;
 }
 
 CostAssessment assess_cost(const AreaResult& area, const BuildUp& buildup) {

@@ -3,6 +3,8 @@
 // production flow (Fig 4) and evaluate it.
 #pragma once
 
+#include <cstddef>
+
 #include "core/area_assess.hpp"
 #include "core/buildup.hpp"
 #include "moe/analytic.hpp"
@@ -68,6 +70,34 @@ struct CostSummary {
 // bit-identical to evaluate_analytic(build_flow(area, b')) where b' is the
 // compiled build-up with its production data replaced by `pd` — the golden
 // and pipeline-equivalence tests enforce this down to the last ulp.
+// (Implemented as a one-lane call of the batched path below.)
 CostSummary evaluate_compiled_cost(const CompiledCostModel& model, const ProductionData& pd);
+
+// ---------------------------------------------------------------------------
+// SoA-batched walk: cost W (model, production-data) lanes per call.
+//
+// Lanes whose flattened flows share the same step structure are built into
+// lane-major SoA planes (field[step][lane], mirroring the layout of
+// rf::batch_solve_overwrite) and walked one lane at a time through the
+// shared flow-walk kernel — so every lane is bit-identical to its scalar
+// evaluate_compiled_cost() call, and the batch split never changes a bit.
+
+// Maximum lanes one SoA plane set holds: the assessment pipeline's chunk
+// width.  Larger batches are processed in groups of this many.
+inline constexpr std::size_t kCostBatchLanes = 8;
+
+// One lane of a batched evaluation.  Models may differ across lanes (a
+// sensitivity sweep perturbs the compiled substrate cost/yield per lane);
+// consecutive lanes with equal flow structure share one plane build.
+struct CostEvalPoint {
+  const CompiledCostModel* model = nullptr;
+  const ProductionData* pd = nullptr;
+};
+
+// Cost `n` lanes, writing out[i] for points[i].  Any n is accepted; lanes
+// are grouped into runs of at most kCostBatchLanes with identical step
+// structure.
+void evaluate_compiled_cost_batch(const CostEvalPoint* points, std::size_t n,
+                                  CostSummary* out);
 
 }  // namespace ipass::core

@@ -132,6 +132,44 @@ std::string decision_report_csv(const DecisionReport& report) {
   return out;
 }
 
+namespace {
+
+std::string scenario_cell_json(const ScenarioCell& cell) {
+  return strf(
+      "{\"cell\": %zu, \"buildup\": %zu, \"corner\": %zu, \"volume\": %zu, "
+      "\"final_cost_per_shipped\": %s, \"shipped_fraction\": %s}",
+      cell.cell, cell.buildup, cell.corner, cell.volume,
+      jnum(cell.final_cost_per_shipped).c_str(), jnum(cell.shipped_fraction).c_str());
+}
+
+}  // namespace
+
+std::string scenario_grid_summary_json(const ScenarioGridSummary& summary) {
+  std::string out = "{\n";
+  out += strf("  \"cells\": %zu,\n", summary.cells);
+  out += strf("  \"cost_mean\": %s,\n  \"cost_stddev\": %s,\n",
+              jnum(summary.cost_mean).c_str(), jnum(summary.cost_stddev).c_str());
+  out += strf("  \"best\": %s,\n", scenario_cell_json(summary.best).c_str());
+  out += strf("  \"worst\": %s,\n", scenario_cell_json(summary.worst).c_str());
+  out += "  \"wins_per_buildup\": [";
+  for (std::size_t b = 0; b < summary.wins_per_buildup.size(); ++b) {
+    out += strf("%s%zu", b ? ", " : "", summary.wins_per_buildup[b]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string tolerance_result_json(const rf::ToleranceResult& result) {
+  return strf(
+      "{\"samples\": %zu, \"passing\": %zu, \"parametric_yield\": %s, "
+      "\"ci95_half_width\": %s, \"metric_mean\": %s, \"metric_stddev\": %s, "
+      "\"metric_min\": %s, \"metric_max\": %s}",
+      result.samples, result.passing, jnum(result.parametric_yield).c_str(),
+      jnum(result.ci95_half_width).c_str(), jnum(result.metric_mean).c_str(),
+      jnum(result.metric_stddev).c_str(), jnum(result.metric_min).c_str(),
+      jnum(result.metric_max).c_str());
+}
+
 std::string performance_csv(const DecisionReport& report) {
   std::string out =
       "buildup_index,buildup_name,filter,style,il_spec_db,il_calc_db,"

@@ -4,7 +4,9 @@
 #include <string>
 
 #include "core/methodology.hpp"
+#include "core/scenario_grid.hpp"
 #include "core/sensitivity.hpp"
+#include "rf/tolerance.hpp"
 
 namespace ipass::core {
 
@@ -17,6 +19,14 @@ std::string decision_report_csv(const DecisionReport& report);
 // serializations match are bitwise-identical field for field — this is the
 // format of the golden files under tests/gps/golden/.
 std::string decision_report_json(const DecisionReport& report);
+
+// Same %.17g scheme for the scenario-grid engine: the summary of a grid
+// sweep, exact to the bit (golden file tests/gps/golden/scenario_grid.json).
+std::string scenario_grid_summary_json(const ScenarioGridSummary& summary);
+
+// And for the tolerance engine: one Monte-Carlo ToleranceResult
+// (tests/gps/golden/tolerance.json pins two named results).
+std::string tolerance_result_json(const rf::ToleranceResult& result);
 
 // One row per filter per build-up: the performance-assessment detail.
 std::string performance_csv(const DecisionReport& report);

@@ -6,15 +6,27 @@
 
 namespace ipass::core {
 
+namespace {
+
+// IEEE 754 (§9.2.1) specifies pow(x, 1) = x exactly, so skipping the call
+// for a unit weight changes no bits — and unit weights are the paper's
+// default, which makes the plain product the hot case by far (a pow is
+// ~half the cost of an entire compiled-cost walk).
+double weighted_factor(double base, double weight) {
+  return weight == 1.0 ? base : std::pow(base, weight);
+}
+
+}  // namespace
+
 double figure_of_merit(double performance_score, double size_rel, double cost_rel,
                        const FomWeights& weights) {
   require(performance_score >= 0.0 && performance_score <= 1.0,
           "figure_of_merit: performance score must be in [0,1]");
   require(size_rel > 0.0, "figure_of_merit: size ratio must be positive");
   require(cost_rel > 0.0, "figure_of_merit: cost ratio must be positive");
-  return std::pow(performance_score, weights.performance) *
-         std::pow(1.0 / size_rel, weights.size) *
-         std::pow(1.0 / cost_rel, weights.cost);
+  return weighted_factor(performance_score, weights.performance) *
+         weighted_factor(1.0 / size_rel, weights.size) *
+         weighted_factor(1.0 / cost_rel, weights.cost);
 }
 
 }  // namespace ipass::core

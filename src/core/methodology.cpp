@@ -19,14 +19,16 @@ DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buil
 
 AssessmentPipeline::AssessmentPipeline(const FunctionalBom& bom,
                                        std::vector<BuildUp> buildups,
-                                       const TechKits& kits)
-    : buildups_(std::move(buildups)) {
+                                       const TechKits& kits, PipelineScope scope)
+    : buildups_(std::move(buildups)), scope_(scope) {
   require(!buildups_.empty(), "assess: need at least one build-up");
   performance_.reserve(buildups_.size());
   areas_.reserve(buildups_.size());
   compiled_.reserve(buildups_.size());
   for (const BuildUp& b : buildups_) {
-    performance_.push_back(assess_performance(bom, b, kits));
+    performance_.push_back(scope_ == PipelineScope::Full
+                               ? assess_performance(bom, b, kits)
+                               : PerformanceResult{});
     areas_.push_back(assess_area(bom, b, kits));
     compiled_.push_back(compile_cost_model(areas_.back(), b));
   }
@@ -39,6 +41,8 @@ AssessmentPipeline::AssessmentPipeline(const FunctionalBom& bom,
 
 const PerformanceResult& AssessmentPipeline::performance(std::size_t buildup) const {
   require(buildup < buildups_.size(), "AssessmentPipeline: build-up index out of range");
+  require(scope_ == PipelineScope::Full,
+          "AssessmentPipeline: performance not compiled (CostOnly scope)");
   return performance_[buildup];
 }
 
@@ -48,8 +52,12 @@ const AreaResult& AssessmentPipeline::area(std::size_t buildup) const {
 }
 
 DecisionReport AssessmentPipeline::report(const AssessmentInputs& inputs) const {
+  require(scope_ == PipelineScope::Full,
+          "AssessmentPipeline: report() needs a Full-scope pipeline");
   require(inputs.production.empty() || inputs.production.size() == buildups_.size(),
           "AssessmentPipeline: production vector must have one entry per build-up");
+  require(inputs.models.empty(),
+          "AssessmentPipeline: model overrides are a batched-path feature");
 
   DecisionReport report;
   report.weights = inputs.weights;
@@ -82,36 +90,52 @@ DecisionReport AssessmentPipeline::report(const AssessmentInputs& inputs) const 
   return report;
 }
 
-void AssessmentPipeline::evaluate_point(const AssessmentInputs& point,
-                                        BuildUpSummary* out, std::size_t& winner) const {
+void AssessmentPipeline::evaluate_chunk(const AssessmentInputs* points, std::size_t count,
+                                        BuildUpSummary* out, std::size_t* winners) const {
   const std::size_t n = buildups_.size();
+
+  // Cost the chunk build-up by build-up: the chunk's points form the lanes
+  // of one SoA batch walk (out is point-major, so lane w's summary lands at
+  // out[w * n + b]).
+  CostEvalPoint lanes[kCostBatchLanes];
+  CostSummary costs[kCostBatchLanes];
   for (std::size_t b = 0; b < n; ++b) {
-    const ProductionData& pd =
-        point.production.empty() ? buildups_[b].production : point.production[b];
-    const CostSummary cost = evaluate_compiled_cost(compiled_[b], pd);
-    BuildUpSummary& s = out[b];
-    s.performance = performance_[b].score;
-    s.module_area_mm2 = areas_[b].module_area_mm2();
-    s.area_rel = area_rel_[b];
-    s.shipped_fraction = cost.shipped_fraction;
-    s.direct_cost = cost.direct_cost;
-    s.chip_cost_direct = cost.chip_cost_direct;
-    s.yield_loss_per_shipped = cost.yield_loss_per_shipped;
-    s.nre_per_shipped = cost.nre_per_shipped;
-    s.final_cost_per_shipped = cost.final_cost_per_shipped;
+    for (std::size_t w = 0; w < count; ++w) {
+      const AssessmentInputs& point = points[w];
+      lanes[w].model =
+          point.models.empty() ? &compiled_[b] : &point.models[b];
+      lanes[w].pd =
+          point.production.empty() ? &buildups_[b].production : &point.production[b];
+    }
+    evaluate_compiled_cost_batch(lanes, count, costs);
+    for (std::size_t w = 0; w < count; ++w) {
+      BuildUpSummary& s = out[w * n + b];
+      s.performance = performance_[b].score;
+      s.module_area_mm2 = areas_[b].module_area_mm2();
+      s.area_rel = area_rel_[b];
+      s.shipped_fraction = costs[w].shipped_fraction;
+      s.direct_cost = costs[w].direct_cost;
+      s.chip_cost_direct = costs[w].chip_cost_direct;
+      s.yield_loss_per_shipped = costs[w].yield_loss_per_shipped;
+      s.nre_per_shipped = costs[w].nre_per_shipped;
+      s.final_cost_per_shipped = costs[w].final_cost_per_shipped;
+    }
   }
 
-  const double ref_cost = out[0].final_cost_per_shipped;
-  ensure(ref_area_ > 0.0 && ref_cost > 0.0, "assess: degenerate reference build-up");
-  for (std::size_t b = 0; b < n; ++b) {
-    out[b].cost_rel = out[b].final_cost_per_shipped / ref_cost;
-    out[b].fom =
-        figure_of_merit(out[b].performance, out[b].area_rel, out[b].cost_rel, point.weights);
-  }
-
-  winner = 0;
-  for (std::size_t b = 1; b < n; ++b) {
-    if (out[b].fom > out[winner].fom) winner = b;
+  for (std::size_t w = 0; w < count; ++w) {
+    BuildUpSummary* point_out = out + w * n;
+    const double ref_cost = point_out[0].final_cost_per_shipped;
+    ensure(ref_area_ > 0.0 && ref_cost > 0.0, "assess: degenerate reference build-up");
+    for (std::size_t b = 0; b < n; ++b) {
+      point_out[b].cost_rel = point_out[b].final_cost_per_shipped / ref_cost;
+      point_out[b].fom = figure_of_merit(point_out[b].performance, point_out[b].area_rel,
+                                         point_out[b].cost_rel, points[w].weights);
+    }
+    std::size_t winner = 0;
+    for (std::size_t b = 1; b < n; ++b) {
+      if (point_out[b].fom > point_out[winner].fom) winner = b;
+    }
+    winners[w] = winner;
   }
 }
 
@@ -121,6 +145,8 @@ BatchAssessmentResult AssessmentPipeline::evaluate(
   for (const AssessmentInputs& p : points) {
     require(p.production.empty() || p.production.size() == n_b,
             "AssessmentPipeline: production vector must have one entry per build-up");
+    require(p.models.empty() || p.models.size() == n_b,
+            "AssessmentPipeline: models vector must have one entry per build-up");
   }
 
   BatchAssessmentResult out;
@@ -130,18 +156,18 @@ BatchAssessmentResult AssessmentPipeline::evaluate(
   out.winners.resize(points.size());
   if (points.empty()) return out;
 
-  // Chunked fan-out.  Every output slot depends only on its own point, so
-  // both the thread count and the way a sweep is split into evaluate()
-  // calls leave the results bit-identical (chunks only bound scheduling
-  // granularity; there is no cross-point arithmetic).
-  constexpr std::size_t kChunk = 8;
+  // Chunked fan-out; each worker costs its whole chunk through the SoA
+  // batch walk (the chunk's points are the lanes).  Every output slot
+  // depends only on its own point and every lane is bit-identical to its
+  // scalar evaluation, so the thread count, the chunking AND the way a
+  // sweep is split into evaluate() calls leave the results bit-identical.
+  constexpr std::size_t kChunk = kCostBatchLanes;
   const std::size_t n_chunks = (points.size() + kChunk - 1) / kChunk;
   ThreadPool::shared(threads).parallel_for(n_chunks, [&](std::size_t c) {
     const std::size_t begin = c * kChunk;
     const std::size_t end = std::min(points.size(), begin + kChunk);
-    for (std::size_t p = begin; p < end; ++p) {
-      evaluate_point(points[p], &out.summaries[p * n_b], out.winners[p]);
-    }
+    evaluate_chunk(points.data() + begin, end - begin, &out.summaries[begin * n_b],
+                   &out.winners[begin]);
   });
   return out;
 }

@@ -56,9 +56,15 @@ DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buil
 // for every thread count and every batch split.
 
 // One parameter vector of a sweep: per-build-up production data (empty =
-// the compiled build-ups' own data) plus the decision weights.
+// the compiled build-ups' own data) plus the decision weights.  A point may
+// also override the compiled cost models themselves (one per build-up) —
+// that is how sweeps vary inputs the pipeline captured at compile time,
+// e.g. the substrate cost/yield a sensitivity analysis perturbs.  Model
+// overrides are a batched-path feature (evaluate()); report() runs the
+// full-fidelity FlowModel path and rejects them.
 struct AssessmentInputs {
   std::vector<ProductionData> production;  // one entry per build-up, or empty
+  std::vector<CompiledCostModel> models;   // one entry per build-up, or empty
   FomWeights weights;
 };
 
@@ -94,12 +100,19 @@ struct BatchAssessmentResult {
   }
 };
 
+// What a pipeline compiles.  CostOnly skips the performance simulations
+// (MNA sweeps of every filter) and leaves every build-up at the default
+// performance score — for consumers that only read the cost outputs, like
+// the sensitivity analysis, where compiling performance would dominate the
+// sweep it accelerates.  report() and performance() require Full.
+enum class PipelineScope { Full, CostOnly };
+
 class AssessmentPipeline {
  public:
   // Compiling runs the full performance and area assessment per build-up —
   // as expensive as one assess() call — so build once, evaluate often.
   AssessmentPipeline(const FunctionalBom& bom, std::vector<BuildUp> buildups,
-                     const TechKits& kits);
+                     const TechKits& kits, PipelineScope scope = PipelineScope::Full);
 
   std::size_t buildup_count() const { return buildups_.size(); }
   const std::vector<BuildUp>& buildups() const { return buildups_; }
@@ -118,8 +131,10 @@ class AssessmentPipeline {
                                  unsigned threads = 0) const;
 
  private:
-  void evaluate_point(const AssessmentInputs& point, BuildUpSummary* out,
-                      std::size_t& winner) const;
+  // Cost `count` consecutive points (one SoA lane batch per build-up) and
+  // score them; out is point-major (count * buildup_count summaries).
+  void evaluate_chunk(const AssessmentInputs* points, std::size_t count,
+                      BuildUpSummary* out, std::size_t* winners) const;
 
   std::vector<BuildUp> buildups_;
   std::vector<PerformanceResult> performance_;
@@ -127,6 +142,7 @@ class AssessmentPipeline {
   std::vector<CompiledCostModel> compiled_;
   std::vector<double> area_rel_;
   double ref_area_ = 0.0;
+  PipelineScope scope_ = PipelineScope::Full;
 };
 
 // Calibration-input sweep front-end: evaluate every point and aggregate the

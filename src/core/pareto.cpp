@@ -1,31 +1,93 @@
 #include "core/pareto.hpp"
 
+#include "common/error.hpp"
 #include "common/strfmt.hpp"
 #include "common/table.hpp"
 
 namespace ipass::core {
 
-bool dominates(const BuildUpAssessment& a, const BuildUpAssessment& b) {
-  const bool no_worse = a.performance.score >= b.performance.score &&
-                        a.area_rel <= b.area_rel && a.cost_rel <= b.cost_rel;
-  const bool strictly_better = a.performance.score > b.performance.score ||
+namespace {
+
+// The three criteria dominance reads, whichever representation they come
+// from — the single implementation both front-ends share.
+struct Criteria {
+  double performance = 0.0;
+  double area_rel = 0.0;
+  double cost_rel = 0.0;
+};
+
+Criteria criteria_of(const BuildUpAssessment& a) {
+  return {a.performance.score, a.area_rel, a.cost_rel};
+}
+
+Criteria criteria_of(const BuildUpSummary& s) {
+  return {s.performance, s.area_rel, s.cost_rel};
+}
+
+bool dominates_criteria(const Criteria& a, const Criteria& b) {
+  const bool no_worse = a.performance >= b.performance && a.area_rel <= b.area_rel &&
+                        a.cost_rel <= b.cost_rel;
+  const bool strictly_better = a.performance > b.performance ||
                                a.area_rel < b.area_rel || a.cost_rel < b.cost_rel;
   return no_worse && strictly_better;
 }
 
-std::vector<ParetoEntry> pareto_analysis(const DecisionReport& report) {
-  std::vector<ParetoEntry> entries(report.assessments.size());
-  for (std::size_t i = 0; i < report.assessments.size(); ++i) {
+// get(i) yields the i-th candidate's criteria.
+template <class Getter>
+std::vector<ParetoEntry> pareto_entries(std::size_t n, const Getter& get) {
+  std::vector<ParetoEntry> entries(n);
+  for (std::size_t i = 0; i < n; ++i) {
     entries[i].index = i;
-    for (std::size_t j = 0; j < report.assessments.size(); ++j) {
+    for (std::size_t j = 0; j < n; ++j) {
       if (i == j) continue;
-      if (dominates(report.assessments[j], report.assessments[i])) {
+      if (dominates_criteria(get(j), get(i))) {
         entries[i].dominated = true;
         entries[i].dominated_by.push_back(j);
       }
     }
   }
   return entries;
+}
+
+}  // namespace
+
+bool dominates(const BuildUpAssessment& a, const BuildUpAssessment& b) {
+  return dominates_criteria(criteria_of(a), criteria_of(b));
+}
+
+bool dominates(const BuildUpSummary& a, const BuildUpSummary& b) {
+  return dominates_criteria(criteria_of(a), criteria_of(b));
+}
+
+std::vector<ParetoEntry> pareto_analysis(const DecisionReport& report) {
+  return pareto_entries(report.assessments.size(), [&](std::size_t i) {
+    return criteria_of(report.assessments[i]);
+  });
+}
+
+std::vector<ParetoEntry> pareto_analysis(const BatchAssessmentResult& batch,
+                                         std::size_t point) {
+  require(point < batch.points, "pareto_analysis: point index out of range");
+  return pareto_entries(batch.buildups,
+                        [&](std::size_t b) { return criteria_of(batch.at(point, b)); });
+}
+
+ParetoSweepSummary pareto_sweep(const AssessmentPipeline& pipeline,
+                                const std::vector<AssessmentInputs>& points,
+                                unsigned threads) {
+  require(!points.empty(), "pareto_sweep: need at least one point");
+  ParetoSweepSummary summary;
+  summary.results = pipeline.evaluate(points, threads);
+  summary.entries.reserve(summary.results.points * summary.results.buildups);
+  summary.frontier_counts.assign(summary.results.buildups, 0);
+  for (std::size_t p = 0; p < summary.results.points; ++p) {
+    std::vector<ParetoEntry> entries = pareto_analysis(summary.results, p);
+    for (std::size_t b = 0; b < entries.size(); ++b) {
+      if (!entries[b].dominated) ++summary.frontier_counts[b];
+      summary.entries.push_back(std::move(entries[b]));
+    }
+  }
+  return summary;
 }
 
 std::string pareto_table(const DecisionReport& report) {

@@ -3,6 +3,12 @@
 // The paper collapses performance, size and cost into one product; the
 // Pareto view shows which build-ups are defensible under ANY monotone
 // preference — a useful sanity check on the scalar figure of merit.
+//
+// Two front-ends share one dominance implementation: the classic
+// DecisionReport view, and a batched view over AssessmentPipeline sweeps
+// (cost/FoM Pareto fronts at scenario scale — one compiled pipeline, W
+// evaluated points, a frontier per point) that replaces re-running the
+// full assessment per point.
 #pragma once
 
 #include <string>
@@ -22,8 +28,33 @@ struct ParetoEntry {
 // (performance higher-or-equal, area and cost lower-or-equal) and strictly
 // better in at least one.
 bool dominates(const BuildUpAssessment& a, const BuildUpAssessment& b);
+bool dominates(const BuildUpSummary& a, const BuildUpSummary& b);
 
 std::vector<ParetoEntry> pareto_analysis(const DecisionReport& report);
+
+// The same analysis for one point of a batched sweep.  Since a
+// BuildUpSummary carries exactly the fields dominance reads (performance,
+// area_rel, cost_rel) copied bit-for-bit from the full assessment, the
+// entries equal pareto_analysis() of the point's DecisionReport.
+std::vector<ParetoEntry> pareto_analysis(const BatchAssessmentResult& batch,
+                                         std::size_t point);
+
+// A whole sweep's Pareto landscape, evaluated through the pipeline: one
+// batched evaluate() call, then a frontier per point.
+struct ParetoSweepSummary {
+  BatchAssessmentResult results;
+  std::vector<ParetoEntry> entries;  // entries[point * buildups + b]
+  // Per build-up: at how many points it sits on the frontier.
+  std::vector<std::size_t> frontier_counts;
+
+  const ParetoEntry& at(std::size_t point, std::size_t buildup) const {
+    return entries[point * results.buildups + buildup];
+  }
+};
+
+ParetoSweepSummary pareto_sweep(const AssessmentPipeline& pipeline,
+                                const std::vector<AssessmentInputs>& points,
+                                unsigned threads = 0);
 
 // Render: frontier members and who eliminates whom.
 std::string pareto_table(const DecisionReport& report);

@@ -8,6 +8,7 @@
 #include "common/strfmt.hpp"
 #include "core/area_assess.hpp"
 #include "core/cost_assess.hpp"
+#include "core/flow_walk_kernel.hpp"
 
 namespace ipass::core {
 
@@ -81,39 +82,55 @@ CompiledFlow compile_flow(const moe::FlowModel& flow) {
 }
 
 // Volume-independent outcome of one (build-up, corner) pair, per started
-// unit.  The walk mirrors evaluate_analytic with the corner's scalings
-// applied: fault_scale on every injected intensity, cost_scale on every
-// direct cost (rework included).
+// unit.  The walk is the shared kernel with the corner's scalings applied:
+// fault_scale on every injected intensity, cost_scale on every direct cost
+// (rework included).
 struct CornerOutcome {
   double spend = 0.0;  // expected spend per started unit
   double alive = 0.0;  // shipped fraction
 };
 
-CornerOutcome walk_flow(const CompiledFlow& flow, const ProcessCorner& corner) {
-  double alive = 1.0;
-  double lambda = 0.0;
+// Scalar-spend instantiation of the shared walk kernel: no ledger, every
+// booked cost multiplied by the corner's cost_scale, every injected
+// intensity by its fault_scale.
+struct CornerWalkPolicy {
+  const ProcessCorner& corner;
   double spend = 0.0;
-  for (const CompiledStep& s : flow.steps) {
-    if (s.is_test) {
-      spend += alive * (corner.cost_scale * s.cost);
-      const double p_detect = 1.0 - std::exp(-lambda * s.coverage);
-      const double detected = alive * p_detect;
-      double recovered = 0.0;
-      if (s.rework && detected > 0.0) {
-        spend += detected * (corner.cost_scale * s.rework_cost);
-        recovered = detected * s.rework_success;
-      }
-      const double survivors = alive - detected;
-      const double lambda_survivors = lambda * (1.0 - s.coverage);
-      alive = survivors + recovered;
-      ensure(alive > 0.0, "evaluate_scenario_grid: corner scraps the entire line");
-      lambda = (survivors * lambda_survivors) / alive;
-    } else {
-      spend += alive * (corner.cost_scale * s.cost);
-      lambda += corner.fault_scale * s.lambda;
-    }
+
+  static bool is_test(const CompiledStep& s) { return s.is_test; }
+  static double coverage(const CompiledStep& s) { return s.coverage; }
+
+  void book_test(const CompiledStep& s, double alive) {
+    spend += alive * (corner.cost_scale * s.cost);
   }
-  return {spend, alive};
+
+  static double exp_value(double x) { return std::exp(x); }
+
+  double rework(const CompiledStep& s, double detected) {
+    if (!s.rework || !(detected > 0.0)) return 0.0;
+    spend += detected * (corner.cost_scale * s.rework_cost);
+    return detected * s.rework_success;
+  }
+
+  void on_scrapped(double /*scrapped*/) {}
+
+  static const char* all_scrapped_message() {
+    return "evaluate_scenario_grid: corner scraps the entire line";
+  }
+
+  void book_step(const CompiledStep& s, double alive) {
+    spend += alive * (corner.cost_scale * s.cost);
+  }
+
+  double added_lambda(const CompiledStep& s) const {
+    return corner.fault_scale * s.lambda;
+  }
+};
+
+CornerOutcome walk_flow(const CompiledFlow& flow, const ProcessCorner& corner) {
+  CornerWalkPolicy walk{corner};
+  const WalkOutcome out = walk_flow_steps(flow.steps, walk);
+  return {walk.spend, out.alive};
 }
 
 struct GridAccum {

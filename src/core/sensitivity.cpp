@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/strfmt.hpp"
 #include "common/table.hpp"
 #include "core/area_assess.hpp"
 #include "core/cost_assess.hpp"
+#include "core/methodology.hpp"
 
 namespace ipass::core {
 
@@ -89,24 +91,63 @@ std::vector<SensitivityInput> standard_inputs() {
 }
 
 SensitivityReport cost_sensitivity(const FunctionalBom& bom, const BuildUp& buildup,
-                                   const TechKits& kits, double rel_step) {
+                                   const TechKits& kits,
+                                   const SensitivityOptions& options) {
+  const double rel_step = options.rel_step;
   require(rel_step > 0.0 && rel_step < 1.0, "cost_sensitivity: step must be in (0,1)");
+  const bool central = options.difference == FiniteDifference::Central;
 
-  auto final_cost = [&](const BuildUp& b) {
-    const AreaResult area = assess_area(bom, b, kits);
-    return assess_cost(area, b).report.final_cost_per_shipped;
+  // Compile once (area realization only — the cost outputs never read the
+  // performance simulations), then express every perturbed build-up as one
+  // sweep point: its production data plus a recompiled cost model, which
+  // carries the non-production inputs a perturbation can touch (substrate
+  // cost/yield).  evaluate_compiled_cost is the bit-exact twin of the
+  // build_flow + evaluate_analytic path, so each point's final cost equals
+  // the historical per-perturbation re-assessment down to the last ulp.
+  AssessmentPipeline pipeline(bom, {buildup}, kits, PipelineScope::CostOnly);
+  const std::vector<SensitivityInput> inputs = standard_inputs();
+
+  auto point_for = [&](const BuildUp& b, bool affects_area) {
+    AssessmentInputs point;
+    point.models = {affects_area ? compile_cost_model(assess_area(bom, b, kits), b)
+                                 : compile_cost_model(pipeline.area(0), b)};
+    point.production = {b.production};
+    return point;
   };
-  const double base = final_cost(buildup);
+
+  std::vector<AssessmentInputs> points;
+  points.reserve(1 + inputs.size() * (central ? 2 : 1));
+  points.push_back(AssessmentInputs{});  // the unperturbed base
+  for (const SensitivityInput& input : inputs) {
+    points.push_back(point_for(input.perturb(buildup, rel_step), input.affects_area));
+    if (central) {
+      points.push_back(point_for(input.perturb(buildup, -rel_step), input.affects_area));
+    }
+  }
+
+  const BatchAssessmentResult batch = pipeline.evaluate(points, options.threads);
+  const auto final_cost = [&](std::size_t point) {
+    return batch.at(point, 0).final_cost_per_shipped;
+  };
+  const double base = final_cost(0);
   ensure(base > 0.0, "cost_sensitivity: degenerate base cost");
 
   SensitivityReport report;
   report.rel_step = rel_step;
-  for (const SensitivityInput& input : standard_inputs()) {
+  report.difference = options.difference;
+  std::size_t next = 1;
+  for (const SensitivityInput& input : inputs) {
     SensitivityRow row;
     row.input = input.name;
     row.base_cost = base;
-    row.perturbed_cost = final_cost(input.perturb(buildup, rel_step));
-    row.elasticity = ((row.perturbed_cost - base) / base) / rel_step;
+    row.perturbed_cost = final_cost(next++);
+    if (central) {
+      row.perturbed_cost_down = final_cost(next++);
+      row.elasticity =
+          ((row.perturbed_cost - row.perturbed_cost_down) / base) / (2.0 * rel_step);
+    } else {
+      row.elasticity = ((row.perturbed_cost - base) / base) / rel_step;
+    }
     report.rows.push_back(std::move(row));
   }
   std::sort(report.rows.begin(), report.rows.end(),
@@ -114,6 +155,13 @@ SensitivityReport cost_sensitivity(const FunctionalBom& bom, const BuildUp& buil
               return std::abs(a.elasticity) > std::abs(b.elasticity);
             });
   return report;
+}
+
+SensitivityReport cost_sensitivity(const FunctionalBom& bom, const BuildUp& buildup,
+                                   const TechKits& kits, double rel_step) {
+  SensitivityOptions options;
+  options.rel_step = rel_step;
+  return cost_sensitivity(bom, buildup, kits, options);
 }
 
 std::string SensitivityReport::to_table() const {

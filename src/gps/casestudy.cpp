@@ -41,4 +41,13 @@ core::CalibrationSweepSummary run_gps_assessment_batched(
   return core::sweep_calibration_inputs(pipeline, inputs, threads);
 }
 
+core::ParetoSweepSummary run_gps_pareto_sweep(const core::AssessmentPipeline& pipeline,
+                                              const std::vector<GpsSweepPoint>& points,
+                                              unsigned threads) {
+  std::vector<core::AssessmentInputs> inputs;
+  inputs.reserve(points.size());
+  for (const GpsSweepPoint& p : points) inputs.push_back(gps_assessment_inputs(p));
+  return core::pareto_sweep(pipeline, inputs, threads);
+}
+
 }  // namespace ipass::gps

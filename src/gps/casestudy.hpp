@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/methodology.hpp"
+#include "core/pareto.hpp"
 #include "gps/bom.hpp"
 #include "gps/chipset.hpp"
 #include "gps/table2.hpp"
@@ -56,5 +57,12 @@ core::AssessmentInputs gps_assessment_inputs(const GpsSweepPoint& point);
 core::CalibrationSweepSummary run_gps_assessment_batched(
     const core::AssessmentPipeline& pipeline, const std::vector<GpsSweepPoint>& points,
     unsigned threads = 0);
+
+// Pareto landscape of a sweep: one frontier per confidential-cost
+// hypothesis, through the same compiled pipeline (point i's entries equal
+// core::pareto_analysis() of the rebuilt study's DecisionReport).
+core::ParetoSweepSummary run_gps_pareto_sweep(const core::AssessmentPipeline& pipeline,
+                                              const std::vector<GpsSweepPoint>& points,
+                                              unsigned threads = 0);
 
 }  // namespace ipass::gps

@@ -1,0 +1,39 @@
+// Canonical engine workloads pinned by the golden files under
+// tests/gps/golden/.  Shared by tools/gen_gps_golden.cpp (the regenerator)
+// and tests/gps/test_golden_engines.cpp (the regression suite) so the two
+// can never drift apart: whatever configuration the generator serialized is
+// exactly what the tests re-evaluate.
+#pragma once
+
+#include "core/scenario_grid.hpp"
+#include "gps/casestudy.hpp"
+#include "rf/prototype.hpp"
+#include "rf/tolerance.hpp"
+#include "rf/transform.hpp"
+
+namespace ipass::gps {
+
+// Scenario grid over the GPS case study: 4 build-ups x 7 process corners
+// (fault 0.25..4.0, cost 0.7..1.3) x 9 volumes (1e3..1e7) = 252 cells.
+inline core::ScenarioGrid golden_scenario_grid(const GpsCaseStudy& study) {
+  core::ScenarioGrid grid;
+  grid.buildups = study.buildups;
+  grid.corners = core::ScenarioGrid::corner_sweep(7, 0.25, 4.0, 0.7, 1.3);
+  grid.volumes = core::ScenarioGrid::volume_sweep(9, 1e3, 1e7);
+  return grid;
+}
+
+// The section-2 IF filter the tolerance benches/tests use throughout.
+inline rf::Circuit golden_if_filter() {
+  return rf::realize_bandpass(rf::chebyshev(2, 0.5), 175e6, 22e6, 50.0);
+}
+
+// One tolerance Monte-Carlo run at the default options (2000 samples,
+// seed 42) — bit-identical for any thread count and batch width per the
+// engine's determinism contract, so the golden pins the engine itself.
+inline rf::ToleranceResult golden_tolerance_result(const rf::ToleranceSpec& tolerance) {
+  return rf::bandpass_parametric_yield(golden_if_filter(), tolerance, 175e6, 1.0, 0.0,
+                                       rf::ToleranceOptions{});
+}
+
+}  // namespace ipass::gps

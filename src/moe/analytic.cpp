@@ -3,45 +3,45 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/flow_walk_kernel.hpp"
 
 namespace ipass::moe {
 
-CostReport evaluate_analytic(const FlowModel& flow) {
-  require(!flow.steps().empty(), "evaluate_analytic: empty flow");
+namespace {
 
-  double alive = 1.0;           // fraction of started units still in line
-  double lambda = 0.0;          // expected latent faults per alive unit
+// Full-fidelity instantiation of the shared walk kernel: per-category spend
+// and unit-accumulation ledgers, rework, and scrap-value tracking.
+struct AnalyticWalkPolicy {
   Ledger spend;                 // expected spend per started unit
   Ledger unit_acc;              // accumulated cost of one unit up to "now"
   double scrap_value = 0.0;     // money sunk into scrapped units
   double rework_spend = 0.0;
 
-  for (const Step& s : flow.steps()) {
-    if (s.kind == Step::Kind::Test) {
-      // Everyone alive pays for the test.
-      spend.add(CostCategory::Test, alive * s.cost);
-      unit_acc.add(CostCategory::Test, s.cost);
+  static bool is_test(const Step& s) { return s.kind == Step::Kind::Test; }
+  static double coverage(const Step& s) { return s.fault_coverage; }
 
-      const double p_detect = 1.0 - std::exp(-lambda * s.fault_coverage);
-      const double detected = alive * p_detect;
-      double scrapped = detected;
-      double recovered = 0.0;
-      if (s.on_fail.rework && detected > 0.0) {
-        rework_spend += detected * s.on_fail.rework_cost;
-        spend.add(CostCategory::Assembly, detected * s.on_fail.rework_cost);
-        recovered = detected * s.on_fail.rework_success;
-        scrapped = detected - recovered;
-      }
-      scrap_value += scrapped * unit_acc.total();
-      const double survivors = alive - detected;
-      const double lambda_survivors = lambda * (1.0 - s.fault_coverage);
-      // Recovered units rejoin fault-free; mix the intensities.
-      alive = survivors + recovered;
-      ensure(alive > 0.0, "evaluate_analytic: everything scrapped");
-      lambda = (survivors * lambda_survivors) / alive;
-      continue;
-    }
+  void book_test(const Step& s, double alive) {
+    // Everyone alive pays for the test.
+    spend.add(CostCategory::Test, alive * s.cost);
+    unit_acc.add(CostCategory::Test, s.cost);
+  }
 
+  static double exp_value(double x) { return std::exp(x); }
+
+  double rework(const Step& s, double detected) {
+    if (!s.on_fail.rework || !(detected > 0.0)) return 0.0;
+    rework_spend += detected * s.on_fail.rework_cost;
+    spend.add(CostCategory::Assembly, detected * s.on_fail.rework_cost);
+    return detected * s.on_fail.rework_success;
+  }
+
+  void on_scrapped(double scrapped) { scrap_value += scrapped * unit_acc.total(); }
+
+  static const char* all_scrapped_message() {
+    return "evaluate_analytic: everything scrapped";
+  }
+
+  void book_step(const Step& s, double alive) {
     const double step_cost = s.cost + s.cost_per_component * s.component_count();
     spend.add(s.category, alive * step_cost);
     unit_acc.add(s.category, step_cost);
@@ -49,8 +49,20 @@ CostReport evaluate_analytic(const FlowModel& flow) {
       spend.add(c.category, alive * c.unit_cost * c.count);
       unit_acc.add(c.category, c.unit_cost * c.count);
     }
-    lambda += s.added_fault_intensity();
   }
+
+  static double added_lambda(const Step& s) { return s.added_fault_intensity(); }
+};
+
+}  // namespace
+
+CostReport evaluate_analytic(const FlowModel& flow) {
+  require(!flow.steps().empty(), "evaluate_analytic: empty flow");
+
+  AnalyticWalkPolicy walk;
+  const core::WalkOutcome out = core::walk_flow_steps(flow.steps(), walk);
+  const double alive = out.alive;
+  const double lambda = out.lambda;
 
   CostReport r;
   r.flow_name = flow.name();
@@ -61,14 +73,15 @@ CostReport evaluate_analytic(const FlowModel& flow) {
   r.escaped_defect_rate = 1.0 - std::exp(-lambda);
   r.direct_cost = flow.direct_unit_cost();
   r.direct_ledger = flow.direct_unit_ledger();
-  r.total_spend_per_started = spend.total();
-  r.spend_ledger = spend;
+  r.total_spend_per_started = walk.spend.total();
+  r.spend_ledger = walk.spend;
   r.nre_per_shipped = flow.nre_total() / (flow.volume() * alive);
   r.final_cost_per_shipped =
-      (spend.total() + flow.nre_total() / flow.volume()) / alive;
+      (walk.spend.total() + flow.nre_total() / flow.volume()) / alive;
   // Yield loss: everything beyond one clean pass and the NRE share.
   r.yield_loss_per_shipped = r.final_cost_per_shipped - r.direct_cost - r.nre_per_shipped;
-  ensure(scrap_value + rework_spend >= -1e-9, "evaluate_analytic: negative scrap value");
+  ensure(walk.scrap_value + walk.rework_spend >= -1e-9,
+         "evaluate_analytic: negative scrap value");
   return r;
 }
 

@@ -1,8 +1,13 @@
 #include "core/cost_assess.hpp"
 
+#include <cstring>
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "gps/bom.hpp"
+#include "gps/casestudy.hpp"
 #include "gps/table2.hpp"
 
 namespace ipass::core {
@@ -114,6 +119,120 @@ TEST(CostAssess, MonteCarloMatchesAnalytic) {
   const moe::McReport mc = assess_cost_monte_carlo(area, b4, opt);
   EXPECT_NEAR(mc.report.final_cost_per_shipped, exact.final_cost_per_shipped,
               3.0 * mc.final_cost_ci95 + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// SoA batch walk: every lane bit-identical to its scalar evaluation, for
+// any lane mix and any batch split.
+
+bool summary_bits_equal(const CostSummary& a, const CostSummary& b) {
+  static_assert(sizeof(CostSummary) == 11 * sizeof(double),
+                "CostSummary gained a member; update the bit comparison");
+  return std::memcmp(&a, &b, sizeof(CostSummary)) == 0;
+}
+
+// Randomly perturbed production data; roughly every third vector disables
+// the functional test, changing the flattened step structure mid-batch.
+ProductionData random_pd(const ProductionData& base, Pcg32& rng, bool drop_functional) {
+  ProductionData pd = base;
+  pd.rf_chip_cost *= rng.uniform(0.5, 2.0);
+  pd.rf_chip_yield = rng.uniform(0.9, 1.0);
+  pd.dsp_cost *= rng.uniform(0.5, 2.0);
+  pd.dsp_yield = rng.uniform(0.9, 1.0);
+  pd.chip_assembly_cost *= rng.uniform(0.5, 2.0);
+  pd.chip_assembly_yield = rng.uniform(0.9, 1.0);
+  pd.wire_bond_cost *= rng.uniform(0.5, 2.0);
+  pd.wire_bond_yield = rng.uniform(0.99, 1.0);
+  pd.smd_assembly_cost *= rng.uniform(0.5, 2.0);
+  pd.smd_assembly_yield = rng.uniform(0.99, 1.0);
+  pd.functional_test_cost = rng.uniform(0.0, 10.0);
+  pd.functional_test_coverage = drop_functional ? 0.0 : rng.uniform(0.3, 0.95);
+  pd.packaging_cost = rng.uniform(0.0, 5.0);
+  pd.packaging_yield = rng.uniform(0.9, 1.0);
+  pd.final_test_cost *= rng.uniform(0.5, 2.0);
+  pd.final_test_coverage = rng.uniform(0.8, 0.999);
+  pd.nre_total = rng.uniform(0.0, 1e5);
+  pd.volume = rng.uniform(1e3, 1e6);
+  pd.semantics = rng.bernoulli(0.3) ? YieldSemantics::PerJoint : YieldSemantics::PerStep;
+  return pd;
+}
+
+TEST(CostAssessBatch, EveryLaneMatchesScalarBitwise) {
+  Fixture fx;
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  Pcg32 rng(2026);
+  for (const BuildUp& b : study.buildups) {
+    const AreaResult area = fx.area(b);
+    const CompiledCostModel model = compile_cost_model(area, b);
+    constexpr std::size_t kN = 37;  // several full groups plus a ragged tail
+    std::vector<ProductionData> pds;
+    pds.reserve(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+      pds.push_back(random_pd(b.production, rng, i % 3 == 0));
+    }
+    std::vector<CostEvalPoint> lanes(kN);
+    for (std::size_t i = 0; i < kN; ++i) lanes[i] = {&model, &pds[i]};
+    std::vector<CostSummary> batch(kN);
+    evaluate_compiled_cost_batch(lanes.data(), kN, batch.data());
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_TRUE(summary_bits_equal(batch[i], evaluate_compiled_cost(model, pds[i])))
+          << b.name << " lane " << i;
+    }
+  }
+}
+
+TEST(CostAssessBatch, MixedModelsAcrossLanes) {
+  // Alternating compiled models (different structure every lane) must fall
+  // back to short groups without changing any bit.
+  Fixture fx;
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const BuildUp& b1 = study.buildups[0];
+  const BuildUp& b4 = study.buildups[3];
+  const CompiledCostModel m1 = compile_cost_model(fx.area(b1), b1);
+  const CompiledCostModel m4 = compile_cost_model(fx.area(b4), b4);
+
+  Pcg32 rng(7);
+  constexpr std::size_t kN = 11;
+  std::vector<ProductionData> pds;
+  std::vector<CostEvalPoint> lanes(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const BuildUp& b = i % 2 ? b4 : b1;
+    pds.push_back(random_pd(b.production, rng, false));
+  }
+  for (std::size_t i = 0; i < kN; ++i) lanes[i] = {i % 2 ? &m4 : &m1, &pds[i]};
+  std::vector<CostSummary> batch(kN);
+  evaluate_compiled_cost_batch(lanes.data(), kN, batch.data());
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_TRUE(summary_bits_equal(
+        batch[i], evaluate_compiled_cost(i % 2 ? m4 : m1, pds[i])))
+        << "lane " << i;
+  }
+}
+
+TEST(CostAssessBatch, SplitInvariance) {
+  // One call over all lanes vs many calls over slices: identical bits
+  // (group boundaries move, lane arithmetic must not).
+  Fixture fx;
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const BuildUp& b = study.buildups[3];
+  const CompiledCostModel model = compile_cost_model(fx.area(b), b);
+  Pcg32 rng(99);
+  constexpr std::size_t kN = 23;
+  std::vector<ProductionData> pds;
+  for (std::size_t i = 0; i < kN; ++i) pds.push_back(random_pd(b.production, rng, i % 4 == 0));
+  std::vector<CostEvalPoint> lanes(kN);
+  for (std::size_t i = 0; i < kN; ++i) lanes[i] = {&model, &pds[i]};
+
+  std::vector<CostSummary> whole(kN);
+  evaluate_compiled_cost_batch(lanes.data(), kN, whole.data());
+  std::vector<CostSummary> sliced(kN);
+  for (std::size_t i = 0; i < kN; i += 3) {
+    const std::size_t n = std::min<std::size_t>(3, kN - i);
+    evaluate_compiled_cost_batch(lanes.data() + i, n, sliced.data() + i);
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_TRUE(summary_bits_equal(whole[i], sliced[i])) << "lane " << i;
+  }
 }
 
 }  // namespace

@@ -61,5 +61,82 @@ TEST(Pareto, TableRendering) {
   EXPECT_NE(t.find("(4)"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Batched view: the pipeline-backed sweep must reproduce the per-point
+// report analysis exactly.
+
+std::vector<gps::GpsSweepPoint> pareto_sweep_points(const gps::GpsCaseStudy& study,
+                                                    std::size_t n) {
+  std::vector<gps::GpsSweepPoint> points(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i].confidential = study.confidential;
+    points[i].confidential.rf_chip_bare = 10.0 + 2.0 * static_cast<double>(i % 9);
+    points[i].confidential.dsp_bare = 20.0 + 3.0 * static_cast<double>(i % 5);
+    if (i % 4 == 3) points[i].semantics = YieldSemantics::PerJoint;
+  }
+  return points;
+}
+
+void expect_same_entries(const std::vector<ParetoEntry>& a, const ParetoEntry* b,
+                         std::size_t point) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dominated, b[i].dominated) << "point " << point << " build-up " << i;
+    EXPECT_EQ(a[i].dominated_by, b[i].dominated_by)
+        << "point " << point << " build-up " << i;
+  }
+}
+
+TEST(Pareto, SweepMatchesPerPointReports) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<gps::GpsSweepPoint> points = pareto_sweep_points(study, 17);
+
+  const ParetoSweepSummary sweep = gps::run_gps_pareto_sweep(pipeline, points);
+  ASSERT_EQ(sweep.results.points, points.size());
+  ASSERT_EQ(sweep.entries.size(), points.size() * 4);
+
+  std::vector<std::size_t> frontier_counts(4, 0);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const gps::GpsCaseStudy rebuilt =
+        gps::make_gps_case_study(points[p].confidential, points[p].semantics);
+    const DecisionReport report = gps::run_gps_assessment(rebuilt, points[p].weights);
+    const std::vector<ParetoEntry> expected = pareto_analysis(report);
+    expect_same_entries(expected, &sweep.at(p, 0), p);
+    for (std::size_t b = 0; b < 4; ++b) {
+      if (!expected[b].dominated) ++frontier_counts[b];
+    }
+  }
+  EXPECT_EQ(sweep.frontier_counts, frontier_counts);
+}
+
+TEST(Pareto, SweepThreadCountInvariant) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<gps::GpsSweepPoint> points = pareto_sweep_points(study, 29);
+
+  const ParetoSweepSummary one = gps::run_gps_pareto_sweep(pipeline, points, 1);
+  const ParetoSweepSummary many = gps::run_gps_pareto_sweep(pipeline, points, 8);
+  ASSERT_EQ(one.entries.size(), many.entries.size());
+  EXPECT_EQ(one.frontier_counts, many.frontier_counts);
+  for (std::size_t i = 0; i < one.entries.size(); ++i) {
+    EXPECT_EQ(one.entries[i].dominated, many.entries[i].dominated) << i;
+    EXPECT_EQ(one.entries[i].dominated_by, many.entries[i].dominated_by) << i;
+  }
+}
+
+TEST(Pareto, BatchPointAnalysisMatchesSummaryDominance) {
+  // dominates() on BuildUpSummary agrees with the assessment overload on
+  // the same point (summarize copies the criteria bit-for-bit).
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const DecisionReport report = gps::run_gps_assessment(study);
+  for (std::size_t i = 0; i < report.assessments.size(); ++i) {
+    for (std::size_t j = 0; j < report.assessments.size(); ++j) {
+      EXPECT_EQ(dominates(summarize(report.assessments[i]), summarize(report.assessments[j])),
+                dominates(report.assessments[i], report.assessments[j]))
+          << i << " vs " << j;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ipass::core

@@ -197,5 +197,56 @@ TEST(AssessmentPipeline, EmptyBatchIsFine) {
   EXPECT_TRUE(empty.summaries.empty());
 }
 
+TEST(AssessmentPipeline, ModelOverridesMatchRecompiledPipeline) {
+  // A point overriding the compiled models with a perturbed substrate cost
+  // must equal a pipeline compiled from the equivalently perturbed
+  // build-ups (the sensitivity analysis rides exactly this path).
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+
+  std::vector<BuildUp> perturbed = study.buildups;
+  for (BuildUp& b : perturbed) b.substrate.cost_per_cm2 *= 1.25;
+  const AssessmentPipeline reference(study.bom, perturbed, study.kits);
+
+  AssessmentInputs point;
+  point.models.reserve(perturbed.size());
+  for (std::size_t b = 0; b < perturbed.size(); ++b) {
+    point.models.push_back(compile_cost_model(pipeline.area(b), perturbed[b]));
+  }
+  expect_batches_identical(pipeline.evaluate({point}),
+                           reference.evaluate({AssessmentInputs{}}));
+}
+
+TEST(AssessmentPipeline, ValidatesModelsVectorSize) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  AssessmentInputs bad;
+  bad.models.resize(2);  // 4 build-ups compiled
+  EXPECT_THROW(pipeline.evaluate({bad}), PreconditionError);
+  AssessmentInputs report_override;
+  report_override.models.resize(4);
+  EXPECT_THROW(pipeline.report(report_override), PreconditionError);
+}
+
+TEST(AssessmentPipeline, CostOnlyScopeEvaluatesButHidesPerformance) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const AssessmentPipeline full = gps::make_gps_pipeline(study);
+  const AssessmentPipeline cost_only(study.bom, study.buildups, study.kits,
+                                     PipelineScope::CostOnly);
+  EXPECT_THROW(cost_only.performance(0), PreconditionError);
+  EXPECT_THROW(cost_only.report(), PreconditionError);
+
+  // Cost outputs are unaffected by the scope (performance defaults to the
+  // neutral score 1.0, which only feeds the FoM).
+  const BatchAssessmentResult a = full.evaluate({AssessmentInputs{}});
+  const BatchAssessmentResult b = cost_only.evaluate({AssessmentInputs{}});
+  ASSERT_EQ(a.buildups, b.buildups);
+  for (std::size_t i = 0; i < a.buildups; ++i) {
+    EXPECT_TRUE(bits_equal(a.at(0, i).final_cost_per_shipped,
+                           b.at(0, i).final_cost_per_shipped));
+    EXPECT_TRUE(bits_equal(a.at(0, i).cost_rel, b.at(0, i).cost_rel));
+  }
+}
+
 }  // namespace
 }  // namespace ipass::core

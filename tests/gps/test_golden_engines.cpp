@@ -1,0 +1,86 @@
+// Golden-file regression suite for the scenario-grid and tolerance engines:
+// the canonical workloads of gps/golden_workloads.hpp serialized with %.17g
+// (exact binary64 round-trip) and pinned under tests/gps/golden/.  The
+// goldens were generated from the pre-kernel-refactor walk implementations,
+// so any drift — one ulp, anywhere — in the unified flow-walk kernel or the
+// tolerance Monte-Carlo fails here.  Regenerate deliberately with
+// build/gen_gps_golden (see tools/gen_gps_golden.cpp).
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/export.hpp"
+#include "gps/golden_workloads.hpp"
+
+#ifndef IPASS_GOLDEN_DIR
+#error "IPASS_GOLDEN_DIR must point at tests/gps/golden"
+#endif
+
+namespace ipass {
+namespace {
+
+std::string read_golden(const char* name) {
+  const std::string path = std::string(IPASS_GOLDEN_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file: " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void expect_matches_golden(const std::string& serialized, const char* golden_name) {
+  const std::vector<std::string> expected = lines_of(read_golden(golden_name));
+  const std::vector<std::string> actual = lines_of(serialized);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(actual.size(), expected.size()) << golden_name;
+  for (std::size_t i = 0; i < std::min(actual.size(), expected.size()); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << golden_name << " line " << i + 1;
+  }
+}
+
+TEST(GpsGoldenEngines, ScenarioGridMatchesGolden) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::ScenarioGrid grid = gps::golden_scenario_grid(study);
+  const core::ScenarioGridSummary summary =
+      core::evaluate_scenario_grid(study.bom, study.kits, grid);
+  expect_matches_golden(core::scenario_grid_summary_json(summary), "scenario_grid.json");
+}
+
+// The determinism contract makes the thread count invisible in the summary;
+// probe the extremes explicitly against the same golden.
+TEST(GpsGoldenEngines, ScenarioGridThreadInvariant) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::ScenarioGrid grid = gps::golden_scenario_grid(study);
+  for (const unsigned threads : {1u, 7u}) {
+    const core::ScenarioGridSummary summary =
+        core::evaluate_scenario_grid(study.bom, study.kits, grid, threads);
+    expect_matches_golden(core::scenario_grid_summary_json(summary), "scenario_grid.json");
+  }
+}
+
+TEST(GpsGoldenEngines, ToleranceMatchesGolden) {
+  std::string serialized = "{\n";
+  serialized += "  \"integrated_untrimmed\": " +
+                core::tolerance_result_json(gps::golden_tolerance_result(
+                    rf::ToleranceSpec::integrated_untrimmed())) +
+                ",\n";
+  serialized += "  \"integrated_trimmed\": " +
+                core::tolerance_result_json(gps::golden_tolerance_result(
+                    rf::ToleranceSpec::integrated_trimmed())) +
+                "\n}\n";
+  expect_matches_golden(serialized, "tolerance.json");
+}
+
+}  // namespace
+}  // namespace ipass

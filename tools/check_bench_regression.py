@@ -8,8 +8,9 @@ Compares real_time of the named hot benches.  The committed baseline was
 measured on a 1-CPU 2.1 GHz dev VM; hosted CI runners are faster, so a
 genuine regression has to eat the whole hardware margin before slipping
 through, while false alarms from runner jitter stay unlikely at a 25%
-threshold.  Benches present only in the fresh file are reported but never
-fail the gate (new benchmarks need a baseline refresh first).
+threshold.  A gated bench missing from either file fails the gate with a
+clear message (a bench rename or a forgotten baseline refresh should never
+pass silently); ungated benches are ignored entirely.
 """
 import argparse
 import json
@@ -25,7 +26,10 @@ HOT_BENCHES = [
     "BM_MonteCarloCostSerial/100000/real_time",
     "BM_ScenarioGrid/100000/real_time",
     "BM_GpsAssessment/64/real_time",
+    "BM_GpsAssessmentEvaluate/1024/real_time",
     "BM_CalibrationSweep/real_time",
+    "BM_Sensitivity/real_time",
+    "BM_Pareto/16/real_time",
 ]
 
 
@@ -33,6 +37,13 @@ def load(path):
     with open(path) as f:
         doc = json.load(f)
     return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def real_time_of(entry, name, path, failures):
+    if "real_time" not in entry:
+        failures.append(f"{name}: no real_time field in {path}")
+        return None
+    return float(entry["real_time"])
 
 
 def main():
@@ -48,13 +59,17 @@ def main():
     failures = []
     for name in HOT_BENCHES:
         if name not in fresh:
-            failures.append(f"{name}: missing from fresh results")
+            failures.append(f"{name}: missing from fresh results ({args.fresh}) — "
+                            "was the bench renamed or dropped?")
             continue
         if name not in baseline:
-            print(f"  {name}: no baseline entry (new bench), skipping")
+            failures.append(f"{name}: missing from baseline ({args.baseline}) — "
+                            "refresh the committed baseline for new gated benches")
             continue
-        base_t = float(baseline[name]["real_time"])
-        fresh_t = float(fresh[name]["real_time"])
+        base_t = real_time_of(baseline[name], name, args.baseline, failures)
+        fresh_t = real_time_of(fresh[name], name, args.fresh, failures)
+        if base_t is None or fresh_t is None:
+            continue
         ratio = fresh_t / base_t
         status = "FAIL" if ratio > args.threshold else "ok"
         print(f"  {name}: {fresh_t:.0f} ns vs baseline {base_t:.0f} ns "

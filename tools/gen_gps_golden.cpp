@@ -12,6 +12,7 @@
 
 #include "core/export.hpp"
 #include "gps/casestudy.hpp"
+#include "gps/golden_workloads.hpp"
 
 using namespace ipass;
 
@@ -54,5 +55,22 @@ int main(int argc, char** argv) {
   weights.cost = 0.5;
   write_file(dir + "/weighted.json",
              core::decision_report_json(gps::run_gps_assessment(per_step, weights)));
+
+  // Scenario-grid engine: the canonical 252-cell sweep (thread-invariant).
+  write_file(dir + "/scenario_grid.json",
+             core::scenario_grid_summary_json(core::evaluate_scenario_grid(
+                 per_step.bom, per_step.kits, gps::golden_scenario_grid(per_step))));
+
+  // Tolerance engine: the untrimmed and trimmed IF-filter runs.
+  std::string tolerance = "{\n";
+  tolerance += "  \"integrated_untrimmed\": " +
+               core::tolerance_result_json(
+                   gps::golden_tolerance_result(rf::ToleranceSpec::integrated_untrimmed())) +
+               ",\n";
+  tolerance += "  \"integrated_trimmed\": " +
+               core::tolerance_result_json(
+                   gps::golden_tolerance_result(rf::ToleranceSpec::integrated_trimmed())) +
+               "\n}\n";
+  write_file(dir + "/tolerance.json", tolerance);
   return 0;
 }
