@@ -12,8 +12,11 @@
 #include "core/pareto.hpp"
 #include "core/scenario_grid.hpp"
 #include "core/sensitivity.hpp"
+#include "gps/bom.hpp"
 #include "gps/casestudy.hpp"
 #include "gps/published.hpp"
+#include "kits/fleet.hpp"
+#include "kits/registry.hpp"
 #include "moe/montecarlo.hpp"
 #include "rf/analysis.hpp"
 #include "rf/cauer.hpp"
@@ -415,6 +418,28 @@ void BM_ScenarioGrid(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(grid.cell_count()));
 }
 BENCHMARK(BM_ScenarioGrid)->Arg(100000)->UseRealTime();
+
+// ---- cross-kit fleet sweep: every built-in backend through both engines ----
+
+// Pinned to one thread: the whole process-kit fleet (7 kits anchored on the
+// PCB reference) swept over a 3x3 (corner x volume) scenario fleet through
+// evaluate_scenario_grid AND pareto_sweep, with a per-kit DecisionReport.
+// This is the kits-subsystem end-to-end number the CI gate tracks.
+void BM_KitFleetSweep(benchmark::State& state) {
+  const kits::KitRegistry registry = kits::builtin_kit_registry();
+  const std::vector<std::string> selection = registry.names();
+  const core::FunctionalBom bom = gps::gps_front_end_bom();
+  kits::KitSweepOptions options;
+  options.reference = kits::kPcbFr4Kit;
+  options.corners = core::ScenarioGrid::corner_sweep(3, 0.5, 2.0, 0.9, 1.1);
+  options.volumes = core::ScenarioGrid::volume_sweep(3, 1e3, 1e6);
+  options.threads = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kits::sweep_kits(registry, selection, bom, options));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(selection.size()));
+}
+BENCHMARK(BM_KitFleetSweep)->UseRealTime();
 
 // Default threading: the fan-out across the pool (scales with cores).
 void BM_ScenarioGridParallel(benchmark::State& state) {

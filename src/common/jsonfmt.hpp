@@ -1,0 +1,39 @@
+// Shared JSON formatting primitives of the %.17g golden-file scheme, used
+// by core::export (decision reports, golden files) and kits::kit_json
+// (process-kit exchange).  One implementation keeps the two serializers'
+// escaping and number formatting from drifting apart.
+#pragma once
+
+#include <string>
+
+#include "common/strfmt.hpp"
+
+namespace ipass {
+
+// JSON string escaping for the names we serialize (no control chars in
+// practice, but keep the escapes correct anyway).
+inline std::string json_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// %.17g round-trips every finite binary64 exactly (strtod inverts it).
+inline std::string json_number(double v) { return strf("%.17g", v); }
+
+}  // namespace ipass

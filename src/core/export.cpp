@@ -1,5 +1,6 @@
 #include "core/export.hpp"
 
+#include "common/jsonfmt.hpp"
 #include "common/strfmt.hpp"
 
 namespace ipass::core {
@@ -17,31 +18,9 @@ std::string csv_escape(const std::string& value) {
 
 namespace {
 
-// JSON string escaping for the few names we serialize (no control chars in
-// practice, but keep the escapes correct anyway).
-std::string json_escape(const std::string& value) {
-  std::string out;
-  out.reserve(value.size());
-  for (const char c : value) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += strf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-// %.17g round-trips every finite binary64 exactly.
-std::string jnum(double v) { return strf("%.17g", v); }
+// Shared with kits::kit_json (common/jsonfmt.hpp); the short alias keeps
+// the format strings below readable.
+std::string jnum(double v) { return json_number(v); }
 
 std::string ledger_json(const moe::Ledger& ledger) {
   std::string out = "{";

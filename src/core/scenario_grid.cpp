@@ -155,6 +155,13 @@ ScenarioGridSummary evaluate_scenario_grid(const FunctionalBom& bom, const TechK
     require(c.fault_scale >= 0.0, "evaluate_scenario_grid: fault_scale must be >= 0");
     require(c.cost_scale >= 0.0, "evaluate_scenario_grid: cost_scale must be >= 0");
   }
+  const bool has_baselines = !grid.buildup_corners.empty();
+  require(!has_baselines || grid.buildup_corners.size() == grid.buildups.size(),
+          "evaluate_scenario_grid: buildup_corners must be empty or one per build-up");
+  for (const ProcessCorner& c : grid.buildup_corners) {
+    require(c.fault_scale >= 0.0 && c.cost_scale >= 0.0,
+            "evaluate_scenario_grid: buildup_corners scales must be >= 0");
+  }
 
   // Compile every build-up's flow once; the compiled models are read-only
   // from here on and shared by all workers.
@@ -179,7 +186,12 @@ ScenarioGridSummary evaluate_scenario_grid(const FunctionalBom& bom, const TechK
         std::vector<CornerOutcome> outcome(n_buildups);
         for (std::size_t c = begin; c < end; ++c) {
           for (std::size_t b = 0; b < n_buildups; ++b) {
-            outcome[b] = walk_flow(compiled[b], grid.corners[c]);
+            ProcessCorner corner = grid.corners[c];
+            if (has_baselines) {
+              corner.fault_scale *= grid.buildup_corners[b].fault_scale;
+              corner.cost_scale *= grid.buildup_corners[b].cost_scale;
+            }
+            outcome[b] = walk_flow(compiled[b], corner);
           }
           for (std::size_t v = 0; v < n_volumes; ++v) {
             const double volume = grid.volumes[v];

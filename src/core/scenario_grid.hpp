@@ -40,6 +40,13 @@ struct ScenarioGrid {
   std::vector<BuildUp> buildups;
   std::vector<ProcessCorner> corners;
   std::vector<double> volumes;
+  // Optional per-build-up corner baseline, composed multiplicatively with
+  // every corner of the axis (empty = nominal).  This is how a cross-kit
+  // fleet sweeps a pilot line around its own fault/cost reality without
+  // also perturbing the shared reference build-up: cell (b, c, v) is
+  // walked under {corners[c].fault_scale * buildup_corners[b].fault_scale,
+  // corners[c].cost_scale * buildup_corners[b].cost_scale}.
+  std::vector<ProcessCorner> buildup_corners;
 
   std::size_t cell_count() const {
     return buildups.size() * corners.size() * volumes.size();

@@ -1,0 +1,226 @@
+#include "kits/fleet.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "core/cost_assess.hpp"
+
+namespace ipass::kits {
+
+namespace {
+
+// Corner semantics of core::evaluate_scenario_grid, applied to the
+// pipeline's per-point parameter vector: lambda = -ln y, so scaling every
+// fault intensity by f is raising every step yield to the power f; every
+// direct line cost (steps and consumed components alike) is multiplied by
+// the cost scale, while NRE stays unscaled.
+core::ProductionData corner_production(core::ProductionData pd,
+                                       const core::ProcessCorner& corner,
+                                       double volume) {
+  const double f = corner.fault_scale;
+  const double c = corner.cost_scale;
+  pd.rf_chip_cost *= c;
+  pd.rf_chip_yield = std::pow(pd.rf_chip_yield, f);
+  pd.dsp_cost *= c;
+  pd.dsp_yield = std::pow(pd.dsp_yield, f);
+  pd.chip_assembly_cost *= c;
+  pd.chip_assembly_yield = std::pow(pd.chip_assembly_yield, f);
+  pd.wire_bond_cost *= c;
+  pd.wire_bond_yield = std::pow(pd.wire_bond_yield, f);
+  pd.smd_assembly_cost *= c;
+  pd.smd_assembly_yield = std::pow(pd.smd_assembly_yield, f);
+  pd.functional_test_cost *= c;
+  pd.packaging_cost *= c;
+  pd.packaging_yield = std::pow(pd.packaging_yield, f);
+  pd.final_test_cost *= c;
+  pd.volume = volume;
+  return pd;
+}
+
+core::CompiledCostModel corner_model(core::CompiledCostModel model,
+                                     const core::ProcessCorner& corner) {
+  model.substrate_cost *= corner.cost_scale;
+  model.substrate_fab_yield = std::pow(model.substrate_fab_yield, corner.fault_scale);
+  model.smd_parts_cost *= corner.cost_scale;
+  return model;
+}
+
+core::ProcessCorner compose(const core::ProcessCorner& a, const core::ProcessCorner& b) {
+  return core::ProcessCorner{a.fault_scale * b.fault_scale, a.cost_scale * b.cost_scale};
+}
+
+}  // namespace
+
+std::vector<core::AssessmentInputs> fleet_scenario_points(
+    const core::AssessmentPipeline& pipeline, const std::vector<core::ProcessCorner>& corners,
+    const std::vector<double>& volumes, const core::FomWeights& weights,
+    const std::vector<core::ProcessCorner>& baselines) {
+  const std::size_t n = pipeline.buildup_count();
+  const std::vector<core::BuildUp>& buildups = pipeline.buildups();
+  require(baselines.empty() || baselines.size() == n,
+          "fleet_scenario_points: baselines must be empty or one per build-up");
+
+  // The pipeline's own compiled models, re-derived from its public state
+  // (compile_cost_model is deterministic on area + build-up).
+  std::vector<core::CompiledCostModel> base_models;
+  base_models.reserve(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    base_models.push_back(core::compile_cost_model(pipeline.area(b), buildups[b]));
+  }
+
+  std::vector<core::AssessmentInputs> points;
+  points.reserve(corners.size() * volumes.size());
+  for (const core::ProcessCorner& corner : corners) {
+    for (const double volume : volumes) {
+      core::AssessmentInputs point;
+      point.weights = weights;
+      point.production.reserve(n);
+      point.models.reserve(n);
+      for (std::size_t b = 0; b < n; ++b) {
+        const core::ProcessCorner effective =
+            baselines.empty() ? corner : compose(corner, baselines[b]);
+        point.production.push_back(
+            corner_production(buildups[b].production, effective, volume));
+        point.models.push_back(corner_model(base_models[b], effective));
+      }
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+KitFleetSummary sweep_kits(const KitRegistry& registry,
+                           const std::vector<std::string>& selection,
+                           const core::FunctionalBom& bom,
+                           const KitSweepOptions& options) {
+  require(!selection.empty(), "sweep_kits: empty kit selection");
+  require(!options.corners.empty(), "sweep_kits: need at least one process corner");
+  const std::string reference_name =
+      options.reference.empty() ? selection.front() : options.reference;
+  const ProcessKit& reference = registry.at(reference_name);
+  // The reference anchors every study's 100% numbers but is realized under
+  // each swept kit's passive processes — it must not depend on them, or
+  // the cross-kit comparison would measure against a different anchor per
+  // study.  All-SMD variants are the ones with that property.
+  for (const KitVariant& v : reference.variants) {
+    require(v.policy == core::PassivePolicy::AllSmd,
+            strf("sweep_kits: reference kit '%s' variant '%s' uses integrated "
+                 "passives; the shared reference must be an all-SMD carrier",
+                 reference.name.c_str(), v.name.c_str()));
+  }
+
+  KitFleetSummary fleet;
+  fleet.kits.reserve(selection.size());
+
+  for (const std::string& name : selection) {
+    const ProcessKit& kit = registry.at(name);
+    const bool is_reference = kit.name == reference.name;
+
+    KitAssessment entry;
+    entry.kit = kit.name;
+    entry.maturity = kit.maturity;
+
+    // The study: the shared reference build-ups first (the 100% anchor of
+    // every relative number), then the kit's own variants.
+    std::vector<core::BuildUp> buildups = make_buildups(reference);
+    entry.own_offset = is_reference ? 0 : buildups.size();
+    if (!is_reference) {
+      for (const core::BuildUp& b :
+           make_buildups(kit, static_cast<int>(buildups.size()) + 1)) {
+        buildups.push_back(b);
+      }
+    }
+
+    const core::TechKits tech_kits = apply_passives(kit);
+    const core::AssessmentPipeline pipeline(bom, buildups, tech_kits);
+
+    // Nominal operating point, full fidelity.
+    core::AssessmentInputs nominal;
+    nominal.weights = options.weights;
+    entry.report = pipeline.report(nominal);
+
+    // Scenario axes: the corner/volume grid is shared by every kit; the
+    // kit's own corner baseline composes in per build-up, so only the
+    // kit's own build-ups move with its line reality while the shared
+    // reference rows stay the common anchor.  The volume axis defaults to
+    // the kit's production volume.
+    std::vector<core::ProcessCorner> baselines;
+    if (options.compose_kit_corner) {
+      baselines.assign(buildups.size(), core::ProcessCorner{});
+      for (std::size_t b = entry.own_offset; b < buildups.size(); ++b) {
+        baselines[b] = kit.corner;
+      }
+    }
+    std::vector<double> volumes = options.volumes;
+    if (volumes.empty()) {
+      volumes.push_back(buildups[entry.own_offset].production.volume);
+    }
+
+    // Engine 1: the scenario-grid shards (cost landscape per cell).
+    core::ScenarioGrid grid;
+    grid.buildups = buildups;
+    grid.corners = options.corners;
+    grid.volumes = volumes;
+    grid.buildup_corners = baselines;
+    entry.grid = core::evaluate_scenario_grid(bom, tech_kits, grid, options.threads);
+
+    // Engine 2: the batched pipeline + Pareto frontier per scenario point.
+    entry.pareto = core::pareto_sweep(
+        pipeline,
+        fleet_scenario_points(pipeline, options.corners, volumes, options.weights,
+                              baselines),
+        options.threads);
+
+    // The kit's best own variant at the nominal point.
+    entry.best_variant = entry.own_offset;
+    for (std::size_t i = entry.own_offset; i < entry.report.assessments.size(); ++i) {
+      if (entry.report.assessments[i].fom >
+          entry.report.assessments[entry.best_variant].fom) {
+        entry.best_variant = i;
+      }
+    }
+    entry.best_fom = entry.report.assessments[entry.best_variant].fom;
+
+    fleet.kits.push_back(std::move(entry));
+  }
+
+  fleet.winner = 0;
+  for (std::size_t k = 1; k < fleet.kits.size(); ++k) {
+    if (fleet.kits[k].best_fom > fleet.kits[fleet.winner].best_fom) fleet.winner = k;
+  }
+  return fleet;
+}
+
+std::string KitFleetSummary::to_table() const {
+  std::string out = strf("%-20s %-12s %-28s %8s %8s %8s %6s %9s\n", "kit", "maturity",
+                         "best variant", "FoM", "cost%", "area%", "wins", "frontier");
+  for (std::size_t k = 0; k < kits.size(); ++k) {
+    const KitAssessment& a = kits[k];
+    const core::BuildUpAssessment& best = a.report.assessments[a.best_variant];
+    // Scenario wins and frontier presence of the kit's own build-ups.  The
+    // reference kit's study (own_offset == 0) has no competitors, so its
+    // counts would be vacuously full — print '-' instead of a fake score.
+    std::string wins = "-";
+    std::string frontier = "-";
+    if (a.own_offset > 0) {
+      std::size_t w = 0;
+      for (std::size_t b = a.own_offset; b < a.grid.wins_per_buildup.size(); ++b) {
+        w += a.grid.wins_per_buildup[b];
+      }
+      std::size_t f = 0;
+      for (std::size_t b = a.own_offset; b < a.pareto.frontier_counts.size(); ++b) {
+        f += a.pareto.frontier_counts[b];
+      }
+      wins = strf("%zu", w);
+      frontier = strf("%zu", f);
+    }
+    out += strf("%-20s %-12s %-28s %8.2f %8.1f %8.1f %6s %9s%s\n", a.kit.c_str(),
+                kit_maturity_name(a.maturity), best.buildup.name.c_str(), a.best_fom,
+                best.cost_rel * 100.0, best.area_rel * 100.0, wins.c_str(),
+                frontier.c_str(), k == winner ? "  <- winner" : "");
+  }
+  return out;
+}
+
+}  // namespace ipass::kits

@@ -1,0 +1,659 @@
+#include "kits/kit_json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/jsonfmt.hpp"
+#include "common/strfmt.hpp"
+
+namespace ipass::kits {
+
+namespace {
+
+// ------------------------------------------------------------- enum tokens
+
+const char* maturity_token(KitMaturity m) { return kit_maturity_name(m); }
+
+KitMaturity parse_maturity(const std::string& t) {
+  if (t == "experimental") return KitMaturity::Experimental;
+  if (t == "pilot") return KitMaturity::Pilot;
+  if (t == "production") return KitMaturity::Production;
+  if (t == "mature") return KitMaturity::Mature;
+  throw PreconditionError(strf("kit JSON: unknown maturity '%s'", t.c_str()));
+}
+
+const char* kind_token(tech::SubstrateKind k) {
+  switch (k) {
+    case tech::SubstrateKind::Pcb: return "pcb";
+    case tech::SubstrateKind::McmD: return "mcm-d";
+    case tech::SubstrateKind::McmDIp: return "mcm-d-ip";
+    case tech::SubstrateKind::Ltcc: return "ltcc";
+    case tech::SubstrateKind::OrganicEp: return "organic-ep";
+    case tech::SubstrateKind::SiInterposer: return "si-interposer";
+  }
+  return "?";
+}
+
+tech::SubstrateKind parse_kind(const std::string& t) {
+  if (t == "pcb") return tech::SubstrateKind::Pcb;
+  if (t == "mcm-d") return tech::SubstrateKind::McmD;
+  if (t == "mcm-d-ip") return tech::SubstrateKind::McmDIp;
+  if (t == "ltcc") return tech::SubstrateKind::Ltcc;
+  if (t == "organic-ep") return tech::SubstrateKind::OrganicEp;
+  if (t == "si-interposer") return tech::SubstrateKind::SiInterposer;
+  throw PreconditionError(strf("kit JSON: unknown substrate kind '%s'", t.c_str()));
+}
+
+const char* policy_token(core::PassivePolicy p) {
+  switch (p) {
+    case core::PassivePolicy::AllSmd: return "all-smd";
+    case core::PassivePolicy::AllIntegrated: return "all-integrated";
+    case core::PassivePolicy::Optimized: return "optimized";
+  }
+  return "?";
+}
+
+core::PassivePolicy parse_policy(const std::string& t) {
+  if (t == "all-smd") return core::PassivePolicy::AllSmd;
+  if (t == "all-integrated") return core::PassivePolicy::AllIntegrated;
+  if (t == "optimized") return core::PassivePolicy::Optimized;
+  throw PreconditionError(strf("kit JSON: unknown passive policy '%s'", t.c_str()));
+}
+
+const char* attach_token(tech::DieAttach a) {
+  switch (a) {
+    case tech::DieAttach::PackagedSmt: return "packaged-smt";
+    case tech::DieAttach::WireBond: return "wire-bond";
+    case tech::DieAttach::FlipChip: return "flip-chip";
+  }
+  return "?";
+}
+
+tech::DieAttach parse_attach(const std::string& t) {
+  if (t == "packaged-smt") return tech::DieAttach::PackagedSmt;
+  if (t == "wire-bond") return tech::DieAttach::WireBond;
+  if (t == "flip-chip") return tech::DieAttach::FlipChip;
+  throw PreconditionError(strf("kit JSON: unknown die attach '%s'", t.c_str()));
+}
+
+const char* grade_token(tech::PartsGrade g) {
+  return g == tech::PartsGrade::PcbLine ? "pcb-line" : "mcm-line";
+}
+
+tech::PartsGrade parse_grade(const std::string& t) {
+  if (t == "pcb-line") return tech::PartsGrade::PcbLine;
+  if (t == "mcm-line") return tech::PartsGrade::McmLine;
+  throw PreconditionError(strf("kit JSON: unknown parts grade '%s'", t.c_str()));
+}
+
+const char* dielectric_token(tech::Dielectric d) {
+  return d == tech::Dielectric::SiliconNitride ? "si3n4" : "batio";
+}
+
+tech::Dielectric parse_dielectric(const std::string& t) {
+  if (t == "si3n4") return tech::Dielectric::SiliconNitride;
+  if (t == "batio") return tech::Dielectric::BariumTitanate;
+  throw PreconditionError(strf("kit JSON: unknown dielectric '%s'", t.c_str()));
+}
+
+const char* semantics_token(core::YieldSemantics s) {
+  return s == core::YieldSemantics::PerStep ? "per-step" : "per-joint";
+}
+
+core::YieldSemantics parse_semantics(const std::string& t) {
+  if (t == "per-step") return core::YieldSemantics::PerStep;
+  if (t == "per-joint") return core::YieldSemantics::PerJoint;
+  throw PreconditionError(strf("kit JSON: unknown yield semantics '%s'", t.c_str()));
+}
+
+// --------------------------------------------------------------- writing
+
+// %.17g round-trips every finite binary64 exactly — but only finite ones:
+// printing a non-finite field would emit 'inf'/'nan', which is not JSON
+// and which no loader (including ours) could read back.  Fail loudly at
+// serialization time instead of writing an unreadable document.
+std::string jnum(double v) {
+  require(std::isfinite(v),
+          "kit JSON: non-finite number cannot be serialized");
+  return json_number(v);
+}
+
+std::string jstr(const std::string& s) { return strf("\"%s\"", json_escape(s).c_str()); }
+
+std::string qmodel_json(const rf::QModel& q) {
+  return strf("{\"q_peak\": %s, \"f_peak\": %s, \"slope\": %s}",
+              jnum(q.q_peak()).c_str(), jnum(q.f_peak()).c_str(),
+              jnum(q.slope()).c_str());
+}
+
+std::string substrate_json(const tech::SubstrateTechnology& s) {
+  return strf(
+      "{\"name\": %s, \"kind\": \"%s\", \"cost_per_cm2\": %s, \"fab_yield\": %s, "
+      "\"routing_overhead\": %s, \"edge_clearance_mm\": %s, "
+      "\"supports_integrated_passives\": %s, \"double_sided\": %s}",
+      jstr(s.name).c_str(), kind_token(s.kind), jnum(s.cost_per_cm2).c_str(),
+      jnum(s.fab_yield).c_str(), jnum(s.routing_overhead).c_str(),
+      jnum(s.edge_clearance_mm).c_str(),
+      s.supports_integrated_passives ? "true" : "false",
+      s.double_sided ? "true" : "false");
+}
+
+std::string capacitor_json(const tech::CapacitorProcess& c) {
+  return strf(
+      "{\"dielectric\": \"%s\", \"density_pf_mm2\": %s, \"terminal_overhead_mm2\": %s, "
+      "\"quality\": %s}",
+      dielectric_token(c.dielectric), jnum(c.density_pf_mm2).c_str(),
+      jnum(c.terminal_overhead_mm2).c_str(), qmodel_json(c.quality).c_str());
+}
+
+std::string passives_json(const KitPassives& p) {
+  std::string out = "{\n";
+  out += strf(
+      "      \"resistor\": {\"sheet_ohm_sq\": %s, \"line_width_um\": %s, "
+      "\"meander_pitch_factor\": %s, \"contact_pad_area_mm2\": %s, \"tolerance\": %s, "
+      "\"trimmed_tolerance\": %s},\n",
+      jnum(p.resistor.sheet_ohm_sq).c_str(), jnum(p.resistor.line_width_um).c_str(),
+      jnum(p.resistor.meander_pitch_factor).c_str(),
+      jnum(p.resistor.contact_pad_area_mm2).c_str(), jnum(p.resistor.tolerance).c_str(),
+      jnum(p.resistor.trimmed_tolerance).c_str());
+  out += strf("      \"precision_cap\": %s,\n", capacitor_json(p.precision_cap).c_str());
+  out += strf("      \"decap_cap\": %s,\n", capacitor_json(p.decap_cap).c_str());
+  out += strf(
+      "      \"spiral\": {\"line_width_um\": %s, \"line_spacing_um\": %s, "
+      "\"metal_sheet_ohm_sq\": %s, \"fill_ratio\": %s, \"guard_clearance_um\": %s, "
+      "\"wheeler_k1\": %s, \"wheeler_k2\": %s, \"substrate_q_factor\": %s, "
+      "\"max_q_peak\": %s, \"q_peak_freq_hz\": %s, \"q_slope\": %s},\n",
+      jnum(p.spiral.line_width_um).c_str(), jnum(p.spiral.line_spacing_um).c_str(),
+      jnum(p.spiral.metal_sheet_ohm_sq).c_str(), jnum(p.spiral.fill_ratio).c_str(),
+      jnum(p.spiral.guard_clearance_um).c_str(), jnum(p.spiral.wheeler_k1).c_str(),
+      jnum(p.spiral.wheeler_k2).c_str(), jnum(p.spiral.substrate_q_factor).c_str(),
+      jnum(p.spiral.max_q_peak).c_str(), jnum(p.spiral.q_peak_freq_hz).c_str(),
+      jnum(p.spiral.q_slope).c_str());
+  out += strf("      \"integrated_filter_overhead\": %s,\n",
+              jnum(p.integrated_filter_overhead).c_str());
+  out += strf("      \"integrated_filter_spacing_mm2\": %s\n    }",
+              jnum(p.integrated_filter_spacing_mm2).c_str());
+  return out;
+}
+
+std::string production_json(const core::ProductionData& pd) {
+  std::string out = "{\n";
+  const auto field = [&](const char* name, double v, const char* sep = ",") {
+    out += strf("        \"%s\": %s%s\n", name, jnum(v).c_str(), sep);
+  };
+  field("rf_chip_cost", pd.rf_chip_cost);
+  field("rf_chip_yield", pd.rf_chip_yield);
+  field("dsp_cost", pd.dsp_cost);
+  field("dsp_yield", pd.dsp_yield);
+  field("chip_assembly_cost", pd.chip_assembly_cost);
+  field("chip_assembly_yield", pd.chip_assembly_yield);
+  field("wire_bond_cost", pd.wire_bond_cost);
+  field("wire_bond_yield", pd.wire_bond_yield);
+  field("smd_assembly_cost", pd.smd_assembly_cost);
+  field("smd_assembly_yield", pd.smd_assembly_yield);
+  field("functional_test_cost", pd.functional_test_cost);
+  field("functional_test_coverage", pd.functional_test_coverage);
+  field("packaging_cost", pd.packaging_cost);
+  field("packaging_yield", pd.packaging_yield);
+  field("final_test_cost", pd.final_test_cost);
+  field("final_test_coverage", pd.final_test_coverage);
+  field("nre_total", pd.nre_total);
+  field("volume", pd.volume);
+  out += strf("        \"semantics\": \"%s\"\n      }", semantics_token(pd.semantics));
+  return out;
+}
+
+std::string variant_json(const KitVariant& v) {
+  std::string out = "{\n";
+  out += strf("      \"name\": %s,\n", jstr(v.name).c_str());
+  out += strf("      \"policy\": \"%s\",\n", policy_token(v.policy));
+  out += strf("      \"die_attach\": \"%s\",\n", attach_token(v.die_attach));
+  out += strf("      \"parts_grade\": \"%s\",\n", grade_token(v.parts_grade));
+  out += strf("      \"uses_laminate\": %s,\n", v.uses_laminate ? "true" : "false");
+  out += strf("      \"smd_on_laminate\": %s,\n", v.smd_on_laminate ? "true" : "false");
+  out += strf("      \"production\": %s\n    }", production_json(v.production).c_str());
+  return out;
+}
+
+// ---------------------------------------------------------------- parsing
+//
+// A minimal strict JSON reader (objects, arrays, strings, numbers, bools)
+// — enough for kit documents, with no dependency the container would have
+// to ship.  Keys are looked up case-sensitively; unknown keys are errors
+// (a typo in a kit file must not silently fall back to a default).
+
+struct JsonValue {
+  enum class Type { Object, Array, String, Number, Bool } type = Type::Object;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    fail_unless(pos_ == text_.size(), "trailing characters after document");
+    return v;
+  }
+
+ private:
+  void fail(const char* what) const {
+    throw PreconditionError(strf("kit JSON: %s at offset %zu", what, pos_));
+  }
+  void fail_unless(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    fail_unless(pos_ < text_.size(), "unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c, const char* what) {
+    fail_unless(pos_ < text_.size() && text_[pos_] == c, what);
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{' || c == '[') {
+      // Kit documents nest ~5 levels; a corrupt or hostile file must get a
+      // clean rejection, not a stack overflow from unbounded recursion.
+      fail_unless(depth_ < 64, "document nested too deeply");
+      ++depth_;
+      JsonValue v = c == '{' ? parse_object() : parse_array();
+      --depth_;
+      return v;
+    }
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+    return {};
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    expect('{', "expected '{'");
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':', "expected ':' after object key");
+      v.object.emplace_back(std::move(key.string), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "expected ',' or '}' in object");
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    expect('[', "expected '['");
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "expected ',' or ']' in array");
+      return v;
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.type = JsonValue::Type::String;
+    expect('"', "expected '\"'");
+    while (true) {
+      fail_unless(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      fail_unless(pos_ < text_.size(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'n': v.string += '\n'; break;
+        case 't': v.string += '\t'; break;
+        case 'r': v.string += '\r'; break;
+        case 'u': {
+          fail_unless(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // Kit names are ASCII; anything else would round-trip through the
+          // escaped form anyway.
+          fail_unless(code < 0x80, "non-ASCII \\u escape not supported");
+          v.string += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected 'true' or 'false'");
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
+          c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    fail_unless(pos_ > start, "expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    // strtod inverts %.17g exactly: the nearest binary64 to the decimal.
+    v.number = std::strtod(token.c_str(), &end);
+    fail_unless(end == token.c_str() + token.size(), "malformed number");
+    // An overflowing literal (e.g. an exponent typo like 1e999) comes back
+    // as infinity; the writer never emits one, so reject it here instead
+    // of letting inf corrupt fields validate_kit does not range-check.
+    fail_unless(std::isfinite(v.number), "number out of binary64 range");
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+// Field access with named errors; every consumed key is counted so an
+// unknown/extra key in a kit file is reported instead of ignored.
+class ObjectReader {
+ public:
+  ObjectReader(const JsonValue& v, std::string scope) : scope_(std::move(scope)) {
+    require(v.type == JsonValue::Type::Object,
+            strf("kit JSON: %s must be an object", scope_.c_str()));
+    value_ = &v;
+  }
+
+  const JsonValue& get(const char* key, JsonValue::Type type) {
+    for (const auto& [k, val] : value_->object) {
+      if (k == key) {
+        require(val.type == type,
+                strf("kit JSON: %s.%s has the wrong type", scope_.c_str(), key));
+        ++consumed_;
+        return val;
+      }
+    }
+    throw PreconditionError(strf("kit JSON: %s is missing field '%s'", scope_.c_str(), key));
+  }
+
+  double num(const char* key) { return get(key, JsonValue::Type::Number).number; }
+  std::string str(const char* key) { return get(key, JsonValue::Type::String).string; }
+  bool boolean(const char* key) { return get(key, JsonValue::Type::Bool).boolean; }
+  const JsonValue& obj(const char* key) { return get(key, JsonValue::Type::Object); }
+  const JsonValue& arr(const char* key) { return get(key, JsonValue::Type::Array); }
+
+  // Call after reading every expected field; a kit file with extra keys is
+  // rejected (a typo must not silently fall back to a default).
+  void done() const {
+    require(consumed_ == value_->object.size(),
+            strf("kit JSON: %s has %zu unknown extra field(s)", scope_.c_str(),
+                 value_->object.size() - consumed_));
+  }
+
+ private:
+  const JsonValue* value_ = nullptr;
+  std::string scope_;
+  std::size_t consumed_ = 0;
+};
+
+rf::QModel read_qmodel(const JsonValue& v, const std::string& scope) {
+  ObjectReader r(v, scope);
+  const double q_peak = r.num("q_peak");
+  const double f_peak = r.num("f_peak");
+  const double slope = r.num("slope");
+  r.done();
+  // The writer encodes lossless as exactly 0; a negative q_peak is a sign
+  // typo, not a request for infinite Q — reject it like any other typo.
+  require(q_peak >= 0.0,
+          strf("kit JSON: %s.q_peak must be >= 0 (0 = lossless)", scope.c_str()));
+  if (q_peak == 0.0) return rf::QModel::lossless();
+  return rf::QModel::peaked(q_peak, f_peak, slope);
+}
+
+tech::SubstrateTechnology read_substrate(const JsonValue& v, const std::string& scope) {
+  ObjectReader r(v, scope);
+  tech::SubstrateTechnology s;
+  s.name = r.str("name");
+  s.kind = parse_kind(r.str("kind"));
+  s.cost_per_cm2 = r.num("cost_per_cm2");
+  s.fab_yield = r.num("fab_yield");
+  s.routing_overhead = r.num("routing_overhead");
+  s.edge_clearance_mm = r.num("edge_clearance_mm");
+  s.supports_integrated_passives = r.boolean("supports_integrated_passives");
+  s.double_sided = r.boolean("double_sided");
+  r.done();
+  return s;
+}
+
+tech::CapacitorProcess read_capacitor(const JsonValue& v, const std::string& scope) {
+  ObjectReader r(v, scope);
+  tech::CapacitorProcess c;
+  c.dielectric = parse_dielectric(r.str("dielectric"));
+  c.density_pf_mm2 = r.num("density_pf_mm2");
+  c.terminal_overhead_mm2 = r.num("terminal_overhead_mm2");
+  c.quality = read_qmodel(r.obj("quality"), scope + ".quality");
+  r.done();
+  return c;
+}
+
+KitPassives read_passives(const JsonValue& v, const std::string& scope) {
+  ObjectReader r(v, scope);
+  KitPassives p;
+  {
+    ObjectReader res(r.obj("resistor"), scope + ".resistor");
+    p.resistor.sheet_ohm_sq = res.num("sheet_ohm_sq");
+    p.resistor.line_width_um = res.num("line_width_um");
+    p.resistor.meander_pitch_factor = res.num("meander_pitch_factor");
+    p.resistor.contact_pad_area_mm2 = res.num("contact_pad_area_mm2");
+    p.resistor.tolerance = res.num("tolerance");
+    p.resistor.trimmed_tolerance = res.num("trimmed_tolerance");
+    res.done();
+  }
+  p.precision_cap = read_capacitor(r.obj("precision_cap"), scope + ".precision_cap");
+  p.decap_cap = read_capacitor(r.obj("decap_cap"), scope + ".decap_cap");
+  {
+    ObjectReader sp(r.obj("spiral"), scope + ".spiral");
+    p.spiral.line_width_um = sp.num("line_width_um");
+    p.spiral.line_spacing_um = sp.num("line_spacing_um");
+    p.spiral.metal_sheet_ohm_sq = sp.num("metal_sheet_ohm_sq");
+    p.spiral.fill_ratio = sp.num("fill_ratio");
+    p.spiral.guard_clearance_um = sp.num("guard_clearance_um");
+    p.spiral.wheeler_k1 = sp.num("wheeler_k1");
+    p.spiral.wheeler_k2 = sp.num("wheeler_k2");
+    p.spiral.substrate_q_factor = sp.num("substrate_q_factor");
+    p.spiral.max_q_peak = sp.num("max_q_peak");
+    p.spiral.q_peak_freq_hz = sp.num("q_peak_freq_hz");
+    p.spiral.q_slope = sp.num("q_slope");
+    sp.done();
+  }
+  p.integrated_filter_overhead = r.num("integrated_filter_overhead");
+  p.integrated_filter_spacing_mm2 = r.num("integrated_filter_spacing_mm2");
+  r.done();
+  return p;
+}
+
+core::ProductionData read_production(const JsonValue& v, const std::string& scope) {
+  ObjectReader r(v, scope);
+  core::ProductionData pd;
+  pd.rf_chip_cost = r.num("rf_chip_cost");
+  pd.rf_chip_yield = r.num("rf_chip_yield");
+  pd.dsp_cost = r.num("dsp_cost");
+  pd.dsp_yield = r.num("dsp_yield");
+  pd.chip_assembly_cost = r.num("chip_assembly_cost");
+  pd.chip_assembly_yield = r.num("chip_assembly_yield");
+  pd.wire_bond_cost = r.num("wire_bond_cost");
+  pd.wire_bond_yield = r.num("wire_bond_yield");
+  pd.smd_assembly_cost = r.num("smd_assembly_cost");
+  pd.smd_assembly_yield = r.num("smd_assembly_yield");
+  pd.functional_test_cost = r.num("functional_test_cost");
+  pd.functional_test_coverage = r.num("functional_test_coverage");
+  pd.packaging_cost = r.num("packaging_cost");
+  pd.packaging_yield = r.num("packaging_yield");
+  pd.final_test_cost = r.num("final_test_cost");
+  pd.final_test_coverage = r.num("final_test_coverage");
+  pd.nre_total = r.num("nre_total");
+  pd.volume = r.num("volume");
+  pd.semantics = parse_semantics(r.str("semantics"));
+  r.done();
+  return pd;
+}
+
+KitVariant read_variant(const JsonValue& v, const std::string& scope) {
+  ObjectReader r(v, scope);
+  KitVariant out;
+  out.name = r.str("name");
+  out.policy = parse_policy(r.str("policy"));
+  out.die_attach = parse_attach(r.str("die_attach"));
+  out.parts_grade = parse_grade(r.str("parts_grade"));
+  out.uses_laminate = r.boolean("uses_laminate");
+  out.smd_on_laminate = r.boolean("smd_on_laminate");
+  out.production = read_production(r.obj("production"), scope + ".production");
+  r.done();
+  return out;
+}
+
+ProcessKit read_kit(const JsonValue& v) {
+  ObjectReader r(v, "kit");
+  ProcessKit kit;
+  kit.name = r.str("name");
+  kit.version = r.str("version");
+  kit.maturity = parse_maturity(r.str("maturity"));
+  kit.notes = r.str("notes");
+  kit.substrate = read_substrate(r.obj("substrate"), "kit.substrate");
+  kit.passives = read_passives(r.obj("passives"), "kit.passives");
+  {
+    ObjectReader c(r.obj("corner"), "kit.corner");
+    kit.corner.fault_scale = c.num("fault_scale");
+    kit.corner.cost_scale = c.num("cost_scale");
+    c.done();
+  }
+  const JsonValue& variants = r.arr("variants");
+  for (std::size_t i = 0; i < variants.array.size(); ++i) {
+    kit.variants.push_back(
+        read_variant(variants.array[i], strf("kit.variants[%zu]", i)));
+  }
+  r.done();
+  validate_kit(kit);
+  return kit;
+}
+
+}  // namespace
+
+std::string kit_json(const ProcessKit& kit) {
+  std::string out = "{\n";
+  out += strf("    \"name\": %s,\n", jstr(kit.name).c_str());
+  out += strf("    \"version\": %s,\n", jstr(kit.version).c_str());
+  out += strf("    \"maturity\": \"%s\",\n", maturity_token(kit.maturity));
+  out += strf("    \"notes\": %s,\n", jstr(kit.notes).c_str());
+  out += strf("    \"substrate\": %s,\n", substrate_json(kit.substrate).c_str());
+  out += strf("    \"passives\": %s,\n", passives_json(kit.passives).c_str());
+  out += strf("    \"corner\": {\"fault_scale\": %s, \"cost_scale\": %s},\n",
+              jnum(kit.corner.fault_scale).c_str(), jnum(kit.corner.cost_scale).c_str());
+  out += "    \"variants\": [";
+  for (std::size_t i = 0; i < kit.variants.size(); ++i) {
+    out += strf("%s%s", i ? ", " : "", variant_json(kit.variants[i]).c_str());
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+std::string registry_json(const KitRegistry& registry) {
+  std::string out = "{\"kits\": [\n";
+  const std::vector<ProcessKit>& kits = registry.kits();
+  for (std::size_t i = 0; i < kits.size(); ++i) {
+    out += kit_json(kits[i]);
+    if (i + 1 < kits.size()) out += ",\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+ProcessKit parse_kit_json(const std::string& text) {
+  JsonParser parser(text);
+  return read_kit(parser.parse_document());
+}
+
+KitRegistry parse_registry_json(const std::string& text) {
+  JsonParser parser(text);
+  const JsonValue doc = parser.parse_document();
+  ObjectReader r(doc, "registry");
+  const JsonValue& kits = r.arr("kits");
+  r.done();
+  KitRegistry registry;
+  for (const JsonValue& k : kits.array) {
+    registry.add(read_kit(k));  // re-validates; duplicates rejected by name
+  }
+  return registry;
+}
+
+}  // namespace ipass::kits

@@ -1,0 +1,178 @@
+#include "kits/process_kit.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+
+namespace ipass::kits {
+
+const char* kit_maturity_name(KitMaturity maturity) {
+  switch (maturity) {
+    case KitMaturity::Experimental: return "experimental";
+    case KitMaturity::Pilot: return "pilot";
+    case KitMaturity::Production: return "production";
+    case KitMaturity::Mature: return "mature";
+  }
+  return "?";
+}
+
+namespace {
+
+// One check, one message shape: "kit 'name': field ..." so a rejected kit
+// always says which kit and which field broke the contract.
+void check(bool ok, const std::string& kit, const char* field, const char* what) {
+  require(ok, strf("kit '%s': %s %s", kit.c_str(), field, what));
+}
+
+void check_yield(double value, const std::string& kit, const char* field) {
+  check(value > 0.0 && value <= 1.0, kit, field, "must be a yield in (0, 1]");
+}
+
+void check_coverage(double value, const std::string& kit, const char* field) {
+  check(value >= 0.0 && value <= 1.0, kit, field, "must be a coverage in [0, 1]");
+}
+
+void check_cost(double value, const std::string& kit, const char* field) {
+  check(value >= 0.0 && std::isfinite(value), kit, field,
+        "must be a finite non-negative cost");
+}
+
+void check_positive(double value, const std::string& kit, const char* field) {
+  check(value > 0.0 && std::isfinite(value), kit, field, "must be positive and finite");
+}
+
+void check_scale(double value, const std::string& kit, const char* field) {
+  check(value >= 0.0 && std::isfinite(value), kit, field,
+        "must be non-negative and finite");
+}
+
+void validate_production(const core::ProductionData& pd, const std::string& kit,
+                         const std::string& variant) {
+  const std::string scope = strf("%s/%s", kit.c_str(), variant.c_str());
+  check_cost(pd.rf_chip_cost, scope, "production.rf_chip_cost");
+  check_yield(pd.rf_chip_yield, scope, "production.rf_chip_yield");
+  check_cost(pd.dsp_cost, scope, "production.dsp_cost");
+  check_yield(pd.dsp_yield, scope, "production.dsp_yield");
+  check_cost(pd.chip_assembly_cost, scope, "production.chip_assembly_cost");
+  check_yield(pd.chip_assembly_yield, scope, "production.chip_assembly_yield");
+  check_cost(pd.wire_bond_cost, scope, "production.wire_bond_cost");
+  check_yield(pd.wire_bond_yield, scope, "production.wire_bond_yield");
+  check_cost(pd.smd_assembly_cost, scope, "production.smd_assembly_cost");
+  check_yield(pd.smd_assembly_yield, scope, "production.smd_assembly_yield");
+  check_cost(pd.functional_test_cost, scope, "production.functional_test_cost");
+  check_coverage(pd.functional_test_coverage, scope, "production.functional_test_coverage");
+  check_cost(pd.packaging_cost, scope, "production.packaging_cost");
+  check_yield(pd.packaging_yield, scope, "production.packaging_yield");
+  check_cost(pd.final_test_cost, scope, "production.final_test_cost");
+  check_coverage(pd.final_test_coverage, scope, "production.final_test_coverage");
+  check_cost(pd.nre_total, scope, "production.nre_total");
+  check_positive(pd.volume, scope, "production.volume");
+}
+
+}  // namespace
+
+void validate_kit(const ProcessKit& kit) {
+  require(!kit.name.empty(), "process kit: name must not be empty");
+  check(!kit.variants.empty(), kit.name, "variants", "must offer at least one variant");
+
+  check_cost(kit.substrate.cost_per_cm2, kit.name, "substrate.cost_per_cm2");
+  check_yield(kit.substrate.fab_yield, kit.name, "substrate.fab_yield");
+  check(kit.substrate.routing_overhead >= 1.0 && std::isfinite(kit.substrate.routing_overhead),
+        kit.name, "substrate.routing_overhead", "must be finite and >= 1");
+  check_scale(kit.substrate.edge_clearance_mm, kit.name, "substrate.edge_clearance_mm");
+
+  {
+    const KitPassives& p = kit.passives;
+    check_positive(p.resistor.sheet_ohm_sq, kit.name, "passives.resistor.sheet_ohm_sq");
+    check_positive(p.resistor.line_width_um, kit.name, "passives.resistor.line_width_um");
+    check_positive(p.resistor.meander_pitch_factor, kit.name,
+                   "passives.resistor.meander_pitch_factor");
+    check_scale(p.resistor.contact_pad_area_mm2, kit.name,
+                "passives.resistor.contact_pad_area_mm2");
+    check_scale(p.resistor.tolerance, kit.name, "passives.resistor.tolerance");
+    check_scale(p.resistor.trimmed_tolerance, kit.name,
+                "passives.resistor.trimmed_tolerance");
+    check_positive(p.precision_cap.density_pf_mm2, kit.name,
+                   "passives.precision_cap.density_pf_mm2");
+    check_scale(p.precision_cap.terminal_overhead_mm2, kit.name,
+                "passives.precision_cap.terminal_overhead_mm2");
+    check_positive(p.decap_cap.density_pf_mm2, kit.name,
+                   "passives.decap_cap.density_pf_mm2");
+    check_scale(p.decap_cap.terminal_overhead_mm2, kit.name,
+                "passives.decap_cap.terminal_overhead_mm2");
+    // Capacitor QModels are valid by construction (the rf::QModel
+    // factories enforce their own contracts).
+    check_positive(p.spiral.line_width_um, kit.name, "passives.spiral.line_width_um");
+    check_scale(p.spiral.line_spacing_um, kit.name, "passives.spiral.line_spacing_um");
+    check_positive(p.spiral.metal_sheet_ohm_sq, kit.name,
+                   "passives.spiral.metal_sheet_ohm_sq");
+    check(p.spiral.fill_ratio > 0.0 && p.spiral.fill_ratio < 1.0, kit.name,
+          "passives.spiral.fill_ratio", "must be in (0, 1)");
+    check_scale(p.spiral.guard_clearance_um, kit.name,
+                "passives.spiral.guard_clearance_um");
+    check_positive(p.spiral.wheeler_k1, kit.name, "passives.spiral.wheeler_k1");
+    check_positive(p.spiral.wheeler_k2, kit.name, "passives.spiral.wheeler_k2");
+    check(p.spiral.substrate_q_factor > 0.0 && p.spiral.substrate_q_factor <= 1.0,
+          kit.name, "passives.spiral.substrate_q_factor", "must be in (0, 1]");
+    check_positive(p.spiral.max_q_peak, kit.name, "passives.spiral.max_q_peak");
+    check_positive(p.spiral.q_peak_freq_hz, kit.name, "passives.spiral.q_peak_freq_hz");
+    check_scale(p.spiral.q_slope, kit.name, "passives.spiral.q_slope");
+    check(p.integrated_filter_overhead >= 1.0 && std::isfinite(p.integrated_filter_overhead),
+          kit.name, "passives.integrated_filter_overhead", "must be finite and >= 1");
+    check_scale(p.integrated_filter_spacing_mm2, kit.name,
+                "passives.integrated_filter_spacing_mm2");
+  }
+
+  check_scale(kit.corner.fault_scale, kit.name, "corner.fault_scale");
+  check_scale(kit.corner.cost_scale, kit.name, "corner.cost_scale");
+
+  for (const KitVariant& v : kit.variants) {
+    check(!v.name.empty(), kit.name, "variant.name", "must not be empty");
+    check(v.policy == core::PassivePolicy::AllSmd || kit.substrate.supports_integrated_passives,
+          strf("%s/%s", kit.name.c_str(), v.name.c_str()), "policy",
+          "needs integrated passives the substrate cannot host");
+    // Without a laminate there is nowhere to mount laminate-side SMDs;
+    // build_flow would silently drop the SMD step and its parts cost.
+    check(!v.smd_on_laminate || v.uses_laminate,
+          strf("%s/%s", kit.name.c_str(), v.name.c_str()), "smd_on_laminate",
+          "requires uses_laminate");
+    validate_production(v.production, kit.name, v.name);
+  }
+}
+
+core::TechKits apply_passives(const ProcessKit& kit, core::TechKits base) {
+  base.resistor_process = kit.passives.resistor;
+  base.precision_cap = kit.passives.precision_cap;
+  base.decap_cap = kit.passives.decap_cap;
+  base.spiral = kit.passives.spiral;
+  base.integrated_filter_overhead = kit.passives.integrated_filter_overhead;
+  base.integrated_filter_spacing_mm2 = kit.passives.integrated_filter_spacing_mm2;
+  return base;
+}
+
+core::BuildUp make_buildup(const ProcessKit& kit, const KitVariant& variant, int index) {
+  core::BuildUp b;
+  b.index = index;
+  b.name = variant.name;
+  b.substrate = kit.substrate;
+  b.die_attach = variant.die_attach;
+  b.policy = variant.policy;
+  b.parts_grade = variant.parts_grade;
+  b.uses_laminate = variant.uses_laminate;
+  b.smd_on_laminate = variant.smd_on_laminate;
+  b.production = variant.production;
+  return b;
+}
+
+std::vector<core::BuildUp> make_buildups(const ProcessKit& kit, int first_index) {
+  validate_kit(kit);
+  std::vector<core::BuildUp> out;
+  out.reserve(kit.variants.size());
+  for (const KitVariant& v : kit.variants) {
+    out.push_back(make_buildup(kit, v, first_index++));
+  }
+  return out;
+}
+
+}  // namespace ipass::kits

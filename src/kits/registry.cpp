@@ -1,0 +1,310 @@
+#include "kits/registry.hpp"
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "gps/table2.hpp"
+
+namespace ipass::kits {
+
+void KitRegistry::add(ProcessKit kit) {
+  validate_kit(kit);
+  require(!contains(kit.name),
+          strf("KitRegistry: duplicate kit name '%s'", kit.name.c_str()));
+  kits_.push_back(std::move(kit));
+}
+
+bool KitRegistry::contains(const std::string& name) const {
+  for (const ProcessKit& k : kits_) {
+    if (k.name == name) return true;
+  }
+  return false;
+}
+
+const ProcessKit& KitRegistry::at(const std::string& name) const {
+  for (const ProcessKit& k : kits_) {
+    if (k.name == name) return k;
+  }
+  throw PreconditionError(strf("KitRegistry: unknown kit '%s'", name.c_str()));
+}
+
+std::vector<std::string> KitRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(kits_.size());
+  for (const ProcessKit& k : kits_) out.push_back(k.name);
+  return out;
+}
+
+std::vector<std::string> paper_kit_selection() {
+  return {kPcbFr4Kit, kMcmDSiKit, kMcmDSiIpKit};
+}
+
+namespace {
+
+// A variant copied field-for-field from a Table-2 build-up, so the paper
+// kits reproduce gps_buildups() exactly (the golden equivalence test pins
+// this to the ulp).
+KitVariant variant_from_buildup(const core::BuildUp& b) {
+  KitVariant v;
+  v.name = b.name;
+  v.policy = b.policy;
+  v.die_attach = b.die_attach;
+  v.parts_grade = b.parts_grade;
+  v.uses_laminate = b.uses_laminate;
+  v.smd_on_laminate = b.smd_on_laminate;
+  v.production = b.production;
+  return v;
+}
+
+ProcessKit pcb_fr4_kit(const std::vector<core::BuildUp>& paper) {
+  ProcessKit kit;
+  kit.name = kPcbFr4Kit;
+  kit.version = "table2";
+  kit.maturity = KitMaturity::Mature;
+  kit.notes = "Paper build-up 1: standard FR4 board, everything SMD.";
+  kit.substrate = paper[0].substrate;
+  kit.variants = {variant_from_buildup(paper[0])};
+  return kit;
+}
+
+ProcessKit mcm_d_si_kit(const std::vector<core::BuildUp>& paper) {
+  ProcessKit kit;
+  kit.name = kMcmDSiKit;
+  kit.version = "table2";
+  kit.maturity = KitMaturity::Production;
+  kit.notes = "Paper build-up 2: thin-film on silicon, wire-bonded dice, SMDs on the BGA laminate.";
+  kit.substrate = paper[1].substrate;
+  kit.variants = {variant_from_buildup(paper[1])};
+  return kit;
+}
+
+ProcessKit mcm_d_si_ip_kit(const std::vector<core::BuildUp>& paper) {
+  ProcessKit kit;
+  kit.name = kMcmDSiIpKit;
+  kit.version = "table2";
+  kit.maturity = KitMaturity::Pilot;
+  kit.notes = "Paper build-ups 3+4: SUMMIT-era integrated-passive layers on MCM-D(Si).";
+  kit.substrate = paper[2].substrate;
+  kit.variants = {variant_from_buildup(paper[2]), variant_from_buildup(paper[3])};
+  return kit;
+}
+
+// Shared assembly defaults of the post-paper kits: bare dice at the
+// Table-2 prices, the calibrated functional test, Table-2 final test.
+core::ProductionData bare_die_production(const gps::ConfidentialCosts& cc) {
+  core::ProductionData pd;
+  pd.rf_chip_cost = cc.rf_chip_bare;
+  pd.rf_chip_yield = 0.95;
+  pd.dsp_cost = cc.dsp_bare;
+  pd.dsp_yield = 0.99;
+  pd.functional_test_cost = cc.functional_test_cost;
+  pd.functional_test_coverage = cc.functional_test_coverage;
+  pd.volume = cc.volume;
+  return pd;
+}
+
+// LTCC multilayer ceramic with buried thick-film passives: cheap fired
+// substrate, coarse features (low passive density, modest Q), the module
+// is its own hermetic package.
+ProcessKit ltcc_kit(const gps::ConfidentialCosts& cc) {
+  ProcessKit kit;
+  kit.name = kLtccKit;
+  kit.version = "dupont-951";
+  kit.maturity = KitMaturity::Production;
+  kit.notes = "Low-temperature co-fired ceramic, buried thick-film R/C, coarse spiral inductors.";
+  kit.substrate.name = "LTCC ceramic";
+  kit.substrate.kind = tech::SubstrateKind::Ltcc;
+  kit.substrate.cost_per_cm2 = 0.80;
+  kit.substrate.fab_yield = 0.97;
+  kit.substrate.routing_overhead = 1.15;  // via stacks and cavity keep-outs
+  kit.substrate.edge_clearance_mm = 1.0;
+  kit.substrate.supports_integrated_passives = true;
+  kit.substrate.double_sided = false;
+
+  kit.passives.resistor.sheet_ohm_sq = 100.0;   // buried thick-film paste
+  kit.passives.resistor.line_width_um = 150.0;  // screen-printed features
+  kit.passives.resistor.tolerance = 0.25;
+  kit.passives.precision_cap.density_pf_mm2 = 25.0;  // buried dielectric tape
+  kit.passives.precision_cap.quality = rf::QModel::constant(60.0);
+  kit.passives.decap_cap.density_pf_mm2 = 40.0;
+  kit.passives.spiral.line_width_um = 100.0;
+  kit.passives.spiral.line_spacing_um = 100.0;
+  kit.passives.spiral.metal_sheet_ohm_sq = 0.003;  // thick Ag conductor
+  kit.passives.spiral.max_q_peak = 40.0;           // low-loss ceramic
+  kit.passives.spiral.q_peak_freq_hz = 2.0e9;
+  kit.passives.integrated_filter_overhead = 2.5;   // buried layers stack vertically
+  kit.passives.integrated_filter_spacing_mm2 = 0.3;
+
+  kit.corner = core::ProcessCorner{1.1, 1.0};  // shrinking tape tolerance
+
+  KitVariant v;
+  v.name = "LTCC/WB/IP&SMD";
+  v.policy = core::PassivePolicy::Optimized;
+  v.die_attach = tech::DieAttach::WireBond;
+  v.parts_grade = tech::PartsGrade::McmLine;
+  v.uses_laminate = false;  // the fired module is its own package
+  v.production = bare_die_production(cc);
+  v.production.chip_assembly_cost = 0.12;
+  v.production.chip_assembly_yield = 0.99;
+  v.production.wire_bond_cost = 0.01;
+  v.production.wire_bond_yield = 0.9999;
+  v.production.smd_assembly_cost = 0.01;
+  v.production.smd_assembly_yield = 0.9999;
+  v.production.nre_total = 24000.0;  // tape tooling + screens
+  kit.variants = {v};
+  return kit;
+}
+
+// Organic laminate with embedded passives: PCB-class pricing, embedded
+// NiCr foil resistors and unfilled-epoxy capacitor layers, packaged chips
+// mounted directly.
+ProcessKit organic_ep_kit(const gps::ConfidentialCosts& cc) {
+  ProcessKit kit;
+  kit.name = kOrganicEpKit;
+  kit.version = "ep-4layer";
+  kit.maturity = KitMaturity::Pilot;
+  kit.notes = "Organic laminate with embedded NiCr resistors and capacitor foils.";
+  kit.substrate.name = "Organic+EP laminate";
+  kit.substrate.kind = tech::SubstrateKind::OrganicEp;
+  kit.substrate.cost_per_cm2 = 0.35;
+  kit.substrate.fab_yield = 0.985;
+  kit.substrate.routing_overhead = 1.1;
+  kit.substrate.edge_clearance_mm = 0.5;
+  kit.substrate.supports_integrated_passives = true;
+  kit.substrate.double_sided = false;  // embedded layers claim the back side
+
+  kit.passives.resistor = tech::nicr_resistor_process();
+  kit.passives.precision_cap.density_pf_mm2 = 80.0;
+  kit.passives.precision_cap.quality = rf::QModel::constant(30.0);
+  kit.passives.decap_cap.density_pf_mm2 = 60.0;
+  kit.passives.spiral.metal_sheet_ohm_sq = 0.001;  // 35 um Cu foil
+  kit.passives.spiral.line_width_um = 75.0;
+  kit.passives.spiral.line_spacing_um = 75.0;
+  kit.passives.spiral.max_q_peak = 18.0;  // lossy FR4-class dielectric
+  kit.passives.spiral.q_peak_freq_hz = 8.0e8;
+  kit.passives.integrated_filter_overhead = 3.0;
+  kit.passives.integrated_filter_spacing_mm2 = 0.2;
+
+  kit.corner = core::ProcessCorner{1.3, 0.9};  // young line, cheap materials
+
+  KitVariant v;
+  v.name = "Organic-EP/SMT/IP&SMD";
+  v.policy = core::PassivePolicy::Optimized;
+  v.die_attach = tech::DieAttach::PackagedSmt;
+  v.parts_grade = tech::PartsGrade::PcbLine;
+  v.production.rf_chip_cost = cc.rf_chip_packaged;
+  v.production.rf_chip_yield = 0.999;
+  v.production.dsp_cost = cc.dsp_packaged;
+  v.production.dsp_yield = 0.9999;
+  v.production.chip_assembly_cost = 0.15;
+  v.production.chip_assembly_yield = 0.933;
+  v.production.smd_assembly_cost = 0.01;
+  v.production.smd_assembly_yield = 0.9999;
+  v.production.functional_test_cost = cc.functional_test_cost;
+  v.production.functional_test_coverage = cc.functional_test_coverage;
+  v.production.nre_total = 9000.0;
+  v.production.volume = cc.volume;
+  kit.variants = {v};
+  return kit;
+}
+
+// The matured MCM-D(Si)+IP line of the "custom technology" what-if: same
+// variants as the paper kit, but the substrate line has climbed the yield
+// curve (90% -> 95%, 2.25 -> 2.00 per cm^2) and the passive stack got a
+// denser decap dielectric and thicker coil metal.
+ProcessKit mcm_d_si_ip_gen2_kit(const std::vector<core::BuildUp>& paper) {
+  ProcessKit kit;
+  kit.name = kMcmDSiIpGen2Kit;
+  kit.version = "gen2";
+  kit.maturity = KitMaturity::Mature;
+  kit.notes = "Matured MCM-D(Si)+IP line: 95% substrate yield, denser decaps, high-Q coils.";
+  kit.substrate = paper[2].substrate;
+  kit.substrate.name = "MCM-D(Si)+IP gen2";
+  kit.substrate.fab_yield = 0.95;
+  kit.substrate.cost_per_cm2 = 2.0;
+
+  kit.passives.decap_cap.density_pf_mm2 = 400.0;
+  kit.passives.spiral.metal_sheet_ohm_sq = 0.002;
+  kit.passives.spiral.max_q_peak = 45.0;
+
+  kit.corner = core::ProcessCorner{0.8, 1.0};  // climbed the defect curve
+
+  KitVariant fc_ip = variant_from_buildup(paper[2]);
+  fc_ip.name = "MCM-D(Si)+IP gen2/FC/IP";
+  KitVariant fc_ip_smd = variant_from_buildup(paper[3]);
+  fc_ip_smd.name = "MCM-D(Si)+IP gen2/FC/IP&SMD";
+  kit.variants = {fc_ip, fc_ip_smd};
+  return kit;
+}
+
+// Chiplet-style 2.5D silicon interposer, parameterized after Chiplet
+// Actuary's bonding/assembly cost split: an expensive fine-pitch carrier,
+// per-die micro-bump bonding (cost and yield both worse than plain flip
+// chip), the assembled stack mounted on an organic package substrate.
+ProcessKit si_interposer_kit(const gps::ConfidentialCosts& cc) {
+  ProcessKit kit;
+  kit.name = kSiInterposerKit;
+  kit.version = "2.5d-65nm";
+  kit.maturity = KitMaturity::Pilot;
+  kit.notes = "Chiplet-style passive Si interposer; micro-bump bonding terms after Chiplet Actuary.";
+  kit.substrate.name = "Si interposer";
+  kit.substrate.kind = tech::SubstrateKind::SiInterposer;
+  kit.substrate.cost_per_cm2 = 4.0;   // fine-pitch BEOL carrier
+  kit.substrate.fab_yield = 0.98;
+  kit.substrate.routing_overhead = 1.05;  // dense redistribution
+  kit.substrate.edge_clearance_mm = 0.5;
+  kit.substrate.supports_integrated_passives = false;  // passive carrier, no R/C layers
+  kit.substrate.double_sided = false;
+
+  kit.corner = core::ProcessCorner{1.25, 1.1};  // pilot assembly line
+
+  KitVariant v;
+  v.name = "Si-IP/uBump/SMD";
+  v.policy = core::PassivePolicy::AllSmd;
+  v.die_attach = tech::DieAttach::FlipChip;
+  v.parts_grade = tech::PartsGrade::McmLine;
+  v.uses_laminate = true;     // interposer stack on an organic BGA substrate
+  v.smd_on_laminate = true;   // discretes stay off the fine-pitch carrier
+  v.production = bare_die_production(cc);
+  v.production.chip_assembly_cost = 0.25;  // micro-bump bond + underfill, per die
+  v.production.chip_assembly_yield = 0.98; // bonding loss dominates (Chiplet Actuary)
+  v.production.smd_assembly_cost = 0.01;
+  v.production.smd_assembly_yield = 0.9999;
+  v.production.packaging_cost = 5.50;      // interposer-to-substrate mount + BGA
+  v.production.packaging_yield = 0.97;
+  v.production.nre_total = 60000.0;        // interposer mask set
+  kit.variants = {v};
+  return kit;
+}
+
+}  // namespace
+
+KitRegistry builtin_kit_registry() {
+  const gps::ConfidentialCosts cc = gps::calibrated_confidential_costs();
+  const std::vector<core::BuildUp> paper = gps::gps_buildups(cc);
+
+  KitRegistry registry;
+  registry.add(pcb_fr4_kit(paper));
+  registry.add(mcm_d_si_kit(paper));
+  registry.add(mcm_d_si_ip_kit(paper));
+  registry.add(ltcc_kit(cc));
+  registry.add(organic_ep_kit(cc));
+  registry.add(mcm_d_si_ip_gen2_kit(paper));
+  registry.add(si_interposer_kit(cc));
+  return registry;
+}
+
+std::vector<core::BuildUp> make_buildups(const KitRegistry& registry,
+                                         const std::vector<std::string>& selection) {
+  require(!selection.empty(), "make_buildups: empty kit selection");
+  std::vector<core::BuildUp> out;
+  int index = 1;
+  for (const std::string& name : selection) {
+    const ProcessKit& kit = registry.at(name);
+    for (const KitVariant& v : kit.variants) {
+      out.push_back(make_buildup(kit, v, index++));
+    }
+  }
+  return out;
+}
+
+}  // namespace ipass::kits

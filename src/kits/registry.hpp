@@ -1,0 +1,53 @@
+// Lookup-by-name registry of process kits, plus the built-in catalog: the
+// paper's three carriers and the post-paper backends (LTCC ceramic,
+// organic laminate with embedded passives, a matured MCM-D(Si)+IP line, a
+// chiplet-style silicon interposer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kits/process_kit.hpp"
+
+namespace ipass::kits {
+
+class KitRegistry {
+ public:
+  // Validates the kit (validate_kit) and rejects duplicate names with a
+  // message naming the kit.
+  void add(ProcessKit kit);
+
+  bool contains(const std::string& name) const;
+  // Throws PreconditionError naming the missing kit.
+  const ProcessKit& at(const std::string& name) const;
+
+  std::size_t size() const { return kits_.size(); }
+  const std::vector<ProcessKit>& kits() const { return kits_; }
+  std::vector<std::string> names() const;  // insertion order
+
+ private:
+  std::vector<ProcessKit> kits_;
+};
+
+// Registry keys of the built-in kits.
+inline constexpr const char* kPcbFr4Kit = "pcb-fr4";              // paper build-up 1
+inline constexpr const char* kMcmDSiKit = "mcm-d-si";             // paper build-up 2
+inline constexpr const char* kMcmDSiIpKit = "mcm-d-si-ip";        // paper build-ups 3+4
+inline constexpr const char* kLtccKit = "ltcc-ceramic";
+inline constexpr const char* kOrganicEpKit = "organic-ep";
+inline constexpr const char* kMcmDSiIpGen2Kit = "mcm-d-si-ip-gen2";
+inline constexpr const char* kSiInterposerKit = "si-interposer-2p5d";
+
+// The paper's three carriers in build-up order; make_buildups() over this
+// selection reproduces gps_buildups() bit for bit (golden-pinned).
+std::vector<std::string> paper_kit_selection();
+
+// All seven built-in kits.
+KitRegistry builtin_kit_registry();
+
+// Flatten a selection of kits into one build-up vector (every variant of
+// every selected kit, indexed 1..N in selection order).
+std::vector<core::BuildUp> make_buildups(const KitRegistry& registry,
+                                         const std::vector<std::string>& selection);
+
+}  // namespace ipass::kits

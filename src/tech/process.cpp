@@ -7,6 +7,9 @@ const char* substrate_kind_name(SubstrateKind kind) {
     case SubstrateKind::Pcb: return "PCB";
     case SubstrateKind::McmD: return "MCM-D(Si)";
     case SubstrateKind::McmDIp: return "MCM-D(Si)+IP";
+    case SubstrateKind::Ltcc: return "LTCC";
+    case SubstrateKind::OrganicEp: return "Organic+EP";
+    case SubstrateKind::SiInterposer: return "Si interposer";
   }
   return "?";
 }

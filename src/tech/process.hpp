@@ -1,12 +1,15 @@
 // Substrate technology descriptors: the three carrier options the paper
-// compares (standard PCB, MCM-D(Si), MCM-D(Si) with integrated passives).
+// compares (standard PCB, MCM-D(Si), MCM-D(Si) with integrated passives),
+// plus the post-paper carrier families the process-kit registry ships
+// (LTCC ceramic, organic laminates with embedded passives, silicon
+// interposers for chiplet-style assembly).
 #pragma once
 
 #include <string>
 
 namespace ipass::tech {
 
-enum class SubstrateKind { Pcb, McmD, McmDIp };
+enum class SubstrateKind { Pcb, McmD, McmDIp, Ltcc, OrganicEp, SiInterposer };
 
 const char* substrate_kind_name(SubstrateKind kind);
 

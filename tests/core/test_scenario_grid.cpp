@@ -119,6 +119,58 @@ TEST(ScenarioGrid, Preconditions) {
   grid = small_grid(study);
   grid.corners = {ProcessCorner{-1.0, 1.0}};
   EXPECT_THROW(evaluate_scenario_grid(study.bom, study.kits, grid), PreconditionError);
+  grid = small_grid(study);
+  grid.buildup_corners = {ProcessCorner{}};  // wrong size (4 build-ups)
+  EXPECT_THROW(evaluate_scenario_grid(study.bom, study.kits, grid), PreconditionError);
+  grid = small_grid(study);
+  grid.buildup_corners.assign(grid.buildups.size(), ProcessCorner{});
+  grid.buildup_corners[1].cost_scale = -1.0;
+  EXPECT_THROW(evaluate_scenario_grid(study.bom, study.kits, grid), PreconditionError);
+}
+
+// Per-build-up corner baselines: identity baselines change nothing (x1.0
+// is bit-exact), and a baseline on build-up b equals pre-composing the
+// corner axis of a grid holding only b.
+TEST(ScenarioGrid, BuildupCornerBaselines) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const ScenarioGrid grid = small_grid(study);
+
+  ScenarioGrid with_identity = grid;
+  with_identity.buildup_corners.assign(grid.buildups.size(), ProcessCorner{});
+  const ScenarioGridSummary plain = evaluate_scenario_grid(study.bom, study.kits, grid);
+  const ScenarioGridSummary identity =
+      evaluate_scenario_grid(study.bom, study.kits, with_identity);
+  EXPECT_EQ(plain.cost_mean, identity.cost_mean);
+  EXPECT_EQ(plain.cost_stddev, identity.cost_stddev);
+  EXPECT_EQ(plain.best.final_cost_per_shipped, identity.best.final_cost_per_shipped);
+  EXPECT_EQ(plain.worst.final_cost_per_shipped, identity.worst.final_cost_per_shipped);
+  EXPECT_EQ(plain.wins_per_buildup, identity.wins_per_buildup);
+
+  // Single build-up: baseline {f0, c0} == corner axis scaled by {f0, c0}.
+  const ProcessCorner baseline{1.5, 1.2};
+  ScenarioGrid one = grid;
+  one.buildups = {grid.buildups[2]};
+  one.buildup_corners = {baseline};
+  ScenarioGrid composed = one;
+  composed.buildup_corners.clear();
+  for (ProcessCorner& c : composed.corners) {
+    c.fault_scale *= baseline.fault_scale;
+    c.cost_scale *= baseline.cost_scale;
+  }
+  const ScenarioGridSummary a = evaluate_scenario_grid(study.bom, study.kits, one);
+  const ScenarioGridSummary b = evaluate_scenario_grid(study.bom, study.kits, composed);
+  EXPECT_EQ(a.cost_mean, b.cost_mean);
+  EXPECT_EQ(a.best.final_cost_per_shipped, b.best.final_cost_per_shipped);
+  EXPECT_EQ(a.worst.final_cost_per_shipped, b.worst.final_cost_per_shipped);
+  // And the baseline really moved the numbers off the plain walk.
+  const ScenarioGridSummary nominal = evaluate_scenario_grid(
+      study.bom, study.kits,
+      [&] {
+        ScenarioGrid g = one;
+        g.buildup_corners.clear();
+        return g;
+      }());
+  EXPECT_NE(a.cost_mean, nominal.cost_mean);
 }
 
 }  // namespace

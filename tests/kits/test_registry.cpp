@@ -1,0 +1,203 @@
+// KitRegistry and ProcessKit contract tests: built-in catalog shape,
+// lookup, duplicate rejection, and the validation hardening (messages must
+// name the kit and the field).
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "kits/registry.hpp"
+
+namespace ipass::kits {
+namespace {
+
+// EXPECT that `fn` throws a PreconditionError whose message contains every
+// needle (the kit name and the field name).
+template <typename Fn>
+void expect_rejects(Fn fn, std::initializer_list<const char*> needles) {
+  try {
+    fn();
+    FAIL() << "expected a PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "message '" << what << "' does not mention '" << needle << "'";
+    }
+  }
+}
+
+TEST(KitRegistry, BuiltinCatalog) {
+  const KitRegistry registry = builtin_kit_registry();
+  EXPECT_GE(registry.size(), 7u);
+
+  // The paper's three carriers plus at least four post-paper backends.
+  for (const char* name : {kPcbFr4Kit, kMcmDSiKit, kMcmDSiIpKit, kLtccKit,
+                           kOrganicEpKit, kMcmDSiIpGen2Kit, kSiInterposerKit}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    EXPECT_EQ(registry.at(name).name, name);
+  }
+  EXPECT_FALSE(registry.contains("no-such-kit"));
+
+  // Every built-in kit passes its own validation and offers >= 1 variant.
+  for (const ProcessKit& kit : registry.kits()) {
+    EXPECT_NO_THROW(validate_kit(kit)) << kit.name;
+    EXPECT_FALSE(kit.variants.empty()) << kit.name;
+  }
+
+  // names() preserves insertion order and starts with the paper kits.
+  const std::vector<std::string> names = registry.names();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], kPcbFr4Kit);
+  EXPECT_EQ(names[1], kMcmDSiKit);
+  EXPECT_EQ(names[2], kMcmDSiIpKit);
+}
+
+TEST(KitRegistry, UnknownLookupNamesTheKit) {
+  const KitRegistry registry = builtin_kit_registry();
+  expect_rejects([&] { registry.at("unobtainium"); }, {"unobtainium"});
+}
+
+TEST(KitRegistry, DuplicateNameRejected) {
+  KitRegistry registry = builtin_kit_registry();
+  ProcessKit copy = registry.at(kLtccKit);
+  expect_rejects([&] { registry.add(copy); }, {"duplicate", kLtccKit});
+}
+
+TEST(KitValidation, OutOfRangeYieldNamesKitAndField) {
+  const KitRegistry registry = builtin_kit_registry();
+
+  ProcessKit kit = registry.at(kLtccKit);
+  kit.substrate.fab_yield = 1.2;
+  expect_rejects([&] { validate_kit(kit); }, {kLtccKit, "substrate.fab_yield"});
+
+  kit = registry.at(kLtccKit);
+  kit.substrate.fab_yield = 0.0;  // <= 0 is as dead as > 1
+  expect_rejects([&] { validate_kit(kit); }, {kLtccKit, "substrate.fab_yield"});
+
+  kit = registry.at(kMcmDSiIpKit);
+  kit.variants[1].production.packaging_yield = -0.5;
+  expect_rejects([&] { validate_kit(kit); },
+                 {kMcmDSiIpKit, kit.variants[1].name.c_str(),
+                  "production.packaging_yield"});
+}
+
+TEST(KitValidation, NegativeCostNamesKitAndField) {
+  const KitRegistry registry = builtin_kit_registry();
+
+  ProcessKit kit = registry.at(kSiInterposerKit);
+  kit.substrate.cost_per_cm2 = -1.0;
+  expect_rejects([&] { validate_kit(kit); }, {kSiInterposerKit, "substrate.cost_per_cm2"});
+
+  kit = registry.at(kSiInterposerKit);
+  kit.variants[0].production.packaging_cost = -3.0;
+  expect_rejects([&] { validate_kit(kit); },
+                 {kSiInterposerKit, "production.packaging_cost"});
+}
+
+TEST(KitValidation, CoverageVolumeCornerAndStructure) {
+  const KitRegistry registry = builtin_kit_registry();
+
+  ProcessKit kit = registry.at(kPcbFr4Kit);
+  kit.variants[0].production.final_test_coverage = 1.5;
+  expect_rejects([&] { validate_kit(kit); }, {"production.final_test_coverage"});
+
+  kit = registry.at(kPcbFr4Kit);
+  kit.variants[0].production.volume = 0.0;
+  expect_rejects([&] { validate_kit(kit); }, {"production.volume"});
+
+  kit = registry.at(kPcbFr4Kit);
+  kit.corner.fault_scale = -1.0;
+  expect_rejects([&] { validate_kit(kit); }, {"corner.fault_scale"});
+
+  kit = registry.at(kPcbFr4Kit);
+  kit.variants.clear();
+  expect_rejects([&] { validate_kit(kit); }, {kPcbFr4Kit, "variants"});
+
+  kit = registry.at(kPcbFr4Kit);
+  kit.name.clear();
+  EXPECT_THROW(validate_kit(kit), PreconditionError);
+}
+
+TEST(KitValidation, IntegrationPolicyNeedsIpSubstrate) {
+  const KitRegistry registry = builtin_kit_registry();
+  ProcessKit kit = registry.at(kSiInterposerKit);  // supports_integrated_passives = false
+  kit.variants[0].policy = core::PassivePolicy::AllIntegrated;
+  expect_rejects([&] { validate_kit(kit); }, {kSiInterposerKit, "policy"});
+}
+
+TEST(KitValidation, LaminateSmdNeedsLaminate) {
+  // smd_on_laminate without uses_laminate would silently drop the SMD
+  // mounting step (and its parts cost) from the cost model.
+  const KitRegistry registry = builtin_kit_registry();
+  ProcessKit kit = registry.at(kSiInterposerKit);
+  kit.variants[0].uses_laminate = false;  // smd_on_laminate stays true
+  expect_rejects([&] { validate_kit(kit); }, {kSiInterposerKit, "smd_on_laminate"});
+}
+
+TEST(KitValidation, PassiveGeometryRejected) {
+  const KitRegistry registry = builtin_kit_registry();
+  ProcessKit kit = registry.at(kLtccKit);
+  kit.passives.spiral.line_width_um = -75.0;
+  expect_rejects([&] { validate_kit(kit); }, {kLtccKit, "passives.spiral.line_width_um"});
+
+  kit = registry.at(kLtccKit);
+  kit.passives.resistor.tolerance = -0.25;
+  expect_rejects([&] { validate_kit(kit); }, {"passives.resistor.tolerance"});
+
+  kit = registry.at(kLtccKit);
+  kit.passives.spiral.fill_ratio = 1.5;
+  expect_rejects([&] { validate_kit(kit); }, {"passives.spiral.fill_ratio"});
+
+  kit = registry.at(kLtccKit);
+  kit.passives.integrated_filter_spacing_mm2 = -5.0;
+  expect_rejects([&] { validate_kit(kit); }, {"passives.integrated_filter_spacing_mm2"});
+}
+
+TEST(KitValidation, NonFiniteValuesRejected) {
+  const KitRegistry registry = builtin_kit_registry();
+  ProcessKit kit = registry.at(kPcbFr4Kit);
+  kit.variants[0].production.nre_total = std::numeric_limits<double>::infinity();
+  expect_rejects([&] { validate_kit(kit); }, {"production.nre_total"});
+
+  kit = registry.at(kPcbFr4Kit);
+  kit.substrate.routing_overhead = std::numeric_limits<double>::quiet_NaN();
+  expect_rejects([&] { validate_kit(kit); }, {"substrate.routing_overhead"});
+}
+
+TEST(KitBuildups, MakeBuildupsFlattensSelection) {
+  const KitRegistry registry = builtin_kit_registry();
+  const std::vector<core::BuildUp> buildups =
+      make_buildups(registry, {kPcbFr4Kit, kMcmDSiIpKit, kLtccKit});
+  // 1 + 2 + 1 variants, indexed 1..4 in selection order.
+  ASSERT_EQ(buildups.size(), 4u);
+  for (std::size_t i = 0; i < buildups.size(); ++i) {
+    EXPECT_EQ(buildups[i].index, static_cast<int>(i) + 1);
+  }
+  EXPECT_EQ(buildups[0].name, "PCB/SMD");
+  EXPECT_EQ(buildups[3].name, "LTCC/WB/IP&SMD");
+  EXPECT_EQ(buildups[3].substrate.kind, tech::SubstrateKind::Ltcc);
+
+  expect_rejects([&] { make_buildups(registry, {"missing-kit"}); }, {"missing-kit"});
+  EXPECT_THROW(make_buildups(registry, {}), PreconditionError);
+}
+
+TEST(KitPassivesTest, ApplyPassivesPreservesProductLevelFields) {
+  const KitRegistry registry = builtin_kit_registry();
+  core::TechKits base;
+  base.rf_die.name = "custom RF die";
+  const core::TechKits merged = apply_passives(registry.at(kLtccKit), base);
+  EXPECT_EQ(merged.rf_die.name, "custom RF die");  // dies stay with the study
+  EXPECT_EQ(merged.resistor_process.sheet_ohm_sq, 100.0);  // kit's thick film
+  EXPECT_EQ(merged.decap_cap.density_pf_mm2, 40.0);
+}
+
+TEST(KitMaturityTest, Names) {
+  EXPECT_STREQ(kit_maturity_name(KitMaturity::Experimental), "experimental");
+  EXPECT_STREQ(kit_maturity_name(KitMaturity::Pilot), "pilot");
+  EXPECT_STREQ(kit_maturity_name(KitMaturity::Production), "production");
+  EXPECT_STREQ(kit_maturity_name(KitMaturity::Mature), "mature");
+}
+
+}  // namespace
+}  // namespace ipass::kits

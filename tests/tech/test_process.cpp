@@ -35,6 +35,10 @@ TEST(Process, KindNames) {
   EXPECT_STREQ(substrate_kind_name(SubstrateKind::Pcb), "PCB");
   EXPECT_STREQ(substrate_kind_name(SubstrateKind::McmD), "MCM-D(Si)");
   EXPECT_STREQ(substrate_kind_name(SubstrateKind::McmDIp), "MCM-D(Si)+IP");
+  // Post-paper carrier families of the process-kit registry.
+  EXPECT_STREQ(substrate_kind_name(SubstrateKind::Ltcc), "LTCC");
+  EXPECT_STREQ(substrate_kind_name(SubstrateKind::OrganicEp), "Organic+EP");
+  EXPECT_STREQ(substrate_kind_name(SubstrateKind::SiInterposer), "Si interposer");
 }
 
 }  // namespace

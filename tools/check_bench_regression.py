@@ -30,6 +30,7 @@ HOT_BENCHES = [
     "BM_CalibrationSweep/real_time",
     "BM_Sensitivity/real_time",
     "BM_Pareto/16/real_time",
+    "BM_KitFleetSweep/real_time",
 ]
 
 
