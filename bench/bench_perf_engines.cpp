@@ -23,6 +23,7 @@
 #include "rf/mna.hpp"
 #include "rf/tolerance.hpp"
 #include "rf/transform.hpp"
+#include "serve/service.hpp"
 
 using namespace ipass;
 
@@ -452,6 +453,35 @@ void BM_ScenarioGridParallel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(grid.cell_count()));
 }
 BENCHMARK(BM_ScenarioGridParallel)->Arg(100000)->Arg(1000000)->UseRealTime();
+
+// ---- serving front-end: cached vs cold-compile request paths ----
+
+// The steady-state request: the study is already compiled and cached, so a
+// request pays parse + cache hit + one batched evaluation + response
+// serialization.  This is the serving latency the CI gate tracks.
+void BM_ServeRequestCached(benchmark::State& state) {
+  serve::AssessmentService service;
+  const std::string request = R"({"id": "bench", "kit_name": "mcm-d-si-ip"})";
+  benchmark::DoNotOptimize(service.handle(request));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.handle(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeRequestCached)->UseRealTime();
+
+// The cold path: a fresh service, so the first request compiles the study
+// (MNA performance sweeps + area + cost-model flattening) before it can
+// evaluate.  The cached/cold ratio is the cache's value proposition.
+void BM_ServeRequestColdCompile(benchmark::State& state) {
+  const std::string request = R"({"id": "bench", "kit_name": "mcm-d-si-ip"})";
+  for (auto _ : state) {
+    serve::AssessmentService service;
+    benchmark::DoNotOptimize(service.handle(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeRequestColdCompile)->UseRealTime();
 
 }  // namespace
 

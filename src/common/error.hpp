@@ -4,6 +4,12 @@
 // guards postconditions / internal invariants.  Both throw so that tests
 // can assert on misuse, and so that a violated invariant can never silently
 // corrupt an assessment result.
+//
+// Every taxonomy error optionally carries a machine-readable ErrorCode so
+// that a long-running consumer (the ipass-serve front-end) can map an
+// exception onto a structured wire response without string-matching what().
+// Existing throw sites default to ErrorCode::Unspecified; messages are
+// unchanged.
 #pragma once
 
 #include <stdexcept>
@@ -11,22 +17,64 @@
 
 namespace ipass {
 
+// Machine-readable classification of a failure, stable across releases —
+// these tokens go onto the wire (see serve/protocol).
+enum class ErrorCode {
+  Unspecified,  // legacy throw sites that predate the taxonomy
+  Parse,        // malformed document/wire syntax (not valid JSON at all)
+  Validation,   // well-formed input that violates a documented contract
+  Deadline,     // the request's deadline expired before completion
+  Overload,     // admission control shed the request (queue bound reached)
+  Internal,     // invariant/numerical failure; a bug, not a caller error
+};
+
+// Stable lowercase wire token for a code.
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::Unspecified: return "unspecified";
+    case ErrorCode::Parse: return "parse";
+    case ErrorCode::Validation: return "validation";
+    case ErrorCode::Deadline: return "deadline";
+    case ErrorCode::Overload: return "overload";
+    case ErrorCode::Internal: return "internal";
+  }
+  return "?";
+}
+
 // Error raised when a caller violates a documented precondition.
 class PreconditionError : public std::invalid_argument {
  public:
-  explicit PreconditionError(const std::string& what) : std::invalid_argument(what) {}
+  explicit PreconditionError(const std::string& what,
+                             ErrorCode code = ErrorCode::Unspecified)
+      : std::invalid_argument(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 // Error raised when an internal invariant or postcondition fails.
 class InvariantError : public std::logic_error {
  public:
-  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+  explicit InvariantError(const std::string& what,
+                          ErrorCode code = ErrorCode::Unspecified)
+      : std::logic_error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 // Error raised when a numerical routine fails to converge.
 class NumericalError : public std::runtime_error {
  public:
-  explicit NumericalError(const std::string& what) : std::runtime_error(what) {}
+  explicit NumericalError(const std::string& what,
+                          ErrorCode code = ErrorCode::Unspecified)
+      : std::runtime_error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 // The message parameter is a const char* so that a passing check costs no

@@ -1,0 +1,280 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strfmt.hpp"
+
+namespace ipass {
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const char* context)
+      : text_(text), context_(context) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    fail_unless(pos_ == text_.size(), "trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw PreconditionError(strf("%s: %s at offset %zu", context_, what, pos_),
+                            ErrorCode::Parse);
+  }
+  void fail_unless(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    fail_unless(pos_ < text_.size(), "unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c, const char* what) {
+    fail_unless(pos_ < text_.size() && text_[pos_] == c, what);
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{' || c == '[') {
+      // Documents nest ~5 levels; a corrupt or hostile file must get a
+      // clean rejection, not a stack overflow from unbounded recursion.
+      fail_unless(depth_ < 64, "document nested too deeply");
+      ++depth_;
+      JsonValue v = c == '{' ? parse_object() : parse_array();
+      --depth_;
+      return v;
+    }
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    fail("unexpected character");
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    expect('{', "expected '{'");
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = parse_string();
+      // The second value for a repeated key must not silently shadow the
+      // first (nor survive as an "extra field" a reader might miscount).
+      for (const auto& [k, val] : v.object) {
+        fail_unless(k != key.string, "duplicate object key");
+      }
+      skip_ws();
+      expect(':', "expected ':' after object key");
+      v.object.emplace_back(std::move(key.string), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "expected ',' or '}' in object");
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    expect('[', "expected '['");
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "expected ',' or ']' in array");
+      return v;
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.type = JsonValue::Type::String;
+    expect('"', "expected '\"'");
+    while (true) {
+      fail_unless(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string += c;
+        continue;
+      }
+      fail_unless(pos_ < text_.size(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.string += '"'; break;
+        case '\\': v.string += '\\'; break;
+        case '/': v.string += '/'; break;
+        case 'n': v.string += '\n'; break;
+        case 't': v.string += '\t'; break;
+        case 'r': v.string += '\r'; break;
+        case 'u': {
+          fail_unless(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // Names are ASCII; anything else would round-trip through the
+          // escaped form anyway.
+          fail_unless(code < 0x80, "non-ASCII \\u escape not supported");
+          v.string += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::Bool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("expected 'true' or 'false'");
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
+          c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    fail_unless(pos_ > start, "expected a number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    // strtod inverts %.17g exactly: the nearest binary64 to the decimal.
+    v.number = std::strtod(token.c_str(), &end);
+    fail_unless(end == token.c_str() + token.size(), "malformed number");
+    // An overflowing literal (e.g. an exponent typo like 1e999) comes back
+    // as infinity; the writers never emit one, so reject it here instead
+    // of letting inf corrupt fields downstream validation does not
+    // range-check.
+    fail_unless(std::isfinite(v.number), "number out of binary64 range");
+    return v;
+  }
+
+  const std::string& text_;
+  const char* context_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text, const char* context) {
+  return JsonParser(text, context).parse_document();
+}
+
+ObjectReader::ObjectReader(const JsonValue& v, std::string scope, const char* context)
+    : scope_(std::move(scope)), context_(context) {
+  require(v.type == JsonValue::Type::Object,
+          strf("%s: %s must be an object", context_, scope_.c_str()));
+  value_ = &v;
+}
+
+const JsonValue& ObjectReader::get(const char* key, JsonValue::Type type) {
+  for (const auto& [k, val] : value_->object) {
+    if (k == key) {
+      if (val.type != type) {
+        throw PreconditionError(
+            strf("%s: %s.%s has the wrong type", context_, scope_.c_str(), key),
+            ErrorCode::Validation);
+      }
+      ++consumed_;
+      return val;
+    }
+  }
+  throw PreconditionError(
+      strf("%s: %s is missing field '%s'", context_, scope_.c_str(), key),
+      ErrorCode::Validation);
+}
+
+const JsonValue* ObjectReader::find(const char* key, JsonValue::Type type) {
+  for (const auto& [k, val] : value_->object) {
+    if (k == key) {
+      if (val.type != type) {
+        throw PreconditionError(
+            strf("%s: %s.%s has the wrong type", context_, scope_.c_str(), key),
+            ErrorCode::Validation);
+      }
+      ++consumed_;
+      return &val;
+    }
+  }
+  return nullptr;
+}
+
+double ObjectReader::num_or(const char* key, double fallback) {
+  const JsonValue* v = find(key, JsonValue::Type::Number);
+  return v ? v->number : fallback;
+}
+
+std::string ObjectReader::str_or(const char* key, const std::string& fallback) {
+  const JsonValue* v = find(key, JsonValue::Type::String);
+  return v ? v->string : fallback;
+}
+
+bool ObjectReader::bool_or(const char* key, bool fallback) {
+  const JsonValue* v = find(key, JsonValue::Type::Bool);
+  return v ? v->boolean : fallback;
+}
+
+void ObjectReader::done() const {
+  if (consumed_ != value_->object.size()) {
+    throw PreconditionError(
+        strf("%s: %s has %zu unknown extra field(s)", context_, scope_.c_str(),
+             value_->object.size() - consumed_),
+        ErrorCode::Validation);
+  }
+}
+
+}  // namespace ipass

@@ -1,0 +1,74 @@
+// A minimal strict JSON reader (objects, arrays, strings, numbers, bools)
+// shared by the kit-JSON loader and the serve wire protocol — enough for
+// those documents, with no dependency the container would have to ship.
+//
+// Hardening contract (every consumer inherits it): nesting is capped at 64
+// levels (a hostile document gets a clean rejection, not a stack overflow),
+// numbers overflowing binary64 are rejected (an exponent typo must not load
+// as infinity), duplicate object keys are rejected (the second value must
+// not silently shadow the first), and every failure is a PreconditionError
+// carrying ErrorCode::Parse plus the byte offset.  Keys are looked up
+// case-sensitively through ObjectReader; unknown keys are errors (a typo
+// must not silently fall back to a default).  Lifted out of kits/kit_json
+// so the serve front-end parses requests with the same hardened code path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ipass {
+
+struct JsonValue {
+  enum class Type { Object, Array, String, Number, Bool } type = Type::Object;
+  std::vector<std::pair<std::string, JsonValue>> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+  bool boolean = false;
+};
+
+// Parse one complete JSON document (trailing characters are an error).
+// `context` prefixes every error message, e.g. "kit JSON".
+JsonValue parse_json(const std::string& text, const char* context);
+
+// Field access with named errors; every consumed key is counted so an
+// unknown/extra key in a document is reported instead of ignored.  Errors
+// carry ErrorCode::Validation: the document was well-formed JSON but does
+// not match the expected shape.
+class ObjectReader {
+ public:
+  // `scope` names the object in messages ("kit.substrate"); `context`
+  // prefixes them ("kit JSON").
+  ObjectReader(const JsonValue& v, std::string scope, const char* context);
+
+  const JsonValue& get(const char* key, JsonValue::Type type);
+
+  double num(const char* key) { return get(key, JsonValue::Type::Number).number; }
+  std::string str(const char* key) { return get(key, JsonValue::Type::String).string; }
+  bool boolean(const char* key) { return get(key, JsonValue::Type::Bool).boolean; }
+  const JsonValue& obj(const char* key) { return get(key, JsonValue::Type::Object); }
+  const JsonValue& arr(const char* key) { return get(key, JsonValue::Type::Array); }
+
+  // Optional fields (the serve request envelope uses them; kit documents
+  // are fully required).  Returns nullptr / the fallback when absent.
+  const JsonValue* find(const char* key, JsonValue::Type type);
+  double num_or(const char* key, double fallback);
+  std::string str_or(const char* key, const std::string& fallback);
+  bool bool_or(const char* key, bool fallback);
+
+  // Call after reading every expected field; a document with extra keys is
+  // rejected (a typo must not silently fall back to a default).
+  void done() const;
+
+ private:
+  const JsonValue* value_ = nullptr;
+  std::string scope_;
+  const char* context_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace ipass

@@ -31,7 +31,11 @@ struct ThreadPool::Job {
   std::size_t n = 0;
   const std::function<void(std::size_t)>* body = nullptr;
   std::atomic<std::size_t> next{0};
-  std::exception_ptr error;  // first failure; guarded by the pool mutex
+  // The failure with the LOWEST index wins (guarded by the pool mutex):
+  // "first" must mean first in index order, not first in wall-clock arrival
+  // order, or the exception a caller sees would depend on the schedule.
+  std::exception_ptr error;
+  std::size_t error_index = 0;
 };
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -76,7 +80,10 @@ void ThreadPool::run_chunks(Job& job) {
       (*job.body)(i);
     } catch (...) {
       std::lock_guard<std::mutex> lk(m_);
-      if (!job.error) job.error = std::current_exception();
+      if (!job.error || i < job.error_index) {
+        job.error = std::current_exception();
+        job.error_index = i;
+      }
     }
   }
 }

@@ -47,9 +47,12 @@ class ThreadPool {
   // Run body(i) for every i in [0, n), blocking until all complete.  Indices
   // are claimed dynamically, so the *schedule* is nondeterministic — callers
   // must make body(i) depend only on i (see the determinism contract above),
-  // and body must be safe to invoke from several threads at once.  The first
-  // exception thrown by any body is rethrown on the calling thread after
-  // every index has been processed.  Safe to call from any thread: when the
+  // and body must be safe to invoke from several threads at once.  When
+  // bodies throw, the exception from the LOWEST-index failure is rethrown on
+  // the calling thread after every index has been processed — deterministic
+  // for any thread count, and the pool stays reusable afterwards (the
+  // service worker-isolation story rides on both).  Safe to call from any
+  // thread: when the
   // pool is already driving another job (or from inside a pool worker) the
   // call degrades to inline serial execution, which produces the same
   // result.

@@ -17,56 +17,74 @@ DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buil
   return AssessmentPipeline(bom, buildups, kits).report(inputs);
 }
 
+std::shared_ptr<const CompiledStudy> compile_study(const FunctionalBom& bom,
+                                                   std::vector<BuildUp> buildups,
+                                                   const TechKits& kits,
+                                                   PipelineScope scope) {
+  require(!buildups.empty(), "assess: need at least one build-up");
+  auto study = std::make_shared<CompiledStudy>();
+  study->buildups = std::move(buildups);
+  study->scope = scope;
+  study->performance.reserve(study->buildups.size());
+  study->areas.reserve(study->buildups.size());
+  study->compiled.reserve(study->buildups.size());
+  for (const BuildUp& b : study->buildups) {
+    study->performance.push_back(scope == PipelineScope::Full
+                                     ? assess_performance(bom, b, kits)
+                                     : PerformanceResult{});
+    study->areas.push_back(assess_area(bom, b, kits));
+    study->compiled.push_back(compile_cost_model(study->areas.back(), b));
+  }
+  study->ref_area = study->areas.front().module_area_mm2();
+  study->area_rel.reserve(study->buildups.size());
+  for (const AreaResult& a : study->areas) {
+    study->area_rel.push_back(a.module_area_mm2() / study->ref_area);
+  }
+  return study;
+}
+
 AssessmentPipeline::AssessmentPipeline(const FunctionalBom& bom,
                                        std::vector<BuildUp> buildups,
                                        const TechKits& kits, PipelineScope scope)
-    : buildups_(std::move(buildups)), scope_(scope) {
-  require(!buildups_.empty(), "assess: need at least one build-up");
-  performance_.reserve(buildups_.size());
-  areas_.reserve(buildups_.size());
-  compiled_.reserve(buildups_.size());
-  for (const BuildUp& b : buildups_) {
-    performance_.push_back(scope_ == PipelineScope::Full
-                               ? assess_performance(bom, b, kits)
-                               : PerformanceResult{});
-    areas_.push_back(assess_area(bom, b, kits));
-    compiled_.push_back(compile_cost_model(areas_.back(), b));
-  }
-  ref_area_ = areas_.front().module_area_mm2();
-  area_rel_.reserve(buildups_.size());
-  for (const AreaResult& a : areas_) {
-    area_rel_.push_back(a.module_area_mm2() / ref_area_);
-  }
+    : study_(compile_study(bom, std::move(buildups), kits, scope)) {}
+
+AssessmentPipeline::AssessmentPipeline(std::shared_ptr<const CompiledStudy> study)
+    : study_(std::move(study)) {
+  require(study_ != nullptr && !study_->buildups.empty(),
+          "AssessmentPipeline: need a compiled study");
 }
 
 const PerformanceResult& AssessmentPipeline::performance(std::size_t buildup) const {
-  require(buildup < buildups_.size(), "AssessmentPipeline: build-up index out of range");
-  require(scope_ == PipelineScope::Full,
+  require(buildup < study_->buildups.size(),
+          "AssessmentPipeline: build-up index out of range");
+  require(study_->scope == PipelineScope::Full,
           "AssessmentPipeline: performance not compiled (CostOnly scope)");
-  return performance_[buildup];
+  return study_->performance[buildup];
 }
 
 const AreaResult& AssessmentPipeline::area(std::size_t buildup) const {
-  require(buildup < buildups_.size(), "AssessmentPipeline: build-up index out of range");
-  return areas_[buildup];
+  require(buildup < study_->buildups.size(),
+          "AssessmentPipeline: build-up index out of range");
+  return study_->areas[buildup];
 }
 
 DecisionReport AssessmentPipeline::report(const AssessmentInputs& inputs) const {
-  require(scope_ == PipelineScope::Full,
+  const CompiledStudy& s = *study_;
+  require(s.scope == PipelineScope::Full,
           "AssessmentPipeline: report() needs a Full-scope pipeline");
-  require(inputs.production.empty() || inputs.production.size() == buildups_.size(),
+  require(inputs.production.empty() || inputs.production.size() == s.buildups.size(),
           "AssessmentPipeline: production vector must have one entry per build-up");
   require(inputs.models.empty(),
           "AssessmentPipeline: model overrides are a batched-path feature");
 
   DecisionReport report;
   report.weights = inputs.weights;
-  for (std::size_t b = 0; b < buildups_.size(); ++b) {
-    BuildUp buildup = buildups_[b];
+  for (std::size_t b = 0; b < s.buildups.size(); ++b) {
+    BuildUp buildup = s.buildups[b];
     if (!inputs.production.empty()) buildup.production = inputs.production[b];
-    CostAssessment cost = assess_cost(areas_[b], buildup);
+    CostAssessment cost = assess_cost(s.areas[b], buildup);
     report.assessments.push_back(BuildUpAssessment{
-        std::move(buildup), performance_[b], areas_[b], std::move(cost.flow),
+        std::move(buildup), s.performance[b], s.areas[b], std::move(cost.flow),
         std::move(cost.report), 1.0, 1.0, 0.0});
   }
 
@@ -92,27 +110,30 @@ DecisionReport AssessmentPipeline::report(const AssessmentInputs& inputs) const 
 
 void AssessmentPipeline::evaluate_chunk(const AssessmentInputs* points, std::size_t count,
                                         BuildUpSummary* out, std::size_t* winners) const {
-  const std::size_t n = buildups_.size();
+  const CompiledStudy& study = *study_;
+  const std::size_t n = study.buildups.size();
 
   // Cost the chunk build-up by build-up: the chunk's points form the lanes
   // of one SoA batch walk (out is point-major, so lane w's summary lands at
-  // out[w * n + b]).
+  // out[w * n + b]).  All mutable state is on this stack frame — the shared
+  // CompiledStudy is only read, so any number of threads (and any number of
+  // pipelines wrapping the same study) can run chunks concurrently.
   CostEvalPoint lanes[kCostBatchLanes];
   CostSummary costs[kCostBatchLanes];
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t w = 0; w < count; ++w) {
       const AssessmentInputs& point = points[w];
       lanes[w].model =
-          point.models.empty() ? &compiled_[b] : &point.models[b];
-      lanes[w].pd =
-          point.production.empty() ? &buildups_[b].production : &point.production[b];
+          point.models.empty() ? &study.compiled[b] : &point.models[b];
+      lanes[w].pd = point.production.empty() ? &study.buildups[b].production
+                                             : &point.production[b];
     }
     evaluate_compiled_cost_batch(lanes, count, costs);
     for (std::size_t w = 0; w < count; ++w) {
       BuildUpSummary& s = out[w * n + b];
-      s.performance = performance_[b].score;
-      s.module_area_mm2 = areas_[b].module_area_mm2();
-      s.area_rel = area_rel_[b];
+      s.performance = study.performance[b].score;
+      s.module_area_mm2 = study.areas[b].module_area_mm2();
+      s.area_rel = study.area_rel[b];
       s.shipped_fraction = costs[w].shipped_fraction;
       s.direct_cost = costs[w].direct_cost;
       s.chip_cost_direct = costs[w].chip_cost_direct;
@@ -125,7 +146,8 @@ void AssessmentPipeline::evaluate_chunk(const AssessmentInputs* points, std::siz
   for (std::size_t w = 0; w < count; ++w) {
     BuildUpSummary* point_out = out + w * n;
     const double ref_cost = point_out[0].final_cost_per_shipped;
-    ensure(ref_area_ > 0.0 && ref_cost > 0.0, "assess: degenerate reference build-up");
+    ensure(study.ref_area > 0.0 && ref_cost > 0.0,
+           "assess: degenerate reference build-up");
     for (std::size_t b = 0; b < n; ++b) {
       point_out[b].cost_rel = point_out[b].final_cost_per_shipped / ref_cost;
       point_out[b].fom = figure_of_merit(point_out[b].performance, point_out[b].area_rel,
@@ -141,7 +163,7 @@ void AssessmentPipeline::evaluate_chunk(const AssessmentInputs* points, std::siz
 
 BatchAssessmentResult AssessmentPipeline::evaluate(
     const std::vector<AssessmentInputs>& points, unsigned threads) const {
-  const std::size_t n_b = buildups_.size();
+  const std::size_t n_b = study_->buildups.size();
   for (const AssessmentInputs& p : points) {
     require(p.production.empty() || p.production.size() == n_b,
             "AssessmentPipeline: production vector must have one entry per build-up");

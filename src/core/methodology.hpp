@@ -3,6 +3,7 @@
 // reference (the paper's PCB solution).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -107,15 +108,43 @@ struct BatchAssessmentResult {
 // sweep it accelerates.  report() and performance() require Full.
 enum class PipelineScope { Full, CostOnly };
 
+// The immutable compile artifact of a study: performance and area resolved
+// per build-up (the MNA sweeps), each production flow flattened into a
+// CompiledCostModel.  Everything per-request — parameter vectors, SoA
+// lanes, summaries — lives on the evaluator's stack, so one CompiledStudy
+// can be shared (shared_ptr, e.g. from serve's keyed LRU cache) by any
+// number of concurrent evaluations without synchronization.
+struct CompiledStudy {
+  std::vector<BuildUp> buildups;
+  std::vector<PerformanceResult> performance;
+  std::vector<AreaResult> areas;
+  std::vector<CompiledCostModel> compiled;
+  std::vector<double> area_rel;
+  double ref_area = 0.0;
+  PipelineScope scope = PipelineScope::Full;
+};
+
+// Compiling runs the full performance and area assessment per build-up —
+// as expensive as one assess() call — so compile once, evaluate often.
+std::shared_ptr<const CompiledStudy> compile_study(
+    const FunctionalBom& bom, std::vector<BuildUp> buildups, const TechKits& kits,
+    PipelineScope scope = PipelineScope::Full);
+
 class AssessmentPipeline {
  public:
-  // Compiling runs the full performance and area assessment per build-up —
-  // as expensive as one assess() call — so build once, evaluate often.
+  // Compile-and-own convenience constructor.
   AssessmentPipeline(const FunctionalBom& bom, std::vector<BuildUp> buildups,
                      const TechKits& kits, PipelineScope scope = PipelineScope::Full);
 
-  std::size_t buildup_count() const { return buildups_.size(); }
-  const std::vector<BuildUp>& buildups() const { return buildups_; }
+  // Wrap an already-compiled (possibly cache-shared) study.  The pipeline
+  // holds no other state: evaluations from several threads over the same
+  // study are safe and bit-identical.
+  explicit AssessmentPipeline(std::shared_ptr<const CompiledStudy> study);
+
+  const std::shared_ptr<const CompiledStudy>& study() const { return study_; }
+
+  std::size_t buildup_count() const { return study_->buildups.size(); }
+  const std::vector<BuildUp>& buildups() const { return study_->buildups; }
   const PerformanceResult& performance(std::size_t buildup) const;
   const AreaResult& area(std::size_t buildup) const;
 
@@ -136,13 +165,7 @@ class AssessmentPipeline {
   void evaluate_chunk(const AssessmentInputs* points, std::size_t count,
                       BuildUpSummary* out, std::size_t* winners) const;
 
-  std::vector<BuildUp> buildups_;
-  std::vector<PerformanceResult> performance_;
-  std::vector<AreaResult> areas_;
-  std::vector<CompiledCostModel> compiled_;
-  std::vector<double> area_rel_;
-  double ref_area_ = 0.0;
-  PipelineScope scope_ = PipelineScope::Full;
+  std::shared_ptr<const CompiledStudy> study_;
 };
 
 // Calibration-input sweep front-end: evaluate every point and aggregate the

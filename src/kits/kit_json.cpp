@@ -5,12 +5,16 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/jsonfmt.hpp"
 #include "common/strfmt.hpp"
 
 namespace ipass::kits {
 
 namespace {
+
+// Error-message prefix for the shared strict parser/reader (common/json).
+constexpr const char* kContext = "kit JSON";
 
 // ------------------------------------------------------------- enum tokens
 
@@ -217,257 +221,8 @@ std::string variant_json(const KitVariant& v) {
   return out;
 }
 
-// ---------------------------------------------------------------- parsing
-//
-// A minimal strict JSON reader (objects, arrays, strings, numbers, bools)
-// — enough for kit documents, with no dependency the container would have
-// to ship.  Keys are looked up case-sensitively; unknown keys are errors
-// (a typo in a kit file must not silently fall back to a default).
-
-struct JsonValue {
-  enum class Type { Object, Array, String, Number, Bool } type = Type::Object;
-  std::vector<std::pair<std::string, JsonValue>> object;
-  std::vector<JsonValue> array;
-  std::string string;
-  double number = 0.0;
-  bool boolean = false;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse_document() {
-    JsonValue v = parse_value();
-    skip_ws();
-    fail_unless(pos_ == text_.size(), "trailing characters after document");
-    return v;
-  }
-
- private:
-  void fail(const char* what) const {
-    throw PreconditionError(strf("kit JSON: %s at offset %zu", what, pos_));
-  }
-  void fail_unless(bool ok, const char* what) const {
-    if (!ok) fail(what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    fail_unless(pos_ < text_.size(), "unexpected end of document");
-    return text_[pos_];
-  }
-
-  void expect(char c, const char* what) {
-    fail_unless(pos_ < text_.size() && text_[pos_] == c, what);
-    ++pos_;
-  }
-
-  JsonValue parse_value() {
-    skip_ws();
-    const char c = peek();
-    if (c == '{' || c == '[') {
-      // Kit documents nest ~5 levels; a corrupt or hostile file must get a
-      // clean rejection, not a stack overflow from unbounded recursion.
-      fail_unless(depth_ < 64, "document nested too deeply");
-      ++depth_;
-      JsonValue v = c == '{' ? parse_object() : parse_array();
-      --depth_;
-      return v;
-    }
-    if (c == '"') return parse_string();
-    if (c == 't' || c == 'f') return parse_bool();
-    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
-    fail("unexpected character");
-    return {};
-  }
-
-  JsonValue parse_object() {
-    JsonValue v;
-    v.type = JsonValue::Type::Object;
-    expect('{', "expected '{'");
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      JsonValue key = parse_string();
-      skip_ws();
-      expect(':', "expected ':' after object key");
-      v.object.emplace_back(std::move(key.string), parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}', "expected ',' or '}' in object");
-      return v;
-    }
-  }
-
-  JsonValue parse_array() {
-    JsonValue v;
-    v.type = JsonValue::Type::Array;
-    expect('[', "expected '['");
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(parse_value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']', "expected ',' or ']' in array");
-      return v;
-    }
-  }
-
-  JsonValue parse_string() {
-    JsonValue v;
-    v.type = JsonValue::Type::String;
-    expect('"', "expected '\"'");
-    while (true) {
-      fail_unless(pos_ < text_.size(), "unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return v;
-      if (c != '\\') {
-        v.string += c;
-        continue;
-      }
-      fail_unless(pos_ < text_.size(), "unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': v.string += '"'; break;
-        case '\\': v.string += '\\'; break;
-        case '/': v.string += '/'; break;
-        case 'n': v.string += '\n'; break;
-        case 't': v.string += '\t'; break;
-        case 'r': v.string += '\r'; break;
-        case 'u': {
-          fail_unless(pos_ + 4 <= text_.size(), "truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("invalid \\u escape");
-          }
-          // Kit names are ASCII; anything else would round-trip through the
-          // escaped form anyway.
-          fail_unless(code < 0x80, "non-ASCII \\u escape not supported");
-          v.string += static_cast<char>(code);
-          break;
-        }
-        default: fail("unknown escape");
-      }
-    }
-  }
-
-  JsonValue parse_bool() {
-    JsonValue v;
-    v.type = JsonValue::Type::Bool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      fail("expected 'true' or 'false'");
-    }
-    return v;
-  }
-
-  JsonValue parse_number() {
-    JsonValue v;
-    v.type = JsonValue::Type::Number;
-    const std::size_t start = pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
-          c == 'E') {
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    fail_unless(pos_ > start, "expected a number");
-    const std::string token = text_.substr(start, pos_ - start);
-    char* end = nullptr;
-    // strtod inverts %.17g exactly: the nearest binary64 to the decimal.
-    v.number = std::strtod(token.c_str(), &end);
-    fail_unless(end == token.c_str() + token.size(), "malformed number");
-    // An overflowing literal (e.g. an exponent typo like 1e999) comes back
-    // as infinity; the writer never emits one, so reject it here instead
-    // of letting inf corrupt fields validate_kit does not range-check.
-    fail_unless(std::isfinite(v.number), "number out of binary64 range");
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-  std::size_t depth_ = 0;
-};
-
-// Field access with named errors; every consumed key is counted so an
-// unknown/extra key in a kit file is reported instead of ignored.
-class ObjectReader {
- public:
-  ObjectReader(const JsonValue& v, std::string scope) : scope_(std::move(scope)) {
-    require(v.type == JsonValue::Type::Object,
-            strf("kit JSON: %s must be an object", scope_.c_str()));
-    value_ = &v;
-  }
-
-  const JsonValue& get(const char* key, JsonValue::Type type) {
-    for (const auto& [k, val] : value_->object) {
-      if (k == key) {
-        require(val.type == type,
-                strf("kit JSON: %s.%s has the wrong type", scope_.c_str(), key));
-        ++consumed_;
-        return val;
-      }
-    }
-    throw PreconditionError(strf("kit JSON: %s is missing field '%s'", scope_.c_str(), key));
-  }
-
-  double num(const char* key) { return get(key, JsonValue::Type::Number).number; }
-  std::string str(const char* key) { return get(key, JsonValue::Type::String).string; }
-  bool boolean(const char* key) { return get(key, JsonValue::Type::Bool).boolean; }
-  const JsonValue& obj(const char* key) { return get(key, JsonValue::Type::Object); }
-  const JsonValue& arr(const char* key) { return get(key, JsonValue::Type::Array); }
-
-  // Call after reading every expected field; a kit file with extra keys is
-  // rejected (a typo must not silently fall back to a default).
-  void done() const {
-    require(consumed_ == value_->object.size(),
-            strf("kit JSON: %s has %zu unknown extra field(s)", scope_.c_str(),
-                 value_->object.size() - consumed_));
-  }
-
- private:
-  const JsonValue* value_ = nullptr;
-  std::string scope_;
-  std::size_t consumed_ = 0;
-};
-
 rf::QModel read_qmodel(const JsonValue& v, const std::string& scope) {
-  ObjectReader r(v, scope);
+  ObjectReader r(v, scope, kContext);
   const double q_peak = r.num("q_peak");
   const double f_peak = r.num("f_peak");
   const double slope = r.num("slope");
@@ -481,7 +236,7 @@ rf::QModel read_qmodel(const JsonValue& v, const std::string& scope) {
 }
 
 tech::SubstrateTechnology read_substrate(const JsonValue& v, const std::string& scope) {
-  ObjectReader r(v, scope);
+  ObjectReader r(v, scope, kContext);
   tech::SubstrateTechnology s;
   s.name = r.str("name");
   s.kind = parse_kind(r.str("kind"));
@@ -496,7 +251,7 @@ tech::SubstrateTechnology read_substrate(const JsonValue& v, const std::string& 
 }
 
 tech::CapacitorProcess read_capacitor(const JsonValue& v, const std::string& scope) {
-  ObjectReader r(v, scope);
+  ObjectReader r(v, scope, kContext);
   tech::CapacitorProcess c;
   c.dielectric = parse_dielectric(r.str("dielectric"));
   c.density_pf_mm2 = r.num("density_pf_mm2");
@@ -507,10 +262,10 @@ tech::CapacitorProcess read_capacitor(const JsonValue& v, const std::string& sco
 }
 
 KitPassives read_passives(const JsonValue& v, const std::string& scope) {
-  ObjectReader r(v, scope);
+  ObjectReader r(v, scope, kContext);
   KitPassives p;
   {
-    ObjectReader res(r.obj("resistor"), scope + ".resistor");
+    ObjectReader res(r.obj("resistor"), scope + ".resistor", kContext);
     p.resistor.sheet_ohm_sq = res.num("sheet_ohm_sq");
     p.resistor.line_width_um = res.num("line_width_um");
     p.resistor.meander_pitch_factor = res.num("meander_pitch_factor");
@@ -522,7 +277,7 @@ KitPassives read_passives(const JsonValue& v, const std::string& scope) {
   p.precision_cap = read_capacitor(r.obj("precision_cap"), scope + ".precision_cap");
   p.decap_cap = read_capacitor(r.obj("decap_cap"), scope + ".decap_cap");
   {
-    ObjectReader sp(r.obj("spiral"), scope + ".spiral");
+    ObjectReader sp(r.obj("spiral"), scope + ".spiral", kContext);
     p.spiral.line_width_um = sp.num("line_width_um");
     p.spiral.line_spacing_um = sp.num("line_spacing_um");
     p.spiral.metal_sheet_ohm_sq = sp.num("metal_sheet_ohm_sq");
@@ -543,7 +298,7 @@ KitPassives read_passives(const JsonValue& v, const std::string& scope) {
 }
 
 core::ProductionData read_production(const JsonValue& v, const std::string& scope) {
-  ObjectReader r(v, scope);
+  ObjectReader r(v, scope, kContext);
   core::ProductionData pd;
   pd.rf_chip_cost = r.num("rf_chip_cost");
   pd.rf_chip_yield = r.num("rf_chip_yield");
@@ -569,7 +324,7 @@ core::ProductionData read_production(const JsonValue& v, const std::string& scop
 }
 
 KitVariant read_variant(const JsonValue& v, const std::string& scope) {
-  ObjectReader r(v, scope);
+  ObjectReader r(v, scope, kContext);
   KitVariant out;
   out.name = r.str("name");
   out.policy = parse_policy(r.str("policy"));
@@ -583,7 +338,7 @@ KitVariant read_variant(const JsonValue& v, const std::string& scope) {
 }
 
 ProcessKit read_kit(const JsonValue& v) {
-  ObjectReader r(v, "kit");
+  ObjectReader r(v, "kit", kContext);
   ProcessKit kit;
   kit.name = r.str("name");
   kit.version = r.str("version");
@@ -592,7 +347,7 @@ ProcessKit read_kit(const JsonValue& v) {
   kit.substrate = read_substrate(r.obj("substrate"), "kit.substrate");
   kit.passives = read_passives(r.obj("passives"), "kit.passives");
   {
-    ObjectReader c(r.obj("corner"), "kit.corner");
+    ObjectReader c(r.obj("corner"), "kit.corner", kContext);
     kit.corner.fault_scale = c.num("fault_scale");
     kit.corner.cost_scale = c.num("cost_scale");
     c.done();
@@ -639,14 +394,14 @@ std::string registry_json(const KitRegistry& registry) {
 }
 
 ProcessKit parse_kit_json(const std::string& text) {
-  JsonParser parser(text);
-  return read_kit(parser.parse_document());
+  return read_kit(parse_json(text, kContext));
 }
 
+ProcessKit parse_kit_json_value(const JsonValue& value) { return read_kit(value); }
+
 KitRegistry parse_registry_json(const std::string& text) {
-  JsonParser parser(text);
-  const JsonValue doc = parser.parse_document();
-  ObjectReader r(doc, "registry");
+  const JsonValue doc = parse_json(text, kContext);
+  ObjectReader r(doc, "registry", kContext);
   const JsonValue& kits = r.arr("kits");
   r.done();
   KitRegistry registry;

@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "common/json.hpp"
 #include "kits/registry.hpp"
 
 namespace ipass::kits {
@@ -24,6 +25,11 @@ std::string registry_json(const KitRegistry& registry);
 // Parse one kit object.  Throws PreconditionError on malformed JSON,
 // unknown enum tokens, missing required fields, or contract violations.
 ProcessKit parse_kit_json(const std::string& text);
+
+// The same from an already-parsed JSON value — for documents that embed a
+// kit object inside a larger envelope (the serve wire protocol's inline
+// kits).  Validation is identical to parse_kit_json.
+ProcessKit parse_kit_json_value(const JsonValue& value);
 
 // Parse a registry document; duplicate kit names are rejected.
 KitRegistry parse_registry_json(const std::string& text);

@@ -1,0 +1,83 @@
+// Keyed, size-bounded LRU cache of compiled studies with single-flight
+// compilation.
+//
+// Entries are shared_ptr<const CompiledStudy>: a request that resolved its
+// study keeps evaluating safely even if the entry is evicted mid-flight
+// (the artifact dies with its last reference, never under a reader).  When
+// several requests miss on the same key concurrently, exactly one compiles
+// while the rest wait for that result (single-flight) — a cold burst of
+// identical studies costs one MNA/area compilation, not N.  A failed
+// compilation is NOT cached: the exception propagates to the compiling
+// request and every waiter, and the next request retries.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/methodology.hpp"
+
+namespace ipass::serve {
+
+class CompiledStudyCache {
+ public:
+  using Compile = std::function<std::shared_ptr<const core::CompiledStudy>()>;
+
+  // At most `capacity` ready entries are retained (least recently used
+  // evicted first).  capacity must be >= 1.
+  explicit CompiledStudyCache(std::size_t capacity);
+
+  CompiledStudyCache(const CompiledStudyCache&) = delete;
+  CompiledStudyCache& operator=(const CompiledStudyCache&) = delete;
+
+  // Return the cached study for `key`, or run `compile` (outside the cache
+  // lock) and cache its result.  Rethrows the compile exception to the
+  // caller and to every single-flight waiter without caching it.
+  std::shared_ptr<const core::CompiledStudy> get_or_compile(const std::string& key,
+                                                            const Compile& compile);
+
+  // Drop the ready entry for `key` (in-flight compilations are unaffected
+  // and will insert when they finish).  Returns whether an entry existed.
+  bool evict(const std::string& key);
+
+  std::size_t size() const;
+
+  struct Stats {
+    std::uint64_t hits = 0;          // served from a ready entry
+    std::uint64_t misses = 0;        // this caller ran the compile
+    std::uint64_t waits = 0;         // joined another caller's compile
+    std::uint64_t evictions = 0;     // LRU + explicit evict() removals
+    std::uint64_t failures = 0;      // compiles that threw
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::CompiledStudy> study;
+    std::uint64_t last_used = 0;
+  };
+  // One per in-flight compilation; waiters block on its own cv so a slow
+  // compile never holds the cache lock.
+  struct Inflight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const core::CompiledStudy> study;
+    std::exception_ptr error;
+  };
+
+  void trim_locked();
+
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ipass::serve

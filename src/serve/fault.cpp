@@ -1,0 +1,87 @@
+#include "serve/fault.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strfmt.hpp"
+
+namespace ipass::serve {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Parse: return "parse";
+    case FaultKind::WorkerThrow: return "throw";
+    case FaultKind::Stall: return "stall";
+    case FaultKind::Deadline: return "deadline";
+    case FaultKind::Evict: return "evict";
+  }
+  return "?";
+}
+
+bool FaultPlan::fires(std::uint64_t seq, FaultKind kind) const {
+  double rate = 0.0;
+  switch (kind) {
+    case FaultKind::Parse: rate = parse_rate; break;
+    case FaultKind::WorkerThrow: rate = worker_throw_rate; break;
+    case FaultKind::Stall: rate = stall_rate; break;
+    case FaultKind::Deadline: rate = deadline_rate; break;
+    case FaultKind::Evict: rate = evict_rate; break;
+  }
+  if (rate <= 0.0) return false;
+  // One PCG32 stream per (seq, kind): the decision depends on nothing but
+  // the plan and the request's admission sequence number.
+  Pcg32 rng(seed ^ (seq * 0x9e3779b97f4a7c15ULL),
+            static_cast<std::uint64_t>(kind) + 1U);
+  return rng.bernoulli(rate);
+}
+
+FaultPlan parse_fault_spec(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    require(eq != std::string::npos,
+            strf("fault spec: item '%s' is not key=value", item.c_str()));
+    const std::string key = item.substr(0, eq);
+    const std::string text = item.substr(eq + 1);
+    char* parse_end = nullptr;
+    const double value = std::strtod(text.c_str(), &parse_end);
+    require(parse_end != text.c_str() && *parse_end == '\0',
+            strf("fault spec: '%s' has a malformed value '%s'", key.c_str(),
+                 text.c_str()));
+    const auto rate = [&]() {
+      require(value >= 0.0 && value <= 1.0,
+              strf("fault spec: rate '%s' must be in [0, 1]", key.c_str()));
+      return value;
+    };
+    if (key == "seed") {
+      require(value >= 0.0, "fault spec: seed must be non-negative");
+      plan.seed = static_cast<std::uint64_t>(value);
+    } else if (key == "parse") {
+      plan.parse_rate = rate();
+    } else if (key == "throw") {
+      plan.worker_throw_rate = rate();
+    } else if (key == "stall") {
+      plan.stall_rate = rate();
+    } else if (key == "deadline") {
+      plan.deadline_rate = rate();
+    } else if (key == "evict") {
+      plan.evict_rate = rate();
+    } else if (key == "stall_ms") {
+      require(value >= 0.0 && value <= 60000.0,
+              "fault spec: stall_ms must be in [0, 60000]");
+      plan.stall_ms = static_cast<std::uint32_t>(value);
+    } else {
+      throw PreconditionError(strf("fault spec: unknown key '%s'", key.c_str()));
+    }
+  }
+  return plan;
+}
+
+}  // namespace ipass::serve

@@ -1,0 +1,52 @@
+// Deterministic seeded fault injection for the assessment service.
+//
+// Every fault decision is a pure function of (plan seed, request sequence
+// number, fault kind): the service asks `fires(seq, kind)` at fixed points
+// of a request's life and the answer never depends on timing, thread
+// interleaving or which worker picked the request up.  Replaying the same
+// request log against the same plan therefore injects the same faults into
+// the same requests — the property the replay-determinism suite pins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ipass::serve {
+
+enum class FaultKind {
+  Parse,        // request text treated as unparseable
+  WorkerThrow,  // worker throws std::runtime_error mid-request
+  Stall,        // worker sleeps stall_ms before evaluating
+  Deadline,     // request's deadline treated as already expired
+  Evict,        // the request's study is evicted from the cache mid-flight
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double parse_rate = 0.0;
+  double worker_throw_rate = 0.0;
+  double stall_rate = 0.0;
+  double deadline_rate = 0.0;
+  double evict_rate = 0.0;
+  std::uint32_t stall_ms = 5;
+
+  bool any() const {
+    return parse_rate > 0.0 || worker_throw_rate > 0.0 || stall_rate > 0.0 ||
+           deadline_rate > 0.0 || evict_rate > 0.0;
+  }
+
+  // Whether fault `kind` fires for the request admitted as sequence number
+  // `seq`.  Deterministic; each (seq, kind) pair draws from its own PCG32
+  // stream so the kinds fire independently.
+  bool fires(std::uint64_t seq, FaultKind kind) const;
+};
+
+// Parse a command-line fault spec like
+//   "seed=42,parse=0.1,throw=0.05,stall=0.1,stall_ms=3,deadline=0.1,evict=0.25"
+// (keys optional, any order).  Throws PreconditionError on unknown keys or
+// rates outside [0, 1].
+FaultPlan parse_fault_spec(const std::string& spec);
+
+}  // namespace ipass::serve

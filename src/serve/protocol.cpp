@@ -1,0 +1,114 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "common/jsonfmt.hpp"
+#include "common/strfmt.hpp"
+#include "kits/kit_json.hpp"
+
+namespace ipass::serve {
+
+namespace {
+constexpr const char* kContext = "serve request";
+
+[[noreturn]] void reject(const std::string& what) {
+  throw PreconditionError(strf("%s: %s", kContext, what.c_str()),
+                          ErrorCode::Validation);
+}
+}  // namespace
+
+AssessmentRequest parse_request(const std::string& text) {
+  const JsonValue root = parse_json(text, kContext);
+  ObjectReader r(root, "request", kContext);
+  AssessmentRequest req;
+  req.id = r.str("id");
+  if (req.id.empty()) reject("'id' must not be empty");
+
+  const JsonValue* inline_kit = r.find("kit", JsonValue::Type::Object);
+  req.kit_name = r.str_or("kit_name", "");
+  if (inline_kit != nullptr && !req.kit_name.empty()) {
+    reject("send exactly one of 'kit' and 'kit_name', not both");
+  }
+  if (inline_kit == nullptr && req.kit_name.empty()) {
+    reject("request needs a 'kit' object or a 'kit_name'");
+  }
+  if (inline_kit != nullptr) {
+    req.has_inline_kit = true;
+    req.inline_kit = kits::parse_kit_json_value(*inline_kit);
+  }
+
+  req.bom = r.str_or("bom", req.bom);
+  req.reference = r.str_or("reference", req.reference);
+
+  const std::string scope = r.str_or("scope", "full");
+  if (scope == "full") {
+    req.scope = core::PipelineScope::Full;
+  } else if (scope == "cost-only") {
+    req.scope = core::PipelineScope::CostOnly;
+  } else {
+    reject(strf("unknown scope '%s' (expected 'full' or 'cost-only')",
+                scope.c_str()));
+  }
+
+  req.want_pareto = r.bool_or("pareto", false);
+  req.want_sensitivity = r.bool_or("sensitivity", false);
+  if (req.want_sensitivity && req.scope != core::PipelineScope::Full) {
+    reject("sensitivity needs scope 'full'");
+  }
+
+  if (const JsonValue* w = r.find("weights", JsonValue::Type::Object)) {
+    ObjectReader wr(*w, "request.weights", kContext);
+    req.weights.performance = wr.num_or("performance", 1.0);
+    req.weights.size = wr.num_or("size", 1.0);
+    req.weights.cost = wr.num_or("cost", 1.0);
+    wr.done();
+  }
+
+  if (const JsonValue* v = r.find("volume", JsonValue::Type::Number)) {
+    req.volume = v->number;
+    if (!(req.volume > 0.0) || !std::isfinite(req.volume)) {
+      reject("'volume' must be a positive finite number");
+    }
+  }
+
+  if (const JsonValue* d = r.find("deadline_ms", JsonValue::Type::Number)) {
+    if (!(d->number >= 0.0) || d->number != std::floor(d->number) ||
+        d->number > 86400000.0) {
+      reject("'deadline_ms' must be a whole number of milliseconds in [0, 86400000]");
+    }
+    req.deadline_ms = static_cast<std::int64_t>(d->number);
+  }
+
+  r.done();
+  return req;
+}
+
+std::string study_cache_key(const AssessmentRequest& request) {
+  std::string key;
+  key.reserve(128);
+  key += "bom=";
+  key += request.bom;
+  key += ";reference=";
+  key += request.reference;
+  key += ";scope=";
+  key += request.scope == core::PipelineScope::Full ? "full" : "cost-only";
+  key += ";kit=";
+  if (request.has_inline_kit) {
+    // Canonical %.17g serialization: two inline documents that parse to the
+    // same kit (whitespace, field order) share one compile artifact.
+    key += kits::kit_json(request.inline_kit);
+  } else {
+    key += "name:";
+    key += request.kit_name;
+  }
+  return key;
+}
+
+std::string error_response(const std::string& id, ErrorCode code,
+                           const std::string& message) {
+  return strf("{\"id\": \"%s\", \"status\": \"error\", \"code\": \"%s\", \"message\": \"%s\"}",
+              json_escape(id).c_str(), error_code_name(code),
+              json_escape(message).c_str());
+}
+
+}  // namespace ipass::serve

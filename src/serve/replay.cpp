@@ -1,0 +1,55 @@
+#include "serve/replay.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+
+namespace ipass::serve {
+
+std::vector<std::string> replay(AssessmentService& service,
+                                const std::vector<std::string>& requests,
+                                std::size_t window) {
+  if (window == 0) window = service.options().queue_limit;
+  require(window >= 1, "replay: window must be at least 1");
+
+  std::vector<std::future<std::string>> futures;
+  futures.reserve(requests.size());
+  std::vector<std::string> responses(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i >= window) {
+      // Resolve the oldest outstanding request first: at most window - 1
+      // submissions can still be in flight, so admission never refuses.
+      responses[i - window] = futures[i - window].get();
+    }
+    futures.push_back(service.submit(requests[i]));
+  }
+  for (std::size_t i = requests.size() >= window ? requests.size() - window : 0;
+       i < requests.size(); ++i) {
+    responses[i] = futures[i].get();
+  }
+  return responses;
+}
+
+std::vector<std::string> read_request_log(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), strf("replay: cannot open request log '%s'", path.c_str()));
+  std::vector<std::string> requests;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) requests.push_back(line);
+  }
+  return requests;
+}
+
+std::string response_stream(const std::vector<std::string>& responses) {
+  std::string out;
+  for (const std::string& r : responses) {
+    out += r;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ipass::serve

@@ -1,0 +1,37 @@
+// Request-log replay: feed a JSONL request log through an
+// AssessmentService and collect the response lines in request order.
+//
+// This is the determinism harness: because a response is a pure function
+// of (request text, admission sequence number, service options), replaying
+// the same log against the same options — with any worker count, any
+// IPASS_THREADS, with or without a warm cache — yields byte-identical
+// response streams.  The submission window is throttled below the
+// service's queue_limit so admission control never refuses a request
+// (an overload refusal depends on racing queue depth); for the same
+// reason replay configurations leave degrade_depth at 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace ipass::serve {
+
+// Submit every request line in order (at most `window` outstanding at a
+// time; 0 = the service's queue_limit) and return the responses in the
+// same order.
+std::vector<std::string> replay(AssessmentService& service,
+                                const std::vector<std::string>& requests,
+                                std::size_t window = 0);
+
+// Read a JSONL request log: one request per line, blank lines skipped.
+// Malformed lines are NOT filtered — they belong in the log precisely to
+// exercise the structured parse-error path.
+std::vector<std::string> read_request_log(const std::string& path);
+
+// Join response lines into the canonical response stream ("\n"-terminated
+// lines) that the CI smoke diffs byte-for-byte.
+std::string response_stream(const std::vector<std::string>& responses);
+
+}  // namespace ipass::serve

@@ -1,0 +1,346 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/jsonfmt.hpp"
+#include "common/strfmt.hpp"
+#include "core/pareto.hpp"
+#include "core/sensitivity.hpp"
+#include "gps/bom.hpp"
+
+namespace ipass::serve {
+
+namespace {
+
+// Deadline bookkeeping for one request.  The clock starts at admission —
+// queue wait counts against the deadline, exactly like a client timeout
+// would.  A fault-injected deadline is "already expired": it fires at the
+// first checkpoint, so the resulting response is deterministic.
+struct DeadlineGuard {
+  std::chrono::steady_clock::time_point start;
+  std::int64_t limit_ms = 0;
+  bool forced = false;
+
+  void check(const char* stage) const {
+    if (limit_ms <= 0 && !forced) return;
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (forced || elapsed >= limit_ms) {
+      // No measured time in the message: responses must not depend on it.
+      throw PreconditionError(
+          strf("serve request: deadline of %lld ms exceeded %s",
+               static_cast<long long>(limit_ms), stage),
+          ErrorCode::Deadline);
+    }
+  }
+};
+
+void append_buildup_json(std::string& out, const std::string& name,
+                         const core::BuildUpSummary& s, bool has_frontier,
+                         bool frontier) {
+  out += "{\"name\": \"";
+  out += json_escape(name);
+  out += "\"";
+  const auto field = [&](const char* key, double v) {
+    out += ", \"";
+    out += key;
+    out += "\": ";
+    out += json_number(v);
+  };
+  field("performance", s.performance);
+  field("module_area_mm2", s.module_area_mm2);
+  field("area_rel", s.area_rel);
+  field("shipped_fraction", s.shipped_fraction);
+  field("direct_cost", s.direct_cost);
+  field("yield_loss_per_shipped", s.yield_loss_per_shipped);
+  field("nre_per_shipped", s.nre_per_shipped);
+  field("final_cost_per_shipped", s.final_cost_per_shipped);
+  field("cost_rel", s.cost_rel);
+  field("fom", s.fom);
+  if (has_frontier) {
+    out += ", \"frontier\": ";
+    out += frontier ? "true" : "false";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+AssessmentService::AssessmentService(const ServiceOptions& options)
+    : options_(options),
+      registry_(kits::builtin_kit_registry()),
+      bom_(gps::gps_front_end_bom()),
+      cache_(options.cache_capacity) {
+  require(options_.workers >= 1 && options_.workers <= 256,
+          "AssessmentService: workers must be in [1, 256]");
+  require(options_.queue_limit >= 1, "AssessmentService: queue_limit must be >= 1");
+  workers_.reserve(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+AssessmentService::~AssessmentService() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+std::future<std::string> AssessmentService::submit(std::string request_text) {
+  std::promise<std::string> promise;
+  std::future<std::string> fut = promise.get_future();
+  bool refused = false;
+  const char* refusal = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stopping_) {
+      refused = true;
+      refusal = "service is shutting down";
+    } else if (queue_.size() + running_ >= options_.queue_limit) {
+      refused = true;
+      refusal = "service overloaded; retry later";
+      ++stats_.overloaded;
+    } else {
+      Task task;
+      task.seq = next_seq_++;
+      task.text = std::move(request_text);
+      task.shed = options_.degrade_depth > 0 &&
+                  queue_.size() + running_ >= options_.degrade_depth;
+      task.enqueued = std::chrono::steady_clock::now();
+      task.promise = std::move(promise);
+      queue_.push_back(std::move(task));
+      ++stats_.admitted;
+    }
+  }
+  if (refused) {
+    // The client correlates by response order; an admission refusal never
+    // parsed the request, so it carries no id.
+    promise.set_value(error_response("", ErrorCode::Overload, refusal));
+  } else {
+    cv_.notify_one();
+  }
+  return fut;
+}
+
+std::string AssessmentService::handle(const std::string& request_text) {
+  return submit(request_text).get();
+}
+
+ServiceStats AssessmentService::stats() const {
+  std::lock_guard<std::mutex> lk(m_);
+  ServiceStats out = stats_;
+  out.cache = cache_.stats();
+  return out;
+}
+
+void AssessmentService::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    Outcome outcome = process(task);
+    {
+      // Release the slot and settle the counters BEFORE delivering the
+      // response: a caller woken by the future must observe the slot free
+      // (the replay window-throttling guarantee) and the stats settled.
+      std::lock_guard<std::mutex> lk(m_);
+      --running_;
+      ++stats_.completed;
+      if (outcome.ok) {
+        ++stats_.ok;
+      } else {
+        ++stats_.errors;
+      }
+      if (outcome.degraded) ++stats_.degraded;
+    }
+    task.promise.set_value(std::move(outcome.body));
+  }
+}
+
+AssessmentService::Outcome AssessmentService::process(const Task& task) const {
+  std::string id;
+  try {
+    if (options_.faults.fires(task.seq, FaultKind::Parse)) {
+      throw PreconditionError("serve request: injected parse fault",
+                              ErrorCode::Parse);
+    }
+    const AssessmentRequest request = parse_request(task.text);
+    id = request.id;
+    return run_assessment(task, request);
+  } catch (const PreconditionError& e) {
+    // Unspecified precondition failures from the engines are contract
+    // violations of the request's inputs — validation on the wire.
+    const ErrorCode code =
+        e.code() == ErrorCode::Unspecified ? ErrorCode::Validation : e.code();
+    return Outcome{error_response(id, code, e.what()), false, false};
+  } catch (const std::exception& e) {
+    return Outcome{error_response(id, ErrorCode::Internal, e.what()), false, false};
+  } catch (...) {
+    return Outcome{error_response(id, ErrorCode::Internal, "unknown error"), false,
+                   false};
+  }
+}
+
+AssessmentService::Outcome AssessmentService::run_assessment(
+    const Task& task, const AssessmentRequest& request) const {
+  const FaultPlan& faults = options_.faults;
+  const DeadlineGuard deadline{task.enqueued, request.deadline_ms,
+                               faults.fires(task.seq, FaultKind::Deadline)};
+  deadline.check("after parse");
+
+  if (request.bom != "gps-front-end") {
+    throw PreconditionError(
+        strf("serve request: unknown bom '%s' (available: 'gps-front-end')",
+             request.bom.c_str()),
+        ErrorCode::Validation);
+  }
+  const kits::ProcessKit& reference = registry_.at(request.reference);
+  for (const kits::KitVariant& v : reference.variants) {
+    if (v.policy != core::PassivePolicy::AllSmd) {
+      throw PreconditionError(
+          strf("serve request: reference kit '%s' must be an all-SMD carrier",
+               reference.name.c_str()),
+          ErrorCode::Validation);
+    }
+  }
+  const kits::ProcessKit& kit =
+      request.has_inline_kit ? request.inline_kit : registry_.at(request.kit_name);
+  const bool is_reference = !request.has_inline_kit && kit.name == reference.name;
+  const std::size_t own_offset = is_reference ? 0 : reference.variants.size();
+
+  const std::string key = study_cache_key(request);
+  if (faults.fires(task.seq, FaultKind::Evict)) cache_.evict(key);
+
+  // Same study shape as kits::sweep_kits: the reference kit's build-ups
+  // anchor the 100% rows, the requested kit's variants follow.
+  const std::shared_ptr<const core::CompiledStudy> study =
+      cache_.get_or_compile(key, [&] {
+        std::vector<core::BuildUp> buildups = kits::make_buildups(reference);
+        if (!is_reference) {
+          for (core::BuildUp& b :
+               kits::make_buildups(kit, static_cast<int>(buildups.size()) + 1)) {
+            buildups.push_back(std::move(b));
+          }
+        }
+        return core::compile_study(bom_, std::move(buildups),
+                                   kits::apply_passives(kit), request.scope);
+      });
+  deadline.check("after compile");
+
+  if (faults.fires(task.seq, FaultKind::Stall)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(faults.stall_ms));
+    deadline.check("after compile");
+  }
+  if (faults.fires(task.seq, FaultKind::WorkerThrow)) {
+    throw std::runtime_error("injected worker fault");
+  }
+
+  const std::size_t n = study->buildups.size();
+  const core::AssessmentPipeline pipeline(study);
+  core::AssessmentInputs point;
+  point.weights = request.weights;
+  if (request.volume > 0.0) {
+    point.production.reserve(n);
+    for (const core::BuildUp& b : study->buildups) {
+      core::ProductionData pd = b.production;
+      pd.volume = request.volume;
+      point.production.push_back(pd);
+    }
+  }
+  const core::BatchAssessmentResult batch =
+      pipeline.evaluate({point}, options_.eval_threads);
+  deadline.check("after evaluation");
+
+  // Optional stages: shed under load (admission decided), flagged in the
+  // response so the client knows the answer is the mandatory core only.
+  bool degraded = false;
+  std::vector<bool> frontier;
+  if (request.want_pareto) {
+    if (task.shed) {
+      degraded = true;
+    } else {
+      frontier.resize(n);
+      for (const core::ParetoEntry& e : core::pareto_analysis(batch, 0)) {
+        frontier[e.index] = !e.dominated;
+      }
+      deadline.check("after pareto");
+    }
+  }
+
+  core::SensitivityReport sensitivity;
+  bool have_sensitivity = false;
+  std::size_t sensitivity_target = 0;
+  if (request.want_sensitivity) {
+    if (task.shed) {
+      degraded = true;
+    } else {
+      sensitivity_target = own_offset;
+      for (std::size_t b = own_offset; b < n; ++b) {
+        if (batch.at(0, b).fom > batch.at(0, sensitivity_target).fom) {
+          sensitivity_target = b;
+        }
+      }
+      core::BuildUp target = study->buildups[sensitivity_target];
+      if (request.volume > 0.0) target.production.volume = request.volume;
+      core::SensitivityOptions opts;
+      opts.threads = options_.eval_threads;
+      sensitivity = core::cost_sensitivity(bom_, target, kits::apply_passives(kit), opts);
+      have_sensitivity = true;
+      deadline.check("after sensitivity");
+    }
+  }
+
+  std::string out;
+  out.reserve(1024);
+  out += "{\"id\": \"";
+  out += json_escape(request.id);
+  out += "\", \"status\": \"ok\", \"degraded\": ";
+  out += degraded ? "true" : "false";
+  out += ", \"kit\": \"";
+  out += json_escape(kit.name);
+  out += "\", \"reference\": \"";
+  out += json_escape(reference.name);
+  out += "\", \"scope\": \"";
+  out += request.scope == core::PipelineScope::Full ? "full" : "cost-only";
+  out += strf("\", \"winner\": %zu, \"buildups\": [", batch.winners[0]);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (b > 0) out += ", ";
+    append_buildup_json(out, study->buildups[b].name, batch.at(0, b),
+                        !frontier.empty(), !frontier.empty() && frontier[b]);
+  }
+  out += "]";
+  if (have_sensitivity) {
+    out += ", \"sensitivity\": {\"buildup\": \"";
+    out += json_escape(study->buildups[sensitivity_target].name);
+    out += "\", \"rows\": [";
+    for (std::size_t i = 0; i < sensitivity.rows.size(); ++i) {
+      const core::SensitivityRow& row = sensitivity.rows[i];
+      if (i > 0) out += ", ";
+      out += "{\"input\": \"";
+      out += json_escape(row.input);
+      out += "\", \"elasticity\": ";
+      out += json_number(row.elasticity);
+      out += ", \"base_cost\": ";
+      out += json_number(row.base_cost);
+      out += ", \"perturbed_cost\": ";
+      out += json_number(row.perturbed_cost);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "}";
+  return Outcome{std::move(out), true, degraded};
+}
+
+}  // namespace ipass::serve

@@ -1,0 +1,110 @@
+// The fault-tolerant assessment service core: bounded-queue admission,
+// worker pool, per-request deadlines, graceful degradation and the study
+// cache, glued to the wire protocol.  The socket front-end (socket.hpp)
+// and the replay tool are thin shells over this class; every behavior is
+// testable in-process without a network.
+//
+// Robustness contract: submit() always yields exactly one response line —
+// a request can fail (structured error with a taxonomy code), be shed
+// (degraded response), or be refused at admission (overloaded error), but
+// it can never crash the process, deadlock, or leak its queue slot.  The
+// response content is a pure function of (request text, admission sequence
+// number, service options): timing, thread interleaving and cache state
+// never leak into the bytes, which is what makes request-log replay
+// byte-identical across worker counts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/function_bom.hpp"
+#include "kits/registry.hpp"
+#include "serve/cache.hpp"
+#include "serve/fault.hpp"
+#include "serve/protocol.hpp"
+
+namespace ipass::serve {
+
+struct ServiceOptions {
+  unsigned workers = 1;          // request-level concurrency
+  std::size_t queue_limit = 64;  // admitted-but-unfinished cap; above = overloaded
+  // Backlog depth at admission from which optional stages (pareto,
+  // sensitivity) are shed and the response flagged "degraded": true.
+  // 0 disables shedding (the replay/CI configuration — shedding depends on
+  // racing queue depth, so determinism requires it off).
+  std::size_t degrade_depth = 0;
+  std::size_t cache_capacity = 8;  // compiled studies kept (LRU)
+  unsigned eval_threads = 1;       // engine threads per request
+  FaultPlan faults;                // deterministic fault injection
+};
+
+struct ServiceStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;      // completed with a structured error
+  std::uint64_t overloaded = 0;  // refused at admission
+  std::uint64_t degraded = 0;    // completed with shed optional stages
+  CompiledStudyCache::Stats cache;
+};
+
+class AssessmentService {
+ public:
+  explicit AssessmentService(const ServiceOptions& options = {});
+  // Drains the queue (every admitted request still gets its response),
+  // then joins the workers.
+  ~AssessmentService();
+
+  AssessmentService(const AssessmentService&) = delete;
+  AssessmentService& operator=(const AssessmentService&) = delete;
+
+  // Admit one request (a single line/frame of JSON).  The future always
+  // becomes a response line; it never throws.
+  std::future<std::string> submit(std::string request_text);
+
+  // submit() + wait.
+  std::string handle(const std::string& request_text);
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    std::uint64_t seq = 0;
+    std::string text;
+    std::promise<std::string> promise;
+    bool shed = false;  // admission decided to shed optional stages
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Outcome {
+    std::string body;
+    bool ok = false;
+    bool degraded = false;
+  };
+
+  void worker_loop();
+  // Never throws: every failure becomes a structured error response.
+  Outcome process(const Task& task) const;
+  Outcome run_assessment(const Task& task, const AssessmentRequest& request) const;
+
+  const ServiceOptions options_;
+  const kits::KitRegistry registry_;
+  const core::FunctionalBom bom_;
+  mutable CompiledStudyCache cache_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  std::size_t running_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  ServiceStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ipass::serve

@@ -1,0 +1,226 @@
+#include "serve/socket.hpp"
+
+#include <algorithm>
+
+#include "common/strfmt.hpp"
+
+#ifndef _WIN32
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ipass::serve {
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Returns false on clean EOF before the first byte; throws nothing.
+// Partial frames and read errors also return false — the connection is
+// unusable either way.
+bool read_all(int fd, char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, data, size, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::string& payload) {
+  unsigned char header[4];
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  header[0] = static_cast<unsigned char>(size >> 24);
+  header[1] = static_cast<unsigned char>(size >> 16);
+  header[2] = static_cast<unsigned char>(size >> 8);
+  header[3] = static_cast<unsigned char>(size);
+  return write_all(fd, reinterpret_cast<const char*>(header), 4) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+enum class FrameStatus { Ok, Eof, TooLarge };
+
+FrameStatus read_frame(int fd, std::string& payload) {
+  unsigned char header[4];
+  if (!read_all(fd, reinterpret_cast<char*>(header), 4)) return FrameStatus::Eof;
+  const std::uint32_t size = (static_cast<std::uint32_t>(header[0]) << 24) |
+                             (static_cast<std::uint32_t>(header[1]) << 16) |
+                             (static_cast<std::uint32_t>(header[2]) << 8) |
+                             static_cast<std::uint32_t>(header[3]);
+  if (size > kMaxFrameBytes) return FrameStatus::TooLarge;
+  payload.resize(size);
+  if (size > 0 && !read_all(fd, payload.data(), size)) return FrameStatus::Eof;
+  return FrameStatus::Ok;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(const ServerOptions& options)
+    : options_(options), service_(std::make_unique<AssessmentService>(options.service)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(listen_fd_ >= 0, "SocketServer: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw PreconditionError(strf("SocketServer: cannot listen on port %u: %s",
+                                 static_cast<unsigned>(options_.port),
+                                 std::strerror(err)));
+  }
+  socklen_t len = sizeof(addr);
+  require(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+          "SocketServer: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void SocketServer::run() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!stop_.load() && errno == EINTR) continue;
+      break;  // stop() shut the listener down (or it failed terminally)
+    }
+    if (stop_.load()) {
+      ::close(fd);
+      break;
+    }
+    if (active_connections_.load() >= options_.max_connections) {
+      // Refuse above the connection cap with a structured frame so the
+      // client sees backpressure, not a silent hangup.
+      write_frame(fd, error_response("", ErrorCode::Overload,
+                                     "too many connections; retry later"));
+      ::close(fd);
+      continue;
+    }
+    ++active_connections_;
+    {
+      std::lock_guard<std::mutex> lk(conn_m_);
+      conn_fds_.push_back(fd);
+    }
+    threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+  // Wind down: unblock connection threads still waiting on reads, then join.
+  {
+    std::lock_guard<std::mutex> lk(conn_m_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+void SocketServer::stop() {
+  if (stop_.exchange(true)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void SocketServer::serve_connection(int fd) {
+  std::string request;
+  for (;;) {
+    const FrameStatus status = read_frame(fd, request);
+    if (status == FrameStatus::Eof) break;
+    if (status == FrameStatus::TooLarge) {
+      write_frame(fd, error_response("", ErrorCode::Parse,
+                                     strf("request frame exceeds %zu bytes",
+                                          kMaxFrameBytes)));
+      break;
+    }
+    if (!write_frame(fd, service_->handle(request))) break;
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lk(conn_m_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  }
+  --active_connections_;
+}
+
+SocketClient::SocketClient(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd_ >= 0, "SocketClient: cannot create socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  require(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+          strf("SocketClient: '%s' is not an IPv4 address", host.c_str()));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw PreconditionError(strf("SocketClient: cannot connect to %s:%u: %s",
+                                 host.c_str(), static_cast<unsigned>(port),
+                                 std::strerror(err)));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string SocketClient::roundtrip(const std::string& request) {
+  require(request.size() <= kMaxFrameBytes, "SocketClient: request too large");
+  require(write_frame(fd_, request), "SocketClient: connection lost while sending");
+  std::string response;
+  require(read_frame(fd_, response) == FrameStatus::Ok,
+          "SocketClient: connection lost while receiving");
+  return response;
+}
+
+}  // namespace ipass::serve
+
+#else  // _WIN32
+
+namespace ipass::serve {
+
+SocketServer::SocketServer(const ServerOptions& options) : options_(options) {
+  throw PreconditionError("SocketServer: POSIX sockets unavailable on this platform");
+}
+SocketServer::~SocketServer() = default;
+void SocketServer::run() {}
+void SocketServer::stop() {}
+void SocketServer::serve_connection(int) {}
+
+SocketClient::SocketClient(const std::string&, std::uint16_t) {
+  throw PreconditionError("SocketClient: POSIX sockets unavailable on this platform");
+}
+SocketClient::~SocketClient() = default;
+std::string SocketClient::roundtrip(const std::string&) { return {}; }
+
+}  // namespace ipass::serve
+
+#endif

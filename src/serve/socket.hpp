@@ -1,0 +1,90 @@
+// Dependency-free POSIX socket front-end for the assessment service.
+//
+// Framing: every message (request or response) is a 4-byte big-endian
+// length followed by that many bytes of JSON — the same documents the
+// in-process service consumes and produces, so a socket client and an
+// in-process replay see identical bytes.  Frames above kMaxFrameBytes are
+// answered with a structured parse error and the connection is closed
+// (a hostile length header must not make the server allocate gigabytes).
+//
+// The server is deliberately simple: one thread per connection, requests
+// within a connection processed in order (responses come back in request
+// order), concurrency across connections bounded by max_connections —
+// admission control proper lives in the AssessmentService behind it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace ipass::serve {
+
+inline constexpr std::size_t kMaxFrameBytes = 1U << 20;  // 1 MiB
+
+struct ServerOptions {
+  ServiceOptions service;
+  std::uint16_t port = 0;  // 0 = ephemeral (read back via port())
+  int backlog = 16;
+  unsigned max_connections = 32;
+};
+
+class SocketServer {
+ public:
+  // Binds and listens on 127.0.0.1 immediately; throws PreconditionError
+  // when the port is unavailable (or on platforms without POSIX sockets).
+  explicit SocketServer(const ServerOptions& options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  AssessmentService& service() { return *service_; }
+
+  // Accept loop; returns after stop().  Call from a dedicated thread (or
+  // let it be the main thread of a daemon).
+  void run();
+
+  // Unblock run() and stop accepting.  Async-signal-safe enough for a
+  // SIGTERM handler: it only shuts down the listening socket and sets a
+  // flag.  Connection threads are joined by run() on the way out.
+  void stop();
+
+ private:
+  void serve_connection(int fd);
+
+  const ServerOptions options_;
+  std::unique_ptr<AssessmentService> service_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<unsigned> active_connections_{0};
+  std::mutex conn_m_;
+  std::vector<int> conn_fds_;  // open connections, for shutdown on stop
+  std::vector<std::thread> threads_;
+};
+
+// Client helpers (used by the replay tool's --connect mode and the tests).
+// Throws PreconditionError on connection or framing failures.
+class SocketClient {
+ public:
+  SocketClient(const std::string& host, std::uint16_t port);
+  ~SocketClient();
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  // One request frame out, one response frame back.
+  std::string roundtrip(const std::string& request);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ipass::serve

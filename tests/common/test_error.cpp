@@ -30,5 +30,37 @@ TEST(Error, HierarchyAllowsCatchingStdException) {
   EXPECT_THROW(throw NumericalError("x"), std::runtime_error);
 }
 
+TEST(Error, CodeDefaultsToUnspecifiedEverywhere) {
+  // Existing throw sites pass no code; the taxonomy must not change them.
+  EXPECT_EQ(PreconditionError("m").code(), ErrorCode::Unspecified);
+  EXPECT_EQ(InvariantError("m").code(), ErrorCode::Unspecified);
+  EXPECT_EQ(NumericalError("m").code(), ErrorCode::Unspecified);
+  try {
+    require(false, "the message");
+  } catch (const PreconditionError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Unspecified);
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(Error, ExplicitCodesSurviveTheThrow) {
+  try {
+    throw PreconditionError("deadline blown", ErrorCode::Deadline);
+  } catch (const PreconditionError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Deadline);
+    EXPECT_STREQ(e.what(), "deadline blown");
+  }
+  EXPECT_EQ(NumericalError("m", ErrorCode::Internal).code(), ErrorCode::Internal);
+}
+
+TEST(Error, CodeNamesAreStableWireTokens) {
+  EXPECT_STREQ(error_code_name(ErrorCode::Unspecified), "unspecified");
+  EXPECT_STREQ(error_code_name(ErrorCode::Parse), "parse");
+  EXPECT_STREQ(error_code_name(ErrorCode::Validation), "validation");
+  EXPECT_STREQ(error_code_name(ErrorCode::Deadline), "deadline");
+  EXPECT_STREQ(error_code_name(ErrorCode::Overload), "overload");
+  EXPECT_STREQ(error_code_name(ErrorCode::Internal), "internal");
+}
+
 }  // namespace
 }  // namespace ipass

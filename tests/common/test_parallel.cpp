@@ -73,6 +73,44 @@ TEST(ThreadPool, ExceptionPropagatesAfterAllIndicesRun) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ConcurrentFailuresRethrowTheLowestIndexDeterministically) {
+  // When several chunks throw, "the first failure" must mean first in index
+  // order, not first in wall-clock arrival order — otherwise the exception
+  // a caller sees would depend on the schedule.  The serve worker-isolation
+  // story and the engines' error reporting both rely on this.
+  ThreadPool pool(8);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::atomic<int>> hits(97);
+    try {
+      pool.parallel_for(hits.size(), [&](std::size_t i) {
+        ++hits[i];
+        if (i % 10 == 3) throw std::runtime_error("chunk " + std::to_string(i));
+      });
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 3");
+    }
+    // Every index still ran exactly once; no chunk was abandoned.
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    // The pool stays reusable after a failed job.
+    std::atomic<long> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<long>(i); });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, SerialFallbackAlsoRethrowsTheLowestIndex) {
+  ThreadPool pool(1);  // workerless pool runs the serial path
+  try {
+    pool.parallel_for(8, [&](std::size_t i) {
+      if (i >= 2) throw std::runtime_error("serial " + std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "serial 2");
+  }
+}
+
 TEST(ThreadPool, ReusableAcrossManyJobs) {
   ThreadPool pool(4);
   for (int round = 0; round < 50; ++round) {

@@ -1,0 +1,109 @@
+// Negative-path corpus for the kit-JSON loader: tests/kits/corpus/ holds
+// malformed kit documents — truncated, hostile nesting, binary64 overflow,
+// duplicate keys, wrong enum tokens, broken contracts — and the loader
+// must reject every one with a PreconditionError naming the problem.  No
+// document may leak any other exception type: the serve front-end's error
+// taxonomy relies on the loader throwing nothing else.
+#include "kits/kit_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ipass::kits {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Message needle per corpus file: the rejection must name the offending
+// construct, not just fail.
+const std::map<std::string, std::string>& expected_needles() {
+  static const std::map<std::string, std::string> needles = {
+      {"truncated_object.json", "kit JSON"},
+      {"truncated_string.json", "unterminated"},
+      {"deep_nesting.json", "nested too deeply"},
+      {"overflow_number.json", "out of binary64 range"},
+      {"duplicate_key.json", "duplicate object key"},
+      {"duplicate_nested_key.json", "duplicate object key"},
+      {"trailing_garbage.json", "trailing"},
+      {"bare_word.json", "kit JSON"},
+      {"empty.json", "kit JSON"},
+      {"nan_number.json", "kit JSON"},
+      {"missing_colon.json", "kit JSON"},
+      {"wrong_enum_maturity.json", "vaporware"},
+      {"wrong_enum_substrate_kind.json", "unobtainium"},
+      {"wrong_enum_die_attach.json", "telepathy"},
+      {"wrong_type_name.json", "wrong type"},
+      {"missing_substrate.json", "substrate"},
+      {"extra_field.json", "extra field"},
+      {"negative_cost.json", "cost_per_cm2"},
+      {"yield_out_of_range.json", "fab_yield"},
+      {"no_variants.json", "variant"},
+  };
+  return needles;
+}
+
+TEST(KitCorpus, EveryDocumentRejectedWithPreconditionError) {
+  const std::filesystem::path dir = IPASS_KIT_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++files;
+    const std::string name = entry.path().filename().string();
+    const std::string text = read_file(entry.path());
+    try {
+      parse_kit_json(text);
+      ADD_FAILURE() << name << ": loader accepted a corpus document";
+    } catch (const PreconditionError& e) {
+      const std::string what = e.what();
+      EXPECT_FALSE(what.empty()) << name;
+      const auto it = expected_needles().find(name);
+      if (it != expected_needles().end()) {
+        EXPECT_NE(what.find(it->second), std::string::npos)
+            << name << ": message '" << what << "' lacks '" << it->second << "'";
+      }
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << name << ": loader threw a non-taxonomy exception: "
+                    << e.what();
+    } catch (...) {
+      ADD_FAILURE() << name << ": loader threw a non-taxonomy exception";
+    }
+  }
+  // The corpus is committed; a checkout problem must not silently pass.
+  EXPECT_GE(files, 20U);
+}
+
+TEST(KitCorpus, ParseErrorsCarryParseCodeAndShapeErrorsValidation) {
+  const std::filesystem::path dir = IPASS_KIT_CORPUS_DIR;
+  const auto code_of = [&](const char* file) {
+    try {
+      parse_kit_json(read_file(dir / file));
+    } catch (const PreconditionError& e) {
+      return e.code();
+    }
+    ADD_FAILURE() << file << " was accepted";
+    return ErrorCode::Unspecified;
+  };
+  EXPECT_EQ(code_of("duplicate_key.json"), ErrorCode::Parse);
+  EXPECT_EQ(code_of("deep_nesting.json"), ErrorCode::Parse);
+  EXPECT_EQ(code_of("overflow_number.json"), ErrorCode::Parse);
+  EXPECT_EQ(code_of("missing_substrate.json"), ErrorCode::Validation);
+  EXPECT_EQ(code_of("extra_field.json"), ErrorCode::Validation);
+}
+
+}  // namespace
+}  // namespace ipass::kits

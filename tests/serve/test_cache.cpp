@@ -1,0 +1,140 @@
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "gps/bom.hpp"
+#include "kits/registry.hpp"
+
+namespace ipass::serve {
+namespace {
+
+// A real (cheap) compile: the reference kit cost-only, so cache behavior is
+// tested against the artifact the service actually shares.
+std::shared_ptr<const core::CompiledStudy> compile_reference() {
+  const kits::KitRegistry registry = kits::builtin_kit_registry();
+  const kits::ProcessKit& kit = registry.at(kits::kPcbFr4Kit);
+  return core::compile_study(gps::gps_front_end_bom(), kits::make_buildups(kit),
+                             kits::apply_passives(kit), core::PipelineScope::CostOnly);
+}
+
+TEST(StudyCache, HitsMissesAndLruEviction) {
+  CompiledStudyCache cache(2);
+  std::atomic<int> compiles{0};
+  const auto compile = [&] {
+    ++compiles;
+    return compile_reference();
+  };
+
+  EXPECT_NE(cache.get_or_compile("a", compile), nullptr);
+  EXPECT_EQ(cache.get_or_compile("a", compile), cache.get_or_compile("a", compile));
+  EXPECT_EQ(compiles.load(), 1);
+
+  cache.get_or_compile("b", compile);
+  EXPECT_EQ(cache.size(), 2U);
+  // "a" was used more recently than "b"? No: "a" hits above, then "b"
+  // compiled; inserting "c" must evict the least recently used — "a" was
+  // touched before "b", so "a" goes.
+  cache.get_or_compile("c", compile);
+  EXPECT_EQ(cache.size(), 2U);
+  EXPECT_EQ(compiles.load(), 3);
+  cache.get_or_compile("b", compile);  // still cached
+  EXPECT_EQ(compiles.load(), 3);
+  cache.get_or_compile("a", compile);  // recompiled after eviction
+  EXPECT_EQ(compiles.load(), 4);
+
+  const CompiledStudyCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 4U);
+  EXPECT_GE(stats.hits, 3U);
+  EXPECT_GE(stats.evictions, 2U);
+  EXPECT_EQ(stats.failures, 0U);
+}
+
+TEST(StudyCache, ExplicitAndMidFlightEvictionIsSafeForHolders) {
+  CompiledStudyCache cache(4);
+  const auto compile = [] { return compile_reference(); };
+  const std::shared_ptr<const core::CompiledStudy> held =
+      cache.get_or_compile("k", compile);
+  EXPECT_TRUE(cache.evict("k"));
+  EXPECT_FALSE(cache.evict("k"));
+  EXPECT_EQ(cache.size(), 0U);
+  // The holder's artifact survives the eviction; evaluations keep working.
+  const core::AssessmentPipeline pipeline(held);
+  const core::BatchAssessmentResult r = pipeline.evaluate({core::AssessmentInputs{}});
+  EXPECT_EQ(r.points, 1U);
+  EXPECT_GT(r.at(0, 0).final_cost_per_shipped, 0.0);
+}
+
+TEST(StudyCache, SingleFlightCompilesOnceUnderContention) {
+  CompiledStudyCache cache(4);
+  std::atomic<int> compiles{0};
+  const auto slow_compile = [&] {
+    ++compiles;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return compile_reference();
+  };
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const core::CompiledStudy>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = cache.get_or_compile("shared", slow_compile); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(compiles.load(), 1);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(results[t], results[0]);
+  const CompiledStudyCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1U);
+  // A thread arriving mid-compile waits; one arriving after it finished
+  // hits — either way nobody compiled twice.
+  EXPECT_EQ(stats.waits + stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(StudyCache, FailedCompileReachesEveryWaiterAndIsNotCached) {
+  CompiledStudyCache cache(4);
+  std::atomic<int> compiles{0};
+  const auto failing = [&]() -> std::shared_ptr<const core::CompiledStudy> {
+    ++compiles;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    throw std::runtime_error("compile exploded");
+  };
+
+  constexpr int kThreads = 4;
+  std::atomic<int> throws{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        cache.get_or_compile("bad", failing);
+      } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "compile exploded");
+        ++throws;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(throws.load(), kThreads);
+  EXPECT_EQ(compiles.load(), 1);
+  EXPECT_EQ(cache.size(), 0U);
+  EXPECT_EQ(cache.stats().failures, 1U);
+
+  // The failure was not cached: the next request retries and succeeds.
+  EXPECT_NE(cache.get_or_compile("bad", [] { return compile_reference(); }), nullptr);
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(StudyCache, CapacityMustBePositive) {
+  EXPECT_THROW(CompiledStudyCache(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ipass::serve

@@ -1,0 +1,151 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "kits/kit_json.hpp"
+#include "kits/registry.hpp"
+
+namespace ipass::serve {
+namespace {
+
+// Returns the taxonomy code parse_request rejects `text` with.
+ErrorCode rejection_code(const std::string& text, const char* needle = nullptr) {
+  try {
+    parse_request(text);
+  } catch (const PreconditionError& e) {
+    if (needle != nullptr) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+    return e.code();
+  }
+  ADD_FAILURE() << "request was accepted: " << text;
+  return ErrorCode::Unspecified;
+}
+
+TEST(ServeProtocol, MinimalRequestGetsDefaults) {
+  const AssessmentRequest r = parse_request(R"({"id": "a", "kit_name": "ltcc-ceramic"})");
+  EXPECT_EQ(r.id, "a");
+  EXPECT_EQ(r.kit_name, "ltcc-ceramic");
+  EXPECT_FALSE(r.has_inline_kit);
+  EXPECT_EQ(r.bom, "gps-front-end");
+  EXPECT_EQ(r.reference, "pcb-fr4");
+  EXPECT_EQ(r.scope, core::PipelineScope::Full);
+  EXPECT_FALSE(r.want_pareto);
+  EXPECT_FALSE(r.want_sensitivity);
+  EXPECT_EQ(r.weights.performance, 1.0);
+  EXPECT_EQ(r.volume, 0.0);
+  EXPECT_EQ(r.deadline_ms, 0);
+}
+
+TEST(ServeProtocol, FullEnvelopeParses) {
+  const AssessmentRequest r = parse_request(
+      R"({"id": "b", "kit_name": "mcm-d-si-ip", "reference": "pcb-fr4",)"
+      R"( "bom": "gps-front-end", "scope": "cost-only", "pareto": true,)"
+      R"( "weights": {"size": 0.5, "cost": 2}, "volume": 250000, "deadline_ms": 100})");
+  EXPECT_EQ(r.scope, core::PipelineScope::CostOnly);
+  EXPECT_TRUE(r.want_pareto);
+  EXPECT_EQ(r.weights.performance, 1.0);
+  EXPECT_EQ(r.weights.size, 0.5);
+  EXPECT_EQ(r.weights.cost, 2.0);
+  EXPECT_EQ(r.volume, 250000.0);
+  EXPECT_EQ(r.deadline_ms, 100);
+}
+
+TEST(ServeProtocol, InlineKitParsesWithKitJsonValidation) {
+  const std::string kit =
+      kits::kit_json(kits::builtin_kit_registry().at(kits::kLtccKit));
+  const AssessmentRequest r =
+      parse_request(R"({"id": "c", "kit": )" + kit + "}");
+  EXPECT_TRUE(r.has_inline_kit);
+  EXPECT_EQ(r.inline_kit.name, kits::kLtccKit);
+  // The inline document goes through the full kit-JSON validation.
+  std::string bad = kit;
+  const std::string from = "\"fab_yield\": 0.96999999999999997";
+  const std::size_t at = bad.find(from);
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, from.size(), "\"fab_yield\": 1.5");
+  EXPECT_EQ(rejection_code(R"({"id": "c", "kit": )" + bad + "}", "fab_yield"),
+            ErrorCode::Unspecified);  // validate_kit's own (unspecified) error
+}
+
+TEST(ServeProtocol, MalformedJsonIsParseErrorEverythingElseValidation) {
+  EXPECT_EQ(rejection_code("{\"id\": \"x\"", "serve request"), ErrorCode::Parse);
+  EXPECT_EQ(rejection_code("nonsense"), ErrorCode::Parse);
+  EXPECT_EQ(rejection_code(R"({"id": "x", "kit_name": "k", "kit_name": "k"})",
+                           "duplicate object key"),
+            ErrorCode::Parse);
+
+  EXPECT_EQ(rejection_code(R"({"kit_name": "k"})", "missing field 'id'"),
+            ErrorCode::Validation);
+  EXPECT_EQ(rejection_code(R"({"id": "", "kit_name": "k"})", "must not be empty"),
+            ErrorCode::Validation);
+  EXPECT_EQ(rejection_code(R"({"id": "x"})", "'kit' object or a 'kit_name'"),
+            ErrorCode::Validation);
+  EXPECT_EQ(rejection_code(R"({"id": "x", "kit_name": "k", "kit": {}})",
+                           "exactly one"),
+            ErrorCode::Validation);
+  EXPECT_EQ(rejection_code(R"({"id": "x", "kit_name": "k", "scope": "partial"})",
+                           "unknown scope 'partial'"),
+            ErrorCode::Validation);
+  EXPECT_EQ(rejection_code(R"({"id": "x", "kit_name": "k", "volume": -5})",
+                           "'volume'"),
+            ErrorCode::Validation);
+  EXPECT_EQ(rejection_code(R"({"id": "x", "kit_name": "k", "deadline_ms": 0.5})",
+                           "'deadline_ms'"),
+            ErrorCode::Validation);
+  EXPECT_EQ(rejection_code(R"({"id": "x", "kit_name": "k", "bogus": 1})",
+                           "extra field"),
+            ErrorCode::Validation);
+  EXPECT_EQ(
+      rejection_code(R"({"id": "x", "kit_name": "k", "weights": {"speed": 1}})",
+                     "extra field"),
+      ErrorCode::Validation);
+  EXPECT_EQ(rejection_code(
+                R"({"id": "x", "kit_name": "k", "scope": "cost-only", "sensitivity": true})",
+                "sensitivity needs scope 'full'"),
+            ErrorCode::Validation);
+}
+
+TEST(ServeProtocol, CacheKeyCoversStudyIdentityOnly) {
+  const auto key_of = [](const std::string& text) {
+    return study_cache_key(parse_request(text));
+  };
+  const std::string base = key_of(R"({"id": "a", "kit_name": "ltcc-ceramic"})");
+  // Evaluation-state fields share the compile artifact...
+  EXPECT_EQ(base, key_of(R"({"id": "b", "kit_name": "ltcc-ceramic",)"
+                         R"( "volume": 9, "deadline_ms": 50, "pareto": true,)"
+                         R"( "weights": {"cost": 3}})"));
+  // ...study-identity fields do not.
+  EXPECT_NE(base, key_of(R"({"id": "a", "kit_name": "mcm-d-si-ip"})"));
+  EXPECT_NE(base, key_of(R"({"id": "a", "kit_name": "ltcc-ceramic", "scope": "cost-only"})"));
+  EXPECT_NE(base, key_of(R"({"id": "a", "kit_name": "ltcc-ceramic", "reference": "organic-ep"})"));
+}
+
+TEST(ServeProtocol, InlineKitKeyIsCanonical) {
+  const std::string kit =
+      kits::kit_json(kits::builtin_kit_registry().at(kits::kLtccKit));
+  // Same kit serialized with different whitespace -> same key.
+  std::string spaced = kit;
+  for (std::size_t i = spaced.find('\n'); i != std::string::npos;
+       i = spaced.find('\n', i + 2)) {
+    spaced.replace(i, 1, "\n ");
+  }
+  const std::string a = study_cache_key(parse_request(R"({"id": "a", "kit": )" + kit + "}"));
+  const std::string b =
+      study_cache_key(parse_request(R"({"id": "b", "kit": )" + spaced + "}"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ServeProtocol, ErrorResponseEscapesAndNamesCode) {
+  const std::string line = error_response("r\"1", ErrorCode::Deadline, "a\nb");
+  EXPECT_EQ(line,
+            "{\"id\": \"r\\\"1\", \"status\": \"error\", \"code\": \"deadline\", "
+            "\"message\": \"a\\nb\"}");
+}
+
+}  // namespace
+}  // namespace ipass::serve

@@ -1,0 +1,112 @@
+// ipass-replay: feed a JSONL request log through the assessment service
+// and print the response stream (one line per request, request order).
+//
+//   ipass_replay --log FILE [--workers N] [--queue N] [--cache N]
+//                [--eval-threads N] [--faults SPEC]           (in-process)
+//   ipass_replay --log FILE --connect HOST:PORT               (over TCP)
+//
+// Responses are pure functions of (request, sequence number, options), so
+// two in-process replays of the same log — with different --workers,
+// different IPASS_THREADS, different machines — print byte-identical
+// streams, and a --connect replay against an ipass_serve daemon running
+// the same options prints the same bytes again.  The CI smoke diffs all
+// three.  Degradation stays disabled here (it depends on racing queue
+// depth); exercise it in-process via ServiceOptions::degrade_depth.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "serve/replay.hpp"
+#include "serve/socket.hpp"
+
+namespace {
+
+long parse_long(const char* flag, const char* text, long lo, long hi) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "ipass_replay: %s expects an integer in [%ld, %ld], got '%s'\n",
+                 flag, lo, hi, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string log_path;
+  std::string connect;
+  ipass::serve::ServiceOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "ipass_replay: %s needs a value\n", arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--log") {
+        log_path = value();
+      } else if (arg == "--connect") {
+        connect = value();
+      } else if (arg == "--workers") {
+        options.workers = static_cast<unsigned>(parse_long("--workers", value(), 1, 256));
+      } else if (arg == "--queue") {
+        options.queue_limit =
+            static_cast<std::size_t>(parse_long("--queue", value(), 1, 1000000));
+      } else if (arg == "--cache") {
+        options.cache_capacity =
+            static_cast<std::size_t>(parse_long("--cache", value(), 1, 100000));
+      } else if (arg == "--eval-threads") {
+        options.eval_threads =
+            static_cast<unsigned>(parse_long("--eval-threads", value(), 1, 4096));
+      } else if (arg == "--faults") {
+        options.faults = ipass::serve::parse_fault_spec(value());
+      } else {
+        std::fprintf(stderr,
+                     "usage: ipass_replay --log FILE [--connect HOST:PORT] "
+                     "[--workers N] [--queue N] [--cache N] [--eval-threads N] "
+                     "[--faults SPEC]\n");
+        return 2;
+      }
+    }
+    if (log_path.empty()) {
+      std::fprintf(stderr, "ipass_replay: --log FILE is required\n");
+      return 2;
+    }
+
+    const std::vector<std::string> requests =
+        ipass::serve::read_request_log(log_path);
+    std::vector<std::string> responses;
+    if (!connect.empty()) {
+      const std::size_t colon = connect.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "ipass_replay: --connect expects HOST:PORT\n");
+        return 2;
+      }
+      const std::uint16_t port = static_cast<std::uint16_t>(
+          parse_long("--connect port", connect.c_str() + colon + 1, 1, 65535));
+      ipass::serve::SocketClient client(connect.substr(0, colon), port);
+      responses.reserve(requests.size());
+      for (const std::string& request : requests) {
+        responses.push_back(client.roundtrip(request));
+      }
+    } else {
+      ipass::serve::AssessmentService service(options);
+      responses = ipass::serve::replay(service, requests);
+    }
+    const std::string stream = ipass::serve::response_stream(responses);
+    std::fwrite(stream.data(), 1, stream.size(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ipass_replay: %s\n", e.what());
+    return 1;
+  }
+}

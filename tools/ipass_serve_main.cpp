@@ -1,0 +1,95 @@
+// ipass-serve: the assessment service as a TCP daemon.
+//
+//   ipass_serve [--port N] [--workers N] [--queue N] [--degrade N]
+//               [--cache N] [--eval-threads N] [--faults SPEC]
+//
+// Listens on 127.0.0.1 (port 0 = ephemeral) and prints one line
+//   listening on 127.0.0.1:<port>
+// to stdout once ready (the CI smoke parses it).  Frames are 4-byte
+// big-endian length + JSON; see README "Serving assessments" for the
+// request envelope and the error-code table.  SIGINT/SIGTERM stop the
+// accept loop, drain admitted requests, and exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "serve/socket.hpp"
+
+namespace {
+
+ipass::serve::SocketServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+long parse_long(const char* flag, const char* text, long lo, long hi) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < lo || v > hi) {
+    std::fprintf(stderr, "ipass_serve: %s expects an integer in [%ld, %ld], got '%s'\n",
+                 flag, lo, hi, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ipass::serve::ServerOptions options;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "ipass_serve: %s needs a value\n", arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--port") {
+        options.port = static_cast<std::uint16_t>(parse_long("--port", value(), 0, 65535));
+      } else if (arg == "--workers") {
+        options.service.workers =
+            static_cast<unsigned>(parse_long("--workers", value(), 1, 256));
+      } else if (arg == "--queue") {
+        options.service.queue_limit =
+            static_cast<std::size_t>(parse_long("--queue", value(), 1, 1000000));
+      } else if (arg == "--degrade") {
+        options.service.degrade_depth =
+            static_cast<std::size_t>(parse_long("--degrade", value(), 0, 1000000));
+      } else if (arg == "--cache") {
+        options.service.cache_capacity =
+            static_cast<std::size_t>(parse_long("--cache", value(), 1, 100000));
+      } else if (arg == "--eval-threads") {
+        options.service.eval_threads =
+            static_cast<unsigned>(parse_long("--eval-threads", value(), 1, 4096));
+      } else if (arg == "--faults") {
+        options.service.faults = ipass::serve::parse_fault_spec(value());
+      } else {
+        std::fprintf(stderr,
+                     "usage: ipass_serve [--port N] [--workers N] [--queue N] "
+                     "[--degrade N] [--cache N] [--eval-threads N] [--faults SPEC]\n");
+        return 2;
+      }
+    }
+
+    ipass::serve::SocketServer server(options);
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::printf("listening on 127.0.0.1:%u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    server.run();
+    g_server = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ipass_serve: %s\n", e.what());
+    return 1;
+  }
+}
