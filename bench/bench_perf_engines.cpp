@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -469,6 +470,27 @@ void BM_ServeRequestCached(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ServeRequestCached)->UseRealTime();
+
+// The cached request with the durability tax: every admission appends an
+// admit record and every response a commit record (unbuffered write to the
+// kernel, no fsync).  The journaled/cached ratio is what crash safety
+// costs on the hot path.
+void BM_ServeRequestJournaled(benchmark::State& state) {
+  serve::ServiceOptions options;
+  options.journal_path = "/tmp/ipass_bench_journal.wal";
+  std::remove(options.journal_path.c_str());
+  {
+    serve::AssessmentService service(options);
+    const std::string request = R"({"id": "bench", "kit_name": "mcm-d-si-ip"})";
+    benchmark::DoNotOptimize(service.handle(request));  // warm the cache
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(service.handle(request));
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  std::remove(options.journal_path.c_str());
+}
+BENCHMARK(BM_ServeRequestJournaled)->UseRealTime();
 
 // The cold path: a fresh service, so the first request compiles the study
 // (MNA performance sweeps + area + cost-model flattening) before it can

@@ -1,0 +1,54 @@
+#include "common/crc32c.hpp"
+
+#include <array>
+
+namespace ipass {
+
+namespace {
+
+// Slice-by-4 tables: table[0] is the classic byte-at-a-time table, the
+// higher slices fold four input bytes per iteration (~3-4x the throughput
+// of the byte loop, still completely portable).
+constexpr std::uint32_t kPoly = 0x82F63B78U;
+
+constexpr std::array<std::array<std::uint32_t, 256>, 4> make_tables() {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1U) ? (kPoly ^ (c >> 1U)) : (c >> 1U);
+    t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    t[1][i] = (t[0][i] >> 8U) ^ t[0][t[0][i] & 0xFFU];
+    t[2][i] = (t[1][i] >> 8U) ^ t[0][t[1][i] & 0xFFU];
+    t[3][i] = (t[2][i] >> 8U) ^ t[0][t[2][i] & 0xFFU];
+  }
+  return t;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 4> kTables = make_tables();
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFU;
+  while (size >= 4) {
+    // Byte-wise load keeps the fold endianness-independent.
+    c ^= static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8U) |
+         (static_cast<std::uint32_t>(p[2]) << 16U) |
+         (static_cast<std::uint32_t>(p[3]) << 24U);
+    c = kTables[3][c & 0xFFU] ^ kTables[2][(c >> 8U) & 0xFFU] ^
+        kTables[1][(c >> 16U) & 0xFFU] ^ kTables[0][(c >> 24U) & 0xFFU];
+    p += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    c = kTables[0][(c ^ *p++) & 0xFFU] ^ (c >> 8U);
+    --size;
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace ipass

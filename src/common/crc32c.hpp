@@ -1,0 +1,24 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum
+// iSCSI, ext4 and every serious storage format use for on-disk integrity.
+// The serve journal stamps every record with it so that a torn or corrupted
+// tail is detected on recovery instead of being replayed as garbage.
+//
+// Software table implementation, bit-identical on every platform (no SSE4.2
+// dependency): journal files written on one machine recover on any other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ipass {
+
+// Extend a running CRC-32C with `size` bytes.  Streaming over chunks is
+// bit-identical to one shot over the concatenation.
+std::uint32_t crc32c_extend(std::uint32_t crc, const void* data, std::size_t size);
+
+// One-shot CRC-32C of a buffer (crc32c("123456789") == 0xE3069283).
+inline std::uint32_t crc32c(const void* data, std::size_t size) {
+  return crc32c_extend(0U, data, size);
+}
+
+}  // namespace ipass

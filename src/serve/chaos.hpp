@@ -1,0 +1,82 @@
+// Fault-injecting TCP proxy for chaos-testing the serve transport.
+//
+// ChaosTransport sits between a client and an upstream SocketServer and
+// forwards frames in both directions, injecting transport faults from a
+// seeded FaultPlan: torn frames (a prefix of the wire bytes, then a hard
+// close), split writes (the frame delivered in tiny chunks), delays,
+// connection resets and garbage bytes.  Every fault decision is a pure
+// function of (plan seed, connection index, frame index, direction) — see
+// FaultPlan::fires — so a chaos soak with a pinned seed kills the same
+// frames on every run, which makes the ResilientClient's retry walk (and
+// its backoff schedule) reproducible.
+//
+// The proxy is frame-aware on purpose: it re-frames rather than splices
+// bytes, so a fault always lands on a well-defined frame boundary and the
+// test can reason about exactly which request or response was lost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/fault.hpp"
+
+namespace ipass::serve {
+
+struct ChaosOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral (read back via port())
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  FaultPlan faults;  // only the transport kinds (tear/split/delay/reset/garbage)
+};
+
+struct ChaosStats {
+  std::uint64_t connections = 0;
+  std::uint64_t frames = 0;  // frames forwarded intact (split/delayed count)
+  std::uint64_t torn = 0;
+  std::uint64_t split = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t garbage = 0;
+};
+
+class ChaosTransport {
+ public:
+  // Binds and listens on 127.0.0.1 immediately; throws PreconditionError
+  // when the port is unavailable (or on platforms without POSIX sockets).
+  explicit ChaosTransport(const ChaosOptions& options);
+  ~ChaosTransport();
+
+  ChaosTransport(const ChaosTransport&) = delete;
+  ChaosTransport& operator=(const ChaosTransport&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Accept loop; returns after stop().  Run from a dedicated thread.
+  void run();
+  void stop();
+
+  ChaosStats stats() const;
+
+ private:
+  void pump_connection(int client_fd, std::uint64_t conn_index);
+  // Forward one frame over `fd`, consulting the plan at injection key
+  // (conn, frame, direction).  Returns false when the fault killed the
+  // connection (the caller stops pumping).
+  bool forward(int fd, const std::string& payload, std::uint64_t key);
+
+  const ChaosOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::mutex conn_m_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> threads_;
+  mutable std::mutex stats_m_;
+  ChaosStats stats_;
+};
+
+}  // namespace ipass::serve

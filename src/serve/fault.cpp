@@ -15,6 +15,11 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::Stall: return "stall";
     case FaultKind::Deadline: return "deadline";
     case FaultKind::Evict: return "evict";
+    case FaultKind::TearFrame: return "tear";
+    case FaultKind::SplitWrite: return "split";
+    case FaultKind::Delay: return "delay";
+    case FaultKind::Reset: return "reset";
+    case FaultKind::Garbage: return "garbage";
   }
   return "?";
 }
@@ -27,6 +32,11 @@ bool FaultPlan::fires(std::uint64_t seq, FaultKind kind) const {
     case FaultKind::Stall: rate = stall_rate; break;
     case FaultKind::Deadline: rate = deadline_rate; break;
     case FaultKind::Evict: rate = evict_rate; break;
+    case FaultKind::TearFrame: rate = tear_rate; break;
+    case FaultKind::SplitWrite: rate = split_rate; break;
+    case FaultKind::Delay: rate = delay_rate; break;
+    case FaultKind::Reset: rate = reset_rate; break;
+    case FaultKind::Garbage: rate = garbage_rate; break;
   }
   if (rate <= 0.0) return false;
   // One PCG32 stream per (seq, kind): the decision depends on nothing but
@@ -77,6 +87,20 @@ FaultPlan parse_fault_spec(const std::string& spec) {
       require(value >= 0.0 && value <= 60000.0,
               "fault spec: stall_ms must be in [0, 60000]");
       plan.stall_ms = static_cast<std::uint32_t>(value);
+    } else if (key == "tear") {
+      plan.tear_rate = rate();
+    } else if (key == "split") {
+      plan.split_rate = rate();
+    } else if (key == "delay") {
+      plan.delay_rate = rate();
+    } else if (key == "reset") {
+      plan.reset_rate = rate();
+    } else if (key == "garbage") {
+      plan.garbage_rate = rate();
+    } else if (key == "delay_ms") {
+      require(value >= 0.0 && value <= 60000.0,
+              "fault spec: delay_ms must be in [0, 60000]");
+      plan.delay_ms = static_cast<std::uint32_t>(value);
     } else {
       throw PreconditionError(strf("fault spec: unknown key '%s'", key.c_str()));
     }

@@ -1,11 +1,14 @@
-// Deterministic seeded fault injection for the assessment service.
+// Deterministic seeded fault injection for the assessment service and its
+// transport.
 //
-// Every fault decision is a pure function of (plan seed, request sequence
-// number, fault kind): the service asks `fires(seq, kind)` at fixed points
-// of a request's life and the answer never depends on timing, thread
-// interleaving or which worker picked the request up.  Replaying the same
-// request log against the same plan therefore injects the same faults into
-// the same requests — the property the replay-determinism suite pins.
+// Every fault decision is a pure function of (plan seed, injection key,
+// fault kind): the service asks `fires(seq, kind)` at fixed points of a
+// request's life — and the chaos transport asks with a key derived from
+// (connection, frame, direction) — and the answer never depends on timing,
+// thread interleaving or which worker picked the request up.  Replaying the
+// same request log against the same plan therefore injects the same faults
+// into the same requests, and the same chaos seed tears the same frames —
+// the property the replay-determinism and chaos-soak suites pin.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +17,19 @@
 namespace ipass::serve {
 
 enum class FaultKind {
+  // Service-level faults (keyed by admission sequence number).
   Parse,        // request text treated as unparseable
   WorkerThrow,  // worker throws std::runtime_error mid-request
   Stall,        // worker sleeps stall_ms before evaluating
   Deadline,     // request's deadline treated as already expired
   Evict,        // the request's study is evicted from the cache mid-flight
+  // Transport-level faults (keyed by (connection, frame, direction);
+  // injected by ChaosTransport, see serve/chaos.hpp).
+  TearFrame,    // forward only a prefix of the frame, then kill the link
+  SplitWrite,   // deliver the frame in many tiny writes (reassembly test)
+  Delay,        // stall delay_ms before forwarding
+  Reset,        // kill the connection instead of forwarding
+  Garbage,      // inject garbage bytes where a frame belongs, then kill
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -31,20 +42,33 @@ struct FaultPlan {
   double deadline_rate = 0.0;
   double evict_rate = 0.0;
   std::uint32_t stall_ms = 5;
+  // Transport kinds (only ChaosTransport consults these).
+  double tear_rate = 0.0;
+  double split_rate = 0.0;
+  double delay_rate = 0.0;
+  double reset_rate = 0.0;
+  double garbage_rate = 0.0;
+  std::uint32_t delay_ms = 1;
 
   bool any() const {
     return parse_rate > 0.0 || worker_throw_rate > 0.0 || stall_rate > 0.0 ||
-           deadline_rate > 0.0 || evict_rate > 0.0;
+           deadline_rate > 0.0 || evict_rate > 0.0 || any_transport();
+  }
+  bool any_transport() const {
+    return tear_rate > 0.0 || split_rate > 0.0 || delay_rate > 0.0 ||
+           reset_rate > 0.0 || garbage_rate > 0.0;
   }
 
-  // Whether fault `kind` fires for the request admitted as sequence number
-  // `seq`.  Deterministic; each (seq, kind) pair draws from its own PCG32
-  // stream so the kinds fire independently.
+  // Whether fault `kind` fires for injection key `seq` (the admission
+  // sequence number for service kinds, a (connection, frame, direction)
+  // key for transport kinds).  Deterministic; each (seq, kind) pair draws
+  // from its own PCG32 stream so the kinds fire independently.
   bool fires(std::uint64_t seq, FaultKind kind) const;
 };
 
 // Parse a command-line fault spec like
-//   "seed=42,parse=0.1,throw=0.05,stall=0.1,stall_ms=3,deadline=0.1,evict=0.25"
+//   "seed=42,parse=0.1,throw=0.05,stall=0.1,stall_ms=3,deadline=0.1,
+//    evict=0.25,tear=0.1,split=0.2,delay=0.1,delay_ms=2,reset=0.1,garbage=0.05"
 // (keys optional, any order).  Throws PreconditionError on unknown keys or
 // rates outside [0, 1].
 FaultPlan parse_fault_spec(const std::string& spec);

@@ -17,10 +17,35 @@ constexpr const char* kContext = "serve request";
 }
 }  // namespace
 
+bool is_health_request(const std::string& text) {
+  // Fast reject: a health probe must literally contain the "kind" key.
+  // (Inline-kit requests can contain the substring inside the kit document;
+  // they survive the full parse below as non-health.)
+  if (text.find("\"kind\"") == std::string::npos) return false;
+  try {
+    const JsonValue root = parse_json(text, "health probe");
+    if (root.type != JsonValue::Type::Object) return false;
+    for (const auto& [key, value] : root.object) {
+      if (key == "kind") {
+        return value.type == JsonValue::Type::String && value.string == "health";
+      }
+    }
+  } catch (const std::exception&) {
+    // Not even JSON — let the normal request path produce the parse error.
+  }
+  return false;
+}
+
 AssessmentRequest parse_request(const std::string& text) {
   const JsonValue root = parse_json(text, kContext);
   ObjectReader r(root, "request", kContext);
   AssessmentRequest req;
+  const std::string kind = r.str_or("kind", "assess");
+  if (kind != "assess") {
+    reject(strf("unknown request kind '%s' (health probes are answered at "
+                "admission; everything else must be 'assess')",
+                kind.c_str()));
+  }
   req.id = r.str("id");
   if (req.id.empty()) reject("'id' must not be empty");
 

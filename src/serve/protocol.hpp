@@ -28,6 +28,17 @@
 
 namespace ipass::serve {
 
+// Wire version token, reported by the health response (bumped when the
+// protocol or response format changes).
+inline constexpr const char* kServeVersion = "ipass-serve/7";
+
+// Whether `text` is a health probe: {"kind": "health"} (and nothing else of
+// consequence).  Health probes bypass admission entirely — no sequence
+// number, no journal record, no queue slot — so a readiness check never
+// perturbs the deterministic request stream.  Cheap on the hot path: the
+// full parse only runs when the text contains a "kind" key at all.
+bool is_health_request(const std::string& text);
+
 // A parsed, field-validated request.  Kit identity is either a registry
 // name or an inline kit document (exactly one of the two).
 struct AssessmentRequest {

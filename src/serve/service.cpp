@@ -76,10 +76,44 @@ AssessmentService::AssessmentService(const ServiceOptions& options)
   require(options_.workers >= 1 && options_.workers <= 256,
           "AssessmentService: workers must be in [1, 256]");
   require(options_.queue_limit >= 1, "AssessmentService: queue_limit must be >= 1");
+  if (!options_.journal_path.empty()) {
+    Journal::Options jopts;
+    jopts.sync = options_.journal_sync;
+    journal_ = std::make_unique<Journal>(options_.journal_path, jopts);
+    next_seq_ = journal_->recovered().next_seq;
+    // Re-execute the admitted-but-uncommitted suffix synchronously, before
+    // any worker exists: the regenerated responses land in the journal with
+    // their original sequence numbers, byte-identical to what the crashed
+    // process would have produced (responses are a pure function of request
+    // text, seq and options).
+    recover_journal();
+  }
   workers_.reserve(options_.workers);
   for (unsigned i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+}
+
+void AssessmentService::recover_journal() {
+  for (const JournalEntry& entry : journal_->recovered().entries) {
+    if (entry.committed) continue;
+    Task task;
+    task.seq = entry.seq;
+    task.text = entry.request;
+    task.enqueued = std::chrono::steady_clock::now();
+    Outcome outcome = process(task);
+    journal_->append_commit(task.seq, outcome.body);
+    ++stats_.admitted;
+    ++stats_.completed;
+    ++stats_.recovered;
+    if (outcome.ok) {
+      ++stats_.ok;
+    } else {
+      ++stats_.errors;
+    }
+    if (outcome.degraded) ++stats_.degraded;
+  }
+  journal_->flush();
 }
 
 AssessmentService::~AssessmentService() {
@@ -94,13 +128,31 @@ AssessmentService::~AssessmentService() {
 std::future<std::string> AssessmentService::submit(std::string request_text) {
   std::promise<std::string> promise;
   std::future<std::string> fut = promise.get_future();
+  // Health probes bypass admission entirely: no sequence number, no queue
+  // slot, no journal record — a readiness check must not perturb the
+  // deterministic request stream.
+  if (is_health_request(request_text)) {
+    std::string response;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      ++stats_.health;
+      response = health_response();
+    }
+    promise.set_value(std::move(response));
+    return fut;
+  }
   bool refused = false;
-  const char* refusal = nullptr;
+  ErrorCode refusal_code = ErrorCode::Overload;
+  std::string refusal;
   {
     std::lock_guard<std::mutex> lk(m_);
     if (stopping_) {
       refused = true;
       refusal = "service is shutting down";
+    } else if (draining_) {
+      refused = true;
+      refusal = "service is draining; retry against another instance or later";
+      ++stats_.overloaded;
     } else if (queue_.size() + running_ >= options_.queue_limit) {
       refused = true;
       refusal = "service overloaded; retry later";
@@ -112,15 +164,32 @@ std::future<std::string> AssessmentService::submit(std::string request_text) {
       task.shed = options_.degrade_depth > 0 &&
                   queue_.size() + running_ >= options_.degrade_depth;
       task.enqueued = std::chrono::steady_clock::now();
-      task.promise = std::move(promise);
-      queue_.push_back(std::move(task));
-      ++stats_.admitted;
+      if (journal_ != nullptr) {
+        // Write-ahead: the admit record must be durable before the request
+        // can produce any effect.  Appending under the admission lock means
+        // file order == seq order for admits.  An append failure (disk
+        // full) refuses the request rather than running it unjournaled.
+        try {
+          journal_->append_admit(task.seq, task.text);
+        } catch (const std::exception& e) {
+          refused = true;
+          refusal_code = ErrorCode::Internal;
+          refusal = strf("journal append failed: %s", e.what());
+          next_seq_ = task.seq;  // the seq was never admitted; reuse it
+          ++stats_.overloaded;
+        }
+      }
+      if (!refused) {
+        task.promise = std::move(promise);
+        queue_.push_back(std::move(task));
+        ++stats_.admitted;
+      }
     }
   }
   if (refused) {
     // The client correlates by response order; an admission refusal never
     // parsed the request, so it carries no id.
-    promise.set_value(error_response("", ErrorCode::Overload, refusal));
+    promise.set_value(error_response("", refusal_code, refusal));
   } else {
     cv_.notify_one();
   }
@@ -150,6 +219,19 @@ void AssessmentService::worker_loop() {
       ++running_;
     }
     Outcome outcome = process(task);
+    // Commit BEFORE the future resolves: once a client can observe the
+    // response, a crash must not forget it (write-ahead on both edges).
+    // Commits from concurrent workers may interleave out of seq order in
+    // the file; recovery orders by seq.
+    if (journal_ != nullptr) {
+      try {
+        journal_->append_commit(task.seq, outcome.body);
+      } catch (const std::exception&) {
+        // A failed commit append (disk full) leaves the request admitted-
+        // but-uncommitted: the next boot re-executes it, which is safe.
+      }
+    }
+    bool drained_now = false;
     {
       // Release the slot and settle the counters BEFORE delivering the
       // response: a caller woken by the future must observe the slot free
@@ -163,9 +245,47 @@ void AssessmentService::worker_loop() {
         ++stats_.errors;
       }
       if (outcome.degraded) ++stats_.degraded;
+      drained_now = queue_.empty() && running_ == 0;
     }
+    if (drained_now) drained_cv_.notify_all();
     task.promise.set_value(std::move(outcome.body));
   }
+}
+
+void AssessmentService::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    draining_ = true;
+  }
+  drained_cv_.notify_all();
+}
+
+bool AssessmentService::await_drained(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lk(m_);
+  return drained_cv_.wait_for(lk, timeout,
+                              [&] { return queue_.empty() && running_ == 0; });
+}
+
+void AssessmentService::flush_journal() {
+  if (journal_ != nullptr) journal_->flush();
+}
+
+std::string AssessmentService::health_response() const {
+  // Caller holds m_.  A single line mirroring the response format; every
+  // field is a cheap counter read, so probes are safe at any frequency.
+  const CompiledStudyCache::Stats cache = cache_.stats();
+  return strf(
+      "{\"status\": \"ok\", \"version\": \"%s\", \"queue_depth\": %zu, "
+      "\"running\": %zu, \"workers\": %u, \"admitted\": %llu, "
+      "\"completed\": %llu, \"cache_size\": %zu, \"cache_hits\": %llu, "
+      "\"journal\": %s, \"journal_lag\": %llu, \"draining\": %s}",
+      kServeVersion, queue_.size(), running_, options_.workers,
+      static_cast<unsigned long long>(stats_.admitted),
+      static_cast<unsigned long long>(stats_.completed), cache_.size(),
+      static_cast<unsigned long long>(cache.hits),
+      journal_ != nullptr ? "true" : "false",
+      static_cast<unsigned long long>(journal_ != nullptr ? journal_->lag() : 0),
+      draining_ ? "true" : "false");
 }
 
 AssessmentService::Outcome AssessmentService::process(const Task& task) const {

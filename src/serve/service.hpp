@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "kits/registry.hpp"
 #include "serve/cache.hpp"
 #include "serve/fault.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 
 namespace ipass::serve {
@@ -41,6 +43,14 @@ struct ServiceOptions {
   std::size_t cache_capacity = 8;  // compiled studies kept (LRU)
   unsigned eval_threads = 1;       // engine threads per request
   FaultPlan faults;                // deterministic fault injection
+  // Durable request journal (empty = journaling off).  Every admission
+  // writes an Admit record before processing and a Commit record (the full
+  // response) before the future resolves; on construction the service
+  // recovers the file, truncates any torn tail, and re-executes the
+  // admitted-but-uncommitted suffix so the journal's response stream is
+  // byte-identical to an uninterrupted run (see serve/journal.hpp).
+  std::string journal_path;
+  bool journal_sync = false;  // fsync per append (power-loss durability)
 };
 
 struct ServiceStats {
@@ -50,6 +60,8 @@ struct ServiceStats {
   std::uint64_t errors = 0;      // completed with a structured error
   std::uint64_t overloaded = 0;  // refused at admission
   std::uint64_t degraded = 0;    // completed with shed optional stages
+  std::uint64_t recovered = 0;   // journal entries re-executed on startup
+  std::uint64_t health = 0;      // health probes answered (never admitted)
   CompiledStudyCache::Stats cache;
 };
 
@@ -64,14 +76,25 @@ class AssessmentService {
   AssessmentService& operator=(const AssessmentService&) = delete;
 
   // Admit one request (a single line/frame of JSON).  The future always
-  // becomes a response line; it never throws.
+  // becomes a response line; it never throws.  Health probes are answered
+  // immediately without admission (no seq, no journal record).
   std::future<std::string> submit(std::string request_text);
 
   // submit() + wait.
   std::string handle(const std::string& request_text);
 
+  // Graceful drain: stop admitting (new submissions get structured overload
+  // refusals naming the drain) while already-admitted requests keep
+  // running.  await_drained() blocks until queue and workers are idle or
+  // the timeout passes (returns whether fully drained); flush_journal()
+  // makes everything committed so far durable.
+  void begin_drain();
+  bool await_drained(std::chrono::milliseconds timeout);
+  void flush_journal();
+
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
+  const Journal* journal() const { return journal_.get(); }
 
  private:
   struct Task {
@@ -91,18 +114,23 @@ class AssessmentService {
   // Never throws: every failure becomes a structured error response.
   Outcome process(const Task& task) const;
   Outcome run_assessment(const Task& task, const AssessmentRequest& request) const;
+  std::string health_response() const;
+  void recover_journal();  // re-execute the uncommitted suffix (ctor only)
 
   const ServiceOptions options_;
   const kits::KitRegistry registry_;
   const core::FunctionalBom bom_;
   mutable CompiledStudyCache cache_;
+  std::unique_ptr<Journal> journal_;  // null when journaling is off
 
   mutable std::mutex m_;
   std::condition_variable cv_;
+  std::condition_variable drained_cv_;
   std::deque<Task> queue_;
   std::size_t running_ = 0;
   std::uint64_t next_seq_ = 0;
   bool stopping_ = false;
+  bool draining_ = false;
   ServiceStats stats_;
   std::vector<std::thread> workers_;
 };

@@ -4,6 +4,24 @@
 
 #include "common/strfmt.hpp"
 
+namespace ipass::serve {
+
+const char* transport_status_name(TransportStatus status) {
+  switch (status) {
+    case TransportStatus::Ok: return "ok";
+    case TransportStatus::SendError: return "send error (connection lost while sending)";
+    case TransportStatus::NoResponse:
+      return "no response (connection closed before any response byte)";
+    case TransportStatus::TruncatedResponse:
+      return "truncated response (connection lost mid-response)";
+    case TransportStatus::OversizedResponse:
+      return "oversized response frame";
+  }
+  return "?";
+}
+
+}  // namespace ipass::serve
+
 #ifndef _WIN32
 
 #include <arpa/inet.h>
@@ -13,15 +31,33 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace ipass::serve {
 
 namespace {
 
-bool write_all(int fd, const char* data, std::size_t size) {
+// Reads until `size` bytes arrived, EOF, or an unrecoverable error; returns
+// the byte count actually read.
+std::size_t read_upto(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool write_bytes(int fd, const char* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::send(fd, data, size, 0);
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
@@ -32,49 +68,39 @@ bool write_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
-// Returns false on clean EOF before the first byte; throws nothing.
-// Partial frames and read errors also return false — the connection is
-// unusable either way.
-bool read_all(int fd, char* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::recv(fd, data, size, 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    size -= static_cast<std::size_t>(n);
-  }
-  return true;
+std::string frame_bytes(const std::string& payload) {
+  std::string wire;
+  wire.reserve(4 + payload.size());
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  wire.push_back(static_cast<char>(size >> 24));
+  wire.push_back(static_cast<char>(size >> 16));
+  wire.push_back(static_cast<char>(size >> 8));
+  wire.push_back(static_cast<char>(size));
+  wire += payload;
+  return wire;
 }
 
 bool write_frame(int fd, const std::string& payload) {
-  unsigned char header[4];
-  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
-  header[0] = static_cast<unsigned char>(size >> 24);
-  header[1] = static_cast<unsigned char>(size >> 16);
-  header[2] = static_cast<unsigned char>(size >> 8);
-  header[3] = static_cast<unsigned char>(size);
-  return write_all(fd, reinterpret_cast<const char*>(header), 4) &&
-         write_all(fd, payload.data(), payload.size());
+  const std::string wire = frame_bytes(payload);
+  return write_bytes(fd, wire.data(), wire.size());
 }
-
-enum class FrameStatus { Ok, Eof, TooLarge };
 
 FrameStatus read_frame(int fd, std::string& payload) {
   unsigned char header[4];
-  if (!read_all(fd, reinterpret_cast<char*>(header), 4)) return FrameStatus::Eof;
+  const std::size_t header_got = read_upto(fd, reinterpret_cast<char*>(header), 4);
+  if (header_got == 0) return FrameStatus::Eof;  // clean end of stream
+  if (header_got < 4) return FrameStatus::Truncated;
   const std::uint32_t size = (static_cast<std::uint32_t>(header[0]) << 24) |
                              (static_cast<std::uint32_t>(header[1]) << 16) |
                              (static_cast<std::uint32_t>(header[2]) << 8) |
                              static_cast<std::uint32_t>(header[3]);
   if (size > kMaxFrameBytes) return FrameStatus::TooLarge;
   payload.resize(size);
-  if (size > 0 && !read_all(fd, payload.data(), size)) return FrameStatus::Eof;
+  if (size > 0 && read_upto(fd, payload.data(), size) < size) {
+    return FrameStatus::Truncated;
+  }
   return FrameStatus::Ok;
 }
-
-}  // namespace
 
 SocketServer::SocketServer(const ServerOptions& options)
     : options_(options), service_(std::make_unique<AssessmentService>(options.service)) {
@@ -133,10 +159,20 @@ void SocketServer::run() {
     }
     threads_.emplace_back([this, fd] { serve_connection(fd); });
   }
-  // Wind down: unblock connection threads still waiting on reads, then join.
+  // Graceful drain: stop admitting (new frames on open connections get
+  // structured refusals), let every already-admitted request finish, make
+  // the journal durable, then release the connections.
+  service_->begin_drain();
+  const bool drained = service_->await_drained(
+      std::chrono::milliseconds(options_.drain_timeout_ms));
+  service_->flush_journal();
   {
     std::lock_guard<std::mutex> lk(conn_m_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const int fd : conn_fds_) {
+      // A clean drain half-closes: pending response writes still go out and
+      // the peer sees EOF on its next read.  A timed-out drain hard-closes.
+      ::shutdown(fd, drained ? SHUT_RD : SHUT_RDWR);
+    }
   }
   for (std::thread& t : threads_) t.join();
   threads_.clear();
@@ -152,6 +188,15 @@ void SocketServer::serve_connection(int fd) {
   for (;;) {
     const FrameStatus status = read_frame(fd, request);
     if (status == FrameStatus::Eof) break;
+    if (status == FrameStatus::Truncated) {
+      // Best-effort: the peer may already be gone, but when only its write
+      // side died the structured error tells it the request never reached
+      // an engine (a retry is unconditionally safe).
+      write_frame(fd, error_response("", ErrorCode::Parse,
+                                     "truncated request frame: connection lost "
+                                     "mid-frame; the request was not processed"));
+      break;
+    }
     if (status == FrameStatus::TooLarge) {
       write_frame(fd, error_response("", ErrorCode::Parse,
                                      strf("request frame exceeds %zu bytes",
@@ -174,8 +219,12 @@ SocketClient::SocketClient(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  require(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
-          strf("SocketClient: '%s' is not an IPv4 address", host.c_str()));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw PreconditionError(
+        strf("SocketClient: '%s' is not an IPv4 address", host.c_str()));
+  }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd_);
@@ -192,12 +241,24 @@ SocketClient::~SocketClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::string SocketClient::roundtrip(const std::string& request) {
+TransportStatus SocketClient::try_roundtrip(const std::string& request,
+                                            std::string& response) {
   require(request.size() <= kMaxFrameBytes, "SocketClient: request too large");
-  require(write_frame(fd_, request), "SocketClient: connection lost while sending");
+  if (!write_frame(fd_, request)) return TransportStatus::SendError;
+  switch (read_frame(fd_, response)) {
+    case FrameStatus::Ok: return TransportStatus::Ok;
+    case FrameStatus::Eof: return TransportStatus::NoResponse;
+    case FrameStatus::Truncated: return TransportStatus::TruncatedResponse;
+    case FrameStatus::TooLarge: return TransportStatus::OversizedResponse;
+  }
+  return TransportStatus::NoResponse;
+}
+
+std::string SocketClient::roundtrip(const std::string& request) {
   std::string response;
-  require(read_frame(fd_, response) == FrameStatus::Ok,
-          "SocketClient: connection lost while receiving");
+  const TransportStatus status = try_roundtrip(request, response);
+  require(status == TransportStatus::Ok,
+          strf("SocketClient: %s", transport_status_name(status)));
   return response;
 }
 
@@ -206,6 +267,20 @@ std::string SocketClient::roundtrip(const std::string& request) {
 #else  // _WIN32
 
 namespace ipass::serve {
+
+FrameStatus read_frame(int, std::string&) { return FrameStatus::Eof; }
+bool write_frame(int, const std::string&) { return false; }
+bool write_bytes(int, const char*, std::size_t) { return false; }
+std::string frame_bytes(const std::string& payload) {
+  std::string wire;
+  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+  wire.push_back(static_cast<char>(size >> 24));
+  wire.push_back(static_cast<char>(size >> 16));
+  wire.push_back(static_cast<char>(size >> 8));
+  wire.push_back(static_cast<char>(size));
+  wire += payload;
+  return wire;
+}
 
 SocketServer::SocketServer(const ServerOptions& options) : options_(options) {
   throw PreconditionError("SocketServer: POSIX sockets unavailable on this platform");
@@ -220,6 +295,9 @@ SocketClient::SocketClient(const std::string&, std::uint16_t) {
 }
 SocketClient::~SocketClient() = default;
 std::string SocketClient::roundtrip(const std::string&) { return {}; }
+TransportStatus SocketClient::try_roundtrip(const std::string&, std::string&) {
+  return TransportStatus::NoResponse;
+}
 
 }  // namespace ipass::serve
 

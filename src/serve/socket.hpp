@@ -11,6 +11,12 @@
 // within a connection processed in order (responses come back in request
 // order), concurrency across connections bounded by max_connections —
 // admission control proper lives in the AssessmentService behind it.
+//
+// Shutdown is a graceful drain: stop() unblocks the accept loop, after
+// which run() stops admitting (new frames get structured overload
+// refusals), lets every admitted request finish (bounded by
+// drain_timeout_ms), flushes the journal, and only then releases the
+// connections — a SIGTERM never loses an in-flight response.
 #pragma once
 
 #include <atomic>
@@ -27,11 +33,33 @@ namespace ipass::serve {
 
 inline constexpr std::size_t kMaxFrameBytes = 1U << 20;  // 1 MiB
 
+// Outcome of reading one frame.  Eof is a CLEAN end of stream — zero bytes
+// after the previous frame; Truncated means the connection died mid-frame.
+// The distinction matters on both sides: the server answers a truncated
+// request with a structured parse error instead of silently hanging up,
+// and a client that saw Eof knows no response byte was produced (a retry
+// cannot double-consume anything) while Truncated means a response was
+// partially consumed (still safe to retry here — responses are
+// deterministic — but accounted separately).
+enum class FrameStatus { Ok, Eof, Truncated, TooLarge };
+
+// Low-level framing, shared by the server, the clients and the chaos
+// transport (POSIX only; on _WIN32 these fail like the classes below).
+FrameStatus read_frame(int fd, std::string& payload);
+bool write_frame(int fd, const std::string& payload);
+bool write_bytes(int fd, const char* data, std::size_t size);
+// The exact wire form of a frame (header + payload) — what a fault
+// injector tears or splits.
+std::string frame_bytes(const std::string& payload);
+
 struct ServerOptions {
   ServiceOptions service;
   std::uint16_t port = 0;  // 0 = ephemeral (read back via port())
   int backlog = 16;
   unsigned max_connections = 32;
+  // How long a drain may wait for admitted requests before connections are
+  // hard-closed anyway.
+  std::uint32_t drain_timeout_ms = 5000;
 };
 
 class SocketServer {
@@ -47,13 +75,13 @@ class SocketServer {
   std::uint16_t port() const { return port_; }
   AssessmentService& service() { return *service_; }
 
-  // Accept loop; returns after stop().  Call from a dedicated thread (or
-  // let it be the main thread of a daemon).
+  // Accept loop; returns after stop() and a graceful drain.  Call from a
+  // dedicated thread (or let it be the main thread of a daemon).
   void run();
 
   // Unblock run() and stop accepting.  Async-signal-safe enough for a
-  // SIGTERM handler: it only shuts down the listening socket and sets a
-  // flag.  Connection threads are joined by run() on the way out.
+  // SIGINT/SIGTERM handler: it only shuts down the listening socket and
+  // sets a flag.  The drain itself happens on run()'s thread.
   void stop();
 
  private:
@@ -70,8 +98,23 @@ class SocketServer {
   std::vector<std::thread> threads_;
 };
 
-// Client helpers (used by the replay tool's --connect mode and the tests).
-// Throws PreconditionError on connection or framing failures.
+// How a client-side roundtrip failed (Ok = it did not).  NoResponse is a
+// clean EOF before the first response byte; TruncatedResponse means the
+// stream died mid-response — the caller may have to assume the response
+// was (partially) consumed.
+enum class TransportStatus {
+  Ok,
+  SendError,
+  NoResponse,
+  TruncatedResponse,
+  OversizedResponse,
+};
+
+const char* transport_status_name(TransportStatus status);
+
+// Client helpers (used by the replay tool's --connect mode, ResilientClient
+// and the tests).  The constructor throws PreconditionError on connection
+// failure.
 class SocketClient {
  public:
   SocketClient(const std::string& host, std::uint16_t port);
@@ -80,8 +123,13 @@ class SocketClient {
   SocketClient(const SocketClient&) = delete;
   SocketClient& operator=(const SocketClient&) = delete;
 
-  // One request frame out, one response frame back.
+  // One request frame out, one response frame back.  Throws
+  // PreconditionError naming the failure mode.
   std::string roundtrip(const std::string& request);
+
+  // Non-throwing variant for retry loops: returns the failure
+  // classification instead (response is valid only for Ok).
+  TransportStatus try_roundtrip(const std::string& request, std::string& response);
 
  private:
   int fd_ = -1;

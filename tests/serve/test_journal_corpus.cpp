@@ -1,0 +1,113 @@
+// Corpus of crafted corrupt journals (tests/serve/journal_corpus/, written
+// by tools/gen_journal_corpus.py): every file is either recovered with the
+// torn/corrupt tail truncated, or rejected with an error naming the record
+// and violation.  Recovery must never guess — a file that cannot be
+// classified one way or the other is a recovery-policy bug.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "serve/journal.hpp"
+
+namespace ipass::serve {
+namespace {
+
+std::string corpus_path(const char* name) {
+  return std::string(IPASS_SERVE_LOG_DIR) + "/journal_corpus/" + name;
+}
+
+// Recovered corpus: scan succeeds; the valid prefix and the truncation are
+// exactly as crafted.
+struct RecoveredCase {
+  const char* file;
+  std::size_t records;          // valid records surviving
+  std::uint64_t committed;
+  std::uint64_t uncommitted;
+  bool truncation;              // torn/corrupt tail present
+};
+
+class JournalCorpusRecovered : public ::testing::TestWithParam<RecoveredCase> {};
+
+TEST_P(JournalCorpusRecovered, RecoversTheValidPrefix) {
+  const RecoveredCase& c = GetParam();
+  const JournalRecovery rec = scan_journal(corpus_path(c.file));
+  EXPECT_EQ(rec.records.size(), c.records) << c.file;
+  EXPECT_EQ(rec.committed_count, c.committed) << c.file;
+  EXPECT_EQ(rec.uncommitted_count, c.uncommitted) << c.file;
+  EXPECT_EQ(rec.truncated_bytes > 0, c.truncation) << c.file;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JournalCorpusRecovered,
+    ::testing::Values(RecoveredCase{"empty.wal", 0, 0, 0, false},
+                      RecoveredCase{"short_magic.wal", 0, 0, 0, true},
+                      RecoveredCase{"torn_tail_mid_record.wal", 2, 1, 0, true},
+                      RecoveredCase{"bad_crc.wal", 2, 1, 0, true},
+                      RecoveredCase{"zero_length_record.wal", 2, 1, 0, true},
+                      RecoveredCase{"over_cap_record.wal", 2, 1, 0, true}),
+    [](const ::testing::TestParamInfo<RecoveredCase>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+// Rejected corpus: scan throws a PreconditionError whose message names the
+// violation (and the offending record), never a misread or a silent accept.
+struct RejectedCase {
+  const char* file;
+  const char* needle;  // must appear in the error message
+  ErrorCode code;
+};
+
+class JournalCorpusRejected : public ::testing::TestWithParam<RejectedCase> {};
+
+TEST_P(JournalCorpusRejected, RejectsWithNamedViolation) {
+  const RejectedCase& c = GetParam();
+  try {
+    scan_journal(corpus_path(c.file));
+    FAIL() << c.file << ": expected a PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_EQ(e.code(), c.code) << c.file;
+    EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+        << c.file << ": message '" << e.what() << "' lacks '" << c.needle << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JournalCorpusRejected,
+    ::testing::Values(
+        RejectedCase{"bad_magic.wal", "bad magic", ErrorCode::Parse},
+        RejectedCase{"duplicate_admit.wal", "duplicate admit for seq 0",
+                     ErrorCode::Validation},
+        RejectedCase{"duplicate_commit.wal", "duplicate commit for seq 0",
+                     ErrorCode::Validation},
+        RejectedCase{"commit_without_admit.wal",
+                     "commit without admission for seq 7", ErrorCode::Validation},
+        RejectedCase{"bad_record_type.wal", "unknown record type 9",
+                     ErrorCode::Validation},
+        RejectedCase{"short_seq_record.wal", "too short", ErrorCode::Validation}),
+    [](const ::testing::TestParamInfo<RejectedCase>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+// A rejected journal must also refuse to OPEN — the service may not start
+// on top of a file recovery cannot vouch for.
+TEST(JournalCorpus, RejectedFilesRefuseToOpen) {
+  // Copy first: the Journal constructor truncates torn tails in place, and
+  // the corpus is a committed fixture.
+  const std::string src = corpus_path("duplicate_commit.wal");
+  const std::string dst = ::testing::TempDir() + "ipass_corpus_copy.wal";
+  {
+    std::ifstream in(src, std::ios::binary);
+    std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+    out << in.rdbuf();
+  }
+  EXPECT_THROW(Journal journal(dst), PreconditionError);
+  std::remove(dst.c_str());
+}
+
+}  // namespace
+}  // namespace ipass::serve

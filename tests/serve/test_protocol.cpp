@@ -140,6 +140,32 @@ TEST(ServeProtocol, InlineKitKeyIsCanonical) {
   EXPECT_EQ(a, b);
 }
 
+TEST(ServeProtocol, KindFieldGatesHealthFromAssess) {
+  // Detection: a real probe, with or without extra whitespace.
+  EXPECT_TRUE(is_health_request(R"({"kind": "health"})"));
+  EXPECT_TRUE(is_health_request(R"(  { "kind" : "health" }  )"));
+  // Non-objects, other kinds, or "kind" merely as a substring are not.
+  EXPECT_FALSE(is_health_request(R"({"kind": "assess", "id": "x"})"));
+  EXPECT_FALSE(is_health_request(R"(["kind", "health"])"));
+  EXPECT_FALSE(is_health_request(R"({"id": "x", "note": "\"kind\": \"health\""})"));
+  EXPECT_FALSE(is_health_request("not json \"kind\""));
+  EXPECT_FALSE(is_health_request(R"({"id": "x", "kit_name": "pcb-fr4"})"));
+
+  // parse_request accepts an explicit assess kind and rejects the rest.
+  const AssessmentRequest req =
+      parse_request(R"({"id": "a", "kind": "assess", "kit_name": "pcb-fr4"})");
+  EXPECT_EQ(req.id, "a");
+  try {
+    parse_request(R"({"id": "a", "kind": "probe", "kit_name": "pcb-fr4"})");
+    FAIL() << "expected rejection of unknown kind";
+  } catch (const PreconditionError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Validation);
+    EXPECT_NE(std::string(e.what()).find("unknown request kind 'probe'"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ServeProtocol, ErrorResponseEscapesAndNamesCode) {
   const std::string line = error_response("r\"1", ErrorCode::Deadline, "a\nb");
   EXPECT_EQ(line,

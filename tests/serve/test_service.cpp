@@ -219,6 +219,57 @@ TEST(AssessmentService, DestructorDrainsAdmittedRequests) {
   }
 }
 
+TEST(AssessmentService, HealthProbeAnswersWithoutAdmission) {
+  AssessmentService service;
+  const JsonValue v = parse_response(service.handle(R"({"kind": "health"})"));
+  EXPECT_EQ(field_str(v, "status"), "ok");
+  EXPECT_EQ(field_str(v, "version"), kServeVersion);
+  ASSERT_NE(field(v, "queue_depth"), nullptr);
+  ASSERT_NE(field(v, "journal"), nullptr);
+  EXPECT_EQ(field(v, "journal")->boolean, false);
+  EXPECT_EQ(field(v, "journal_lag")->number, 0.0);
+  EXPECT_EQ(field(v, "draining")->boolean, false);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.health, 1U);
+  EXPECT_EQ(stats.admitted, 0U);  // a probe never consumes a sequence number
+
+  // An inline kit containing the "kind" substring in its document is NOT a
+  // health probe (the full parse decides, not the substring).
+  const std::string assess = service.handle(
+      R"({"id": "k", "kit_name": "ltcc-ceramic", "weights": {"cost": 1}})");
+  EXPECT_EQ(field_str(parse_response(assess), "status"), "ok");
+  EXPECT_EQ(service.stats().admitted, 1U);
+}
+
+TEST(AssessmentService, DrainRefusesNewWorkAndFinishesAdmitted) {
+  ServiceOptions options;
+  options.workers = 2;
+  AssessmentService service(options);
+  std::vector<std::future<std::string>> admitted;
+  for (int i = 0; i < 4; ++i) {
+    admitted.push_back(
+        service.submit(R"({"id": "pre", "kit_name": "ltcc-ceramic"})"));
+  }
+  service.begin_drain();
+  // New work is refused with a structured overload error naming the drain...
+  const std::string refused =
+      service.handle(R"({"id": "post", "kit_name": "ltcc-ceramic"})");
+  EXPECT_EQ(error_code_of(refused), "overload");
+  EXPECT_NE(refused.find("draining"), std::string::npos) << refused;
+  // ...health probes still answer (monitoring keeps working mid-drain)...
+  EXPECT_NE(service.handle(R"({"kind": "health"})").find("\"draining\": true"),
+            std::string::npos);
+  // ...and everything admitted before the drain completes normally.
+  EXPECT_TRUE(service.await_drained(std::chrono::milliseconds(10000)));
+  for (std::future<std::string>& f : admitted) {
+    EXPECT_EQ(field_str(parse_response(f.get()), "status"), "ok");
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.admitted, 4U);
+  EXPECT_EQ(stats.completed, 4U);
+  EXPECT_EQ(stats.overloaded, 1U);
+}
+
 TEST(AssessmentService, CacheIsSharedAcrossRequests) {
   AssessmentService service;
   service.handle(R"({"id": "1", "kit_name": "ltcc-ceramic"})");

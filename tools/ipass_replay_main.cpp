@@ -4,6 +4,9 @@
 //   ipass_replay --log FILE [--workers N] [--queue N] [--cache N]
 //                [--eval-threads N] [--faults SPEC]           (in-process)
 //   ipass_replay --log FILE --connect HOST:PORT               (over TCP)
+//   ipass_replay --log FILE --journal FILE --connect HOST:PORT  (resume)
+//   ipass_replay --journal FILE             (print the recovered stream)
+//   ipass_replay --health HOST:PORT         (readiness probe)
 //
 // Responses are pure functions of (request, sequence number, options), so
 // two in-process replays of the same log — with different --workers,
@@ -12,14 +15,25 @@
 // the same options prints the same bytes again.  The CI smoke diffs all
 // three.  Degradation stays disabled here (it depends on racing queue
 // depth); exercise it in-process via ServiceOptions::degrade_depth.
+//
+// Crash-recovery modes: --journal alone prints the journal's committed
+// response stream (seq order — what the kill-smoke cmps against an
+// uninterrupted run); --journal with --log and --connect resumes an
+// interrupted replay, skipping the log lines the journal already admitted
+// (a sequential replay admits in log order, so the admit count IS the
+// resume point) and sending only the remainder.  --health retries a
+// {"kind":"health"} probe until the daemon answers (readiness gate).
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "serve/journal.hpp"
 #include "serve/replay.hpp"
 #include "serve/socket.hpp"
 
@@ -36,11 +50,43 @@ long parse_long(const char* flag, const char* text, long lo, long hi) {
   return v;
 }
 
+bool split_host_port(const std::string& spec, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) return false;
+  host = spec.substr(0, colon);
+  port = static_cast<std::uint16_t>(
+      parse_long("port", spec.c_str() + colon + 1, 1, 65535));
+  return true;
+}
+
+// Readiness probe: retry a health request until the daemon answers (it may
+// still be recovering its journal or binding the port).
+int probe_health(const std::string& host, std::uint16_t port) {
+  const std::string probe = "{\"kind\": \"health\"}";
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    try {
+      ipass::serve::SocketClient client(host, port);
+      const std::string response = client.roundtrip(probe);
+      std::printf("%s\n", response.c_str());
+      return 0;
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
+  std::fprintf(stderr, "ipass_replay: --health: %s:%u never became ready\n",
+               host.c_str(), static_cast<unsigned>(port));
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string log_path;
   std::string connect;
+  std::string journal_path;
+  std::string health;
+  long throttle_ms = 0;
   ipass::serve::ServiceOptions options;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -56,6 +102,12 @@ int main(int argc, char** argv) {
         log_path = value();
       } else if (arg == "--connect") {
         connect = value();
+      } else if (arg == "--journal") {
+        journal_path = value();
+      } else if (arg == "--health") {
+        health = value();
+      } else if (arg == "--throttle-ms") {
+        throttle_ms = parse_long("--throttle-ms", value(), 0, 60000);
       } else if (arg == "--workers") {
         options.workers = static_cast<unsigned>(parse_long("--workers", value(), 1, 256));
       } else if (arg == "--queue") {
@@ -72,31 +124,73 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr,
                      "usage: ipass_replay --log FILE [--connect HOST:PORT] "
-                     "[--workers N] [--queue N] [--cache N] [--eval-threads N] "
-                     "[--faults SPEC]\n");
+                     "[--journal FILE] [--throttle-ms N] [--workers N] [--queue N] "
+                     "[--cache N] [--eval-threads N] [--faults SPEC]\n"
+                     "       ipass_replay --journal FILE\n"
+                     "       ipass_replay --health HOST:PORT\n");
         return 2;
       }
+    }
+
+    if (!health.empty()) {
+      std::string host;
+      std::uint16_t port = 0;
+      if (!split_host_port(health, host, port)) {
+        std::fprintf(stderr, "ipass_replay: --health expects HOST:PORT\n");
+        return 2;
+      }
+      return probe_health(host, port);
+    }
+
+    if (log_path.empty() && !journal_path.empty()) {
+      // Print the journal's committed response stream and nothing else.
+      const std::string stream =
+          ipass::serve::journal_response_stream(journal_path);
+      std::fwrite(stream.data(), 1, stream.size(), stdout);
+      return 0;
     }
     if (log_path.empty()) {
       std::fprintf(stderr, "ipass_replay: --log FILE is required\n");
       return 2;
     }
 
-    const std::vector<std::string> requests =
-        ipass::serve::read_request_log(log_path);
+    std::vector<std::string> requests = ipass::serve::read_request_log(log_path);
+    std::size_t skip = 0;
+    if (!journal_path.empty()) {
+      if (connect.empty()) {
+        std::fprintf(stderr,
+                     "ipass_replay: resume (--log + --journal) needs --connect\n");
+        return 2;
+      }
+      // A sequential replay admits log lines in order, so the number of
+      // admitted (journaled) requests is exactly how many lines are done.
+      skip = ipass::serve::scan_journal(journal_path).entries.size();
+      if (skip > requests.size()) {
+        std::fprintf(stderr,
+                     "ipass_replay: journal has %zu admissions but the log only "
+                     "%zu lines — wrong journal for this log?\n",
+                     skip, requests.size());
+        return 1;
+      }
+      std::fprintf(stderr, "ipass_replay: resuming at line %zu of %zu\n", skip,
+                   requests.size());
+    }
+
     std::vector<std::string> responses;
     if (!connect.empty()) {
-      const std::size_t colon = connect.rfind(':');
-      if (colon == std::string::npos) {
+      std::string host;
+      std::uint16_t port = 0;
+      if (!split_host_port(connect, host, port)) {
         std::fprintf(stderr, "ipass_replay: --connect expects HOST:PORT\n");
         return 2;
       }
-      const std::uint16_t port = static_cast<std::uint16_t>(
-          parse_long("--connect port", connect.c_str() + colon + 1, 1, 65535));
-      ipass::serve::SocketClient client(connect.substr(0, colon), port);
-      responses.reserve(requests.size());
-      for (const std::string& request : requests) {
-        responses.push_back(client.roundtrip(request));
+      ipass::serve::SocketClient client(host, port);
+      responses.reserve(requests.size() - skip);
+      for (std::size_t i = skip; i < requests.size(); ++i) {
+        if (throttle_ms > 0 && i > skip) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
+        }
+        responses.push_back(client.roundtrip(requests[i]));
       }
     } else {
       ipass::serve::AssessmentService service(options);

@@ -2,13 +2,17 @@
 //
 //   ipass_serve [--port N] [--workers N] [--queue N] [--degrade N]
 //               [--cache N] [--eval-threads N] [--faults SPEC]
+//               [--journal FILE] [--journal-sync] [--drain-timeout MS]
 //
 // Listens on 127.0.0.1 (port 0 = ephemeral) and prints one line
 //   listening on 127.0.0.1:<port>
-// to stdout once ready (the CI smoke parses it).  Frames are 4-byte
-// big-endian length + JSON; see README "Serving assessments" for the
-// request envelope and the error-code table.  SIGINT/SIGTERM stop the
-// accept loop, drain admitted requests, and exit 0.
+// to stdout once ready (the CI smoke parses it).  With --journal, startup
+// first recovers the journal — truncating any torn tail and re-executing
+// admitted-but-uncommitted requests — and prints a recovery summary line
+// before "listening".  Frames are 4-byte big-endian length + JSON; see
+// README "Serving assessments" for the request envelope and the error-code
+// table.  SIGINT/SIGTERM stop the accept loop, drain admitted requests
+// (bounded by --drain-timeout), fsync the journal, and exit 0.
 
 #include <csignal>
 #include <cstdio>
@@ -71,10 +75,18 @@ int main(int argc, char** argv) {
             static_cast<unsigned>(parse_long("--eval-threads", value(), 1, 4096));
       } else if (arg == "--faults") {
         options.service.faults = ipass::serve::parse_fault_spec(value());
+      } else if (arg == "--journal") {
+        options.service.journal_path = value();
+      } else if (arg == "--journal-sync") {
+        options.service.journal_sync = true;
+      } else if (arg == "--drain-timeout") {
+        options.drain_timeout_ms = static_cast<std::uint32_t>(
+            parse_long("--drain-timeout", value(), 0, 3600000));
       } else {
         std::fprintf(stderr,
                      "usage: ipass_serve [--port N] [--workers N] [--queue N] "
-                     "[--degrade N] [--cache N] [--eval-threads N] [--faults SPEC]\n");
+                     "[--degrade N] [--cache N] [--eval-threads N] [--faults SPEC] "
+                     "[--journal FILE] [--journal-sync] [--drain-timeout MS]\n");
         return 2;
       }
     }
@@ -83,6 +95,16 @@ int main(int argc, char** argv) {
     g_server = &server;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
+    if (const ipass::serve::Journal* journal = server.service().journal()) {
+      const ipass::serve::JournalRecovery& rec = journal->recovered();
+      std::printf(
+          "journal %s: %zu records, %llu committed, %llu re-executed, "
+          "%llu torn bytes truncated\n",
+          journal->path().c_str(), rec.records.size(),
+          static_cast<unsigned long long>(rec.committed_count),
+          static_cast<unsigned long long>(rec.uncommitted_count),
+          static_cast<unsigned long long>(rec.truncated_bytes));
+    }
     std::printf("listening on 127.0.0.1:%u\n", static_cast<unsigned>(server.port()));
     std::fflush(stdout);
     server.run();
