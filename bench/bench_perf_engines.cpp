@@ -11,6 +11,7 @@
 #include "core/calibrate.hpp"
 #include "core/methodology.hpp"
 #include "core/pareto.hpp"
+#include "core/partition.hpp"
 #include "core/scenario_grid.hpp"
 #include "core/sensitivity.hpp"
 #include "gps/bom.hpp"
@@ -442,6 +443,24 @@ void BM_KitFleetSweep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(selection.size()));
 }
 BENCHMARK(BM_KitFleetSweep)->UseRealTime();
+
+// ChipletPart-style partitioning: Bell(5) = 52 groupings of five blocks,
+// each derived into a multi-die list and costed through the batched
+// pipeline.  The chiplet-study end-to-end number the CI gate tracks.
+void BM_PartitionSweep(benchmark::State& state) {
+  const gps::GpsCaseStudy study = gps::make_gps_case_study();
+  const core::AssessmentPipeline pipeline = gps::make_gps_pipeline(study);
+  const std::vector<core::PartitionBlock> blocks = {
+      {"rf-fe", 18.0, 30000.0},   {"correlator", 32.0, 45000.0},
+      {"sram", 40.0, 20000.0},    {"pmic", 9.0, 12000.0},
+      {"serdes", 14.0, 25000.0},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::partition_sweep(pipeline, 1, blocks, {}, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * 52);
+}
+BENCHMARK(BM_PartitionSweep)->UseRealTime();
 
 // Default threading: the fan-out across the pool (scales with cores).
 void BM_ScenarioGridParallel(benchmark::State& state) {

@@ -1,0 +1,71 @@
+// Chiplet partitioning study: which grouping of functional blocks into
+// dies gives the cheapest shipped module on the 2.5D silicon interposer?
+//
+// Five blocks (RF front-end IP, correlator, SRAM cache, PMIC, IO/SerDes)
+// are partitioned every possible way (Bell(5) = 52 groupings, capped at
+// the 8-die carrier limit); each grouping becomes a multi-die die list —
+// die cost from wafer cost per mm^2, die yield from a Poisson defect
+// model, a shared KGD screen, per-die reticle NRE — and is costed through
+// the compiled assessment pipeline.  Fewer dies save bonding/KGD spend but
+// lump area into lower-yield dice; the sweep finds the crossover.
+#include <cstdio>
+
+#include "core/partition.hpp"
+#include "gps/bom.hpp"
+#include "kits/fleet.hpp"
+#include "kits/registry.hpp"
+
+using namespace ipass;
+
+int main() {
+  const kits::KitRegistry registry = kits::builtin_kit_registry();
+
+  kits::KitSweepOptions options;
+  options.reference = kits::kPcbFr4Kit;
+  options.threads = 1;
+  options.partition_blocks = {
+      {"rf-fe", 18.0, 30000.0},   {"correlator", 32.0, 45000.0},
+      {"sram", 40.0, 20000.0},    {"pmic", 9.0, 12000.0},
+      {"serdes", 14.0, 25000.0},
+  };
+  options.partition_params.wafer_cost_per_mm2 = 0.08;
+  options.partition_params.defect_density_per_cm2 = 2.5;  // an immature node
+
+  const kits::KitFleetSummary fleet =
+      kits::sweep_kits(registry, {kits::kPcbFr4Kit, kits::kSiInterposerKit},
+                       gps::gps_front_end_bom(), options);
+
+  const kits::KitAssessment& si = fleet.kits[1];
+  const core::PartitionSweepResult& sweep = si.partition;
+  std::printf("kit %s, build-up '%s': %zu candidate partitions (%s)\n\n",
+              si.kit.c_str(),
+              si.report.assessments[si.best_variant].buildup.name.c_str(),
+              sweep.candidates.size(),
+              sweep.exhaustive ? "exhaustive" : "greedy");
+
+  // The cost landscape by die count: cheapest candidate per count.
+  std::printf("%6s  %12s  %12s  %s\n", "dies", "cost/shipped", "shipped", "grouping");
+  for (std::size_t want = 1; want <= 5; ++want) {
+    const core::PartitionCandidate* best = nullptr;
+    for (const core::PartitionCandidate& c : sweep.candidates) {
+      if (c.die_count != want) continue;
+      if (!best ||
+          c.summary.final_cost_per_shipped < best->summary.final_cost_per_shipped) {
+        best = &c;
+      }
+    }
+    if (!best) continue;
+    std::printf("%6zu  %12.2f  %11.1f%%  %s\n", best->die_count,
+                best->summary.final_cost_per_shipped,
+                best->summary.shipped_fraction * 100.0,
+                core::partition_to_string(options.partition_blocks, best->assignment)
+                    .c_str());
+  }
+
+  const core::PartitionCandidate& winner = sweep.best_candidate();
+  std::printf("\nwinner: %zu dies at %.2f per shipped unit  %s\n", winner.die_count,
+              winner.summary.final_cost_per_shipped,
+              core::partition_to_string(options.partition_blocks, winner.assignment)
+                  .c_str());
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/strfmt.hpp"
 #include "common/units.hpp"
 #include "core/flow_walk_kernel.hpp"
 
@@ -23,11 +24,48 @@ YieldSpec step_yield(double value, int joints, YieldSemantics semantics) {
   return FixedYield{value};
 }
 
+// Shared precondition gate of both flow builders: a malformed die list is
+// rejected up front with a message naming the die and field, instead of
+// surfacing as a generic ComponentInput error from deep inside a walk.
+void check_die_list(const ProductionData& pd) {
+  if (pd.dies.size() > kMaxProductionDies) {
+    throw PreconditionError(
+        strf("ProductionData: %zu dies exceed the supported maximum of %zu",
+             pd.dies.size(), kMaxProductionDies));
+  }
+  if (pd.dies.empty()) return;
+  for (std::size_t i = 0; i < pd.dies.size(); ++i) {
+    const DieSpec& d = pd.dies[i];
+    const auto fail = [&](const char* field, const char* what) {
+      throw PreconditionError(strf("ProductionData: dies[%zu] '%s': %s %s", i,
+                                   d.name.c_str(), field, what));
+    };
+    if (!(d.cost >= 0.0 && std::isfinite(d.cost))) {
+      fail("cost", "must be a finite non-negative cost");
+    }
+    if (!(d.yield > 0.0 && d.yield <= 1.0)) fail("yield", "must be a yield in (0, 1]");
+    if (!(d.kgd_test_cost >= 0.0 && std::isfinite(d.kgd_test_cost))) {
+      fail("kgd_test_cost", "must be a finite non-negative cost");
+    }
+    if (!(d.kgd_escape >= 0.0 && d.kgd_escape <= 1.0)) {
+      fail("kgd_escape", "must be an escape probability in [0, 1]");
+    }
+    if (!(d.nre >= 0.0 && std::isfinite(d.nre))) {
+      fail("nre", "must be finite and non-negative");
+    }
+  }
+  require(pd.bond_cost >= 0.0 && std::isfinite(pd.bond_cost),
+          "ProductionData: bond_cost must be a finite non-negative cost");
+  require(pd.bond_yield > 0.0 && pd.bond_yield <= 1.0,
+          "ProductionData: bond_yield must be a yield in (0, 1]");
+}
+
 }  // namespace
 
 moe::FlowModel build_flow(const AreaResult& area, const BuildUp& buildup) {
   const ProductionData& pd = buildup.production;
-  moe::FlowModel flow(buildup.name, pd.volume, pd.nre_total);
+  check_die_list(pd);
+  moe::FlowModel flow(buildup.name, pd.volume, effective_nre(pd));
 
   // --- carrier fabrication -------------------------------------------------
   const double substrate_cost =
@@ -64,6 +102,28 @@ moe::FlowModel build_flow(const AreaResult& area, const BuildUp& buildup) {
     flow.process("Wire bonding", pd.wire_bond_cost * bonds,
                  step_yield(pd.wire_bond_yield, bonds, pd.semantics),
                  CostCategory::Assembly);
+  }
+
+  // --- chiplet dice (2.5D multi-die extension) -----------------------------
+  if (!pd.dies.empty()) {
+    // Known-good-die screening: a pure per-unit spend — every started module
+    // pays one screen per die; the screen's yield effect rides on the bonded
+    // components below through kgd_escaped_yield.
+    double kgd_cost = 0.0;
+    for (const DieSpec& d : pd.dies) kgd_cost += d.kgd_test_cost;
+    flow.process("KGD screening", kgd_cost, FixedYield{1.0}, CostCategory::Test);
+
+    // Each die is a count-1 component whose incoming yield is what survives
+    // its screen; the bond yield compounds per attach.
+    std::vector<moe::ComponentInput> chiplets;
+    chiplets.reserve(pd.dies.size());
+    for (const DieSpec& d : pd.dies) {
+      chiplets.push_back({d.name, 1, d.cost, kgd_escaped_yield(d.yield, d.kgd_escape),
+                          CostCategory::Chips});
+    }
+    flow.assemble("Chiplet bonding", 0.0, pd.bond_cost,
+                  PerJointYield{pd.bond_yield, static_cast<int>(pd.dies.size())},
+                  std::move(chiplets));
   }
 
   // --- SMD passives on the carrier ----------------------------------------
@@ -130,13 +190,19 @@ namespace {
 // shared flow-walk kernel, so a lane's CostSummary is bit-identical to the
 // FlowModel path no matter how the sweep was batched.
 
-// Upper bound on steps: fabricate + 3 IP + chips + bonds + SMD + functional
-// test + package + laminate SMD + final test.
-inline constexpr int kMaxFlatSteps = 12;
+// Upper bound on steps: fabricate + 3 IP + chips + bonds + KGD screening +
+// chiplet bonding + SMD + functional test + package + laminate SMD +
+// final test.
+inline constexpr int kMaxFlatSteps = 14;
 
-// Lane-shared structure of one flattened step.  At most two component lots
-// (the chip pair) per step; component counts are model-derived and
-// therefore lane-shared.
+// Widest component lot list a step can carry: the chip pair needs 2, a
+// chiplet-bonding step needs one lot per die.
+inline constexpr std::size_t kMaxFlatComponents = kMaxProductionDies;
+static_assert(kMaxFlatComponents >= 2, "the chip pair needs two lots");
+
+// Lane-shared structure of one flattened step.  Component counts are
+// model-derived (or, for dies, part of the structure key) and therefore
+// lane-shared.
 struct FlatComponentInfo {
   int count = 0;
   CostCategory category = CostCategory::Passives;
@@ -146,7 +212,7 @@ struct FlatStepInfo {
   bool is_test = false;
   CostCategory category = CostCategory::Assembly;
   int n_components = 0;
-  FlatComponentInfo comp[2];
+  FlatComponentInfo comp[kMaxFlatComponents];
 };
 
 struct FlatBatch {
@@ -157,7 +223,7 @@ struct FlatBatch {
   // combined direct step cost (for tests: the test cost); `lambda` and
   // `coverage` are only read for their step kind.
   double cost[kMaxFlatSteps][kCostBatchLanes];
-  double comp_unit_cost[kMaxFlatSteps][2][kCostBatchLanes];
+  double comp_unit_cost[kMaxFlatSteps][kMaxFlatComponents][kCostBatchLanes];
   double lambda[kMaxFlatSteps][kCostBatchLanes];
   double coverage[kMaxFlatSteps][kCostBatchLanes];
 };
@@ -208,6 +274,7 @@ void build_flat_batch(const CostEvalPoint* pts, std::size_t lanes, FlatBatch& b)
   for (std::size_t w = 0; w < lanes; ++w) {
     require(pts[w].pd->volume > 0.0, "FlowModel: volume must be positive");
     require(pts[w].pd->nre_total >= 0.0, "FlowModel: NRE must be non-negative");
+    check_die_list(*pts[w].pd);
   }
   int n = 0;
 
@@ -277,6 +344,55 @@ void build_flat_batch(const CostEvalPoint* pts, std::size_t lanes, FlatBatch& b)
                            ? b.lambda[n][w - 1]
                            : moe::fault_intensity(
                                  step_yield(pd.wire_bond_yield, bonds, pd.semantics));
+    }
+    ++n;
+  }
+
+  // --- chiplet dice (2.5D multi-die extension) ---
+  const std::size_t n_dies = pts[0].pd->dies.size();  // group-shared (structure key)
+  if (n_dies > 0) {
+    // KGD screening: a per-unit spend with no added intensity (the screen's
+    // yield effect rides on the bonded components below).
+    b.info[n] = FlatStepInfo{};
+    b.info[n].category = CostCategory::Test;
+    const double kgd_lambda = moe::fault_intensity(FixedYield{1.0});
+    for (std::size_t w = 0; w < lanes; ++w) {
+      double kgd_cost = 0.0;
+      for (const DieSpec& d : pts[w].pd->dies) kgd_cost += d.kgd_test_cost;
+      b.cost[n][w] = kgd_cost;
+      b.lambda[n][w] = kgd_lambda;
+    }
+    ++n;
+    // Chiplet bonding: each die a count-1 Chips lot whose incoming yield is
+    // what survives its screen; bond yield compounds per attach.
+    const int die_count = static_cast<int>(n_dies);
+    b.info[n] = FlatStepInfo{};
+    b.info[n].category = CostCategory::Assembly;
+    b.info[n].n_components = die_count;
+    for (std::size_t c = 0; c < n_dies; ++c) {
+      b.info[n].comp[c] = {1, CostCategory::Chips};
+    }
+    for (std::size_t w = 0; w < lanes; ++w) {
+      const ProductionData& pd = *pts[w].pd;
+      b.cost[n][w] = pd.bond_cost * die_count;
+      for (std::size_t c = 0; c < n_dies; ++c) {
+        b.comp_unit_cost[n][c][w] = pd.dies[c].cost;
+      }
+      const ProductionData* prev = w > 0 ? pts[w - 1].pd : nullptr;
+      bool reuse = prev && pd.bond_yield == prev->bond_yield;
+      for (std::size_t c = 0; reuse && c < n_dies; ++c) {
+        reuse = pd.dies[c].yield == prev->dies[c].yield &&
+                pd.dies[c].kgd_escape == prev->dies[c].kgd_escape;
+      }
+      if (reuse) {
+        b.lambda[n][w] = b.lambda[n][w - 1];
+      } else {
+        double lam = moe::fault_intensity(PerJointYield{pd.bond_yield, die_count});
+        for (const DieSpec& d : pd.dies) {
+          lam += component_lambda(kgd_escaped_yield(d.yield, d.kgd_escape), 1);
+        }
+        b.lambda[n][w] = lam;
+      }
     }
     ++n;
   }
@@ -421,9 +537,9 @@ void evaluate_lane_group(const CostEvalPoint* pts, std::size_t lanes, CostSummar
     r.direct_cost = walk.unit_acc.total();
     r.chip_cost_direct = walk.unit_acc.get(CostCategory::Chips);
     r.total_spend_per_started = walk.spend.total();
-    r.nre_per_shipped = pd.nre_total / (pd.volume * wo.alive);
-    r.final_cost_per_shipped =
-        (walk.spend.total() + pd.nre_total / pd.volume) / wo.alive;
+    const double nre = effective_nre(pd);
+    r.nre_per_shipped = nre / (pd.volume * wo.alive);
+    r.final_cost_per_shipped = (walk.spend.total() + nre / pd.volume) / wo.alive;
     r.yield_loss_per_shipped =
         r.final_cost_per_shipped - r.direct_cost - r.nre_per_shipped;
     out[w] = r;
@@ -441,6 +557,7 @@ bool same_flow_structure(const CostEvalPoint& a, const CostEvalPoint& b) {
          ma.smd_count == mb.smd_count && ma.smd_on_carrier == mb.smd_on_carrier &&
          ma.uses_laminate == mb.uses_laminate &&
          ma.smd_on_laminate == mb.smd_on_laminate &&
+         a.pd->dies.size() == b.pd->dies.size() &&
          (a.pd->functional_test_coverage > 0.0) == (b.pd->functional_test_coverage > 0.0);
 }
 

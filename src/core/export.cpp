@@ -138,6 +138,33 @@ std::string scenario_grid_summary_json(const ScenarioGridSummary& summary) {
   return out;
 }
 
+std::string batch_result_json(const BatchAssessmentResult& result) {
+  std::string out = "{\n";
+  out += strf("  \"points\": %zu,\n  \"buildups\": %zu,\n", result.points,
+              result.buildups);
+  out += "  \"summaries\": [\n";
+  for (std::size_t i = 0; i < result.summaries.size(); ++i) {
+    const BuildUpSummary& s = result.summaries[i];
+    out += strf(
+        "    {\"performance\": %s, \"module_area_mm2\": %s, \"area_rel\": %s, "
+        "\"shipped_fraction\": %s, \"direct_cost\": %s, \"chip_cost_direct\": %s, "
+        "\"yield_loss_per_shipped\": %s, \"nre_per_shipped\": %s, "
+        "\"final_cost_per_shipped\": %s, \"cost_rel\": %s, \"fom\": %s}%s\n",
+        jnum(s.performance).c_str(), jnum(s.module_area_mm2).c_str(),
+        jnum(s.area_rel).c_str(), jnum(s.shipped_fraction).c_str(),
+        jnum(s.direct_cost).c_str(), jnum(s.chip_cost_direct).c_str(),
+        jnum(s.yield_loss_per_shipped).c_str(), jnum(s.nre_per_shipped).c_str(),
+        jnum(s.final_cost_per_shipped).c_str(), jnum(s.cost_rel).c_str(),
+        jnum(s.fom).c_str(), i + 1 < result.summaries.size() ? "," : "");
+  }
+  out += "  ],\n  \"winners\": [";
+  for (std::size_t p = 0; p < result.winners.size(); ++p) {
+    out += strf("%s%zu", p ? ", " : "", result.winners[p]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
 std::string tolerance_result_json(const rf::ToleranceResult& result) {
   return strf(
       "{\"samples\": %zu, \"passing\": %zu, \"parametric_yield\": %s, "

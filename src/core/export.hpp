@@ -28,6 +28,12 @@ std::string scenario_grid_summary_json(const ScenarioGridSummary& summary);
 // (tests/gps/golden/tolerance.json pins two named results).
 std::string tolerance_result_json(const rf::ToleranceResult& result);
 
+// And for the batched pipeline engine: every BuildUpSummary of a
+// BatchAssessmentResult with %.17g doubles, so a golden file pins the
+// compiled/batched walk to the bit alongside the analytic and scenario-grid
+// engines (tests/gps/golden/si_interposer_fleet.json).
+std::string batch_result_json(const BatchAssessmentResult& result);
+
 // One row per filter per build-up: the performance-assessment detail.
 std::string performance_csv(const DecisionReport& report);
 

@@ -35,6 +35,27 @@
 
 namespace ipass::core {
 
+// ---------------------------------------------------------------------------
+// Multi-die chiplet terms (Chiplet Actuary / Tang & Xie), owned here so the
+// analytic FlowModel walk, the scenario-grid walk and the compiled SoA walk
+// cost a die stack through literally the same expressions.
+
+// Yield a die effectively contributes after known-good-die screening: the
+// die arrives carrying -ln(yield) latent fault intensity, and a screen with
+// escape probability e lets the fraction e of it through — yield^e.
+// e = 1 (no screen) is the IEEE identity pow(y, 1.0) == y, so an
+// unscreened die is bit-identical to feeding its raw yield in directly.
+inline double kgd_escaped_yield(double die_yield, double kgd_escape) {
+  return std::pow(die_yield, kgd_escape);
+}
+
+// Bonding yield compounds by die count: n attaches at per-attach yield y
+// ship y^n of the stack.  moe::PerJointYield evaluates through this helper,
+// so every engine's bond intensity is -ln of this exact value.
+inline double compound_bond_yield(double bond_yield, int die_count) {
+  return std::pow(bond_yield, die_count);
+}
+
 // What the walk itself tracks; everything else (spend, ledgers, scrap
 // value) accumulates inside the policy.
 struct WalkOutcome {

@@ -1,0 +1,275 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+
+namespace ipass::core {
+
+namespace {
+
+void check_inputs(const std::vector<PartitionBlock>& blocks,
+                  const PartitionCostParams& params) {
+  require(!blocks.empty(), "partition_sweep: need at least one block");
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const PartitionBlock& blk = blocks[i];
+    require(!blk.name.empty(),
+            strf("partition_sweep: blocks[%zu]: name must not be empty", i));
+    require(blk.area_mm2 > 0.0 && std::isfinite(blk.area_mm2),
+            strf("partition_sweep: block '%s': area_mm2 must be positive and finite",
+                 blk.name.c_str()));
+    require(blk.nre >= 0.0 && std::isfinite(blk.nre),
+            strf("partition_sweep: block '%s': nre must be finite and non-negative",
+                 blk.name.c_str()));
+  }
+  require(params.wafer_cost_per_mm2 >= 0.0 && std::isfinite(params.wafer_cost_per_mm2),
+          "partition_sweep: wafer_cost_per_mm2 must be finite and non-negative");
+  require(params.defect_density_per_cm2 >= 0.0 &&
+              std::isfinite(params.defect_density_per_cm2),
+          "partition_sweep: defect_density_per_cm2 must be finite and non-negative");
+  require(params.kgd_test_cost >= 0.0 && std::isfinite(params.kgd_test_cost),
+          "partition_sweep: kgd_test_cost must be finite and non-negative");
+  require(params.kgd_escape >= 0.0 && params.kgd_escape <= 1.0,
+          "partition_sweep: kgd_escape must be in [0, 1]");
+  require(params.bond_cost >= 0.0 && std::isfinite(params.bond_cost),
+          "partition_sweep: bond_cost must be finite and non-negative");
+  require(params.bond_yield > 0.0 && params.bond_yield <= 1.0,
+          "partition_sweep: bond_yield must be a yield in (0, 1]");
+  require(params.per_die_nre >= 0.0 && std::isfinite(params.per_die_nre),
+          "partition_sweep: per_die_nre must be finite and non-negative");
+  require(params.max_dies >= 1 && params.max_dies <= kMaxProductionDies,
+          "partition_sweep: max_dies must be in [1, 8]");
+}
+
+std::size_t group_count(const std::vector<int>& assignment) {
+  int max_label = -1;
+  for (const int g : assignment) max_label = std::max(max_label, g);
+  return static_cast<std::size_t>(max_label + 1);
+}
+
+// Exhaustive set-partition enumeration via restricted-growth strings:
+// block i may join any group already used by blocks 0..i-1, or open the
+// next fresh group (capped at max_groups).  Deterministic order.
+void enumerate_partitions(std::size_t n, std::size_t max_groups,
+                          std::vector<int>& assignment, std::size_t used,
+                          std::vector<std::vector<int>>& out) {
+  const std::size_t i = assignment.size();
+  if (i == n) {
+    out.push_back(assignment);
+    return;
+  }
+  const std::size_t open = std::min(used + (used < max_groups ? 1 : 0), max_groups);
+  for (std::size_t g = 0; g < open; ++g) {
+    assignment.push_back(static_cast<int>(g));
+    enumerate_partitions(n, max_groups, assignment, std::max(used, g + 1), out);
+    assignment.pop_back();
+  }
+}
+
+// Canonicalize an arbitrary grouping into restricted-growth form (labels in
+// first-use order) so equal partitions compare equal.
+std::vector<int> normalize(const std::vector<int>& assignment) {
+  std::vector<int> relabel(assignment.size(), -1);
+  std::vector<int> out;
+  out.reserve(assignment.size());
+  int next = 0;
+  for (const int g : assignment) {
+    if (relabel[static_cast<std::size_t>(g)] < 0) {
+      relabel[static_cast<std::size_t>(g)] = next++;
+    }
+    out.push_back(relabel[static_cast<std::size_t>(g)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string partition_to_string(const std::vector<PartitionBlock>& blocks,
+                                const std::vector<int>& assignment) {
+  std::string out = "{";
+  const std::size_t groups = group_count(assignment);
+  for (std::size_t g = 0; g < groups; ++g) {
+    if (g > 0) out += " |";
+    bool first = true;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      if (assignment[i] != static_cast<int>(g)) continue;
+      out += first ? " " : ", ";
+      out += blocks[i].name;
+      first = false;
+    }
+  }
+  out += " }";
+  return out;
+}
+
+std::vector<DieSpec> partition_dies(const std::vector<PartitionBlock>& blocks,
+                                    const std::vector<int>& assignment,
+                                    const PartitionCostParams& params) {
+  require(assignment.size() == blocks.size(),
+          "partition_dies: assignment must cover every block");
+  const std::size_t groups = group_count(assignment);
+  std::vector<DieSpec> dies;
+  dies.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    DieSpec die;
+    double area = 0.0;
+    die.nre = params.per_die_nre;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+      if (assignment[i] != static_cast<int>(g)) continue;
+      if (!die.name.empty()) die.name += "+";
+      die.name += blocks[i].name;
+      area += blocks[i].area_mm2;
+      die.nre += blocks[i].nre;
+    }
+    require(!die.name.empty(), "partition_dies: assignment has an empty group");
+    // Known-good-die economics: the fab bills for every die started, so the
+    // purchase price of a good die carries its scrapped siblings.  This is
+    // what makes the partition search a real trade — compound escaped yield
+    // is area-multiplicative and identical for every grouping, but small
+    // dies scrap less silicon per good unit.
+    die.yield = std::exp(-params.defect_density_per_cm2 * mm2_to_cm2(area));
+    die.cost = params.wafer_cost_per_mm2 * area / die.yield;
+    die.kgd_test_cost = params.kgd_test_cost;
+    die.kgd_escape = params.kgd_escape;
+    dies.push_back(std::move(die));
+  }
+  return dies;
+}
+
+PartitionSweepResult partition_sweep(const AssessmentPipeline& pipeline,
+                                     std::size_t buildup,
+                                     const std::vector<PartitionBlock>& blocks,
+                                     const PartitionCostParams& params,
+                                     unsigned threads) {
+  check_inputs(blocks, params);
+  require(buildup < pipeline.buildup_count(),
+          "partition_sweep: buildup index out of range");
+
+  // Every candidate point carries the full per-build-up production vector;
+  // only the partitioned build-up's die list varies.
+  std::vector<ProductionData> base;
+  base.reserve(pipeline.buildup_count());
+  for (const BuildUp& b : pipeline.buildups()) base.push_back(b.production);
+
+  const auto make_point = [&](const std::vector<int>& assignment) {
+    AssessmentInputs point;
+    point.production = base;
+    ProductionData& pd = point.production[buildup];
+    pd.bond_cost = params.bond_cost;
+    pd.bond_yield = params.bond_yield;
+    pd.dies = partition_dies(blocks, assignment, params);
+    return point;
+  };
+
+  const auto evaluate = [&](const std::vector<std::vector<int>>& assignments,
+                            std::vector<PartitionCandidate>& out) {
+    std::vector<AssessmentInputs> points;
+    points.reserve(assignments.size());
+    for (const std::vector<int>& a : assignments) points.push_back(make_point(a));
+    const BatchAssessmentResult batch = pipeline.evaluate(points, threads);
+    for (std::size_t p = 0; p < assignments.size(); ++p) {
+      PartitionCandidate c;
+      c.assignment = assignments[p];
+      c.die_count = group_count(assignments[p]);
+      c.summary = batch.at(p, buildup);
+      out.push_back(std::move(c));
+    }
+  };
+
+  PartitionSweepResult result;
+
+  if (blocks.size() <= params.max_enumerated_blocks) {
+    std::vector<std::vector<int>> assignments;
+    std::vector<int> scratch;
+    enumerate_partitions(blocks.size(), params.max_dies, scratch, 0, assignments);
+    evaluate(assignments, result.candidates);
+  } else {
+    // Greedy pair-merge descent: start from the finest feasible grouping
+    // and adopt the cheapest pairwise merge while it improves, recording
+    // every evaluated candidate.  Deterministic: candidate order and tie
+    // breaks are index-based.
+    result.exhaustive = false;
+    std::vector<int> current(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) current[i] = static_cast<int>(i);
+    // More blocks than allowed dies: merge the smallest-area pair until the
+    // start point is feasible (a deterministic pre-pass, not evaluated).
+    while (group_count(current) > params.max_dies) {
+      const std::size_t groups = group_count(current);
+      std::vector<double> area(groups, 0.0);
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        area[static_cast<std::size_t>(current[i])] += blocks[i].area_mm2;
+      }
+      std::size_t a = 0, b = 1;
+      double best_area = area[0] + area[1];
+      for (std::size_t x = 0; x < groups; ++x) {
+        for (std::size_t y = x + 1; y < groups; ++y) {
+          if (area[x] + area[y] < best_area) {
+            best_area = area[x] + area[y];
+            a = x;
+            b = y;
+          }
+        }
+      }
+      for (int& g : current) {
+        if (g == static_cast<int>(b)) g = static_cast<int>(a);
+      }
+      current = normalize(current);
+    }
+
+    std::set<std::vector<int>> seen;
+    double current_cost = 0.0;
+    {
+      std::vector<PartitionCandidate> first;
+      evaluate({current}, first);
+      seen.insert(current);
+      current_cost = first[0].summary.final_cost_per_shipped;
+      result.candidates.push_back(std::move(first[0]));
+    }
+    while (group_count(current) > 1) {
+      const std::size_t groups = group_count(current);
+      std::vector<std::vector<int>> merges;
+      for (std::size_t a = 0; a < groups; ++a) {
+        for (std::size_t b = a + 1; b < groups; ++b) {
+          std::vector<int> merged = current;
+          for (int& g : merged) {
+            if (g == static_cast<int>(b)) g = static_cast<int>(a);
+          }
+          merged = normalize(merged);
+          if (seen.insert(merged).second) merges.push_back(std::move(merged));
+        }
+      }
+      if (merges.empty()) break;
+      std::vector<PartitionCandidate> round;
+      evaluate(merges, round);
+      std::size_t best_in_round = 0;
+      for (std::size_t i = 1; i < round.size(); ++i) {
+        if (round[i].summary.final_cost_per_shipped <
+            round[best_in_round].summary.final_cost_per_shipped) {
+          best_in_round = i;
+        }
+      }
+      const double best_cost = round[best_in_round].summary.final_cost_per_shipped;
+      const std::vector<int> best_assignment = round[best_in_round].assignment;
+      for (PartitionCandidate& c : round) result.candidates.push_back(std::move(c));
+      if (best_cost >= current_cost) break;  // no merge improves: descent done
+      current = best_assignment;
+      current_cost = best_cost;
+    }
+  }
+
+  ensure(!result.candidates.empty(), "partition_sweep: no candidate evaluated");
+  result.best = 0;
+  for (std::size_t i = 1; i < result.candidates.size(); ++i) {
+    if (result.candidates[i].summary.final_cost_per_shipped <
+        result.candidates[result.best].summary.final_cost_per_shipped) {
+      result.best = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace ipass::core

@@ -1,0 +1,84 @@
+// ChipletPart-style partitioning search over the batched pipeline.
+//
+// Given a set of functional blocks (each with a silicon area and an NRE
+// share), enumerate the ways of grouping them into chiplets, derive a
+// multi-die ProductionData die list for every grouping — die cost from a
+// wafer cost per mm^2, die yield from a Poisson defect model, a shared KGD
+// screen, per-die reticle NRE — and cost every candidate through
+// AssessmentPipeline::evaluate().  Small block sets are enumerated
+// exhaustively (restricted-growth set partitions); larger ones fall back to
+// a deterministic greedy pair-merge descent.  Either way the pipeline's
+// split-invariance makes the sweep bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/buildup.hpp"
+#include "core/methodology.hpp"
+
+namespace ipass::core {
+
+// One functional block of the system being partitioned into chiplets.
+struct PartitionBlock {
+  std::string name;
+  double area_mm2 = 0.0;  // silicon area the block occupies
+  double nre = 0.0;       // block-specific IP/design NRE
+};
+
+// The cost physics that turn a group of blocks into a DieSpec.
+struct PartitionCostParams {
+  double wafer_cost_per_mm2 = 0.08;     // fabricated silicon, pre-yield
+  double defect_density_per_cm2 = 0.5;  // Poisson: die yield = exp(-D0 * A)
+  double kgd_test_cost = 0.25;          // known-good-die screen, per die
+  double kgd_escape = 0.1;              // latent-fault escape of the screen
+  double bond_cost = 0.18;              // per die attach
+  double bond_yield = 0.995;            // per attach, compounds by die count
+  double per_die_nre = 10000.0;         // reticle/tooling per distinct die
+  std::size_t max_dies = kMaxProductionDies;
+  // Above this many blocks, exhaustive enumeration (Bell numbers) gives way
+  // to the greedy pair-merge descent.
+  std::size_t max_enumerated_blocks = 8;
+};
+
+// One evaluated grouping.  `assignment[i]` is the chiplet index of block i,
+// in restricted-growth form (group labels appear in first-use order), so
+// equal partitions always have equal assignments.
+struct PartitionCandidate {
+  std::vector<int> assignment;
+  std::size_t die_count = 0;
+  BuildUpSummary summary;  // the partitioned build-up at this candidate
+};
+
+struct PartitionSweepResult {
+  std::vector<PartitionCandidate> candidates;  // deterministic order
+  std::size_t best = 0;     // lowest final_cost_per_shipped (ties: first)
+  bool exhaustive = true;   // false when the greedy descent was used
+
+  const PartitionCandidate& best_candidate() const { return candidates[best]; }
+};
+
+// Human-readable "{a, b | c}" form of a candidate's grouping.
+std::string partition_to_string(const std::vector<PartitionBlock>& blocks,
+                                const std::vector<int>& assignment);
+
+// Derive the die list for one grouping (exposed for tests): group g's die
+// aggregates its blocks' areas and NREs in block order, yields
+// exp(-D0 * area_cm2), and costs wafer_cost_per_mm2 * area / yield — the
+// known-good-die price, carrying the scrapped share of the wafer.
+std::vector<DieSpec> partition_dies(const std::vector<PartitionBlock>& blocks,
+                                    const std::vector<int>& assignment,
+                                    const PartitionCostParams& params);
+
+// Search the partitions of `blocks` for the cheapest die-list realization
+// of the study's `buildup` (the other build-ups keep their compiled
+// production data, so cost_rel/fom stay anchored to the study's reference).
+// Deterministic for any thread count.
+PartitionSweepResult partition_sweep(const AssessmentPipeline& pipeline,
+                                     std::size_t buildup,
+                                     const std::vector<PartitionBlock>& blocks,
+                                     const PartitionCostParams& params = {},
+                                     unsigned threads = 0);
+
+}  // namespace ipass::core

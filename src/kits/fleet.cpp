@@ -15,34 +15,92 @@ namespace {
 // fault intensity by f is raising every step yield to the power f; every
 // direct line cost (steps and consumed components alike) is multiplied by
 // the cost scale, while NRE stays unscaled.
+//
+// A corner with a negative or non-finite scale is rejected up front: with
+// y in (0, 1], pow(y, f) stays a probability only for f >= 0 — a negative
+// fault_scale would silently fabricate yields above 1 (and with them
+// negative fault intensities) deep inside the walk.  evaluate_scenario_grid
+// has always rejected such corners; this gate gives the fleet path the same
+// contract, naming the build-up being scaled.
+void check_corner(const core::ProcessCorner& corner, const std::string& scope) {
+  if (!(corner.fault_scale >= 0.0 && std::isfinite(corner.fault_scale))) {
+    throw PreconditionError(
+        strf("fleet corner: build-up '%s': fault_scale must be finite and "
+             "non-negative, got %g",
+             scope.c_str(), corner.fault_scale));
+  }
+  if (!(corner.cost_scale >= 0.0 && std::isfinite(corner.cost_scale))) {
+    throw PreconditionError(
+        strf("fleet corner: build-up '%s': cost_scale must be finite and "
+             "non-negative, got %g",
+             scope.c_str(), corner.cost_scale));
+  }
+}
+
+// Role dispatch for the field tables in core/buildup.hpp: one method per
+// corner-scaling role.  corner_production() below iterates the tables
+// instead of a hand-enumerated field list; buildup.hpp's static_asserts
+// guarantee the tables cover every scalar member, so a new ProductionData
+// or DieSpec field cannot silently escape corner scaling again.
+struct CornerScaler {
+  double f;                  // fault_scale
+  double c;                  // cost_scale
+  const std::string& scope;  // build-up name, for error messages
+  const char* item;          // "" for top-level fields, "dies[i]." for dies
+
+  void Cost(double& v, const char*) const { v *= c; }
+  void Yield(double& v, const char* field) const {
+    if (!(v > 0.0 && v <= 1.0)) {
+      throw PreconditionError(strf(
+          "fleet corner: build-up '%s': %s%s must be a yield in (0, 1], got %g",
+          scope.c_str(), item, field, v));
+    }
+    v = std::pow(v, f);
+  }
+  void Coverage(double&, const char*) const {}  // probabilities: corners don't touch
+  void Nre(double&, const char*) const {}       // scaled by neither axis
+  void Volume(double&, const char*) const {}    // the scenario axis; set by caller
+};
+
 core::ProductionData corner_production(core::ProductionData pd,
                                        const core::ProcessCorner& corner,
-                                       double volume) {
-  const double f = corner.fault_scale;
-  const double c = corner.cost_scale;
-  pd.rf_chip_cost *= c;
-  pd.rf_chip_yield = std::pow(pd.rf_chip_yield, f);
-  pd.dsp_cost *= c;
-  pd.dsp_yield = std::pow(pd.dsp_yield, f);
-  pd.chip_assembly_cost *= c;
-  pd.chip_assembly_yield = std::pow(pd.chip_assembly_yield, f);
-  pd.wire_bond_cost *= c;
-  pd.wire_bond_yield = std::pow(pd.wire_bond_yield, f);
-  pd.smd_assembly_cost *= c;
-  pd.smd_assembly_yield = std::pow(pd.smd_assembly_yield, f);
-  pd.functional_test_cost *= c;
-  pd.packaging_cost *= c;
-  pd.packaging_yield = std::pow(pd.packaging_yield, f);
-  pd.final_test_cost *= c;
+                                       double volume, const std::string& scope) {
+  check_corner(corner, scope);
+  const CornerScaler top{corner.fault_scale, corner.cost_scale, scope, ""};
+#define IPASS_CORNER_FIELD(name, role) top.role(pd.name, #name);
+  IPASS_PRODUCTION_SCALAR_FIELDS(IPASS_CORNER_FIELD)
+#undef IPASS_CORNER_FIELD
+  for (std::size_t i = 0; i < pd.dies.size(); ++i) {
+    const std::string prefix = strf("dies[%zu].", i);
+    const CornerScaler die_op{corner.fault_scale, corner.cost_scale, scope,
+                              prefix.c_str()};
+    core::DieSpec& d = pd.dies[i];
+#define IPASS_CORNER_FIELD(name, role) die_op.role(d.name, #name);
+    IPASS_DIE_SCALAR_FIELDS(IPASS_CORNER_FIELD)
+#undef IPASS_CORNER_FIELD
+  }
   pd.volume = volume;
   return pd;
 }
 
+// CompiledCostModel holds what build_flow derives from sources other than
+// ProductionData; the corner touches its three monetary/yield knobs and
+// deliberately leaves the seven structural fields (flags and counts)
+// alone.  The count below is asserted so a new CompiledCostModel member
+// forces a decision here, mirroring the field-table guard above.
+static_assert(ipass::core::detail::aggregate_field_count<core::CompiledCostModel>() ==
+                  10,
+              "CompiledCostModel gained a member: decide whether corner_model "
+              "must scale it, then update this count");
+
 core::CompiledCostModel corner_model(core::CompiledCostModel model,
-                                     const core::ProcessCorner& corner) {
-  model.substrate_cost *= corner.cost_scale;
-  model.substrate_fab_yield = std::pow(model.substrate_fab_yield, corner.fault_scale);
-  model.smd_parts_cost *= corner.cost_scale;
+                                     const core::ProcessCorner& corner,
+                                     const std::string& scope) {
+  check_corner(corner, scope);
+  const CornerScaler op{corner.fault_scale, corner.cost_scale, scope, ""};
+  op.Cost(model.substrate_cost, "substrate_cost");
+  op.Yield(model.substrate_fab_yield, "substrate_fab_yield");
+  op.Cost(model.smd_parts_cost, "smd_parts_cost");
   return model;
 }
 
@@ -81,8 +139,9 @@ std::vector<core::AssessmentInputs> fleet_scenario_points(
         const core::ProcessCorner effective =
             baselines.empty() ? corner : compose(corner, baselines[b]);
         point.production.push_back(
-            corner_production(buildups[b].production, effective, volume));
-        point.models.push_back(corner_model(base_models[b], effective));
+            corner_production(buildups[b].production, effective, volume,
+                              buildups[b].name));
+        point.models.push_back(corner_model(base_models[b], effective, buildups[b].name));
       }
       points.push_back(std::move(point));
     }
@@ -181,6 +240,15 @@ KitFleetSummary sweep_kits(const KitRegistry& registry,
       }
     }
     entry.best_fom = entry.report.assessments[entry.best_variant].fom;
+
+    // Engine 3: optional chiplet-partitioning search against the kit's
+    // best own build-up (deterministic for any thread count, like the
+    // engines above).
+    if (!options.partition_blocks.empty()) {
+      entry.partition =
+          core::partition_sweep(pipeline, entry.best_variant, options.partition_blocks,
+                                options.partition_params, options.threads);
+    }
 
     fleet.kits.push_back(std::move(entry));
   }

@@ -17,6 +17,7 @@
 
 #include "core/methodology.hpp"
 #include "core/pareto.hpp"
+#include "core/partition.hpp"
 #include "core/scenario_grid.hpp"
 #include "kits/registry.hpp"
 
@@ -41,6 +42,12 @@ struct KitSweepOptions {
   // swept kit's passive processes.
   std::string reference;
   unsigned threads = 0;  // 0 = IPASS_THREADS / hardware
+  // Optional ChipletPart-style partitioning search, run per kit against its
+  // best own build-up at the nominal point: the blocks are grouped into
+  // chiplet die lists and every grouping costed through the kit's compiled
+  // study (see core/partition.hpp).  Empty = no partition search.
+  std::vector<core::PartitionBlock> partition_blocks;
+  core::PartitionCostParams partition_params;
 };
 
 // Everything the fleet keeps per kit.
@@ -55,6 +62,9 @@ struct KitAssessment {
   core::ParetoSweepSummary pareto;  // frontier per scenario point
   std::size_t best_variant = 0;     // report index of the kit's best own build-up
   double best_fom = 0.0;
+  // Partitioning search over options.partition_blocks against the kit's
+  // best own build-up (candidates empty when the search was not requested).
+  core::PartitionSweepResult partition;
 };
 
 struct KitFleetSummary {

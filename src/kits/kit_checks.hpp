@@ -1,0 +1,84 @@
+// The single range-check vocabulary for process kits.
+//
+// validate_kit() (in-memory kits, builtin or programmatic) and the kit-JSON
+// loader used to carry their own copies of these range checks, and the
+// copies drifted — the loader's QModel gate lived outside validate_kit, and
+// messages/error codes differed by door.  Every kit rejection now goes
+// through these helpers: one message shape ("kit '<scope>': <field> <why>")
+// that always names the kit scope and the field, and one machine-readable
+// code (ErrorCode::Validation) no matter which entry point saw the kit.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strfmt.hpp"
+
+namespace ipass::kits::checks {
+
+inline void fail(const std::string& scope, const char* field, const std::string& what) {
+  throw PreconditionError(
+      strf("kit '%s': %s %s", scope.c_str(), field, what.c_str()),
+      ErrorCode::Validation);
+}
+
+inline void check(bool ok, const std::string& scope, const char* field,
+                  const char* what) {
+  if (!ok) fail(scope, field, what);
+}
+
+inline void check_yield(double value, const std::string& scope, const char* field) {
+  check(value > 0.0 && value <= 1.0, scope, field, "must be a yield in (0, 1]");
+}
+
+inline void check_coverage(double value, const std::string& scope, const char* field) {
+  check(value >= 0.0 && value <= 1.0, scope, field, "must be a coverage in [0, 1]");
+}
+
+inline void check_cost(double value, const std::string& scope, const char* field) {
+  check(value >= 0.0 && std::isfinite(value), scope, field,
+        "must be a finite non-negative cost");
+}
+
+inline void check_positive(double value, const std::string& scope, const char* field) {
+  check(value > 0.0 && std::isfinite(value), scope, field,
+        "must be positive and finite");
+}
+
+inline void check_scale(double value, const std::string& scope, const char* field) {
+  check(value >= 0.0 && std::isfinite(value), scope, field,
+        "must be non-negative and finite");
+}
+
+// QModel gate shared by the loader (before constructing the rf::QModel)
+// and validate_kit (on the constructed model): the writer encodes lossless
+// as exactly 0, and a negative q_peak is a sign typo, not a request for
+// infinite Q.
+inline void check_qmodel_peak(double q_peak, const std::string& scope,
+                              const std::string& at) {
+  check(q_peak >= 0.0, scope, (at + "q_peak").c_str(),
+        "must be >= 0 (0 = lossless)");
+}
+
+// Role dispatch for the scalar field tables in core/buildup.hpp (one method
+// per corner-scaling role): validate_production() iterates the tables with
+// this instead of a hand-enumerated field list, so the completeness
+// static_asserts under the tables also guarantee validation coverage.
+struct ScalarFieldChecker {
+  const std::string& scope;
+  std::string prefix;  // e.g. "production." or "production.dies[2]."
+
+  std::string label(const char* field) const { return prefix + field; }
+  void Cost(double v, const char* f) const { check_cost(v, scope, label(f).c_str()); }
+  void Yield(double v, const char* f) const { check_yield(v, scope, label(f).c_str()); }
+  void Coverage(double v, const char* f) const {
+    check_coverage(v, scope, label(f).c_str());
+  }
+  void Nre(double v, const char* f) const { check_cost(v, scope, label(f).c_str()); }
+  void Volume(double v, const char* f) const {
+    check_positive(v, scope, label(f).c_str());
+  }
+};
+
+}  // namespace ipass::kits::checks

@@ -8,6 +8,7 @@
 #include "common/json.hpp"
 #include "common/jsonfmt.hpp"
 #include "common/strfmt.hpp"
+#include "kits/kit_checks.hpp"
 
 namespace ipass::kits {
 
@@ -205,6 +206,19 @@ std::string production_json(const core::ProductionData& pd) {
   field("final_test_coverage", pd.final_test_coverage);
   field("nre_total", pd.nre_total);
   field("volume", pd.volume);
+  field("bond_cost", pd.bond_cost);
+  field("bond_yield", pd.bond_yield);
+  out += "        \"dies\": [";
+  for (std::size_t i = 0; i < pd.dies.size(); ++i) {
+    const core::DieSpec& d = pd.dies[i];
+    out += strf(
+        "%s{\"name\": %s, \"cost\": %s, \"yield\": %s, \"kgd_test_cost\": %s, "
+        "\"kgd_escape\": %s, \"nre\": %s}",
+        i ? ", " : "", jstr(d.name).c_str(), jnum(d.cost).c_str(),
+        jnum(d.yield).c_str(), jnum(d.kgd_test_cost).c_str(),
+        jnum(d.kgd_escape).c_str(), jnum(d.nre).c_str());
+  }
+  out += "],\n";
   out += strf("        \"semantics\": \"%s\"\n      }", semantics_token(pd.semantics));
   return out;
 }
@@ -227,10 +241,10 @@ rf::QModel read_qmodel(const JsonValue& v, const std::string& scope) {
   const double f_peak = r.num("f_peak");
   const double slope = r.num("slope");
   r.done();
-  // The writer encodes lossless as exactly 0; a negative q_peak is a sign
-  // typo, not a request for infinite Q — reject it like any other typo.
-  require(q_peak >= 0.0,
-          strf("kit JSON: %s.q_peak must be >= 0 (0 = lossless)", scope.c_str()));
+  // The shared QModel gate (kit_checks.hpp) — the same check validate_kit
+  // applies to an in-memory kit, so a sign-typo q_peak is rejected with one
+  // message shape and ErrorCode no matter which door the kit came in.
+  checks::check_qmodel_peak(q_peak, scope, "");
   if (q_peak == 0.0) return rf::QModel::lossless();
   return rf::QModel::peaked(q_peak, f_peak, slope);
 }
@@ -318,6 +332,26 @@ core::ProductionData read_production(const JsonValue& v, const std::string& scop
   pd.final_test_coverage = r.num("final_test_coverage");
   pd.nre_total = r.num("nre_total");
   pd.volume = r.num("volume");
+  // Multi-die fields are optional with neutral defaults: committed request
+  // journals and corpus documents predate them, and a missing die list is
+  // exactly the bit-pinned single-die walk.
+  pd.bond_cost = r.num_or("bond_cost", 0.0);
+  pd.bond_yield = r.num_or("bond_yield", 1.0);
+  if (const JsonValue* dies = r.find("dies", JsonValue::Type::Array)) {
+    for (std::size_t i = 0; i < dies->array.size(); ++i) {
+      const std::string die_scope = strf("%s.dies[%zu]", scope.c_str(), i);
+      ObjectReader dr(dies->array[i], die_scope, kContext);
+      core::DieSpec d;
+      d.name = dr.str("name");
+      d.cost = dr.num("cost");
+      d.yield = dr.num("yield");
+      d.kgd_test_cost = dr.num("kgd_test_cost");
+      d.kgd_escape = dr.num("kgd_escape");
+      d.nre = dr.num("nre");
+      dr.done();
+      pd.dies.push_back(std::move(d));
+    }
+  }
   pd.semantics = parse_semantics(r.str("semantics"));
   r.done();
   return pd;

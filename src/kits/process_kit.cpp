@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/strfmt.hpp"
+#include "kits/kit_checks.hpp"
 
 namespace ipass::kits {
 
@@ -19,55 +20,48 @@ const char* kit_maturity_name(KitMaturity maturity) {
 
 namespace {
 
-// One check, one message shape: "kit 'name': field ..." so a rejected kit
-// always says which kit and which field broke the contract.
-void check(bool ok, const std::string& kit, const char* field, const char* what) {
-  require(ok, strf("kit '%s': %s %s", kit.c_str(), field, what));
-}
-
-void check_yield(double value, const std::string& kit, const char* field) {
-  check(value > 0.0 && value <= 1.0, kit, field, "must be a yield in (0, 1]");
-}
-
-void check_coverage(double value, const std::string& kit, const char* field) {
-  check(value >= 0.0 && value <= 1.0, kit, field, "must be a coverage in [0, 1]");
-}
-
-void check_cost(double value, const std::string& kit, const char* field) {
-  check(value >= 0.0 && std::isfinite(value), kit, field,
-        "must be a finite non-negative cost");
-}
-
-void check_positive(double value, const std::string& kit, const char* field) {
-  check(value > 0.0 && std::isfinite(value), kit, field, "must be positive and finite");
-}
-
-void check_scale(double value, const std::string& kit, const char* field) {
-  check(value >= 0.0 && std::isfinite(value), kit, field,
-        "must be non-negative and finite");
-}
+// The shared check vocabulary (kits/kit_checks.hpp): one message shape,
+// "kit 'name': field ...", used by this validator and the kit-JSON loader
+// alike, so a rejected kit always says which kit and which field broke the
+// contract no matter which door it came in.
+using checks::check;
+using checks::check_coverage;
+using checks::check_cost;
+using checks::check_positive;
+using checks::check_qmodel_peak;
+using checks::check_scale;
+using checks::check_yield;
 
 void validate_production(const core::ProductionData& pd, const std::string& kit,
                          const std::string& variant) {
   const std::string scope = strf("%s/%s", kit.c_str(), variant.c_str());
-  check_cost(pd.rf_chip_cost, scope, "production.rf_chip_cost");
-  check_yield(pd.rf_chip_yield, scope, "production.rf_chip_yield");
-  check_cost(pd.dsp_cost, scope, "production.dsp_cost");
-  check_yield(pd.dsp_yield, scope, "production.dsp_yield");
-  check_cost(pd.chip_assembly_cost, scope, "production.chip_assembly_cost");
-  check_yield(pd.chip_assembly_yield, scope, "production.chip_assembly_yield");
-  check_cost(pd.wire_bond_cost, scope, "production.wire_bond_cost");
-  check_yield(pd.wire_bond_yield, scope, "production.wire_bond_yield");
-  check_cost(pd.smd_assembly_cost, scope, "production.smd_assembly_cost");
-  check_yield(pd.smd_assembly_yield, scope, "production.smd_assembly_yield");
-  check_cost(pd.functional_test_cost, scope, "production.functional_test_cost");
-  check_coverage(pd.functional_test_coverage, scope, "production.functional_test_coverage");
-  check_cost(pd.packaging_cost, scope, "production.packaging_cost");
-  check_yield(pd.packaging_yield, scope, "production.packaging_yield");
-  check_cost(pd.final_test_cost, scope, "production.final_test_cost");
-  check_coverage(pd.final_test_coverage, scope, "production.final_test_coverage");
-  check_cost(pd.nre_total, scope, "production.nre_total");
-  check_positive(pd.volume, scope, "production.volume");
+  // Every scalar field via the completeness-guarded table — a new
+  // ProductionData member cannot dodge validation without failing the
+  // static_assert in core/buildup.hpp.
+  const checks::ScalarFieldChecker field{scope, "production."};
+#define IPASS_CHECK_FIELD(name, role) field.role(pd.name, #name);
+  IPASS_PRODUCTION_SCALAR_FIELDS(IPASS_CHECK_FIELD)
+#undef IPASS_CHECK_FIELD
+
+  // The die list (multi-die chiplet extension).
+  check(pd.dies.size() <= core::kMaxProductionDies, scope, "production.dies",
+        "must not list more dies than the supported maximum (8)");
+  for (std::size_t i = 0; i < pd.dies.size(); ++i) {
+    const core::DieSpec& d = pd.dies[i];
+    const checks::ScalarFieldChecker die_field{scope,
+                                               strf("production.dies[%zu].", i)};
+    check(!d.name.empty(), scope, die_field.label("name").c_str(),
+          "must not be empty");
+#define IPASS_CHECK_FIELD(name, role) die_field.role(d.name, #name);
+    IPASS_DIE_SCALAR_FIELDS(IPASS_CHECK_FIELD)
+#undef IPASS_CHECK_FIELD
+    for (std::size_t j = 0; j < i; ++j) {
+      if (pd.dies[j].name == d.name) {
+        checks::fail(scope, "production.dies",
+                     strf("has duplicate die name '%s'", d.name.c_str()));
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -101,8 +95,13 @@ void validate_kit(const ProcessKit& kit) {
                    "passives.decap_cap.density_pf_mm2");
     check_scale(p.decap_cap.terminal_overhead_mm2, kit.name,
                 "passives.decap_cap.terminal_overhead_mm2");
-    // Capacitor QModels are valid by construction (the rf::QModel
-    // factories enforce their own contracts).
+    // Capacitor QModels: the same gate the kit-JSON loader applies before
+    // constructing the rf::QModel (see kit_checks.hpp), so the two doors
+    // cannot drift apart again.
+    check_qmodel_peak(p.precision_cap.quality.q_peak(), kit.name,
+                      "passives.precision_cap.quality.");
+    check_qmodel_peak(p.decap_cap.quality.q_peak(), kit.name,
+                      "passives.decap_cap.quality.");
     check_positive(p.spiral.line_width_um, kit.name, "passives.spiral.line_width_um");
     check_scale(p.spiral.line_spacing_um, kit.name, "passives.spiral.line_spacing_um");
     check_positive(p.spiral.metal_sheet_ohm_sq, kit.name,

@@ -273,6 +273,21 @@ ProcessKit si_interposer_kit(const gps::ConfidentialCosts& cc) {
   v.production.packaging_yield = 0.97;
   v.production.nre_total = 60000.0;        // interposer mask set
   kit.variants = {v};
+
+  // Multi-die chiplet variant: the RF/DSP pair plus two extra chiplets
+  // (memory + power management) KGD-screened and micro-bump bonded onto
+  // the same carrier.  Numbers follow Chiplet Actuary's split: cheap
+  // small dies, per-attach bond yield that compounds with die count, a
+  // screen that catches most latent faults, and per-die reticle NRE.
+  KitVariant chiplet = v;
+  chiplet.name = "Si-IP/4-die-SiP";
+  chiplet.production.bond_cost = 0.18;   // per attach (bond + underfill share)
+  chiplet.production.bond_yield = 0.995;
+  chiplet.production.dies = {
+      {"sram-cache", 6.50, 0.92, 0.40, 0.10, 25000.0},
+      {"pmic", 2.10, 0.97, 0.15, 0.25, 12000.0},
+  };
+  kit.variants.push_back(chiplet);
   return kit;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/flow_walk_kernel.hpp"
 
 namespace ipass::moe {
 
@@ -37,7 +38,10 @@ double yield_value(const YieldSpec& spec) {
     require(j->per_joint > 0.0 && j->per_joint <= 1.0,
             "PerJointYield: per-joint yield must be in (0,1]");
     require(j->joints >= 0, "PerJointYield: negative joint count");
-    return std::pow(j->per_joint, j->joints);
+    // The shared chiplet-bonding expression (pow(y, n), bit-identical to
+    // the historical inline form): the flow-walk kernel owns it so every
+    // engine compounds per-joint/per-die yields identically.
+    return core::compound_bond_yield(j->per_joint, j->joints);
   }
   return area_yield_value(std::get<AreaYield>(spec));
 }

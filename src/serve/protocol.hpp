@@ -30,7 +30,7 @@ namespace ipass::serve {
 
 // Wire version token, reported by the health response (bumped when the
 // protocol or response format changes).
-inline constexpr const char* kServeVersion = "ipass-serve/7";
+inline constexpr const char* kServeVersion = "ipass-serve/8";
 
 // Whether `text` is a health probe: {"kind": "health"} (and nothing else of
 // consequence).  Health probes bypass admission entirely — no sequence

@@ -1,0 +1,199 @@
+// ChipletPart-style partitioning search: exhaustive enumeration counts,
+// die-list derivation math, thread invariance down to the bit, the greedy
+// descent above the enumeration cap, and named input rejection.
+#include "core/partition.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "gps/casestudy.hpp"
+
+namespace ipass::core {
+namespace {
+
+bool bits_equal(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
+
+static_assert(sizeof(BuildUpSummary) % sizeof(double) == 0,
+              "BuildUpSummary gained a non-double member; update the field walks");
+
+void expect_summary_bits(const BuildUpSummary& a, const BuildUpSummary& b,
+                         const char* what) {
+  constexpr std::size_t kFields = sizeof(BuildUpSummary) / sizeof(double);
+  const double* pa = &a.performance;
+  const double* pb = &b.performance;
+  for (std::size_t f = 0; f < kFields; ++f) {
+    EXPECT_TRUE(bits_equal(pa[f], pb[f]))
+        << what << " field " << f << ": " << pa[f] << " vs " << pb[f];
+  }
+}
+
+const AssessmentPipeline& gps_pipeline() {
+  static const AssessmentPipeline pipeline =
+      gps::make_gps_pipeline(gps::make_gps_case_study());
+  return pipeline;
+}
+
+std::vector<PartitionBlock> four_blocks() {
+  return {{"rf", 18.0, 30000.0},
+          {"corr", 32.0, 45000.0},
+          {"sram", 40.0, 20000.0},
+          {"pmic", 9.0, 12000.0}};
+}
+
+// Four blocks partition in Bell(4) = 15 ways; every candidate carries a
+// restricted-growth assignment (so equal partitions compare equal) and
+// all assignments are distinct.
+TEST(Partition, ExhaustiveEnumerationCoversBellNumber) {
+  const PartitionSweepResult sweep =
+      partition_sweep(gps_pipeline(), 1, four_blocks(), {}, 1);
+  EXPECT_TRUE(sweep.exhaustive);
+  ASSERT_EQ(sweep.candidates.size(), 15u);
+  std::set<std::vector<int>> distinct;
+  for (const PartitionCandidate& c : sweep.candidates) {
+    ASSERT_EQ(c.assignment.size(), 4u);
+    EXPECT_EQ(c.assignment[0], 0) << "not in restricted-growth form";
+    int max_seen = -1;
+    for (const int g : c.assignment) {
+      EXPECT_LE(g, max_seen + 1) << "label skipped a group";
+      max_seen = std::max(max_seen, g);
+    }
+    EXPECT_EQ(c.die_count, static_cast<std::size_t>(max_seen + 1));
+    EXPECT_GE(c.die_count, 1u);
+    distinct.insert(c.assignment);
+  }
+  EXPECT_EQ(distinct.size(), sweep.candidates.size());
+  EXPECT_LT(sweep.best, sweep.candidates.size());
+  for (const PartitionCandidate& c : sweep.candidates) {
+    EXPECT_GE(c.summary.final_cost_per_shipped,
+              sweep.best_candidate().summary.final_cost_per_shipped);
+  }
+}
+
+// Grouping {rf, corr | sram | pmic}: die fields follow the documented
+// physics — Poisson yield in area, known-good-die cost (silicon price
+// carries the scrapped share), names joined in block order, NRE = per-die
+// share plus the member blocks'.
+TEST(Partition, DieDerivationMath) {
+  PartitionCostParams params;
+  params.wafer_cost_per_mm2 = 0.08;
+  params.defect_density_per_cm2 = 0.6;
+  params.per_die_nre = 10000.0;
+  const std::vector<PartitionBlock> blocks = four_blocks();
+  const std::vector<DieSpec> dies = partition_dies(blocks, {0, 0, 1, 2}, params);
+  ASSERT_EQ(dies.size(), 3u);
+  EXPECT_EQ(dies[0].name, "rf+corr");
+  EXPECT_EQ(dies[1].name, "sram");
+  EXPECT_EQ(dies[2].name, "pmic");
+  EXPECT_TRUE(bits_equal(dies[0].yield, std::exp(-0.6 * mm2_to_cm2(18.0 + 32.0))));
+  EXPECT_TRUE(bits_equal(dies[0].cost, 0.08 * (18.0 + 32.0) / dies[0].yield));
+  EXPECT_TRUE(bits_equal(dies[0].nre, 10000.0 + 30000.0 + 45000.0));
+  EXPECT_TRUE(bits_equal(dies[2].cost, 0.08 * 9.0 / dies[2].yield));
+  EXPECT_TRUE(bits_equal(dies[2].nre, 10000.0 + 12000.0));
+  EXPECT_TRUE(bits_equal(dies[1].kgd_test_cost, params.kgd_test_cost));
+  EXPECT_TRUE(bits_equal(dies[1].kgd_escape, params.kgd_escape));
+}
+
+TEST(Partition, GroupingRendersHumanReadable) {
+  EXPECT_EQ(partition_to_string(four_blocks(), {0, 0, 1, 2}),
+            "{ rf, corr | sram | pmic }");
+  EXPECT_EQ(partition_to_string(four_blocks(), {0, 0, 0, 0}),
+            "{ rf, corr, sram, pmic }");
+}
+
+// The acceptance bar of the partition subsystem: the full sweep is
+// bit-identical under 1 and 8 threads (pipeline split-invariance).
+TEST(Partition, SweepIsThreadInvariantToTheBit) {
+  const PartitionSweepResult serial =
+      partition_sweep(gps_pipeline(), 1, four_blocks(), {}, 1);
+  const PartitionSweepResult parallel =
+      partition_sweep(gps_pipeline(), 1, four_blocks(), {}, 8);
+  ASSERT_EQ(serial.candidates.size(), parallel.candidates.size());
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_EQ(serial.exhaustive, parallel.exhaustive);
+  for (std::size_t i = 0; i < serial.candidates.size(); ++i) {
+    EXPECT_EQ(serial.candidates[i].assignment, parallel.candidates[i].assignment);
+    expect_summary_bits(serial.candidates[i].summary, parallel.candidates[i].summary,
+                        "candidate");
+  }
+}
+
+// Above max_enumerated_blocks the sweep switches to the greedy pair-merge
+// descent: still deterministic, still capped at max_dies, still returns a
+// valid best index.
+TEST(Partition, GreedyDescentAboveEnumerationCap) {
+  std::vector<PartitionBlock> blocks;
+  for (int i = 0; i < 10; ++i) {
+    blocks.push_back({"blk" + std::to_string(i), 6.0 + 2.0 * i, 5000.0});
+  }
+  const PartitionSweepResult sweep = partition_sweep(gps_pipeline(), 1, blocks, {}, 1);
+  EXPECT_FALSE(sweep.exhaustive);
+  ASSERT_FALSE(sweep.candidates.empty());
+  ASSERT_LT(sweep.best, sweep.candidates.size());
+  for (const PartitionCandidate& c : sweep.candidates) {
+    EXPECT_LE(c.die_count, kMaxProductionDies);
+    EXPECT_GE(c.summary.final_cost_per_shipped,
+              sweep.best_candidate().summary.final_cost_per_shipped);
+  }
+  const PartitionSweepResult again = partition_sweep(gps_pipeline(), 1, blocks, {}, 8);
+  ASSERT_EQ(sweep.candidates.size(), again.candidates.size());
+  for (std::size_t i = 0; i < sweep.candidates.size(); ++i) {
+    EXPECT_EQ(sweep.candidates[i].assignment, again.candidates[i].assignment);
+    expect_summary_bits(sweep.candidates[i].summary, again.candidates[i].summary,
+                        "greedy candidate");
+  }
+}
+
+TEST(Partition, RejectsBadInputsWithNamedMessages) {
+  const auto expect_throw = [&](const std::vector<PartitionBlock>& blocks,
+                                const PartitionCostParams& params,
+                                const char* needle) {
+    try {
+      partition_sweep(gps_pipeline(), 1, blocks, params, 1);
+      ADD_FAILURE() << "accepted bad input; wanted '" << needle << "'";
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what() << " lacks '" << needle << "'";
+    }
+  };
+  expect_throw({}, {}, "at least one block");
+  expect_throw({{"", 10.0, 0.0}}, {}, "name must not be empty");
+  expect_throw({{"neg", -1.0, 0.0}}, {}, "area_mm2");
+  PartitionCostParams bad_bond;
+  bad_bond.bond_yield = 0.0;
+  expect_throw(four_blocks(), bad_bond, "bond_yield");
+  PartitionCostParams too_many;
+  too_many.max_dies = kMaxProductionDies + 1;
+  expect_throw(four_blocks(), too_many, "max_dies");
+  try {
+    partition_sweep(gps_pipeline(), 999, four_blocks(), {}, 1);
+    ADD_FAILURE() << "accepted an out-of-range build-up index";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("buildup index"), std::string::npos);
+  }
+}
+
+// Merging everything into one die must actually be a different economy
+// than the finest split: bonding/KGD spend scales with die count, yield
+// with area, so the two extremes cannot produce identical numbers.
+TEST(Partition, DieCountMovesTheEconomics) {
+  const PartitionSweepResult sweep =
+      partition_sweep(gps_pipeline(), 1, four_blocks(), {}, 1);
+  const PartitionCandidate* monolith = nullptr;
+  const PartitionCandidate* finest = nullptr;
+  for (const PartitionCandidate& c : sweep.candidates) {
+    if (c.die_count == 1u) monolith = &c;
+    if (c.die_count == 4u) finest = &c;
+  }
+  ASSERT_NE(monolith, nullptr);
+  ASSERT_NE(finest, nullptr);
+  EXPECT_FALSE(bits_equal(monolith->summary.final_cost_per_shipped,
+                          finest->summary.final_cost_per_shipped));
+}
+
+}  // namespace
+}  // namespace ipass::core

@@ -51,6 +51,11 @@ const std::map<std::string, std::string>& expected_needles() {
       {"negative_cost.json", "cost_per_cm2"},
       {"yield_out_of_range.json", "fab_yield"},
       {"no_variants.json", "variant"},
+      {"truncated_die_list.json", "kit JSON"},
+      {"duplicate_die_names.json", "duplicate die name"},
+      {"bond_yield_overflow.json", "out of binary64 range"},
+      {"negative_kgd_cost.json", "kgd_test_cost"},
+      {"kgd_escape_out_of_range.json", "kgd_escape"},
   };
   return needles;
 }
@@ -103,6 +108,12 @@ TEST(KitCorpus, ParseErrorsCarryParseCodeAndShapeErrorsValidation) {
   EXPECT_EQ(code_of("overflow_number.json"), ErrorCode::Parse);
   EXPECT_EQ(code_of("missing_substrate.json"), ErrorCode::Validation);
   EXPECT_EQ(code_of("extra_field.json"), ErrorCode::Validation);
+  // Multi-die fields go through the same taxonomy: a 1e999 bond yield dies
+  // in the number scanner, a duplicate die name in kit validation.
+  EXPECT_EQ(code_of("bond_yield_overflow.json"), ErrorCode::Parse);
+  EXPECT_EQ(code_of("truncated_die_list.json"), ErrorCode::Parse);
+  EXPECT_EQ(code_of("duplicate_die_names.json"), ErrorCode::Validation);
+  EXPECT_EQ(code_of("negative_kgd_cost.json"), ErrorCode::Validation);
 }
 
 }  // namespace

@@ -45,6 +45,17 @@ void expect_production_bits(const core::ProductionData& a, const core::Productio
   EXPECT_BITS_EQ(a.final_test_coverage, b.final_test_coverage);
   EXPECT_BITS_EQ(a.nre_total, b.nre_total);
   EXPECT_BITS_EQ(a.volume, b.volume);
+  EXPECT_BITS_EQ(a.bond_cost, b.bond_cost);
+  EXPECT_BITS_EQ(a.bond_yield, b.bond_yield);
+  ASSERT_EQ(a.dies.size(), b.dies.size());
+  for (std::size_t i = 0; i < a.dies.size(); ++i) {
+    EXPECT_EQ(a.dies[i].name, b.dies[i].name);
+    EXPECT_BITS_EQ(a.dies[i].cost, b.dies[i].cost);
+    EXPECT_BITS_EQ(a.dies[i].yield, b.dies[i].yield);
+    EXPECT_BITS_EQ(a.dies[i].kgd_test_cost, b.dies[i].kgd_test_cost);
+    EXPECT_BITS_EQ(a.dies[i].kgd_escape, b.dies[i].kgd_escape);
+    EXPECT_BITS_EQ(a.dies[i].nre, b.dies[i].nre);
+  }
   EXPECT_EQ(a.semantics, b.semantics);
 }
 
@@ -206,6 +217,90 @@ TEST(KitJson, MalformedDocumentsAreRejected) {
   EXPECT_THROW(parse_kit_json("{\"name\": }"), PreconditionError); // missing value
   EXPECT_THROW(parse_kit_json("{\"name\": \"x\"}"), PreconditionError);  // fields missing
   EXPECT_THROW(parse_kit_json(builtin_json(kLtccKit) + "junk"), PreconditionError);
+}
+
+// The multi-die fields are optional with neutral defaults: documents
+// written before the chiplet extension (committed serve journals, the
+// corpus) must still load, as the exact single-die production data.
+TEST(KitJson, OldFormatProductionWithoutDieFieldsStillLoads) {
+  std::string json = builtin_json(kLtccKit);
+  // Strip the writer's always-emitted multi-die lines back to old format.
+  for (const char* line :
+       {"        \"bond_cost\": 0,\n", "        \"bond_yield\": 1,\n",
+        "        \"dies\": [],\n"}) {
+    for (auto pos = json.find(line); pos != std::string::npos; pos = json.find(line)) {
+      json.erase(pos, std::strlen(line));
+    }
+  }
+  ASSERT_EQ(json.find("\"bond_cost\""), std::string::npos);
+  const ProcessKit reparsed = parse_kit_json(json);
+  expect_kit_bits(builtin_kit_registry().at(kLtccKit), reparsed);
+}
+
+TEST(KitJson, MultiDieVariantRoundTripsBitIdentical) {
+  // The builtin si-interposer kit carries a chiplet variant; push awkward
+  // doubles through its die list too.
+  ProcessKit kit = builtin_kit_registry().at(kSiInterposerKit);
+  ASSERT_GE(kit.variants.size(), 2U);
+  ASSERT_FALSE(kit.variants[1].production.dies.empty());
+  kit.variants[1].production.dies[0].yield = std::nextafter(1.0, 0.0);
+  kit.variants[1].production.dies[0].cost = 0.1;
+  kit.variants[1].production.bond_yield = 0.99999999999999989;
+  const std::string json = kit_json(kit);
+  const ProcessKit reparsed = parse_kit_json(json);
+  expect_kit_bits(kit, reparsed);
+  EXPECT_EQ(kit_json(reparsed), json);
+}
+
+TEST(KitJson, LoaderRejectsBadDieFields) {
+  const std::string json = builtin_json(kSiInterposerKit);
+
+  // Out-of-range die yield: named kit + die index + field.
+  std::string bad = json;
+  const std::string yield_needle = "\"yield\": 0.92000000000000004";
+  auto pos = bad.find(yield_needle);
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, yield_needle.size(), "\"yield\": 1.5");
+  expect_rejects([&] { parse_kit_json(bad); },
+                 {kSiInterposerKit, "production.dies[0].yield"});
+
+  // Negative KGD screen cost.
+  bad = json;
+  const std::string kgd_needle = "\"kgd_test_cost\": 0.40000000000000002";
+  pos = bad.find(kgd_needle);
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, kgd_needle.size(), "\"kgd_test_cost\": -0.4");
+  expect_rejects([&] { parse_kit_json(bad); },
+                 {kSiInterposerKit, "production.dies[0].kgd_test_cost"});
+
+  // Escape probability above 1.
+  bad = json;
+  const std::string escape_needle = "\"kgd_escape\": 0.25";
+  pos = bad.find(escape_needle);
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, escape_needle.size(), "\"kgd_escape\": 1.25");
+  expect_rejects([&] { parse_kit_json(bad); },
+                 {kSiInterposerKit, "production.dies[1].kgd_escape"});
+
+  // Bond yield outside (0, 1].
+  bad = json;
+  const std::string bond_needle = "\"bond_yield\": 0.995";
+  pos = bad.find(bond_needle);
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, bond_needle.size(), "\"bond_yield\": 0");
+  expect_rejects([&] { parse_kit_json(bad); },
+                 {kSiInterposerKit, "production.bond_yield"});
+}
+
+TEST(KitJson, LoaderRejectsDuplicateDieNames) {
+  std::string json = builtin_json(kSiInterposerKit);
+  const std::string needle = "\"name\": \"pmic\"";
+  const auto pos = json.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, needle.size(), "\"name\": \"sram-cache\"");
+  expect_rejects([&] { parse_kit_json(json); },
+                 {kSiInterposerKit, "production.dies", "duplicate die name",
+                  "sram-cache"});
 }
 
 TEST(KitJson, NegativeQPeakIsATypoNotLossless) {

@@ -69,7 +69,8 @@ TEST(ServeProtocol, InlineKitParsesWithKitJsonValidation) {
   ASSERT_NE(at, std::string::npos);
   bad.replace(at, from.size(), "\"fab_yield\": 1.5");
   EXPECT_EQ(rejection_code(R"({"id": "c", "kit": )" + bad + "}", "fab_yield"),
-            ErrorCode::Unspecified);  // validate_kit's own (unspecified) error
+            ErrorCode::Validation);  // validate_kit rejects through the shared
+                                    // kit_checks vocabulary
 }
 
 TEST(ServeProtocol, MalformedJsonIsParseErrorEverythingElseValidation) {

@@ -31,6 +31,7 @@ HOT_BENCHES = [
     "BM_Sensitivity/real_time",
     "BM_Pareto/16/real_time",
     "BM_KitFleetSweep/real_time",
+    "BM_PartitionSweep/real_time",
     "BM_ServeRequestCached/real_time",
     "BM_ServeRequestJournaled/real_time",
 ]

@@ -11,8 +11,11 @@
 #include <fstream>
 
 #include "core/export.hpp"
+#include "gps/bom.hpp"
 #include "gps/casestudy.hpp"
 #include "gps/golden_workloads.hpp"
+#include "kits/fleet.hpp"
+#include "kits/registry.hpp"
 
 using namespace ipass;
 
@@ -72,5 +75,37 @@ int main(int argc, char** argv) {
                    gps::golden_tolerance_result(rf::ToleranceSpec::integrated_trimmed())) +
                "\n}\n";
   write_file(dir + "/tolerance.json", tolerance);
+
+  // Single-die anchor of the multi-die generalization: the si-interposer
+  // kit's original variant (no die list, no KGD/bonding terms) swept against
+  // the PCB reference through all three engines.  Pinned so the chiplet
+  // extension cannot move a single bit of the die_count == 1 walk.
+  {
+    const kits::KitRegistry builtin = kits::builtin_kit_registry();
+    kits::KitRegistry restricted;
+    restricted.add(builtin.at(kits::kPcbFr4Kit));
+    kits::ProcessKit si = builtin.at(kits::kSiInterposerKit);
+    si.variants.resize(1);  // the original single-die µ-bump variant
+    restricted.add(si);
+
+    kits::KitSweepOptions options;
+    options.reference = kits::kPcbFr4Kit;
+    options.corners = core::ScenarioGrid::corner_sweep(3, 0.5, 2.0, 0.9, 1.1);
+    options.volumes = core::ScenarioGrid::volume_sweep(3, 1e3, 1e6);
+    options.threads = 1;
+    const kits::KitFleetSummary fleet = kits::sweep_kits(
+        restricted, {kits::kPcbFr4Kit, kits::kSiInterposerKit},
+        gps::gps_front_end_bom(), options);
+    const kits::KitAssessment& entry = fleet.kits[1];
+
+    std::string out = "{\n\"report\": ";
+    out += core::decision_report_json(entry.report);
+    out += ",\n\"grid\": ";
+    out += core::scenario_grid_summary_json(entry.grid);
+    out += ",\n\"batch\": ";
+    out += core::batch_result_json(entry.pareto.results);
+    out += "}\n";
+    write_file(dir + "/si_interposer_fleet.json", out);
+  }
   return 0;
 }
