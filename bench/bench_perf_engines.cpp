@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/calibrate.hpp"
@@ -489,6 +490,27 @@ void BM_ServeRequestCached(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ServeRequestCached)->UseRealTime();
+
+// The cached request with the full observability stack on: per-request
+// stage tracing into the ring, global counters and latency histograms,
+// engine profiling hooks enabled, and a slow-request threshold armed (high
+// enough never to fire, so the stderr path's enabled-check is measured, not
+// the log itself).  The metrics/cached ratio is the observability tax the
+// regression gate keeps under 5%.
+void BM_ServeRequestCachedMetrics(benchmark::State& state) {
+  serve::ServiceOptions options;
+  options.slow_request_ms = 3600000;  // armed but never firing
+  ipass::metrics::set_profiling_enabled(true);
+  serve::AssessmentService service(options);
+  const std::string request = R"({"id": "bench", "kit_name": "mcm-d-si-ip"})";
+  benchmark::DoNotOptimize(service.handle(request));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.handle(request));
+  }
+  ipass::metrics::set_profiling_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServeRequestCachedMetrics)->UseRealTime();
 
 // The cached request with the durability tax: every admission appends an
 // admit record and every response a commit record (unbuffered write to the

@@ -4,11 +4,39 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/strfmt.hpp"
 #include "common/table.hpp"
 
 namespace ipass::core {
+
+namespace {
+
+// Opt-in per-phase wall-time profiling (metrics::set_profiling_enabled).
+// Disabled, each hook site costs one relaxed atomic load and never reads the
+// clock; enabled, phase durations land in the global histograms below.  The
+// refs resolve lazily on the first *enabled* hit so a process that never
+// profiles never registers them.
+struct ProfileMetrics {
+  metrics::Histogram& mna_sweeps;     // assess_performance (MNA sweeps)
+  metrics::Histogram& area;           // assess_area
+  metrics::Histogram& cost_flatten;   // compile_cost_model
+  metrics::Histogram& batch_walk;     // evaluate() SoA batch walk
+
+  static ProfileMetrics& instance() {
+    auto& r = metrics::global_metrics();
+    static ProfileMetrics m{
+        r.histogram("core_profile_mna_sweeps_ns"),
+        r.histogram("core_profile_area_ns"),
+        r.histogram("core_profile_cost_flatten_ns"),
+        r.histogram("core_profile_batch_walk_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 DecisionReport assess(const FunctionalBom& bom, const std::vector<BuildUp>& buildups,
                       const TechKits& kits, const FomWeights& weights) {
@@ -28,12 +56,23 @@ std::shared_ptr<const CompiledStudy> compile_study(const FunctionalBom& bom,
   study->performance.reserve(study->buildups.size());
   study->areas.reserve(study->buildups.size());
   study->compiled.reserve(study->buildups.size());
+  const bool profiling = metrics::profiling_enabled();
+  ProfileMetrics* prof = profiling ? &ProfileMetrics::instance() : nullptr;
   for (const BuildUp& b : study->buildups) {
-    study->performance.push_back(scope == PipelineScope::Full
-                                     ? assess_performance(bom, b, kits)
-                                     : PerformanceResult{});
-    study->areas.push_back(assess_area(bom, b, kits));
-    study->compiled.push_back(compile_cost_model(study->areas.back(), b));
+    {
+      metrics::ScopedTimer t(prof != nullptr ? &prof->mna_sweeps : nullptr);
+      study->performance.push_back(scope == PipelineScope::Full
+                                       ? assess_performance(bom, b, kits)
+                                       : PerformanceResult{});
+    }
+    {
+      metrics::ScopedTimer t(prof != nullptr ? &prof->area : nullptr);
+      study->areas.push_back(assess_area(bom, b, kits));
+    }
+    {
+      metrics::ScopedTimer t(prof != nullptr ? &prof->cost_flatten : nullptr);
+      study->compiled.push_back(compile_cost_model(study->areas.back(), b));
+    }
   }
   study->ref_area = study->areas.front().module_area_mm2();
   study->area_rel.reserve(study->buildups.size());
@@ -185,6 +224,9 @@ BatchAssessmentResult AssessmentPipeline::evaluate(
   // sweep is split into evaluate() calls leave the results bit-identical.
   constexpr std::size_t kChunk = kCostBatchLanes;
   const std::size_t n_chunks = (points.size() + kChunk - 1) / kChunk;
+  metrics::ScopedTimer walk_timer(
+      metrics::profiling_enabled() ? &ProfileMetrics::instance().batch_walk
+                                   : nullptr);
   ThreadPool::shared(threads).parallel_for(n_chunks, [&](std::size_t c) {
     const std::size_t begin = c * kChunk;
     const std::size_t end = std::min(points.size(), begin + kChunk);

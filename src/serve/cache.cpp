@@ -1,21 +1,51 @@
 #include "serve/cache.hpp"
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 
 namespace ipass::serve {
+
+namespace {
+
+// Process-wide mirrors of the per-cache Stats: every CompiledStudyCache in
+// the process feeds the same counters, so the metrics dump aggregates cache
+// behavior across service instances (counters are monotone; per-instance
+// numbers stay available through stats()).
+struct CacheMetrics {
+  metrics::Counter& hits;
+  metrics::Counter& misses;
+  metrics::Counter& waits;
+  metrics::Counter& evictions;
+  metrics::Counter& failures;
+
+  static CacheMetrics& instance() {
+    static CacheMetrics m{
+        metrics::global_metrics().counter("serve_cache_hits_total"),
+        metrics::global_metrics().counter("serve_cache_misses_total"),
+        metrics::global_metrics().counter("serve_cache_waits_total"),
+        metrics::global_metrics().counter("serve_cache_evictions_total"),
+        metrics::global_metrics().counter("serve_cache_failures_total"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 CompiledStudyCache::CompiledStudyCache(std::size_t capacity) : capacity_(capacity) {
   require(capacity >= 1, "CompiledStudyCache: capacity must be at least 1");
 }
 
 std::shared_ptr<const core::CompiledStudy> CompiledStudyCache::get_or_compile(
-    const std::string& key, const Compile& compile) {
+    const std::string& key, const Compile& compile, CacheOutcome* outcome) {
   std::shared_ptr<Inflight> flight;
   {
     std::unique_lock<std::mutex> lk(m_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      CacheMetrics::instance().hits.add();
+      if (outcome != nullptr) *outcome = CacheOutcome::Hit;
       it->second.last_used = ++tick_;
       return it->second.study;
     }
@@ -24,6 +54,8 @@ std::shared_ptr<const core::CompiledStudy> CompiledStudyCache::get_or_compile(
       // Single-flight: someone else is compiling this key — wait for their
       // result instead of compiling it again.
       ++stats_.waits;
+      CacheMetrics::instance().waits.add();
+      if (outcome != nullptr) *outcome = CacheOutcome::Wait;
       flight = fit->second;
       lk.unlock();
       std::unique_lock<std::mutex> flk(flight->m);
@@ -32,6 +64,8 @@ std::shared_ptr<const core::CompiledStudy> CompiledStudyCache::get_or_compile(
       return flight->study;
     }
     ++stats_.misses;
+    CacheMetrics::instance().misses.add();
+    if (outcome != nullptr) *outcome = CacheOutcome::Miss;
     flight = std::make_shared<Inflight>();
     inflight_[key] = flight;
   }
@@ -54,6 +88,7 @@ std::shared_ptr<const core::CompiledStudy> CompiledStudyCache::get_or_compile(
       trim_locked();
     } else {
       ++stats_.failures;
+      CacheMetrics::instance().failures.add();
     }
   }
   {
@@ -71,7 +106,10 @@ std::shared_ptr<const core::CompiledStudy> CompiledStudyCache::get_or_compile(
 bool CompiledStudyCache::evict(const std::string& key) {
   std::lock_guard<std::mutex> lk(m_);
   const bool existed = entries_.erase(key) > 0;
-  if (existed) ++stats_.evictions;
+  if (existed) {
+    ++stats_.evictions;
+    CacheMetrics::instance().evictions.add();
+  }
   return existed;
 }
 
@@ -93,6 +131,7 @@ void CompiledStudyCache::trim_locked() {
     }
     entries_.erase(lru);
     ++stats_.evictions;
+    CacheMetrics::instance().evictions.add();
   }
 }
 

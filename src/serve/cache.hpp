@@ -20,6 +20,7 @@
 #include <unordered_map>
 
 #include "core/methodology.hpp"
+#include "serve/trace.hpp"
 
 namespace ipass::serve {
 
@@ -36,9 +37,12 @@ class CompiledStudyCache {
 
   // Return the cached study for `key`, or run `compile` (outside the cache
   // lock) and cache its result.  Rethrows the compile exception to the
-  // caller and to every single-flight waiter without caching it.
-  std::shared_ptr<const core::CompiledStudy> get_or_compile(const std::string& key,
-                                                            const Compile& compile);
+  // caller and to every single-flight waiter without caching it.  When
+  // `outcome` is non-null it receives how this call was served (Hit, Miss,
+  // or single-flight Wait) — the per-request trace's classification.
+  std::shared_ptr<const core::CompiledStudy> get_or_compile(
+      const std::string& key, const Compile& compile,
+      CacheOutcome* outcome = nullptr);
 
   // Drop the ready entry for `key` (in-flight compilations are unaffected
   // and will insert when they finish).  Returns whether an entry existed.

@@ -17,23 +17,34 @@ constexpr const char* kContext = "serve request";
 }
 }  // namespace
 
-bool is_health_request(const std::string& text) {
-  // Fast reject: a health probe must literally contain the "kind" key.
-  // (Inline-kit requests can contain the substring inside the kit document;
-  // they survive the full parse below as non-health.)
-  if (text.find("\"kind\"") == std::string::npos) return false;
+ProbeKind probe_kind(const std::string& text) {
+  // Fast reject: a probe must literally contain the "kind" key.  (Inline-kit
+  // requests can contain the substring inside the kit document; they survive
+  // the full parse below as non-probes.)
+  if (text.find("\"kind\"") == std::string::npos) return ProbeKind::None;
   try {
-    const JsonValue root = parse_json(text, "health probe");
-    if (root.type != JsonValue::Type::Object) return false;
+    const JsonValue root = parse_json(text, "probe");
+    if (root.type != JsonValue::Type::Object) return ProbeKind::None;
     for (const auto& [key, value] : root.object) {
       if (key == "kind") {
-        return value.type == JsonValue::Type::String && value.string == "health";
+        if (value.type != JsonValue::Type::String) return ProbeKind::None;
+        if (value.string == "health") return ProbeKind::Health;
+        if (value.string == "stats") return ProbeKind::Stats;
+        return ProbeKind::None;
       }
     }
   } catch (const std::exception&) {
     // Not even JSON — let the normal request path produce the parse error.
   }
-  return false;
+  return ProbeKind::None;
+}
+
+bool is_health_request(const std::string& text) {
+  return probe_kind(text) == ProbeKind::Health;
+}
+
+bool is_stats_request(const std::string& text) {
+  return probe_kind(text) == ProbeKind::Stats;
 }
 
 AssessmentRequest parse_request(const std::string& text) {
@@ -42,8 +53,12 @@ AssessmentRequest parse_request(const std::string& text) {
   AssessmentRequest req;
   const std::string kind = r.str_or("kind", "assess");
   if (kind != "assess") {
-    reject(strf("unknown request kind '%s' (health probes are answered at "
-                "admission; everything else must be 'assess')",
+    // 'health' and 'stats' land here only when a probe was sequenced into
+    // the admitted request stream (e.g. a stray probe line inside a journal)
+    // — probes must never consume a sequence number, so the gate refuses
+    // them instead of answering.
+    reject(strf("unknown request kind '%s' (health/stats probes are answered "
+                "at admission; everything else must be 'assess')",
                 kind.c_str()));
   }
   req.id = r.str("id");

@@ -28,16 +28,26 @@
 
 namespace ipass::serve {
 
-// Wire version token, reported by the health response (bumped when the
-// protocol or response format changes).
-inline constexpr const char* kServeVersion = "ipass-serve/8";
+// Wire version token, reported by the health and stats responses (bumped
+// when the protocol or response format changes).
+inline constexpr const char* kWireVersion = "ipass-serve/9";
+// Historic name, kept for existing call sites.
+inline constexpr const char* kServeVersion = kWireVersion;
 
-// Whether `text` is a health probe: {"kind": "health"} (and nothing else of
-// consequence).  Health probes bypass admission entirely — no sequence
-// number, no journal record, no queue slot — so a readiness check never
-// perturbs the deterministic request stream.  Cheap on the hot path: the
-// full parse only runs when the text contains a "kind" key at all.
+// The probe kinds the service answers at admission — no sequence number,
+// no journal record, no queue slot — so a readiness check or a metrics
+// scrape never perturbs the deterministic request stream.
+enum class ProbeKind { None, Health, Stats };
+
+// Classify `text` as a probe: {"kind": "health"} or {"kind": "stats"} (and
+// nothing else of consequence).  Cheap on the hot path: the full parse only
+// runs when the text contains a "kind" key at all.
+ProbeKind probe_kind(const std::string& text);
+
+// Whether `text` is a health probe (probe_kind == Health).
 bool is_health_request(const std::string& text);
+// Whether `text` is a stats probe (probe_kind == Stats).
+bool is_stats_request(const std::string& text);
 
 // A parsed, field-validated request.  Kit identity is either a registry
 // name or an inline kit document (exactly one of the two).

@@ -1,9 +1,11 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/jsonfmt.hpp"
+#include "common/metrics.hpp"
 #include "common/strfmt.hpp"
 #include "core/pareto.hpp"
 #include "core/sensitivity.hpp"
@@ -66,13 +68,70 @@ void append_buildup_json(std::string& out, const std::string& name,
   out += "}";
 }
 
+std::uint64_t ns_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
+
+// Service-level global metrics, resolved once (allocation-free afterwards).
+// Mirrors of per-instance ServiceStats plus the stage-latency histograms the
+// per-request traces feed.
+struct ServiceMetrics {
+  metrics::Counter& admitted;
+  metrics::Counter& completed;
+  metrics::Counter& ok;
+  metrics::Counter& errors;
+  metrics::Counter& overloaded;
+  metrics::Counter& degraded;
+  metrics::Counter& recovered;
+  metrics::Counter& health_probes;
+  metrics::Counter& stats_probes;
+  metrics::Counter& slow_requests;
+  metrics::Gauge& queue_depth;
+  metrics::Histogram& parse_ns;
+  metrics::Histogram& queue_wait_ns;
+  metrics::Histogram& cache_ns;
+  metrics::Histogram& evaluate_ns;
+  metrics::Histogram& serialize_ns;
+  metrics::Histogram& journal_append_ns;
+  metrics::Histogram& total_ns;
+
+  static ServiceMetrics& instance() {
+    auto& r = metrics::global_metrics();
+    static ServiceMetrics m{
+        r.counter("serve_requests_admitted_total"),
+        r.counter("serve_requests_completed_total"),
+        r.counter("serve_requests_ok_total"),
+        r.counter("serve_requests_error_total"),
+        r.counter("serve_requests_overloaded_total"),
+        r.counter("serve_requests_degraded_total"),
+        r.counter("serve_requests_recovered_total"),
+        r.counter("serve_probes_health_total"),
+        r.counter("serve_probes_stats_total"),
+        r.counter("serve_slow_requests_total"),
+        r.gauge("serve_queue_depth"),
+        r.histogram("serve_request_parse_ns"),
+        r.histogram("serve_request_queue_wait_ns"),
+        r.histogram("serve_request_cache_ns"),
+        r.histogram("serve_request_evaluate_ns"),
+        r.histogram("serve_request_serialize_ns"),
+        r.histogram("serve_request_journal_append_ns"),
+        r.histogram("serve_request_total_ns"),
+    };
+    return m;
+  }
+};
+
 }  // namespace
 
 AssessmentService::AssessmentService(const ServiceOptions& options)
     : options_(options),
       registry_(kits::builtin_kit_registry()),
       bom_(gps::gps_front_end_bom()),
-      cache_(options.cache_capacity) {
+      cache_(options.cache_capacity),
+      traces_(options.trace_capacity > 0 ? options.trace_capacity : 1) {
   require(options_.workers >= 1 && options_.workers <= 256,
           "AssessmentService: workers must be in [1, 256]");
   require(options_.queue_limit >= 1, "AssessmentService: queue_limit must be >= 1");
@@ -101,11 +160,14 @@ void AssessmentService::recover_journal() {
     task.seq = entry.seq;
     task.text = entry.request;
     task.enqueued = std::chrono::steady_clock::now();
-    Outcome outcome = process(task);
+    // Recovery is observability-quiet: no trace (the original timings are
+    // gone with the crashed process) — only the recovered counters move.
+    Outcome outcome = process(task, nullptr);
     journal_->append_commit(task.seq, outcome.body);
     ++stats_.admitted;
     ++stats_.completed;
     ++stats_.recovered;
+    ServiceMetrics::instance().recovered.add();
     if (outcome.ok) {
       ++stats_.ok;
     } else {
@@ -128,15 +190,23 @@ AssessmentService::~AssessmentService() {
 std::future<std::string> AssessmentService::submit(std::string request_text) {
   std::promise<std::string> promise;
   std::future<std::string> fut = promise.get_future();
-  // Health probes bypass admission entirely: no sequence number, no queue
-  // slot, no journal record — a readiness check must not perturb the
-  // deterministic request stream.
-  if (is_health_request(request_text)) {
+  // Probes bypass admission entirely: no sequence number, no queue slot, no
+  // journal record — a readiness check or a metrics scrape must not perturb
+  // the deterministic request stream.
+  const ProbeKind probe = probe_kind(request_text);
+  if (probe != ProbeKind::None) {
     std::string response;
     {
       std::lock_guard<std::mutex> lk(m_);
-      ++stats_.health;
-      response = health_response();
+      if (probe == ProbeKind::Health) {
+        ++stats_.health;
+        ServiceMetrics::instance().health_probes.add();
+        response = health_response();
+      } else {
+        ++stats_.stats_probes;
+        ServiceMetrics::instance().stats_probes.add();
+        response = stats_response();
+      }
     }
     promise.set_value(std::move(response));
     return fut;
@@ -153,10 +223,12 @@ std::future<std::string> AssessmentService::submit(std::string request_text) {
       refused = true;
       refusal = "service is draining; retry against another instance or later";
       ++stats_.overloaded;
+      ServiceMetrics::instance().overloaded.add();
     } else if (queue_.size() + running_ >= options_.queue_limit) {
       refused = true;
       refusal = "service overloaded; retry later";
       ++stats_.overloaded;
+      ServiceMetrics::instance().overloaded.add();
     } else {
       Task task;
       task.seq = next_seq_++;
@@ -177,12 +249,19 @@ std::future<std::string> AssessmentService::submit(std::string request_text) {
           refusal = strf("journal append failed: %s", e.what());
           next_seq_ = task.seq;  // the seq was never admitted; reuse it
           ++stats_.overloaded;
+          ServiceMetrics::instance().overloaded.add();
         }
       }
       if (!refused) {
         task.promise = std::move(promise);
         queue_.push_back(std::move(task));
         ++stats_.admitted;
+        ServiceMetrics::instance().admitted.add();
+        const std::uint64_t depth =
+            static_cast<std::uint64_t>(queue_.size() + running_);
+        if (depth > stats_.queue_high_water) stats_.queue_high_water = depth;
+        ServiceMetrics::instance().queue_depth.set(
+            static_cast<std::int64_t>(depth));
       }
     }
   }
@@ -218,19 +297,28 @@ void AssessmentService::worker_loop() {
       queue_.pop_front();
       ++running_;
     }
-    Outcome outcome = process(task);
+    RequestTrace trace;
+    trace.seq = task.seq;
+    trace.queue_wait_ns = ns_since(task.enqueued);
+    Outcome outcome = process(task, &trace);
     // Commit BEFORE the future resolves: once a client can observe the
     // response, a crash must not forget it (write-ahead on both edges).
     // Commits from concurrent workers may interleave out of seq order in
     // the file; recovery orders by seq.
     if (journal_ != nullptr) {
+      const auto journal_start = std::chrono::steady_clock::now();
       try {
         journal_->append_commit(task.seq, outcome.body);
       } catch (const std::exception&) {
         // A failed commit append (disk full) leaves the request admitted-
         // but-uncommitted: the next boot re-executes it, which is safe.
       }
+      trace.journal_append_ns = ns_since(journal_start);
     }
+    trace.ok = outcome.ok;
+    trace.degraded = outcome.degraded;
+    trace.error = outcome.error;
+    trace.total_ns = ns_since(task.enqueued);
     bool drained_now = false;
     {
       // Release the slot and settle the counters BEFORE delivering the
@@ -243,12 +331,56 @@ void AssessmentService::worker_loop() {
         ++stats_.ok;
       } else {
         ++stats_.errors;
+        switch (outcome.error) {
+          case ErrorCode::Deadline:
+            ++stats_.deadline_exceeded;
+            break;
+          case ErrorCode::Parse:
+            ++stats_.parse_errors;
+            break;
+          case ErrorCode::Validation:
+            ++stats_.validation_errors;
+            break;
+          default:
+            ++stats_.internal_errors;
+            break;
+        }
       }
       if (outcome.degraded) ++stats_.degraded;
+      ServiceMetrics::instance().queue_depth.set(
+          static_cast<std::int64_t>(queue_.size() + running_));
       drained_now = queue_.empty() && running_ == 0;
     }
+    finish_trace(trace);
     if (drained_now) drained_cv_.notify_all();
     task.promise.set_value(std::move(outcome.body));
+  }
+}
+
+void AssessmentService::finish_trace(RequestTrace& trace) const {
+  ServiceMetrics& m = ServiceMetrics::instance();
+  m.completed.add();
+  if (trace.ok) {
+    m.ok.add();
+  } else {
+    m.errors.add();
+  }
+  if (trace.degraded) m.degraded.add();
+  m.parse_ns.record(trace.parse_ns);
+  m.queue_wait_ns.record(trace.queue_wait_ns);
+  m.cache_ns.record(trace.cache_ns);
+  m.evaluate_ns.record(trace.evaluate_ns);
+  m.serialize_ns.record(trace.serialize_ns);
+  m.journal_append_ns.record(trace.journal_append_ns);
+  m.total_ns.record(trace.total_ns);
+  traces_.push(trace);
+  if (options_.slow_request_ms >= 0 &&
+      trace.total_ns >=
+          static_cast<std::uint64_t>(options_.slow_request_ms) * 1000000ull) {
+    m.slow_requests.add();
+    // One line, stderr only: the threshold and the timings can never reach
+    // a response byte.
+    std::fprintf(stderr, "%s\n", trace_to_string(trace).c_str());
   }
 }
 
@@ -288,32 +420,88 @@ std::string AssessmentService::health_response() const {
       draining_ ? "true" : "false");
 }
 
-AssessmentService::Outcome AssessmentService::process(const Task& task) const {
+std::string AssessmentService::stats_response() const {
+  // Caller holds m_.  The full operational picture in one line: admission
+  // and outcome counters (with the per-taxonomy error breakdown), queue
+  // pressure, cache behavior, journal position and the trace ring — every
+  // field a cheap counter read, safe to scrape at any frequency.
+  const CompiledStudyCache::Stats cache = cache_.stats();
+  const auto u64 = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+  std::string out = strf(
+      "{\"status\": \"ok\", \"kind\": \"stats\", \"version\": \"%s\", "
+      "\"queue_depth\": %zu, \"queue_high_water\": %llu, \"running\": %zu, "
+      "\"workers\": %u, \"admitted\": %llu, \"completed\": %llu, "
+      "\"ok\": %llu, \"errors\": %llu, \"overloaded\": %llu, "
+      "\"degraded\": %llu, \"deadline_exceeded\": %llu, "
+      "\"parse_errors\": %llu, \"validation_errors\": %llu, "
+      "\"internal_errors\": %llu, \"recovered\": %llu, "
+      "\"health_probes\": %llu, \"stats_probes\": %llu",
+      kWireVersion, queue_.size(), u64(stats_.queue_high_water), running_,
+      options_.workers, u64(stats_.admitted), u64(stats_.completed),
+      u64(stats_.ok), u64(stats_.errors), u64(stats_.overloaded),
+      u64(stats_.degraded), u64(stats_.deadline_exceeded),
+      u64(stats_.parse_errors), u64(stats_.validation_errors),
+      u64(stats_.internal_errors), u64(stats_.recovered), u64(stats_.health),
+      u64(stats_.stats_probes));
+  out += strf(
+      ", \"cache\": {\"size\": %zu, \"hits\": %llu, \"misses\": %llu, "
+      "\"waits\": %llu, \"evictions\": %llu, \"failures\": %llu}",
+      cache_.size(), u64(cache.hits), u64(cache.misses), u64(cache.waits),
+      u64(cache.evictions), u64(cache.failures));
+  out += strf(
+      ", \"journal\": {\"enabled\": %s, \"admits\": %llu, \"commits\": %llu, "
+      "\"lag\": %llu}",
+      journal_ != nullptr ? "true" : "false",
+      u64(journal_ != nullptr ? journal_->admit_count() : 0),
+      u64(journal_ != nullptr ? journal_->commit_count() : 0),
+      u64(journal_ != nullptr ? journal_->lag() : 0));
+  out += strf(
+      ", \"traces\": {\"capacity\": %zu, \"recorded\": %llu}, "
+      "\"draining\": %s}",
+      traces_.capacity(), u64(traces_.pushed()),
+      draining_ ? "true" : "false");
+  return out;
+}
+
+AssessmentService::Outcome AssessmentService::process(const Task& task,
+                                                      RequestTrace* trace) const {
   std::string id;
+  const auto fail = [&](ErrorCode code, const std::string& message) {
+    Outcome out;
+    out.body = error_response(id, code, message);
+    out.ok = false;
+    out.degraded = false;
+    out.error = code;
+    return out;
+  };
   try {
+    const auto parse_start = std::chrono::steady_clock::now();
     if (options_.faults.fires(task.seq, FaultKind::Parse)) {
       throw PreconditionError("serve request: injected parse fault",
                               ErrorCode::Parse);
     }
     const AssessmentRequest request = parse_request(task.text);
+    if (trace != nullptr) trace->parse_ns = ns_since(parse_start);
     id = request.id;
-    return run_assessment(task, request);
+    return run_assessment(task, request, trace);
   } catch (const PreconditionError& e) {
     // Unspecified precondition failures from the engines are contract
     // violations of the request's inputs — validation on the wire.
     const ErrorCode code =
         e.code() == ErrorCode::Unspecified ? ErrorCode::Validation : e.code();
-    return Outcome{error_response(id, code, e.what()), false, false};
+    return fail(code, e.what());
   } catch (const std::exception& e) {
-    return Outcome{error_response(id, ErrorCode::Internal, e.what()), false, false};
+    return fail(ErrorCode::Internal, e.what());
   } catch (...) {
-    return Outcome{error_response(id, ErrorCode::Internal, "unknown error"), false,
-                   false};
+    return fail(ErrorCode::Internal, "unknown error");
   }
 }
 
 AssessmentService::Outcome AssessmentService::run_assessment(
-    const Task& task, const AssessmentRequest& request) const {
+    const Task& task, const AssessmentRequest& request,
+    RequestTrace* trace) const {
   const FaultPlan& faults = options_.faults;
   const DeadlineGuard deadline{task.enqueued, request.deadline_ms,
                                faults.fires(task.seq, FaultKind::Deadline)};
@@ -344,8 +532,11 @@ AssessmentService::Outcome AssessmentService::run_assessment(
 
   // Same study shape as kits::sweep_kits: the reference kit's build-ups
   // anchor the 100% rows, the requested kit's variants follow.
-  const std::shared_ptr<const core::CompiledStudy> study =
-      cache_.get_or_compile(key, [&] {
+  const auto cache_start = std::chrono::steady_clock::now();
+  CacheOutcome cache_outcome = CacheOutcome::None;
+  const std::shared_ptr<const core::CompiledStudy> study = cache_.get_or_compile(
+      key,
+      [&] {
         std::vector<core::BuildUp> buildups = kits::make_buildups(reference);
         if (!is_reference) {
           for (core::BuildUp& b :
@@ -355,7 +546,12 @@ AssessmentService::Outcome AssessmentService::run_assessment(
         }
         return core::compile_study(bom_, std::move(buildups),
                                    kits::apply_passives(kit), request.scope);
-      });
+      },
+      &cache_outcome);
+  if (trace != nullptr) {
+    trace->cache_ns = ns_since(cache_start);
+    trace->cache = cache_outcome;
+  }
   deadline.check("after compile");
 
   if (faults.fires(task.seq, FaultKind::Stall)) {
@@ -366,6 +562,7 @@ AssessmentService::Outcome AssessmentService::run_assessment(
     throw std::runtime_error("injected worker fault");
   }
 
+  const auto evaluate_start = std::chrono::steady_clock::now();
   const std::size_t n = study->buildups.size();
   const core::AssessmentPipeline pipeline(study);
   core::AssessmentInputs point;
@@ -420,7 +617,9 @@ AssessmentService::Outcome AssessmentService::run_assessment(
       deadline.check("after sensitivity");
     }
   }
+  if (trace != nullptr) trace->evaluate_ns = ns_since(evaluate_start);
 
+  const auto serialize_start = std::chrono::steady_clock::now();
   std::string out;
   out.reserve(1024);
   out += "{\"id\": \"";
@@ -460,7 +659,12 @@ AssessmentService::Outcome AssessmentService::run_assessment(
     out += "]}";
   }
   out += "}";
-  return Outcome{std::move(out), true, degraded};
+  if (trace != nullptr) trace->serialize_ns = ns_since(serialize_start);
+  Outcome result;
+  result.body = std::move(out);
+  result.ok = true;
+  result.degraded = degraded;
+  return result;
 }
 
 }  // namespace ipass::serve

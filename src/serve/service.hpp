@@ -29,6 +29,7 @@
 #include "serve/fault.hpp"
 #include "serve/journal.hpp"
 #include "serve/protocol.hpp"
+#include "serve/trace.hpp"
 
 namespace ipass::serve {
 
@@ -51,6 +52,13 @@ struct ServiceOptions {
   // byte-identical to an uninterrupted run (see serve/journal.hpp).
   std::string journal_path;
   bool journal_sync = false;  // fsync per append (power-loss durability)
+  // Completed requests slower than this are logged to stderr as one-line
+  // stage traces (trace_to_string); < 0 disables the log, 0 logs every
+  // request.  Purely observational: the threshold can never change a
+  // response byte.
+  std::int64_t slow_request_ms = -1;
+  // Completed traces retained for the traces() ring (oldest overwritten).
+  std::size_t trace_capacity = 256;
 };
 
 struct ServiceStats {
@@ -62,6 +70,15 @@ struct ServiceStats {
   std::uint64_t degraded = 0;    // completed with shed optional stages
   std::uint64_t recovered = 0;   // journal entries re-executed on startup
   std::uint64_t health = 0;      // health probes answered (never admitted)
+  std::uint64_t stats_probes = 0;  // stats probes answered (never admitted)
+  // Highest concurrent admitted-but-unfinished count ever observed (queue
+  // plus running) — how close admission came to queue_limit.
+  std::uint64_t queue_high_water = 0;
+  // Per-outcome breakdown of `errors` by taxonomy code.
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t validation_errors = 0;
+  std::uint64_t internal_errors = 0;
   CompiledStudyCache::Stats cache;
 };
 
@@ -76,8 +93,8 @@ class AssessmentService {
   AssessmentService& operator=(const AssessmentService&) = delete;
 
   // Admit one request (a single line/frame of JSON).  The future always
-  // becomes a response line; it never throws.  Health probes are answered
-  // immediately without admission (no seq, no journal record).
+  // becomes a response line; it never throws.  Health and stats probes are
+  // answered immediately without admission (no seq, no journal record).
   std::future<std::string> submit(std::string request_text);
 
   // submit() + wait.
@@ -95,6 +112,8 @@ class AssessmentService {
   ServiceStats stats() const;
   const ServiceOptions& options() const { return options_; }
   const Journal* journal() const { return journal_.get(); }
+  // Completed request traces (bounded ring, oldest overwritten).
+  const TraceRing& traces() const { return traces_; }
 
  private:
   struct Task {
@@ -108,13 +127,21 @@ class AssessmentService {
     std::string body;
     bool ok = false;
     bool degraded = false;
+    ErrorCode error = ErrorCode::Unspecified;  // set when !ok
   };
 
   void worker_loop();
   // Never throws: every failure becomes a structured error response.
-  Outcome process(const Task& task) const;
-  Outcome run_assessment(const Task& task, const AssessmentRequest& request) const;
+  // `trace` (optional) receives the stage durations and the outcome
+  // classification — observability only, never any response byte.
+  Outcome process(const Task& task, RequestTrace* trace) const;
+  Outcome run_assessment(const Task& task, const AssessmentRequest& request,
+                         RequestTrace* trace) const;
   std::string health_response() const;
+  std::string stats_response() const;
+  // Ring-push, latency histograms and the slow-request stderr log for one
+  // completed request.
+  void finish_trace(RequestTrace& trace) const;
   void recover_journal();  // re-execute the uncommitted suffix (ctor only)
 
   const ServiceOptions options_;
@@ -132,6 +159,7 @@ class AssessmentService {
   bool stopping_ = false;
   bool draining_ = false;
   ServiceStats stats_;
+  mutable TraceRing traces_;  // completed-trace ring (internally locked)
   std::vector<std::thread> workers_;
 };
 

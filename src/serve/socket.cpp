@@ -34,9 +34,40 @@ const char* transport_status_name(TransportStatus status) {
 #include <chrono>
 #include <cstring>
 
+#include "common/metrics.hpp"
+
 namespace ipass::serve {
 
 namespace {
+
+// Server-side transport counters, resolved once.  Only SocketServer records
+// here — the shared frame helpers stay metric-free so clients and tests
+// don't pollute the server's picture of its own wire.
+struct SocketMetrics {
+  metrics::Counter& connections_accepted;
+  metrics::Counter& connections_refused;
+  metrics::Counter& frames_in;
+  metrics::Counter& frames_out;
+  metrics::Counter& bytes_in;
+  metrics::Counter& bytes_out;
+  metrics::Counter& truncated_frames;
+  metrics::Counter& oversized_frames;
+
+  static SocketMetrics& instance() {
+    auto& r = metrics::global_metrics();
+    static SocketMetrics m{
+        r.counter("serve_socket_connections_accepted_total"),
+        r.counter("serve_socket_connections_refused_total"),
+        r.counter("serve_socket_frames_in_total"),
+        r.counter("serve_socket_frames_out_total"),
+        r.counter("serve_socket_bytes_in_total"),
+        r.counter("serve_socket_bytes_out_total"),
+        r.counter("serve_socket_truncated_frames_total"),
+        r.counter("serve_socket_oversized_frames_total"),
+    };
+    return m;
+  }
+};
 
 // Reads until `size` bytes arrived, EOF, or an unrecoverable error; returns
 // the byte count actually read.
@@ -147,11 +178,13 @@ void SocketServer::run() {
     if (active_connections_.load() >= options_.max_connections) {
       // Refuse above the connection cap with a structured frame so the
       // client sees backpressure, not a silent hangup.
+      SocketMetrics::instance().connections_refused.add();
       write_frame(fd, error_response("", ErrorCode::Overload,
                                      "too many connections; retry later"));
       ::close(fd);
       continue;
     }
+    SocketMetrics::instance().connections_accepted.add();
     ++active_connections_;
     {
       std::lock_guard<std::mutex> lk(conn_m_);
@@ -184,6 +217,7 @@ void SocketServer::stop() {
 }
 
 void SocketServer::serve_connection(int fd) {
+  SocketMetrics& sm = SocketMetrics::instance();
   std::string request;
   for (;;) {
     const FrameStatus status = read_frame(fd, request);
@@ -192,18 +226,25 @@ void SocketServer::serve_connection(int fd) {
       // Best-effort: the peer may already be gone, but when only its write
       // side died the structured error tells it the request never reached
       // an engine (a retry is unconditionally safe).
+      sm.truncated_frames.add();
       write_frame(fd, error_response("", ErrorCode::Parse,
                                      "truncated request frame: connection lost "
                                      "mid-frame; the request was not processed"));
       break;
     }
     if (status == FrameStatus::TooLarge) {
+      sm.oversized_frames.add();
       write_frame(fd, error_response("", ErrorCode::Parse,
                                      strf("request frame exceeds %zu bytes",
                                           kMaxFrameBytes)));
       break;
     }
-    if (!write_frame(fd, service_->handle(request))) break;
+    sm.frames_in.add();
+    sm.bytes_in.add(request.size());
+    const std::string response = service_->handle(request);
+    if (!write_frame(fd, response)) break;
+    sm.frames_out.add();
+    sm.bytes_out.add(response.size());
   }
   ::close(fd);
   {

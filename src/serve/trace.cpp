@@ -1,0 +1,70 @@
+#include "serve/trace.hpp"
+
+#include "common/strfmt.hpp"
+
+namespace ipass::serve {
+
+const char* cache_outcome_name(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::None: return "none";
+    case CacheOutcome::Hit: return "hit";
+    case CacheOutcome::Miss: return "miss";
+    case CacheOutcome::Wait: return "wait";
+  }
+  return "?";
+}
+
+std::string trace_to_string(const RequestTrace& trace) {
+  const auto ms = [](std::uint64_t ns) { return static_cast<double>(ns) * 1e-6; };
+  std::string out = strf(
+      "slow request seq=%llu total=%.1fms parse=%.1fms queue=%.1fms "
+      "cache=%.1fms (%s) evaluate=%.1fms serialize=%.1fms journal=%.1fms",
+      static_cast<unsigned long long>(trace.seq), ms(trace.total_ns),
+      ms(trace.parse_ns), ms(trace.queue_wait_ns), ms(trace.cache_ns),
+      cache_outcome_name(trace.cache), ms(trace.evaluate_ns),
+      ms(trace.serialize_ns), ms(trace.journal_append_ns));
+  if (trace.ok) {
+    out += trace.degraded ? " outcome=ok(degraded)" : " outcome=ok";
+  } else {
+    out += strf(" outcome=error(%s)", error_code_name(trace.error));
+  }
+  return out;
+}
+
+TraceRing::TraceRing(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "TraceRing: capacity must be at least 1");
+  ring_.reserve(capacity);
+}
+
+void TraceRing::push(const RequestTrace& trace) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_] = trace;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++pushed_;
+}
+
+std::vector<RequestTrace> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<RequestTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // next_ is the oldest retained slot once the ring has wrapped.
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRing::pushed() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return pushed_;
+}
+
+}  // namespace ipass::serve

@@ -1,0 +1,218 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ipass {
+namespace {
+
+using metrics::Counter;
+using metrics::Gauge;
+using metrics::Histogram;
+using metrics::MetricsRegistry;
+
+TEST(MetricsCounter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0U);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42U);
+}
+
+TEST(MetricsGauge, TracksValueAndHighWater) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.high_water(), 0);
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  EXPECT_EQ(g.high_water(), 7);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.high_water(), 7);  // high water never falls
+  g.add(9);
+  EXPECT_EQ(g.value(), 12);
+  EXPECT_EQ(g.high_water(), 12);
+  g.add(-12);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.high_water(), 12);
+}
+
+// The bucket layout contract: bucket 0 holds exactly 0 ns, bucket i holds
+// [2^(i-1), 2^i), the last bucket is the overflow for >= 2^30 ns.
+TEST(MetricsHistogram, BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_index(0), 0U);
+  EXPECT_EQ(Histogram::bucket_index(1), 1U);  // [1, 2)
+  EXPECT_EQ(Histogram::bucket_index(2), 2U);  // [2, 4)
+  EXPECT_EQ(Histogram::bucket_index(3), 2U);
+  EXPECT_EQ(Histogram::bucket_index(4), 3U);
+  for (std::size_t i = 1; i < 30; ++i) {
+    const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << i) - 1;
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << "lower edge of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(hi), i) << "upper edge of bucket " << i;
+  }
+  // 1 ms and 1 s land inside the range; anything >= 2^30 ns (~1.07 s)
+  // overflows.
+  EXPECT_EQ(Histogram::bucket_index(1000000), 20U);
+  EXPECT_EQ(Histogram::bucket_index(1000000000), 30U);
+  EXPECT_EQ(Histogram::bucket_index((std::uint64_t{1} << 30) - 1), 30U);
+  EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 30),
+            Histogram::kOverflowBucket);
+  EXPECT_EQ(Histogram::bucket_index(2000000000),  // 2 s
+            Histogram::kOverflowBucket);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}),
+            Histogram::kOverflowBucket);
+}
+
+TEST(MetricsHistogram, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::bucket_upper_ns(0), 0U);
+  EXPECT_EQ(Histogram::bucket_upper_ns(1), 1U);
+  EXPECT_EQ(Histogram::bucket_upper_ns(2), 3U);
+  EXPECT_EQ(Histogram::bucket_upper_ns(30), (std::uint64_t{1} << 30) - 1);
+  EXPECT_EQ(Histogram::bucket_upper_ns(Histogram::kOverflowBucket),
+            ~std::uint64_t{0});
+  // Upper bounds are exactly the last value of each bucket.
+  for (std::size_t i = 0; i + 1 < Histogram::kOverflowBucket; ++i) {
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper_ns(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper_ns(i) + 1), i + 1);
+  }
+}
+
+TEST(MetricsHistogram, ExactCountAndSum) {
+  Histogram h;
+  const std::uint64_t samples[] = {0, 1, 1, 7, 1000, 999999999, 3000000000ULL};
+  std::uint64_t expected_sum = 0;
+  for (const std::uint64_t s : samples) {
+    h.record(s);
+    expected_sum += s;
+  }
+  EXPECT_EQ(h.count(), 7U);
+  EXPECT_EQ(h.sum_ns(), expected_sum);  // exact, not bucket-approximated
+  EXPECT_EQ(h.bucket(0), 1U);
+  EXPECT_EQ(h.bucket(1), 2U);
+  EXPECT_EQ(h.bucket(3), 1U);                          // 7
+  EXPECT_EQ(h.bucket(10), 1U);                         // 1000
+  EXPECT_EQ(h.bucket(30), 1U);                         // ~1 s
+  EXPECT_EQ(h.bucket(Histogram::kOverflowBucket), 1U);  // 3 s
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) total += h.bucket(b);
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(MetricsRegistryNames, SameNameSameInstance) {
+  MetricsRegistry r;
+  Counter& a = r.counter("requests_total");
+  Counter& b = r.counter("requests_total");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3U);
+  // References stay valid while registration continues (std::map nodes).
+  for (int i = 0; i < 100; ++i) r.counter("c_" + std::to_string(i));
+  EXPECT_EQ(a.value(), 3U);
+}
+
+TEST(MetricsRegistryNames, InvalidNamesRejected) {
+  MetricsRegistry r;
+  EXPECT_THROW(r.counter(""), PreconditionError);
+  EXPECT_THROW(r.counter("9leading_digit"), PreconditionError);
+  EXPECT_THROW(r.counter("has-dash"), PreconditionError);
+  EXPECT_THROW(r.gauge("has space"), PreconditionError);
+  EXPECT_THROW(r.histogram("dotted.name"), PreconditionError);
+  EXPECT_NO_THROW(r.counter("_ok_Name_42"));
+}
+
+TEST(MetricsRegistrySnapshot, JsonShape) {
+  MetricsRegistry r;
+  r.counter("a_total").add(5);
+  r.gauge("depth").set(3);
+  r.gauge("depth").set(1);
+  r.histogram("lat_ns").record(0);
+  r.histogram("lat_ns").record(3);
+  r.histogram("lat_ns").record(std::uint64_t{1} << 31);  // overflow
+  const std::string json = r.snapshot_json();
+  EXPECT_NE(json.find("\"a_total\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": {\"value\": 1, \"high_water\": 3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"lat_ns\": {\"count\": 3, \"sum_ns\": 2147483651, "
+                      "\"buckets\": [[0, 1], [3, 1], [\"overflow\", 1]]}"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistrySnapshot, PrometheusShape) {
+  MetricsRegistry r;
+  r.counter("a_total").add(5);
+  r.gauge("depth").set(2);
+  r.histogram("lat_ns").record(1);
+  r.histogram("lat_ns").record(std::uint64_t{1} << 31);
+  const std::string text = r.prometheus_text();
+  EXPECT_NE(text.find("# TYPE a_total counter\na_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\ndepth 2\n"), std::string::npos);
+  EXPECT_NE(text.find("depth_high_water 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ns histogram\n"), std::string::npos);
+  // Buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 2\n"), std::string::npos);
+  // le="1e-09" is bucket 1's upper bound (1 ns) in seconds.
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"1e-09\"} 1\n"), std::string::npos);
+}
+
+// Snapshot under concurrent increments: every value read is torn-free and
+// the final snapshot agrees with the exact totals.  Run under TSan in CI.
+TEST(MetricsConcurrency, SnapshotUnderConcurrentIncrement) {
+  MetricsRegistry r;
+  Counter& c = r.counter("hits_total");
+  Histogram& h = r.histogram("lat_ns");
+  Gauge& g = r.gauge("depth");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(static_cast<std::uint64_t>(i));
+        g.set(t);
+      }
+    });
+  }
+  // Snapshot while the writers run: must never crash, tear, or deadlock.
+  for (int s = 0; s < 50; ++s) {
+    const std::string json = r.snapshot_json();
+    EXPECT_FALSE(json.empty());
+    (void)r.prometheus_text();
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) total += h.bucket(b);
+  EXPECT_EQ(total, h.count());
+  EXPECT_LE(g.value(), kThreads - 1);
+  EXPECT_EQ(g.high_water(), kThreads - 1);
+}
+
+TEST(MetricsProfiling, ScopedTimerRecordsOnlyWithHistogram) {
+  Histogram h;
+  { metrics::ScopedTimer t(nullptr); }  // no-op: never reads the clock
+  EXPECT_EQ(h.count(), 0U);
+  { metrics::ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 1U);
+}
+
+TEST(MetricsProfiling, EnableFlagRoundTrips) {
+  EXPECT_FALSE(metrics::profiling_enabled());  // default off
+  metrics::set_profiling_enabled(true);
+  EXPECT_TRUE(metrics::profiling_enabled());
+  metrics::set_profiling_enabled(false);
+  EXPECT_FALSE(metrics::profiling_enabled());
+}
+
+}  // namespace
+}  // namespace ipass

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/replay.hpp"
 #include "serve/service.hpp"
@@ -67,9 +68,18 @@ struct SoakRun {
   ChaosStats chaos_stats;
 };
 
-SoakRun run_soak(const std::vector<std::string>& requests, std::uint64_t seed) {
+SoakRun run_soak(const std::vector<std::string>& requests, std::uint64_t seed,
+                 bool metrics_on = false) {
   ServerOptions server_options;
   server_options.service.workers = 2;
+  if (metrics_on) {
+    // Arm every observability path: slow-request tracing (threshold high
+    // enough to stay quiet on stderr), a tiny trace ring that wraps many
+    // times over the soak, and the engine profiling hooks.
+    server_options.service.slow_request_ms = 3600000;
+    server_options.service.trace_capacity = 4;
+    metrics::set_profiling_enabled(true);
+  }
   SocketServer server(server_options);
   std::thread server_thread([&] { server.run(); });
 
@@ -94,6 +104,7 @@ SoakRun run_soak(const std::vector<std::string>& requests, std::uint64_t seed) {
   run.service_stats = server.service().stats();
   server.stop();
   server_thread.join();
+  if (metrics_on) metrics::set_profiling_enabled(false);
   return run;
 }
 
@@ -121,6 +132,22 @@ TEST(ChaosSoak, EveryRequestCompletesByteIdenticalAcrossSeeds) {
         << "seed " << seed;
     EXPECT_GT(run.chaos_stats.split, 0U) << "seed " << seed;
     EXPECT_GT(run.attempts, requests.size()) << "seed " << seed;
+  }
+}
+
+// Observability must never leak into the response bytes: the same 3-seed
+// soak with tracing, slow-request logging and profiling hooks all armed
+// produces exactly the metrics-off (= fault-free reference) stream.
+TEST(ChaosSoak, ByteIdenticalWithMetricsAndTracingEnabled) {
+  const std::vector<std::string> requests = committed_requests();
+  const std::vector<std::string> reference = reference_responses(requests);
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const SoakRun run = run_soak(requests, seed, /*metrics_on=*/true);
+    ASSERT_EQ(run.responses.size(), requests.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EXPECT_EQ(run.responses[i], reference[i])
+          << "seed " << seed << " request " << i;
+    }
   }
 }
 

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "kits/kit_json.hpp"
 #include "kits/registry.hpp"
+#include "serve/service.hpp"
 
 namespace ipass::serve {
 namespace {
@@ -165,6 +168,110 @@ TEST(ServeProtocol, KindFieldGatesHealthFromAssess) {
               std::string::npos)
         << e.what();
   }
+}
+
+TEST(ServeProtocol, KindFieldGatesStatsFromAssess) {
+  // Stats probes classify exactly like health probes.
+  EXPECT_EQ(probe_kind(R"({"kind": "stats"})"), ProbeKind::Stats);
+  EXPECT_EQ(probe_kind(R"(  { "kind" : "stats" }  )"), ProbeKind::Stats);
+  EXPECT_EQ(probe_kind(R"({"kind": "health"})"), ProbeKind::Health);
+  EXPECT_EQ(probe_kind(R"({"kind": "assess", "id": "x"})"), ProbeKind::None);
+  EXPECT_EQ(probe_kind(R"({"id": "x", "kit_name": "pcb-fr4"})"), ProbeKind::None);
+  EXPECT_TRUE(is_stats_request(R"({"kind": "stats"})"));
+  EXPECT_FALSE(is_stats_request(R"({"kind": "health"})"));
+
+  // The kind gate refuses sequenced probes with Validation: a probe that
+  // consumed a sequence number would shift every later response, so it must
+  // never survive parse_request.
+  for (const char* kind : {"stats", "health"}) {
+    try {
+      parse_request(std::string(R"({"id": "a", "kind": ")") + kind +
+                    R"(", "kit_name": "pcb-fr4"})");
+      FAIL() << "expected rejection of sequenced '" << kind << "' probe";
+    } catch (const PreconditionError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Validation);
+      EXPECT_NE(std::string(e.what())
+                    .find(std::string("unknown request kind '") + kind + "'"),
+                std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("answered at admission"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ServeProtocol, WireVersionNamesTheProtocolGeneration) {
+  EXPECT_STREQ(kWireVersion, "ipass-serve/9");
+  EXPECT_STREQ(kServeVersion, kWireVersion);  // historic alias
+}
+
+// The stats response shape is wire contract: scrapers key on these fields,
+// so adding is fine but renaming or dropping one is a version bump.
+TEST(ServeProtocol, StatsResponseShapeIsPinned) {
+  const std::string path = ::testing::TempDir() + "ipass_protocol_stats.wal";
+  std::remove(path.c_str());
+  ServiceOptions options;
+  options.journal_path = path;
+  AssessmentService service(options);
+  service.handle(R"({"id": "a", "kit_name": "ltcc-ceramic"})");
+  service.handle("garbage");
+  service.handle(R"({"kind": "health"})");
+
+  const JsonValue v =
+      parse_json(service.handle(R"({"kind": "stats"})"), "stats response");
+  const auto field = [&](const char* key) -> const JsonValue* {
+    for (const auto& [k, val] : v.object) {
+      if (k == key) return &val;
+    }
+    ADD_FAILURE() << "stats response lacks field " << key;
+    return nullptr;
+  };
+  ASSERT_EQ(v.type, JsonValue::Type::Object);
+  EXPECT_EQ(field("status")->string, "ok");
+  EXPECT_EQ(field("kind")->string, "stats");
+  EXPECT_EQ(field("version")->string, kWireVersion);
+  // Queue pressure: depth now, plus the high-water mark of queue + running.
+  EXPECT_EQ(field("queue_depth")->number, 0.0);
+  EXPECT_EQ(field("queue_high_water")->number, 1.0);
+  EXPECT_EQ(field("running")->number, 0.0);
+  EXPECT_EQ(field("workers")->number, 1.0);
+  // Outcome counters with the per-taxonomy error breakdown.
+  EXPECT_EQ(field("admitted")->number, 2.0);
+  EXPECT_EQ(field("completed")->number, 2.0);
+  EXPECT_EQ(field("ok")->number, 1.0);
+  EXPECT_EQ(field("errors")->number, 1.0);
+  EXPECT_EQ(field("overloaded")->number, 0.0);
+  EXPECT_EQ(field("degraded")->number, 0.0);
+  EXPECT_EQ(field("deadline_exceeded")->number, 0.0);
+  EXPECT_EQ(field("parse_errors")->number, 1.0);
+  EXPECT_EQ(field("validation_errors")->number, 0.0);
+  EXPECT_EQ(field("internal_errors")->number, 0.0);
+  EXPECT_EQ(field("recovered")->number, 0.0);
+  EXPECT_EQ(field("health_probes")->number, 1.0);
+  // The probe counts itself at admission, so this very response says 1.
+  EXPECT_EQ(field("stats_probes")->number, 1.0);
+  const JsonValue* cache = field("cache");
+  ASSERT_NE(cache, nullptr);
+  ASSERT_EQ(cache->object.size(), 6U);  // size, hits, misses, waits,
+                                        // evictions, failures
+  const JsonValue* journal = field("journal");
+  ASSERT_NE(journal, nullptr);
+  EXPECT_EQ(journal->object[0].first, "enabled");
+  EXPECT_TRUE(journal->object[0].second.boolean);
+  EXPECT_EQ(journal->object[1].first, "admits");
+  EXPECT_EQ(journal->object[1].second.number, 2.0);
+  EXPECT_EQ(journal->object[2].first, "commits");
+  EXPECT_EQ(journal->object[2].second.number, 2.0);
+  EXPECT_EQ(journal->object[3].first, "lag");
+  EXPECT_EQ(journal->object[3].second.number, 0.0);
+  const JsonValue* traces = field("traces");
+  ASSERT_NE(traces, nullptr);
+  EXPECT_EQ(traces->object[0].first, "capacity");
+  EXPECT_EQ(traces->object[1].first, "recorded");
+  EXPECT_EQ(traces->object[1].second.number, 2.0);
+  EXPECT_FALSE(field("draining")->boolean);
+  std::remove(path.c_str());
 }
 
 TEST(ServeProtocol, ErrorResponseEscapesAndNamesCode) {

@@ -33,6 +33,7 @@ HOT_BENCHES = [
     "BM_KitFleetSweep/real_time",
     "BM_PartitionSweep/real_time",
     "BM_ServeRequestCached/real_time",
+    "BM_ServeRequestCachedMetrics/real_time",
     "BM_ServeRequestJournaled/real_time",
 ]
 

@@ -7,6 +7,7 @@
 //   ipass_replay --log FILE --journal FILE --connect HOST:PORT  (resume)
 //   ipass_replay --journal FILE             (print the recovered stream)
 //   ipass_replay --health HOST:PORT         (readiness probe)
+//   ipass_replay --stats HOST:PORT          (operational stats probe)
 //
 // Responses are pure functions of (request, sequence number, options), so
 // two in-process replays of the same log — with different --workers,
@@ -22,7 +23,11 @@
 // interrupted replay, skipping the log lines the journal already admitted
 // (a sequential replay admits in log order, so the admit count IS the
 // resume point) and sending only the remainder.  --health retries a
-// {"kind":"health"} probe until the daemon answers (readiness gate).
+// {"kind":"health"} probe until the daemon answers (readiness gate);
+// --stats does the same with {"kind":"stats"} and prints the daemon's full
+// operational counters.  Both probes are answered at admission — no
+// sequence number, no journal record — so probing never perturbs the
+// deterministic response stream.
 
 #include <chrono>
 #include <cstdio>
@@ -60,10 +65,10 @@ bool split_host_port(const std::string& spec, std::string& host,
   return true;
 }
 
-// Readiness probe: retry a health request until the daemon answers (it may
-// still be recovering its journal or binding the port).
-int probe_health(const std::string& host, std::uint16_t port) {
-  const std::string probe = "{\"kind\": \"health\"}";
+// Probe loop shared by --health and --stats: retry until the daemon answers
+// (it may still be recovering its journal or binding the port).
+int probe_daemon(const char* flag, const std::string& probe,
+                 const std::string& host, std::uint16_t port) {
   for (int attempt = 0; attempt < 40; ++attempt) {
     try {
       ipass::serve::SocketClient client(host, port);
@@ -74,7 +79,7 @@ int probe_health(const std::string& host, std::uint16_t port) {
       std::this_thread::sleep_for(std::chrono::milliseconds(250));
     }
   }
-  std::fprintf(stderr, "ipass_replay: --health: %s:%u never became ready\n",
+  std::fprintf(stderr, "ipass_replay: %s: %s:%u never became ready\n", flag,
                host.c_str(), static_cast<unsigned>(port));
   return 1;
 }
@@ -86,6 +91,7 @@ int main(int argc, char** argv) {
   std::string connect;
   std::string journal_path;
   std::string health;
+  std::string stats;
   long throttle_ms = 0;
   ipass::serve::ServiceOptions options;
   try {
@@ -106,6 +112,8 @@ int main(int argc, char** argv) {
         journal_path = value();
       } else if (arg == "--health") {
         health = value();
+      } else if (arg == "--stats") {
+        stats = value();
       } else if (arg == "--throttle-ms") {
         throttle_ms = parse_long("--throttle-ms", value(), 0, 60000);
       } else if (arg == "--workers") {
@@ -127,7 +135,8 @@ int main(int argc, char** argv) {
                      "[--journal FILE] [--throttle-ms N] [--workers N] [--queue N] "
                      "[--cache N] [--eval-threads N] [--faults SPEC]\n"
                      "       ipass_replay --journal FILE\n"
-                     "       ipass_replay --health HOST:PORT\n");
+                     "       ipass_replay --health HOST:PORT\n"
+                     "       ipass_replay --stats HOST:PORT\n");
         return 2;
       }
     }
@@ -139,7 +148,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "ipass_replay: --health expects HOST:PORT\n");
         return 2;
       }
-      return probe_health(host, port);
+      return probe_daemon("--health", "{\"kind\": \"health\"}", host, port);
+    }
+    if (!stats.empty()) {
+      std::string host;
+      std::uint16_t port = 0;
+      if (!split_host_port(stats, host, port)) {
+        std::fprintf(stderr, "ipass_replay: --stats expects HOST:PORT\n");
+        return 2;
+      }
+      return probe_daemon("--stats", "{\"kind\": \"stats\"}", host, port);
     }
 
     if (log_path.empty() && !journal_path.empty()) {
